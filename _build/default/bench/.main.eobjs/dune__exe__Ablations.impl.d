@@ -1,0 +1,1 @@
+bench/ablations.ml: Bytes List Plib Printf S Scenarios Simos String Ycsb

@@ -1,0 +1,1 @@
+bench/complexity.ml: Array Filename List Scenarios Sys

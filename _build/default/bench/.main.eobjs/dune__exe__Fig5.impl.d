@@ -1,0 +1,1 @@
+bench/fig5.ml: Hodor List Mc_server Plib S Scenarios Sock Srv String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Complexity Fig5 List Micro Nullcall Printf String Sys Throughput

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance Mc_core Measure Pku Platform Printf Ralloc Scenarios Shm Staged String Test Time Toolkit

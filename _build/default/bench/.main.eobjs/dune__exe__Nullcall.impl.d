@@ -1,0 +1,1 @@
+bench/nullcall.ml: Hodor S Scenarios Transport Vm

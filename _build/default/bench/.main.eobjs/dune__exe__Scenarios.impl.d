@@ -1,0 +1,1 @@
+bench/scenarios.ml: Array Atomic Core Mc_core Mc_server Platform Printf Simos Vm Ycsb

@@ -1,0 +1,1 @@
+bench/throughput.ml: Hodor List Printf Scenarios Ycsb

@@ -1,0 +1,125 @@
+(** Figure 5: single-threaded operation latency for the original
+    (socket) memcached versus the protected library with and without
+    Hodor protection, with speedups. *)
+
+open Scenarios
+
+type row = {
+  label : string;
+  paper : float * float * float;  (** us: memcached, plib hodor, plib none *)
+  measure : [ `Sock of Sock.t | `Plib of Plib.t ] -> int;
+  (** mean ns per op in the given configuration *)
+}
+
+let iters = 300
+
+let key128 = "latency-key-128"
+
+let key5k = "latency-key-5k"
+
+let keyctr = "latency-counter"
+
+let val128 = String.make 128 'x'
+
+let val5k = String.make (5 * 1024) 'y'
+
+(* Time [f] [iters] times on the virtual clock; untimed setup can run
+   inside the loop because only the [f] window is accumulated. *)
+let timed ?(setup = fun _ -> ()) f =
+  let acc = ref 0 in
+  for i = 1 to iters do
+    setup i;
+    let t0 = S.now_ns () in
+    f i;
+    acc := !acc + (S.now_ns () - t0)
+  done;
+  !acc / iters
+
+let api_get c k =
+  match c with
+  | `Sock s -> ignore (Sock.get s k)
+  | `Plib p -> ignore (Plib.get p k)
+
+let api_set c k v =
+  match c with
+  | `Sock s -> ignore (Sock.set s k v)
+  | `Plib p -> ignore (Plib.set p k v)
+
+let api_delete c k =
+  match c with
+  | `Sock s -> ignore (Sock.delete s k)
+  | `Plib p -> ignore (Plib.delete p k)
+
+let api_incr c k =
+  match c with
+  | `Sock s -> ignore (Sock.incr s k 1L)
+  | `Plib p -> ignore (Plib.incr p k 1L)
+
+let rows : row list =
+  [ { label = "Get 128 B"; paper = (13.0, 0.67, 0.64);
+      measure = (fun c -> timed (fun _ -> api_get c key128)) };
+    { label = "Get 5 KB"; paper = (13.0, 0.67, 0.64);
+      measure = (fun c -> timed (fun _ -> api_get c key5k)) };
+    { label = "Set 128 B"; paper = (13.0, 1.2, 1.2);
+      measure = (fun c -> timed (fun _ -> api_set c key128 val128)) };
+    { label = "Set 5 KB"; paper = (17.0, 1.5, 1.5);
+      measure = (fun c -> timed (fun _ -> api_set c key5k val5k)) };
+    { label = "Delete"; paper = (10.0, 0.21, 0.18);
+      measure =
+        (fun c ->
+          timed
+            ~setup:(fun _ -> api_set c "del-key" "gone")
+            (fun _ -> api_delete c "del-key")) };
+    { label = "Increment"; paper = (54.0, 1.6, 1.5);
+      measure = (fun c -> timed (fun _ -> api_incr c keyctr)) } ]
+
+let preload c =
+  api_set c key128 val128;
+  api_set c key5k val5k;
+  (match c with
+   | `Sock s -> ignore (Sock.set s keyctr "1000")
+   | `Plib p -> ignore (Plib.set p keyctr "1000"))
+
+(* One simulation per configuration: measure all rows in it. *)
+let measure_sock () =
+  let store = make_baseline_store ~mem_limit:(64 lsl 20) ~hashpower:16 () in
+  let name = fresh_name "mc-fig5" in
+  in_vm (fun () ->
+    let srv =
+      Srv.start
+        ~cfg:{ Mc_server.Server.default_config with workers = 4 }
+        ~prebuilt:store ~name ()
+    in
+    let conn = Sock.connect ~name () in
+    preload (`Sock conn);
+    let r = List.map (fun row -> row.measure (`Sock conn)) rows in
+    Srv.stop srv;
+    r)
+
+let measure_plib ~protection () =
+  let plib = make_plib ~protection ~size:(64 lsl 20) ~hashpower:16 () in
+  in_vm (fun () ->
+    preload (`Plib plib);
+    List.map (fun row -> row.measure (`Plib plib)) rows)
+
+let run () =
+  header
+    "Figure 5: operation latency (single thread), us and speedup vs memcached";
+  let sock = measure_sock () in
+  let hodor = measure_plib ~protection:Hodor.Library.Protected () in
+  let plain = measure_plib ~protection:Hodor.Library.Unprotected () in
+  pf "%-12s | %-18s | %-22s | %-22s\n" "Op" "Memcached" "Plib w/Hodor"
+    "Plib no-Hodor";
+  pf "%-12s | %-18s | %-22s | %-22s\n" "" "meas (paper)" "meas (paper)  speedup"
+    "meas (paper)  speedup";
+  List.iteri
+    (fun i row ->
+      let m = List.nth sock i and h = List.nth hodor i and p = List.nth plain i in
+      let pm, ph, pp = row.paper in
+      pf "%-12s | %6.2f (%5.1f)    | %6.2f (%5.2f)  %5.1fx | %6.2f (%5.2f)  %5.1fx\n"
+        row.label (us m) pm (us h) ph
+        (float_of_int m /. float_of_int h)
+        (us p) pp
+        (float_of_int m /. float_of_int p))
+    rows;
+  pf "\nPaper: 11-56x latency reduction; empty Hodor call ~40 ns.\n"

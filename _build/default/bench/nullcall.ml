@@ -1,0 +1,63 @@
+(** §2's motivating microbenchmark: an empty protected-library call
+    (~40 ns round trip on the paper's machine) versus an empty message
+    round trip over Unix-domain sockets (3.3-9.6 us minimum,
+    depending on placement). *)
+
+open Scenarios
+module T = Transport.Sock.Make (Vm.Sync)
+
+let iters = 2000
+
+let empty_hodor ~protection () =
+  let lib =
+    Hodor.Library.create ~protection ~name:"null" ~owner_uid:0 ()
+  in
+  Hodor.Runtime.configure ~advance:S.advance ~now:S.now_ns;
+  let r =
+    in_vm (fun () ->
+      let t0 = S.now_ns () in
+      for _ = 1 to iters do
+        Hodor.Trampoline.call lib (fun () -> ())
+      done;
+      (S.now_ns () - t0) / iters)
+  in
+  Hodor.Library.release lib;
+  r
+
+(* Ping-pong over a raw pipe: the idle-peer case (context switch both
+   ways) and the saturated case (peer already awake). *)
+let empty_socket_rt () =
+  in_vm (fun () ->
+    let p = T.pipe () in
+    let server =
+      S.spawn ~name:"pong" (fun () ->
+        try
+          while true do
+            let m = T.pipe_recv p.T.a2b in
+            ignore m;
+            T.pipe_send p.T.b2a "pong"
+          done
+        with S.Closed -> ())
+    in
+    let t0 = S.now_ns () in
+    for _ = 1 to iters do
+      T.pipe_send p.T.a2b "ping";
+      ignore (T.pipe_recv p.T.b2a)
+    done;
+    let dt = (S.now_ns () - t0) / iters in
+    S.close p.T.a2b;
+    S.close p.T.b2a;
+    S.join server;
+    dt)
+
+let run () =
+  header "Null-call microbenchmark (paper section 2)";
+  let hodor = empty_hodor ~protection:Hodor.Library.Protected () in
+  let plain = empty_hodor ~protection:Hodor.Library.Unprotected () in
+  let socket = empty_socket_rt () in
+  pf "empty Hodor call round trip:        %5d ns   (paper: ~40 ns)\n" hodor;
+  pf "empty plain-library call:           %5d ns\n" plain;
+  pf "empty Unix-socket round trip:       %5d ns   (paper: 3300-9600 ns)\n"
+    socket;
+  pf "socket / hodor ratio:               %5.0fx    (paper: ~two orders of magnitude)\n"
+    (float_of_int socket /. float_of_int hodor)

@@ -1,0 +1,113 @@
+(** Shared plumbing for the paper-reproduction benchmarks: everything
+    here runs inside the virtual-time machine on the modeled 10-core /
+    20-hyperthread Xeon. *)
+
+module S = Vm.Sync
+module Cl = Core.Client.Make (Vm.Sync)
+module Plib = Cl.Plib
+module Sock = Cl.Sock
+module Srv = Mc_server.Server.Make (Vm.Sync)
+module Run = Ycsb.Runner.Make (Vm.Sync)
+module CM = Platform.Cost_model
+
+(* Run [f] as the main thread of a fresh simulation and hand back its
+   result (wall-clock here is virtual). *)
+let in_vm ?config f =
+  let vm = Vm.create ?config () in
+  let out = ref None in
+  ignore (Vm.spawn vm ~name:"main" (fun () -> out := Some (f ())));
+  Vm.run vm;
+  match !out with
+  | Some v -> v
+  | None -> failwith "in_vm: main thread produced no result"
+
+(* ---- Store builders --------------------------------------------------- *)
+
+let fresh_names = Atomic.make 0
+
+let fresh_name prefix =
+  Printf.sprintf "%s-%d" prefix (Atomic.fetch_and_add fresh_names 1)
+
+let store_cfg ~hashpower =
+  { Mc_core.Store.default_config with hashpower; lock_count = 1024;
+    lru_count = 64; stats_slots = 64 }
+
+let make_plib ~protection ~size ~hashpower () =
+  let owner = Simos.Process.make ~uid:1000 (fresh_name "memcached-bk") in
+  Plib.create ~protection ~store_cfg:(store_cfg ~hashpower)
+    ~path:(fresh_name "/dev/shm/kv") ~size ~owner ()
+
+let make_baseline_store ~mem_limit ~hashpower () =
+  let arena = Mc_core.Private_memory.create ~limit:(2 * mem_limit) in
+  let slab = Mc_core.Slab.create ~arena ~mem_limit in
+  Srv.Store.create ~mem:arena ~alloc:slab
+    { (store_cfg ~hashpower) with lru_by_size_class = true }
+
+(* ---- YCSB adapters ------------------------------------------------------ *)
+
+(* Both adapters charge the YCSB driver's own per-op cost, as the
+   paper's Java harness pays it regardless of backend. *)
+
+let plib_db plib : Ycsb.Runner.db =
+  { db_read =
+      (fun k ->
+        S.advance CM.current.ycsb_driver;
+        Plib.get plib k <> None);
+    db_update =
+      (fun k v ->
+        S.advance CM.current.ycsb_driver;
+        Plib.set plib k v = Mc_core.Store.Stored) }
+
+let sock_db conn : Ycsb.Runner.db =
+  { db_read =
+      (fun k ->
+        S.advance CM.current.ycsb_driver;
+        Sock.get conn k <> None);
+    db_update =
+      (fun k v ->
+        S.advance CM.current.ycsb_driver;
+        Sock.set conn k v = Mc_core.Store.Stored) }
+
+(* Load the dataset straight into a store object (the load phase is
+   not part of any measurement). *)
+let load_plib plib w =
+  in_vm (fun () ->
+    Run.load w
+      { db_read = (fun k -> Plib.get plib k <> None);
+        db_update = (fun k v -> Plib.set plib k v = Mc_core.Store.Stored) })
+
+let load_baseline store w =
+  in_vm (fun () ->
+    Run.load w
+      { db_read = (fun k -> Srv.Store.get store k <> None);
+        db_update =
+          (fun k v -> Srv.Store.set store k v = Mc_core.Store.Stored) })
+
+(* ---- Throughput measurement points ---------------------------------------- *)
+
+let baseline_point ~store ~workers ~threads (w : Ycsb.Workload.t) =
+  let name = fresh_name "mc" in
+  in_vm (fun () ->
+    let cfg =
+      { Mc_server.Server.default_config with workers;
+        store = { (store_cfg ~hashpower:16) with lru_by_size_class = true } }
+    in
+    let srv = Srv.start ~cfg ~prebuilt:store ~name () in
+    let conns = Array.init threads (fun _ -> Sock.connect ~name ()) in
+    let res = Run.run ~threads w ~db_for:(fun i -> sock_db conns.(i)) in
+    Srv.stop srv;
+    res)
+
+let plib_point ~plib ~threads (w : Ycsb.Workload.t) =
+  in_vm (fun () -> Run.run ~threads w ~db_for:(fun _ -> plib_db plib))
+
+(* ---- Output helpers ----------------------------------------------------------- *)
+
+let us ns = float_of_int ns /. 1e3
+
+let pf = Printf.printf
+
+let header title =
+  pf "\n================================================================\n";
+  pf "%s\n" title;
+  pf "================================================================\n"

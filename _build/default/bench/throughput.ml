@@ -1,0 +1,103 @@
+(** Figures 6-9: throughput (KTPS) vs client thread count, four curves
+    per figure — original memcached with 4 and 8 server threads, and
+    the protected library with and without Hodor — on the modeled
+    10-core/20-hyperthread machine.
+
+    The dataset is loaded once per configuration and reused across
+    thread counts (threads die with each simulation; the store object
+    does not). *)
+
+open Scenarios
+
+type figure = {
+  fig_no : int;
+  small_value : bool;
+  read_heavy : bool;
+}
+
+let figures =
+  [ { fig_no = 6; small_value = true; read_heavy = false };
+    { fig_no = 7; small_value = false; read_heavy = false };
+    { fig_no = 8; small_value = true; read_heavy = true };
+    { fig_no = 9; small_value = false; read_heavy = true } ]
+
+let thread_counts = [ 1; 2; 4; 6; 8; 10; 12; 16; 20; 24; 28; 32; 36; 40 ]
+
+(* Scaled geometry: keep the paper's ~1.2-1.5 hash load factor and the
+   footprint ratio between the 128 B and 5 KB datasets. *)
+let geometry ~small_value =
+  if small_value then (`Records 400_000, `Hashpower 18, `Heap (256 lsl 20))
+  else (`Records 10_000, `Hashpower 13, `Heap (128 lsl 20))
+
+let workload fig ~ops =
+  let `Records records, _, _ = geometry ~small_value:fig.small_value in
+  Ycsb.Workload.make
+    ~name:(Printf.sprintf "fig%d" fig.fig_no)
+    ~record_count:records ~operation_count:ops
+    ~read_proportion:(if fig.read_heavy then 0.95 else 0.5)
+    ~field_length:(if fig.small_value then 128 else 5 * 1024)
+    ()
+
+type series = { s_label : string; s_points : (int * float) list }
+
+let sweep_baseline fig ~ops ~workers =
+  let _, `Hashpower hashpower, `Heap heap = geometry ~small_value:fig.small_value in
+  let store = make_baseline_store ~mem_limit:heap ~hashpower () in
+  let w = workload fig ~ops in
+  load_baseline store w;
+  { s_label = Printf.sprintf "Memcached %d threads" workers;
+    s_points =
+      List.map
+        (fun threads ->
+          let r = baseline_point ~store ~workers ~threads w in
+          (threads, Ycsb.Runner.throughput_ktps r))
+        thread_counts }
+
+let sweep_plib fig ~ops ~protection =
+  let _, `Hashpower hashpower, `Heap heap = geometry ~small_value:fig.small_value in
+  let plib = make_plib ~protection ~size:heap ~hashpower () in
+  let w = workload fig ~ops in
+  load_plib plib w;
+  { s_label =
+      (match protection with
+       | Hodor.Library.Protected -> "Modified memcached, with Hodor"
+       | Hodor.Library.Unprotected -> "Modified memcached, no Hodor");
+    s_points =
+      List.map
+        (fun threads ->
+          let r = plib_point ~plib ~threads w in
+          (threads, Ycsb.Runner.throughput_ktps r))
+        thread_counts }
+
+let print_figure fig (series : series list) =
+  header
+    (Printf.sprintf "Figure %d: field length %s - %s (KTPS vs threads)"
+       fig.fig_no
+       (if fig.small_value then "128B" else "5KB")
+       (if fig.read_heavy then "Read Heavy (95/5)" else "Write Heavy (50/50)"));
+  pf "%-8s" "threads";
+  List.iter (fun s -> pf " | %-28s" s.s_label) series;
+  pf "\n";
+  List.iteri
+    (fun i threads ->
+      pf "%-8d" threads;
+      List.iter (fun s -> pf " | %28.0f" (snd (List.nth s.s_points i))) series;
+      pf "\n")
+    thread_counts
+
+let run_figure ~ops fig =
+  let series =
+    [ sweep_baseline fig ~ops ~workers:8;
+      sweep_baseline fig ~ops ~workers:4;
+      sweep_plib fig ~ops ~protection:Hodor.Library.Unprotected;
+      sweep_plib fig ~ops ~protection:Hodor.Library.Protected ]
+  in
+  print_figure fig series;
+  (fig, series)
+
+let run ?(ops = 60_000) ?(only = []) () =
+  let selected =
+    if only = [] then figures
+    else List.filter (fun f -> List.mem f.fig_no only) figures
+  in
+  List.map (run_figure ~ops) selected

@@ -1,0 +1,1 @@
+bin/kv_shell.ml: Arg Cmd Cmdliner Core In_channel Int64 List Mc_core Platform Printexc Printf Simos String Sys Term

@@ -1,0 +1,1 @@
+bin/kv_shell.mli:

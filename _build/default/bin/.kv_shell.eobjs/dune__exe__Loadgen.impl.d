@@ -1,0 +1,1 @@
+bin/loadgen.ml: Arg Array Cmd Cmdliner Core Float Hodor Mc_core Mc_server Option Platform Printf Simos Term Vm Ycsb

@@ -1,0 +1,161 @@
+(** An interactive shell over the protected-library memcached, with
+    durable heap images: state survives across invocations through the
+    flush/restart path (§3.2).
+
+    Usage:
+      dune exec bin/kv_shell.exe -- --image /tmp/kv.img
+      kv> set greeting hello
+      kv> get greeting
+      kv> quit                        # flushes to the image
+      dune exec bin/kv_shell.exe -- --image /tmp/kv.img
+      kv> get greeting                # still there *)
+
+module Client = Core.Client.Make (Platform.Real_sync)
+module Plib = Client.Plib
+
+let usage () =
+  print_string
+    "commands:\n\
+    \  get <key>              set <key> <value>      add <key> <value>\n\
+    \  replace <key> <value>  append <key> <suffix>  prepend <key> <prefix>\n\
+    \  del <key>              incr <key> [n]         decr <key> [n]\n\
+    \  touch <key> <secs>     stats                  flush_all\n\
+    \  resize                 maintain               help\n\
+    \  keys                   reap\n\
+    \  quit (flushes to the image when one is configured)\n"
+
+let shell plib image =
+  let open Mc_core.Store in
+  let quit = ref false in
+  while not !quit do
+    print_string "kv> ";
+    match In_channel.input_line stdin with
+    | None -> quit := true
+    | Some line ->
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      (try
+         match words with
+         | [] -> ()
+         | [ "help" ] -> usage ()
+         | [ "quit" ] | [ "exit" ] -> quit := true
+         | [ "get"; k ] ->
+           (match Plib.get plib k with
+            | Some r ->
+              Printf.printf "VALUE %s flags=%d cas=%Ld\n%s\n" k r.flags r.cas
+                r.value
+            | None -> print_endline "NOT_FOUND")
+         | "set" :: k :: rest ->
+           let v = String.concat " " rest in
+           print_endline
+             (match Plib.set plib k v with
+              | Stored -> "STORED"
+              | No_memory -> "SERVER_ERROR out of memory"
+              | _ -> "NOT_STORED")
+         | "add" :: k :: rest ->
+           print_endline
+             (match Plib.add plib k (String.concat " " rest) with
+              | Stored -> "STORED"
+              | _ -> "NOT_STORED")
+         | "replace" :: k :: rest ->
+           print_endline
+             (match Plib.replace plib k (String.concat " " rest) with
+              | Stored -> "STORED"
+              | _ -> "NOT_STORED")
+         | "append" :: k :: rest ->
+           print_endline
+             (match Plib.append plib k (String.concat " " rest) with
+              | Stored -> "STORED"
+              | _ -> "NOT_STORED")
+         | "prepend" :: k :: rest ->
+           print_endline
+             (match Plib.prepend plib k (String.concat " " rest) with
+              | Stored -> "STORED"
+              | _ -> "NOT_STORED")
+         | [ "del"; k ] ->
+           print_endline (if Plib.delete plib k then "DELETED" else "NOT_FOUND")
+         | [ "incr"; k ] | [ "incr"; k; "1" ] -> (
+             match Plib.incr plib k 1L with
+             | Counter v -> Printf.printf "%Lu\n" v
+             | Counter_not_found -> print_endline "NOT_FOUND"
+             | Non_numeric -> print_endline "CLIENT_ERROR non-numeric")
+         | [ "incr"; k; n ] -> (
+             match Plib.incr plib k (Int64.of_string n) with
+             | Counter v -> Printf.printf "%Lu\n" v
+             | Counter_not_found -> print_endline "NOT_FOUND"
+             | Non_numeric -> print_endline "CLIENT_ERROR non-numeric")
+         | [ "decr"; k; n ] -> (
+             match Plib.decr plib k (Int64.of_string n) with
+             | Counter v -> Printf.printf "%Lu\n" v
+             | Counter_not_found -> print_endline "NOT_FOUND"
+             | Non_numeric -> print_endline "CLIENT_ERROR non-numeric")
+         | [ "touch"; k; secs ] ->
+           print_endline
+             (if Plib.touch plib k (int_of_string secs) then "TOUCHED"
+              else "NOT_FOUND")
+         | [ "keys" ] ->
+           let n =
+             Plib.fold_keys plib
+               (fun n key ~nbytes ~exptime ->
+                 Printf.printf "%s (%d bytes%s)\n" key nbytes
+                   (if exptime = 0 then ""
+                    else Printf.sprintf ", expires %d" exptime);
+                 n + 1)
+               0
+           in
+           Printf.printf "%d key(s)\n" n
+         | [ "reap" ] ->
+           Printf.printf "reaped %d expired item(s)\n" (Plib.reap_expired plib)
+         | [ "stats" ] ->
+           List.iter
+             (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
+             (Plib.stats plib)
+         | [ "flush_all" ] ->
+           Plib.flush_all plib;
+           print_endline "OK"
+         | [ "resize" ] ->
+           print_endline (if Plib.resize plib then "RESIZED" else "FAILED")
+         | [ "maintain" ] ->
+           Plib.maintain plib;
+           print_endline "OK"
+         | w :: _ -> Printf.printf "ERROR unknown command %S (try help)\n" w
+       with e -> Printf.printf "ERROR %s\n" (Printexc.to_string e))
+  done;
+  match image with
+  | Some path ->
+    Plib.shutdown plib ~disk_path:path;
+    Printf.printf "flushed heap to %s\n" path
+  | None -> ()
+
+let run image size_mb =
+  let owner = Simos.Process.make ~uid:1000 "kv-shell-bookkeeper" in
+  let plib =
+    match image with
+    | Some path when Sys.file_exists path ->
+      Printf.printf "restoring heap from %s\n" path;
+      Plib.restart ~disk_path:path ~path:"/dev/shm/kv-shell" ~owner ()
+    | _ ->
+      Plib.create ~path:"/dev/shm/kv-shell" ~size:(size_mb lsl 20) ~owner ()
+  in
+  usage ();
+  shell plib image
+
+open Cmdliner
+
+let image =
+  Arg.(value & opt (some string) None
+       & info [ "image"; "i" ] ~docv:"FILE"
+           ~doc:"Heap image: restored on start, flushed on quit.")
+
+let size_mb =
+  Arg.(value & opt int 64
+       & info [ "size" ] ~docv:"MB" ~doc:"Heap size for a fresh store (MiB).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "kv_shell" ~doc:"interactive protected-library memcached shell")
+    Term.(const run $ image $ size_mb)
+
+let () = exit (Cmd.eval cmd)

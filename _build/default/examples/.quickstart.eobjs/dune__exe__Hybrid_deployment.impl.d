@@ -1,0 +1,1 @@
+examples/hybrid_deployment.ml: Core Mc_core Printf Simos Vm

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Array Atomic Core Hodor List Mc_core Platform Printf Shm Simos Thread

@@ -1,0 +1,1 @@
+examples/persistent_store.ml: Core Filename Mc_core Platform Printf Ralloc Shm Simos Sys Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Format Hodor List Mc_core Pku Platform Printf Shm Simos String

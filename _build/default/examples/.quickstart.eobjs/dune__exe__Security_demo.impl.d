@@ -1,0 +1,1 @@
+examples/security_demo.ml: Array Core Hodor Pku Platform Printf Shm Simos

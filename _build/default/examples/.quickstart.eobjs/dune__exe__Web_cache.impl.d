@@ -1,0 +1,1 @@
+examples/web_cache.ml: Atomic Core Mc_server Printf Simos String Vm Ycsb

@@ -1,0 +1,78 @@
+(** The protection story, end to end (§2, §3.3):
+
+    1. a well-behaved binary calls the store through loader-installed
+       trampolines — fine;
+    2. a malicious binary carries its own [wrpkru] to open the store's
+       protection key — the loader's scan plants a hardware breakpoint
+       on it and the attempt traps;
+    3. the same attack on an {e unscanned} binary succeeds, which is
+       exactly why Hodor's modified loader exists;
+    4. a binary with more than four strays exhausts the debug
+       registers and falls back to page-permission gating.
+
+    Run with: dune exec examples/security_demo.exe *)
+
+module Client = Core.Client.Make (Platform.Real_sync)
+module Plib = Client.Plib
+open Pku.Insn
+
+let () =
+  let owner = Simos.Process.make ~uid:1000 "bookkeeper" in
+  let plib =
+    Plib.create ~path:"/dev/shm/security-kv" ~size:(32 lsl 20) ~owner ()
+  in
+  let lib = Plib.library plib in
+  ignore (Plib.set plib "secret" "hunter2");
+
+  (* Export an entry point, as the loader would wire trampolines. *)
+  Hodor.Library.export lib ~entry:"memcached_get" (fun () ->
+    ignore (Plib.Store.get (Plib.store plib) "secret"));
+
+  (* 1. the honest application *)
+  let honest = make "honest-app" [| Compute 100; Call "memcached_get"; Ret |] in
+  let dr = Pku.Debug_regs.create () in
+  let report = Hodor.Loader.scan_and_arm dr honest in
+  Printf.printf "honest app: %d stray wrpkru found; runs fine\n"
+    report.Hodor.Loader.strays_found;
+  Hodor.Loader.exec dr lib honest;
+
+  (* 2. the attacker, loaded properly *)
+  let open_key_pkru =
+    Pku.Pkru.set_perm (Pku.Pkru.read ()) (Hodor.Library.pkey lib)
+      Pku.Pkru.Enable
+  in
+  let evil = make "evil-app" [| Compute 1; Wrpkru open_key_pkru; Ret |] in
+  let report = Hodor.Loader.scan_and_arm dr evil in
+  Printf.printf "evil app: %d stray wrpkru; loader armed %d breakpoint(s)\n"
+    report.Hodor.Loader.strays_found report.Hodor.Loader.breakpoints;
+  (match Hodor.Loader.exec dr lib evil with
+   | () -> failwith "the attack must trap!"
+   | exception Pku.Fault.Breakpoint_trap msg ->
+     Printf.printf "attack trapped: %s\n" msg);
+
+  (* 3. what would happen without the loader's scan *)
+  Pku.Pkru.reset_thread ();
+  let unscanned_dr = Pku.Debug_regs.create () in
+  Hodor.Loader.exec unscanned_dr lib evil;
+  (match Shm.Region.read_string (Plib.region plib) ~off:0 ~len:8 with
+   | _ ->
+     Printf.printf
+       "without the scan, the stray wrpkru succeeds: the attacker now reads the heap freely\n"
+   | exception Pku.Fault.Protection_fault _ -> failwith "unexpected");
+  Pku.Pkru.reset_thread ();
+
+  (* 4. more strays than debug registers: page-permission fallback *)
+  let flood =
+    make "flooded-app" (Array.init 7 (fun _ -> Wrpkru open_key_pkru))
+  in
+  let dr2 = Pku.Debug_regs.create () in
+  let report = Hodor.Loader.scan_and_arm dr2 flood in
+  Printf.printf
+    "flooded app: %d strays -> %d breakpoints + %d gated page(s)\n"
+    report.Hodor.Loader.strays_found report.Hodor.Loader.breakpoints
+    report.Hodor.Loader.pages_gated;
+  (match Hodor.Loader.exec dr2 lib flood with
+   | () -> failwith "must trap"
+   | exception Pku.Fault.Breakpoint_trap _ -> print_endline "gated page trapped too");
+
+  print_endline "security_demo OK"

@@ -1,0 +1,1 @@
+lib/core/client.ml: Errors Hashtbl List Mc_core Platform Plib_store Socket_client

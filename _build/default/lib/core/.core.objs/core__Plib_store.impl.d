@@ -1,0 +1,1 @@
+lib/core/plib_store.ml: Atomic Bytes Hodor Mc_core Mc_server Platform Ralloc Shm Simos

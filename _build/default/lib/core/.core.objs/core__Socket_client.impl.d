@@ -1,0 +1,1 @@
+lib/core/socket_client.ml: List Mc_core Mc_protocol Option Platform Transport

@@ -1,0 +1,298 @@
+(** memcached as a Hodor protected library — the paper's contribution.
+
+    Lifecycle (§3.2):
+    - a {e bookkeeping process} creates the shared heap (a Ralloc heap
+      over a region standing in for the memory-mapped file, owned
+      uid-and-mode style via the simulated FS), builds the store in
+      it, and anchors the control block behind a persistent root with
+      one extra level of indirection (Figure 3's [hashtable_storage]
+      idiom, so the structure may be reallocated later);
+    - client processes "map" the heap by linking against the library:
+      the loader opens the store file with the {e owner's} effective
+      uid (§3.3), so clients never hold rights to the file itself;
+    - every public operation runs through a Hodor trampoline; keys
+      arriving from the client are copied into a library-private
+      Ralloc buffer {e before} any lock is taken (Figure 4's
+      [key_prot] idiom, §3.4);
+    - on shutdown the bookkeeping process flushes the heap to its
+      backing file; a restart maps the file and finds everything again
+      through the roots — position independence makes the reload free.
+
+    The [Protection] choice selects the paper's three measured
+    configurations: the baseline server lives in {!Mc_server}; here
+    [Protected] is "Plib, w/Hodor" and [Unprotected] is "Plib, No
+    Hodor". *)
+
+module CM = Platform.Cost_model
+module Region = Shm.Region
+module Process = Simos.Process
+
+let root_primary = 0
+(** Persistent root id anchoring the double-indirect cell that points
+    at the store control block. *)
+
+module Make (S : Platform.Sync_intf.S) = struct
+  module Store =
+    Mc_core.Store.Make (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc) (S)
+
+  type t = {
+    lib : Hodor.Library.t;
+    region : Region.t;
+    heap : Ralloc.t;
+    store : Store.t;
+    path : string;
+    owner : Process.t;
+    stop_cleaner : bool Atomic.t;
+    mutable cleaner : S.thread option;
+  }
+
+  type protection = Hodor.Library.protection = Protected | Unprotected
+
+  let wire_runtime () =
+    (* Hodor charges trampoline costs through these hooks; bind them to
+       whichever substrate this instance runs on. *)
+    Hodor.Runtime.configure ~advance:S.advance ~now:S.now_ns
+
+  let build_handle ~lib ~region ~heap ~store ~path ~owner =
+    { lib; region; heap; store; path; owner;
+      stop_cleaner = Atomic.make false; cleaner = None }
+
+  (* The bookkeeping process creates the store from nothing. *)
+  let create ?(protection = Protected) ?(copy_args = false)
+      ?(store_cfg = Mc_core.Store.default_config) ~path ~size
+      ~(owner : Process.t) () =
+    wire_runtime ();
+    let lib =
+      Hodor.Library.create ~protection ~copy_args ~name:("libmemcached:" ^ path)
+        ~owner_uid:(Process.uid owner) ()
+    in
+    let region =
+      Region.create ~name:path ~size ~pkey:(Hodor.Library.pkey lib) ()
+    in
+    Hodor.Library.protect_region lib region;
+    Simos.Sim_fs.create_file ~path ~owner:(Process.uid owner) ~mode:0o600 region;
+    let heap = Ralloc.create region in
+    let store =
+      Region.kernel_mode (fun () ->
+        let store =
+          Store.create
+            ~mem:(Mc_core.Shared_memory.of_region region)
+            ~alloc:(Mc_core.Ralloc_alloc.of_heap heap)
+            store_cfg
+        in
+        (* Figure 3: root -> cell -> control block, so the block could
+           move (e.g. on a future table resize) without re-rooting. *)
+        let cell = Ralloc.alloc heap 16 in
+        Ralloc.Pptr.store region ~at:cell (Store.ctrl_off store);
+        Ralloc.set_root heap root_primary cell;
+        store)
+    in
+    build_handle ~lib ~region ~heap ~store ~path ~owner
+
+  (* Restart: map the flushed heap file and find the store through the
+     persistent root. No data-rebuilding code exists — that is the
+     paper's point (§6). *)
+  let restart ?(protection = Protected) ?(copy_args = false)
+      ?(store_cfg = Mc_core.Store.default_config) ~disk_path ~path
+      ~(owner : Process.t) () =
+    wire_runtime ();
+    let region = Region.load ~path:disk_path in
+    let lib =
+      Hodor.Library.create ~protection ~copy_args ~name:("libmemcached:" ^ path)
+        ~owner_uid:(Process.uid owner) ()
+    in
+    Hodor.Library.protect_region lib region;
+    Simos.Sim_fs.create_file ~path ~owner:(Process.uid owner) ~mode:0o600 region;
+    let heap = Ralloc.attach region in
+    let store =
+      Region.kernel_mode (fun () ->
+        let cell = Ralloc.get_root heap root_primary in
+        if cell = 0 then failwith "restart: no store rooted in this heap";
+        let ctrl = Ralloc.Pptr.load region ~at:cell in
+        Store.attach
+          ~mem:(Mc_core.Shared_memory.of_region region)
+          ~alloc:(Mc_core.Ralloc_alloc.of_heap heap)
+          store_cfg ~ctrl)
+    in
+    build_handle ~lib ~region ~heap ~store ~path ~owner
+
+  (* A client process links the library: the loader performs the euid
+     dance to open the store file on the client's behalf (§3.3). *)
+  let open_client t ~(process : Process.t) =
+    Process.with_process process (fun () ->
+      let region = Hodor.Loader.init_library t.lib ~store_path:t.path in
+      assert (region == t.region))
+
+  let library t = t.lib
+
+  let path t = t.path
+
+  let store t = t.store
+
+  let heap t = t.heap
+
+  let region t = t.region
+
+  (* ---- Figure 4's copy-in idiom ------------------------------------- *)
+
+  (* Copy client-supplied bytes into a library-private Ralloc buffer
+     before any shared state is touched; the returned string is the
+     library's stable snapshot. *)
+  let copy_in t (buf : bytes) : string =
+    let len = Bytes.length buf in
+    let prot = Ralloc.alloc t.heap (max len 16) in
+    Region.blit_from_bytes t.region ~src:buf ~src_off:0 ~dst_off:prot ~len;
+    S.advance (CM.memcpy_cost len);
+    let snapshot = Region.read_string t.region ~off:prot ~len in
+    Ralloc.free t.heap prot;
+    snapshot
+
+  let enter t f = Hodor.Trampoline.call t.lib f
+
+  (* ---- Raw (bytes-keyed) operations: the real protection boundary --- *)
+
+  let get_raw t (key : bytes) =
+    Hodor.Trampoline.call_with_arg t.lib ~arg:key (fun key ->
+      let key_prot = copy_in t key in
+      Store.get t.store key_prot)
+
+  let set_raw t ?(flags = 0) ?(exptime = 0) (key : bytes) (data : bytes) =
+    Hodor.Trampoline.call_with_args t.lib ~args:[ key; data ] (fun args ->
+      match args with
+      | [ key; data ] ->
+        let key_prot = copy_in t key in
+        let data_prot = copy_in t data in
+        Store.set t.store ~flags ~exptime key_prot data_prot
+      | _ -> assert false)
+
+  let delete_raw t (key : bytes) =
+    Hodor.Trampoline.call_with_arg t.lib ~arg:key (fun key ->
+      let key_prot = copy_in t key in
+      Store.delete t.store key_prot)
+
+  (* ---- String-keyed operations (OCaml strings are immutable, so the
+     copy is for cost and idiom fidelity) -------------------------------- *)
+
+  let get t key = enter t (fun () -> Store.get t.store (copy_in t (Bytes.unsafe_of_string key)))
+
+  let set t ?(flags = 0) ?(exptime = 0) key data =
+    enter t (fun () ->
+      let key_prot = copy_in t (Bytes.unsafe_of_string key) in
+      Store.set t.store ~flags ~exptime key_prot data)
+
+  let add t ?(flags = 0) ?(exptime = 0) key data =
+    enter t (fun () ->
+      Store.add t.store ~flags ~exptime
+        (copy_in t (Bytes.unsafe_of_string key))
+        data)
+
+  let replace t ?(flags = 0) ?(exptime = 0) key data =
+    enter t (fun () ->
+      Store.replace t.store ~flags ~exptime
+        (copy_in t (Bytes.unsafe_of_string key))
+        data)
+
+  let append t key extra =
+    enter t (fun () ->
+      Store.append t.store (copy_in t (Bytes.unsafe_of_string key)) extra)
+
+  let prepend t key extra =
+    enter t (fun () ->
+      Store.prepend t.store (copy_in t (Bytes.unsafe_of_string key)) extra)
+
+  let cas t ?(flags = 0) ?(exptime = 0) ~cas key data =
+    enter t (fun () ->
+      Store.cas t.store ~flags ~exptime ~cas
+        (copy_in t (Bytes.unsafe_of_string key))
+        data)
+
+  let delete t key =
+    enter t (fun () -> Store.delete t.store (copy_in t (Bytes.unsafe_of_string key)))
+
+  let incr t key delta =
+    enter t (fun () ->
+      Store.incr t.store (copy_in t (Bytes.unsafe_of_string key)) delta)
+
+  let decr t key delta =
+    enter t (fun () ->
+      Store.decr t.store (copy_in t (Bytes.unsafe_of_string key)) delta)
+
+  let touch t key exptime =
+    enter t (fun () ->
+      Store.touch t.store (copy_in t (Bytes.unsafe_of_string key)) exptime)
+
+  let flush_all t = enter t (fun () -> Store.flush_all t.store)
+
+  let stats t = enter t (fun () -> Store.stats t.store)
+
+  (* ---- Bookkeeping process duties ------------------------------------ *)
+
+  (* Intermittent cleaning (§3.2): run in the bookkeeping process. *)
+  let start_cleaner ?(interval_ns = 1_000_000) t =
+    match t.cleaner with
+    | Some _ -> ()
+    | None ->
+      Atomic.set t.stop_cleaner false;
+      let th =
+        S.spawn ~name:"memcached-bk.cleaner" (fun () ->
+          Process.with_process t.owner (fun () ->
+            while not (Atomic.get t.stop_cleaner) do
+              enter t (fun () ->
+                Store.maintain t.store;
+                ignore (Store.reap_expired t.store);
+                ignore (Store.maybe_resize t.store));
+              S.sleep_ns interval_ns
+            done))
+      in
+      t.cleaner <- Some th
+
+  let stop_cleaner t =
+    match t.cleaner with
+    | None -> ()
+    | Some th ->
+      Atomic.set t.stop_cleaner true;
+      S.join th;
+      t.cleaner <- None
+
+  let maintain t = enter t (fun () -> Store.maintain t.store)
+
+  (* Table resize (the paper's background process had this disabled;
+     see Store.resize). Run by the bookkeeping process. *)
+  let resize t = enter t (fun () -> Store.resize t.store)
+
+  let maybe_resize ?lf t = enter t (fun () -> Store.maybe_resize ?lf t.store)
+
+  let fold_keys t f init = enter t (fun () -> Store.fold_keys t.store f init)
+
+  let reap_expired ?limit t =
+    enter t (fun () -> Store.reap_expired ?limit t.store)
+
+  (* ---- The hybrid deployment of §6 -----------------------------------
+
+     "There is no reason ... not to allow the memcached background
+     process to provide a socket-based interface for remote clients
+     while still permitting local clients to use the Hodor interface."
+     The bookkeeping process serves its own shared store over sockets;
+     its worker threads enter the store through the same trampolines
+     as any local client, so the protection story is unchanged. *)
+
+  module Remote = Mc_server.Server.Make_hybrid (S)
+
+  let serve_remote ?(cfg = Mc_server.Server.default_config) t ~name =
+    let wrap f =
+      Process.with_process t.owner (fun () -> Hodor.Trampoline.call t.lib f)
+    in
+    Remote.start_with ~cfg:{ cfg with store = Store.config t.store } ~wrap
+      ~store:t.store ~name ()
+
+  let stop_remote srv = Remote.stop srv
+
+  (* Shutdown (§3.2): flush all updates back to the underlying file so
+     a restarted store comes up with its contents intact. *)
+  let shutdown t ~disk_path =
+    stop_cleaner t;
+    Region.kernel_mode (fun () -> Store.detach t.store);
+    Ralloc.flush t.heap ~path:disk_path;
+    Simos.Sim_fs.unlink t.path;
+    Hodor.Library.release t.lib
+end

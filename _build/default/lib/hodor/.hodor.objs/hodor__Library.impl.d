@@ -1,0 +1,1 @@
+lib/hodor/library.ml: Hashtbl Obj Option Pku Shm

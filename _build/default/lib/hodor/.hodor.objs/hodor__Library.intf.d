@@ -1,0 +1,1 @@
+lib/hodor/library.mli: Pku Shm

@@ -1,0 +1,1 @@
+lib/hodor/loader.ml: Array Fun Library List Pku Runtime Shm Simos Trampoline

@@ -1,0 +1,1 @@
+lib/hodor/loader.mli: Library Pku Shm

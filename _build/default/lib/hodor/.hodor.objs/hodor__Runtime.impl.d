@@ -1,0 +1,1 @@
+lib/hodor/runtime.ml: Unix

@@ -1,0 +1,1 @@
+lib/hodor/trampoline.ml: Bytes Library List Pku Platform Printexc Printf Runtime Simos Tls

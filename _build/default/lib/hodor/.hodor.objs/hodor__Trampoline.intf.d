@@ -1,0 +1,1 @@
+lib/hodor/trampoline.mli: Library

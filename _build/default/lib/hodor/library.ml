@@ -1,0 +1,94 @@
+(** A Hodor protected library: code granted amplified access rights to
+    a set of protected regions while (and only while) a thread executes
+    inside it. *)
+
+type protection =
+  | Protected  (** full Hodor: pkru gating + trampoline cost *)
+  | Unprotected
+  (** the paper's "Plib, No Hodor" configuration: same code and direct
+      calls, no pkru switching — faster by ~5% and not safe *)
+
+type t = {
+  lib_name : string;
+  pkey : Pku.Pkey.t;
+  protection : protection;
+  owner_uid : int;
+  grace_ns : int;
+  (** how long the OS lets an in-library call of a killed process keep
+      running before terminating it anyway *)
+  copy_args : bool;
+  (** trampoline-level copying of arguments into the library domain
+      (the paper leaves this off and copies manually; ablation abl3) *)
+  exports : (string, Obj.t) Hashtbl.t;
+  mutable regions : Shm.Region.t list;
+  mutable poisoned : string option;
+  mutable init_fn : (unit -> unit) option;
+}
+
+exception Library_poisoned of string
+(** The library crashed during a call (e.g. a fault while holding
+    locks); as in the paper, this is unrecoverable for the store. *)
+
+let default_grace_ns = 50_000_000 (* a "generous timeout": 50 ms *)
+
+let create ?(protection = Protected) ?(grace_ns = default_grace_ns)
+    ?(copy_args = false) ~name ~owner_uid () =
+  let pkey =
+    match protection with
+    | Protected -> Pku.Pkey.alloc ()
+    | Unprotected -> Pku.Pkey.default
+  in
+  { lib_name = name; pkey; protection; owner_uid; grace_ns; copy_args;
+    exports = Hashtbl.create 8; regions = []; poisoned = None;
+    init_fn = None }
+
+let name t = t.lib_name
+
+let pkey t = t.pkey
+
+let protection t = t.protection
+
+let owner_uid t = t.owner_uid
+
+let grace_ns t = t.grace_ns
+
+let copy_args t = t.copy_args
+
+(* Claim a region as a protected resource: every page gets the
+   library's key, so only threads inside the library can touch it. *)
+let protect_region t region =
+  Shm.Region.kernel_mode (fun () ->
+    Shm.Region.tag_range region ~off:0
+      ~len:(Shm.Region.size region)
+      ~pkey:t.pkey);
+  t.regions <- region :: t.regions
+
+let regions t = t.regions
+
+let set_init t f = t.init_fn <- Some f
+
+let init_fn t = t.init_fn
+
+let poison t reason =
+  if t.poisoned = None then t.poisoned <- Some reason
+
+let poisoned t = t.poisoned
+
+let check_poisoned t =
+  match t.poisoned with
+  | Some r -> raise (Library_poisoned (t.lib_name ^ ": " ^ r))
+  | None -> ()
+
+(* Typed export registry, used by the loader's pseudo-binary
+   interpreter. The Obj.t is always a [unit -> unit]. *)
+let export t ~entry (f : unit -> unit) =
+  Hashtbl.replace t.exports entry (Obj.repr f)
+
+let find_export t entry : (unit -> unit) option =
+  Option.map (fun o -> (Obj.obj o : unit -> unit)) (Hashtbl.find_opt t.exports entry)
+
+let release t =
+  (match t.protection with
+   | Protected -> Pku.Pkey.free t.pkey
+   | Unprotected -> ());
+  t.regions <- []

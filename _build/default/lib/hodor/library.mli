@@ -1,0 +1,69 @@
+(** A Hodor protected library: code granted amplified access rights to
+    a set of protected regions while (and only while) a thread executes
+    inside it (paper §2). *)
+
+type protection =
+  | Protected  (** full Hodor: pkru gating + trampoline cost *)
+  | Unprotected
+  (** the paper's "Plib, No Hodor" configuration: same code, direct
+      calls, no pkru switching — slightly faster, not safe *)
+
+type t
+
+exception Library_poisoned of string
+(** Raised on calls into a library that crashed during an earlier call;
+    as in the paper, such a crash is unrecoverable for the store. *)
+
+val default_grace_ns : int
+
+val create :
+  ?protection:protection ->
+  ?grace_ns:int ->
+  ?copy_args:bool ->
+  name:string ->
+  owner_uid:int ->
+  unit ->
+  t
+(** Allocates a protection key for [Protected] libraries. [grace_ns]
+    bounds how long an in-library call of a killed process may keep
+    running; [copy_args] enables trampoline-level argument copying
+    (off by default, as in the paper — see ablation abl3). *)
+
+val name : t -> string
+
+val pkey : t -> Pku.Pkey.t
+
+val protection : t -> protection
+
+val owner_uid : t -> int
+
+val grace_ns : t -> int
+
+val copy_args : t -> bool
+
+val protect_region : t -> Shm.Region.t -> unit
+(** Tag every page of the region with the library's key: from now on
+    only threads inside the library can touch it. *)
+
+val regions : t -> Shm.Region.t list
+
+val set_init : t -> (unit -> unit) -> unit
+(** Initialisation routine the loader runs before main, under the
+    owner's effective uid. *)
+
+val init_fn : t -> (unit -> unit) option
+
+val poison : t -> string -> unit
+
+val poisoned : t -> string option
+
+val check_poisoned : t -> unit
+(** @raise Library_poisoned if the library has crashed. *)
+
+val export : t -> entry:string -> (unit -> unit) -> unit
+(** Register a named entry point for the loader's binary interpreter. *)
+
+val find_export : t -> string -> (unit -> unit) option
+
+val release : t -> unit
+(** Return the protection key and drop the protected regions. *)

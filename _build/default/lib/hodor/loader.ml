@@ -1,0 +1,79 @@
+(** The modified (trusted) loader.
+
+    Responsibilities, as in the paper (§2, §3.3):
+    - scan an about-to-run binary for stray [wrpkru] opcodes and plant
+      hardware breakpoints on them; past four strays (the number of
+      debug registers) fall back to gating the containing pages;
+    - run each linked protected library's initialisation routine
+      {e before main}, with the effective uid of the library's owner,
+      so the library can open its backing store file even though the
+      client's own uid could not (§3.3's euid dance);
+    - install trampolines for the library's entry points (modeled by
+      {!Trampoline}). *)
+
+module Process = Simos.Process
+
+type report = {
+  strays_found : int;
+  breakpoints : int;
+  pages_gated : int;
+}
+
+let scan_and_arm (dr : Pku.Debug_regs.t) (b : Pku.Insn.binary) : report =
+  let strays = Pku.Insn.stray_wrpkru_addrs b in
+  let bps = ref 0 and gated = ref 0 in
+  List.iter
+    (fun addr ->
+      match Pku.Debug_regs.install dr ~binary:b.Pku.Insn.binary_name ~addr with
+      | () -> incr bps
+      | exception Pku.Debug_regs.Exhausted ->
+        let page = Pku.Debug_regs.page_of_addr addr in
+        Pku.Debug_regs.gate_page dr ~binary:b.Pku.Insn.binary_name ~page;
+        incr gated)
+    strays;
+  { strays_found = List.length strays; breakpoints = !bps;
+    pages_gated = !gated }
+
+(* Library initialisation with the owner's effective uid: open the
+   store's backing file as the owner, run init, revert. The client
+   process never holds the rights itself. *)
+let init_library (lib : Library.t) ~store_path =
+  let p = Process.current () in
+  let saved = Process.euid p in
+  Process.set_euid p (Library.owner_uid lib);
+  Fun.protect
+    ~finally:(fun () -> Process.set_euid p saved)
+    (fun () ->
+      let region =
+        Simos.Sim_fs.open_region ~euid:(Process.euid p) ~write:true store_path
+      in
+      (match Library.init_fn lib with
+       | Some f -> Shm.Region.kernel_mode f
+       | None -> ());
+      region)
+
+(* Minimal interpreter over pseudo-binaries: runs application "text",
+   demonstrating that a stray wrpkru traps while trampoline-mediated
+   calls work. Used by tests and the security example. *)
+let exec (dr : Pku.Debug_regs.t) (lib : Library.t) (b : Pku.Insn.binary) =
+  Array.iteri
+    (fun addr insn ->
+      match insn with
+      | Pku.Insn.Compute n -> Runtime.advance n
+      | Pku.Insn.Ret -> ()
+      | Pku.Insn.Call entry ->
+        (match Library.find_export lib entry with
+         | Some f -> Trampoline.call lib f
+         | None -> failwith ("unresolved symbol: " ^ entry))
+      | Pku.Insn.Wrpkru v ->
+        if Pku.Debug_regs.trips dr ~binary:b.Pku.Insn.binary_name ~addr then
+          Pku.Fault.breakpoint_trap
+            "%s+%d: stray wrpkru trapped by loader breakpoint"
+            b.Pku.Insn.binary_name addr
+        else if List.mem addr b.Pku.Insn.trampoline_addrs then
+          (* a legitimate trampoline site *)
+          Pku.Pkru.wrpkru v
+        else
+          (* unscanned binary: the attack the loader exists to stop *)
+          Pku.Pkru.wrpkru v)
+    b.Pku.Insn.text

@@ -1,0 +1,24 @@
+(** The modified (trusted) loader (paper §2, §3.3): scans binaries for
+    stray [wrpkru] opcodes, arms hardware breakpoints (falling back to
+    page gating past four), and runs library initialisation with the
+    owner's effective uid. *)
+
+type report = {
+  strays_found : int;
+  breakpoints : int;
+  pages_gated : int;
+}
+
+val scan_and_arm : Pku.Debug_regs.t -> Pku.Insn.binary -> report
+
+val init_library : Library.t -> store_path:string -> Shm.Region.t
+(** Open the library's backing store file under the {e owner's}
+    effective uid (the §3.3 euid dance), run the library's init
+    routine, revert the euid, and return the mapped region.
+    @raise Simos.Sim_fs.Eacces if even the owner may not open it. *)
+
+val exec : Pku.Debug_regs.t -> Library.t -> Pku.Insn.binary -> unit
+(** Interpret a pseudo-binary: [Call]s go through trampolines; a
+    [Wrpkru] at a breakpointed or gated address raises
+    {!Pku.Fault.Breakpoint_trap}; on an unscanned binary it executes —
+    the attack the loader exists to stop. *)

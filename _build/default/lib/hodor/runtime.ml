@@ -1,0 +1,25 @@
+(** Execution-substrate hooks for Hodor.
+
+    Hodor sits below the store code and cannot be a functor over
+    {!Platform.Sync_intf.S} without dragging the functor through every
+    client; instead the two mode-dependent operations — charging
+    modeled CPU cost and reading the clock — are installed here by
+    whoever sets the mode up (benchmarks install the VM's; the default
+    suits real-thread mode). *)
+
+let advance_hook : (int -> unit) ref = ref ignore
+
+let now_hook : (unit -> int) ref =
+  ref (fun () -> int_of_float (Unix.gettimeofday () *. 1e9))
+
+let configure ~advance ~now =
+  advance_hook := advance;
+  now_hook := now
+
+let reset () =
+  advance_hook := ignore;
+  now_hook := (fun () -> int_of_float (Unix.gettimeofday () *. 1e9))
+
+let advance n = !advance_hook n
+
+let now_ns () = !now_hook ()

@@ -1,0 +1,106 @@
+(** The loader-installed trampoline: the only legitimate site of a
+    [wrpkru]. On the way in it switches to a library-private stack and
+    opens the library's protection key; on the way out it restores both.
+
+    Fault-tolerance contract (paper §3.4):
+    - if the calling process is killed by outside action while a thread
+      is inside the library, the call runs to completion (up to the
+      library's grace timeout) before the thread dies;
+    - if the call itself crashes (any escaping exception — a stray
+      pointer dereference, a protection fault), the library is poisoned
+      and every subsequent call fails, since invariants may be broken. *)
+
+module Process = Simos.Process
+
+exception Library_call_failed of string * exn
+(** Wraps the exception that poisoned the library, for the caller that
+    triggered it. *)
+
+(* Depth of nested library calls on this thread, standing in for
+   "which stack am I on". Tests observe it via [on_library_stack]. *)
+let depth_key = Tls.new_key (fun () -> ref 0)
+
+let on_library_stack () = !(Tls.get depth_key) > 0
+
+let cost (lib : Library.t) =
+  match Library.protection lib with
+  | Library.Protected -> Platform.Cost_model.current.trampoline_hodor
+  | Library.Unprotected -> Platform.Cost_model.current.trampoline_plain
+
+let call (lib : Library.t) (f : unit -> 'a) : 'a =
+  Library.check_poisoned lib;
+  (* A thread of a dead process cannot start a new call; kills that
+     land mid-call are handled on the way out. *)
+  Process.check_alive ();
+  let p = Process.current () in
+  Process.enter_library p;
+  let entry_ns = Runtime.now_ns () in
+  let depth = Tls.get depth_key in
+  let saved_pkru = Pku.Pkru.read () in
+  (* Way in: stack switch + wrpkru opening the library's key. *)
+  incr depth;
+  (match Library.protection lib with
+   | Library.Protected ->
+     Pku.Pkru.wrpkru
+       (Pku.Pkru.set_perm saved_pkru (Library.pkey lib) Pku.Pkru.Enable)
+   | Library.Unprotected -> ());
+  Runtime.advance (cost lib);
+  let finish () =
+    (* Way out: restore pkru, switch stacks back, leave the library. *)
+    (match Library.protection lib with
+     | Library.Protected -> Pku.Pkru.wrpkru saved_pkru
+     | Library.Unprotected -> ());
+    decr depth;
+    Process.leave_library p
+  in
+  let result =
+    try f ()
+    with e ->
+      (* A crash inside library code is unrecoverable (paper §2): the
+         library may hold locks or half-updated structures. *)
+      Library.poison lib (Printexc.to_string e);
+      finish ();
+      raise (Library_call_failed (Library.name lib, e))
+  in
+  finish ();
+  (* Completion guarantee: the call finished even if the process was
+     killed mid-call — but only within the grace window. If the kill
+     happened longer ago than the grace, the OS would have terminated
+     the thread mid-call, corrupting the library. *)
+  (match Process.killed_at p with
+   | Some kill_ns ->
+     let end_ns = max (Runtime.now_ns ()) entry_ns in
+     if end_ns - kill_ns > Library.grace_ns lib then
+       Library.poison lib
+         (Printf.sprintf
+            "call outlived the %dns grace after %s was killed"
+            (Library.grace_ns lib) (Process.name p));
+     (* The thread itself now observes its death. *)
+     Process.check_alive ()
+   | None -> ());
+  result
+
+(* Trampoline-level argument copying (optional in Hodor; ablation
+   abl3): snapshot the caller's buffer into the library domain before
+   the body runs, so concurrent application threads cannot retarget
+   it mid-call. *)
+let call_with_arg (lib : Library.t) ~(arg : bytes) (f : bytes -> 'a) : 'a =
+  if Library.copy_args lib then begin
+    let snapshot = Bytes.copy arg in
+    Runtime.advance (Platform.Cost_model.memcpy_cost (Bytes.length arg));
+    call lib (fun () -> f snapshot)
+  end
+  else call lib (fun () -> f arg)
+
+(* Multi-argument variant: snapshot every buffer when the library asks
+   for trampoline-level copying. *)
+let call_with_args (lib : Library.t) ~(args : bytes list) (f : bytes list -> 'a)
+  : 'a =
+  if Library.copy_args lib then begin
+    let snapshots = List.map Bytes.copy args in
+    List.iter
+      (fun b -> Runtime.advance (Platform.Cost_model.memcpy_cost (Bytes.length b)))
+      args;
+    call lib (fun () -> f snapshots)
+  end
+  else call lib (fun () -> f args)

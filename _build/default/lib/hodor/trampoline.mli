@@ -1,0 +1,35 @@
+(** The loader-installed trampoline: the only legitimate site of a
+    [wrpkru]. Switches to a library-private stack and opens the
+    library's protection key on the way in; restores both on the way
+    out (paper §2).
+
+    Fault-tolerance contract (§3.4):
+    - a process killed from outside while a thread is inside the
+      library has that call run to completion (up to the grace
+      timeout), and only then does the thread observe its death;
+    - a crash {e inside} the call poisons the library for good. *)
+
+exception Library_call_failed of string * exn
+(** Raised to the caller whose call crashed the library; carries the
+    library name and the original exception. *)
+
+val call : Library.t -> (unit -> 'a) -> 'a
+(** Enter the library, run [f] with amplified rights, leave.
+    @raise Library.Library_poisoned if the library already crashed.
+    @raise Simos.Process.Process_killed after completing [f] if the
+    calling process died mid-call.
+    @raise Library_call_failed if [f] itself raises. *)
+
+val call_with_arg : Library.t -> arg:bytes -> (bytes -> 'a) -> 'a
+(** Like {!call}; when the library was created with [copy_args], [f]
+    receives a snapshot of [arg] taken before entry, so concurrent
+    application threads cannot retarget it mid-call. *)
+
+val call_with_args : Library.t -> args:bytes list -> (bytes list -> 'a) -> 'a
+
+val on_library_stack : unit -> bool
+(** True while the calling thread executes inside some library call
+    (the "which stack am I on" bookkeeping). *)
+
+val cost : Library.t -> int
+(** Modeled round-trip cost of the trampoline, ns. *)

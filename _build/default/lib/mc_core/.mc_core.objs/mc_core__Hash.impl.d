@@ -1,0 +1,1 @@
+lib/mc_core/hash.ml: Char String

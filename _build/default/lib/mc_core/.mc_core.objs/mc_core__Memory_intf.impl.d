@@ -1,0 +1,1 @@
+lib/mc_core/memory_intf.ml:

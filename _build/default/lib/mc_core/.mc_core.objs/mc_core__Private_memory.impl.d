@@ -1,0 +1,1 @@
+lib/mc_core/private_memory.ml: Bytes Char Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/mc_core/ralloc_alloc.ml: Ralloc

@@ -1,0 +1,1 @@
+lib/mc_core/shared_memory.ml: Ralloc Shm

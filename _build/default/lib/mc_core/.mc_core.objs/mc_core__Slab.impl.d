@@ -1,0 +1,1 @@
+lib/mc_core/slab.ml: Array Hashtbl List Mutex Private_memory

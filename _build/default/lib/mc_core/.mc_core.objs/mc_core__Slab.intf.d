@@ -1,0 +1,1 @@
+lib/mc_core/slab.mli: Private_memory

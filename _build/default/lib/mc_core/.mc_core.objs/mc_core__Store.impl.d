@@ -1,0 +1,1 @@
+lib/mc_core/store.ml: Array Atomic Char Fun Hash Int64 List Memory_intf Platform Printf Slab Stdlib String

@@ -1,0 +1,1 @@
+lib/mc_core/store.mli: Memory_intf Platform

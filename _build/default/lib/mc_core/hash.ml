@@ -1,0 +1,50 @@
+(** MurmurHash3 (x86, 32-bit), the hash memcached uses for its table.
+    Pure int arithmetic masked to 32 bits. *)
+
+let mask32 = 0xFFFFFFFF
+
+let rotl32 x r = ((x lsl r) lor (x lsr (32 - r))) land mask32
+
+let mul32 a b = a * b land mask32
+
+let c1 = 0xcc9e2d51
+
+let c2 = 0x1b873593
+
+let murmur3_32 ?(seed = 0) (key : string) : int =
+  let len = String.length key in
+  let h = ref (seed land mask32) in
+  let nblocks = len / 4 in
+  for i = 0 to nblocks - 1 do
+    let j = 4 * i in
+    let k =
+      Char.code key.[j]
+      lor (Char.code key.[j + 1] lsl 8)
+      lor (Char.code key.[j + 2] lsl 16)
+      lor (Char.code key.[j + 3] lsl 24)
+    in
+    let k = mul32 k c1 in
+    let k = rotl32 k 15 in
+    let k = mul32 k c2 in
+    h := !h lxor k;
+    h := rotl32 !h 13;
+    h := (mul32 !h 5 + 0xe6546b64) land mask32
+  done;
+  let tail = nblocks * 4 in
+  let k = ref 0 in
+  if len land 3 >= 3 then k := !k lxor (Char.code key.[tail + 2] lsl 16);
+  if len land 3 >= 2 then k := !k lxor (Char.code key.[tail + 1] lsl 8);
+  if len land 3 >= 1 then begin
+    k := !k lxor Char.code key.[tail];
+    k := mul32 !k c1;
+    k := rotl32 !k 15;
+    k := mul32 !k c2;
+    h := !h lxor !k
+  end;
+  h := !h lxor len;
+  h := !h lxor (!h lsr 16);
+  h := mul32 !h 0x85ebca6b;
+  h := !h lxor (!h lsr 13);
+  h := mul32 !h 0xc2b2ae35;
+  h := !h lxor (!h lsr 16);
+  !h land mask32

@@ -1,0 +1,4 @@
+(** MurmurHash3 (x86, 32-bit), the hash memcached uses for its table. *)
+
+val murmur3_32 : ?seed:int -> string -> int
+(** 32-bit hash of the key, in [0, 2^32). Pure, allocation-free. *)

@@ -1,0 +1,63 @@
+(** {!Memory_intf.MEMORY} over a process-private, growable arena with
+    absolute pointer cells: what the baseline (socket) memcached server
+    keeps its items in. No protection checks — the process boundary is
+    the protection. *)
+
+type t = {
+  mutable data : Bytes.t;
+  mutable hwm : int;  (** high-water mark: grown this far *)
+  limit : int;
+}
+
+let create ~limit =
+  { data = Bytes.make (1 lsl 20) '\000'; hwm = 0; limit }
+
+(* The arena only grows via {!ensure}; offsets remain valid across
+   growth because all addressing is offset-based. *)
+let ensure t upto =
+  if upto > t.limit then
+    invalid_arg "Private_memory.ensure: beyond arena limit";
+  let cur = Bytes.length t.data in
+  if upto > cur then begin
+    let n = ref cur in
+    while upto > !n do
+      n := !n * 2
+    done;
+    let d = Bytes.make (min !n t.limit) '\000' in
+    Bytes.blit t.data 0 d 0 cur;
+    t.data <- d
+  end;
+  if upto > t.hwm then t.hwm <- upto
+
+let limit t = t.limit
+
+let hwm t = t.hwm
+
+let read_u8 t off = Char.code (Bytes.get t.data off)
+
+let write_u8 t off v = Bytes.set t.data off (Char.chr (v land 0xff))
+
+let read_i32 t off = Int32.to_int (Bytes.get_int32_le t.data off)
+
+let write_i32 t off v = Bytes.set_int32_le t.data off (Int32.of_int v)
+
+let read_i64 t off = Int64.to_int (Bytes.get_int64_le t.data off)
+
+let write_i64 t off v = Bytes.set_int64_le t.data off (Int64.of_int v)
+
+let load_ptr t ~at = read_i64 t at
+
+let store_ptr t ~at v = write_i64 t at v
+
+let read_string t ~off ~len = Bytes.sub_string t.data off len
+
+let write_string t ~off s = Bytes.blit_string s 0 t.data off (String.length s)
+
+let equal_string t ~off ~len s =
+  len = String.length s
+  &&
+  let rec go i =
+    i >= len
+    || (Bytes.unsafe_get t.data (off + i) = String.unsafe_get s i && go (i + 1))
+  in
+  go 0

@@ -1,0 +1,19 @@
+(** {!Memory_intf.ALLOCATOR} over a Ralloc heap: the protected-library
+    store's allocator. *)
+
+type t = Ralloc.t
+
+let of_heap h = h
+
+let alloc (t : t) size =
+  match Ralloc.alloc t size with
+  | off -> off
+  | exception Ralloc.Out_of_heap -> 0
+
+let free = Ralloc.free
+
+let usable_size = Ralloc.usable_size
+
+let used_bytes = Ralloc.used_bytes
+
+let capacity = Ralloc.capacity

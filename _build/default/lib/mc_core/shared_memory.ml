@@ -1,0 +1,32 @@
+(** {!Memory_intf.MEMORY} over a shared {!Shm.Region}, with
+    position-independent pointer cells (Ralloc pptrs): what the
+    protected-library store runs on. Every access is pkru-checked by
+    the region. *)
+
+module Region = Shm.Region
+
+type t = Region.t
+
+let of_region r = r
+
+let read_u8 = Region.read_u8
+
+let write_u8 = Region.write_u8
+
+let read_i32 = Region.read_i32
+
+let write_i32 = Region.write_i32
+
+let read_i64 = Region.read_i64
+
+let write_i64 = Region.write_i64
+
+let load_ptr (r : t) ~at = Ralloc.Pptr.load r ~at
+
+let store_ptr (r : t) ~at v = Ralloc.Pptr.store r ~at v
+
+let read_string (r : t) ~off ~len = Region.read_string r ~off ~len
+
+let write_string (r : t) ~off s = Region.write_string r ~off s
+
+let equal_string (r : t) ~off ~len s = Region.equal_string r ~off ~len s

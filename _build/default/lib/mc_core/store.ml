@@ -1,0 +1,997 @@
+(** The memcached store: hash table, LRU lists, statistics, eviction.
+
+    One implementation serves both builds of the paper:
+    - baseline: [Make (Private_memory) (Slab) (Real_sync or Vm.Sync)] —
+      the socket server's private store;
+    - protected library: [Make (Shared_memory) (Ralloc_alloc) (...)] —
+      items, buckets and LRU links all live in the shared Ralloc heap
+      as position-independent pointers, and client threads run these
+      functions themselves through Hodor trampolines.
+
+    Concurrency mirrors memcached: a striped array of item locks keyed
+    by key hash guards hash chains, item state and refcounts; each LRU
+    list has its own lock (the paper's [lru_locks], chosen by key hash
+    — §3.2); statistics are scattered over per-thread slots (§3.2).
+    Lock order is always item lock, then LRU lock.
+
+    CPU costs are charged through [S.advance] at the points where the
+    work happens, so critical-section lengths — and therefore contention
+    in the virtual-time benchmarks — reflect the modeled machine. *)
+
+module CM = Platform.Cost_model
+
+module Layout = struct
+  (* Item header; key bytes follow at [header_size], value after them. *)
+  let it_h_next = 0 (* ptr: hash chain *)
+  let it_lru_next = 8 (* ptr *)
+  let it_lru_prev = 16 (* ptr *)
+  let it_cas = 24 (* i64 *)
+  let it_exptime = 32 (* i32, unix seconds; 0 = never *)
+  let it_flags = 36 (* i32, client-opaque *)
+  let it_nkey = 40 (* i32 *)
+  let it_nbytes = 44 (* i32 *)
+  let it_refcount = 48 (* i32 *)
+  let it_lru_id = 52 (* i32 *)
+  let it_state = 56 (* i32: bit 1 linked, bit 2 fetched *)
+  let it_hash = 60 (* i32 *)
+  let it_time = 64 (* i64, ns timestamp of last store *)
+  let header_size = 80
+
+  let state_linked = 1
+
+  let state_fetched = 2
+
+  (* Store control block, anchored by a persistent root in the plib
+     build (the paper's Figure 3 idiom lives in Core.Plib_store). *)
+  let ctl_hashpower = 0
+  let ctl_lru_count = 8
+  let ctl_stats_slots = 16
+  let ctl_cas = 24 (* persisted high-water CAS, written on detach *)
+  let ctl_buckets = 32 (* ptr *)
+  let ctl_lru = 40 (* ptr *)
+  let ctl_stats = 48 (* ptr *)
+  let ctl_oldest_live = 56 (* i64 ns: flush_all watermark *)
+  let ctl_size = 64
+end
+
+type config = {
+  hashpower : int;  (** 2^hashpower buckets *)
+  lock_count : int;  (** item-lock stripes (power of two) *)
+  lru_count : int;  (** number of LRU lists (ablation abl1 uses 1) *)
+  stats_slots : int;  (** scattered statistics slots *)
+  single_stats_lock : bool;  (** ablation abl2: one lock, one slot *)
+  lru_by_size_class : bool;
+  (** baseline behaviour: LRU list per allocation size class; the plib
+      build chooses by key hash (§3.2) *)
+  evict_batch : int;
+}
+
+let default_config =
+  { hashpower = 16; lock_count = 1024; lru_count = 64; stats_slots = 64;
+    single_stats_lock = false; lru_by_size_class = false; evict_batch = 8 }
+
+type store_result = Stored | Not_stored | Exists | Not_found | No_memory
+
+type get_result = { value : string; flags : int; cas : int64 }
+
+type counter_result = Counter of int64 | Counter_not_found | Non_numeric
+
+(* Statistics counter indices within a slot. *)
+module C = struct
+  let get_hits = 0
+  let get_misses = 1
+  let cmd_set = 2
+  let delete_hits = 3
+  let delete_misses = 4
+  let incr_hits = 5
+  let incr_misses = 6
+  let evictions = 7
+  let expired = 8
+  let curr_items = 9 (* net links - unlinks *)
+  let total_items = 10
+  let cas_hits = 11
+  let cas_badval = 12
+  let cas_misses = 13
+  let touch_hits = 14
+  let touch_misses = 15
+  let count = 16
+end
+
+module Make
+    (M : Memory_intf.MEMORY)
+    (A : Memory_intf.ALLOCATOR)
+    (S : Platform.Sync_intf.S) =
+struct
+  open Layout
+
+  type t = {
+    mem : M.t;
+    alloc : A.t;
+    mutable cfg : config;
+    ctrl : int;
+    mutable buckets : int;
+    lru : int;
+    stats : int;
+    item_locks : S.mutex array;
+    lru_locks : S.mutex array;
+    stats_mutex : S.mutex;
+    cas_src : int Atomic.t;
+    active : int Atomic.t;  (* threads currently executing a store op *)
+    mutable hash_mask : int;
+    lock_mask : int;
+  }
+
+  let adv = S.advance
+
+  (* Concurrency-dependent cost: every additional thread concurrently
+     inside the store adds coherence/contention traffic to this op.
+     Saturates at the machine's hardware-context count. *)
+  let op_enter t =
+    let others = Atomic.fetch_and_add t.active 1 in
+    adv (CM.current.coherence_ns * min others 19)
+
+  let op_exit t = Atomic.decr t.active
+
+  let with_op t f =
+    op_enter t;
+    let r = try f () with e -> op_exit t; raise e in
+    op_exit t;
+    r
+
+  let rd32 t off = M.read_i32 t.mem off
+
+  let wr32 t off v = M.write_i32 t.mem off v
+
+  let rd64 t off = M.read_i64 t.mem off
+
+  let wr64 t off v = M.write_i64 t.mem off v
+
+  let ldp t at = M.load_ptr t.mem ~at
+
+  let stp t at v = M.store_ptr t.mem ~at v
+
+  let now_sec () = S.now_ns () / 1_000_000_000
+
+  (* ---- Construction -------------------------------------------------- *)
+
+  let alloc_exn alloc size what =
+    let off = A.alloc alloc size in
+    if off = 0 then failwith ("Store: no memory for " ^ what);
+    off
+
+  let zero_range t off len =
+    let words = len / 8 in
+    for i = 0 to words - 1 do
+      wr64 t (off + (8 * i)) 0
+    done
+
+  let runtime ~mem ~alloc (cfg : config) ~ctrl ~buckets ~lru ~stats =
+    if cfg.lock_count land (cfg.lock_count - 1) <> 0 then
+      invalid_arg "Store: lock_count must be a power of two";
+    { mem; alloc; cfg; ctrl; buckets; lru; stats;
+      item_locks = Array.init cfg.lock_count (fun _ -> S.mutex ());
+      lru_locks = Array.init cfg.lru_count (fun _ -> S.mutex ());
+      stats_mutex = S.mutex ();
+      cas_src = Atomic.make 1;
+      active = Atomic.make 0;
+      hash_mask = (1 lsl cfg.hashpower) - 1;
+      lock_mask = cfg.lock_count - 1 }
+
+  let create ~mem ~alloc (cfg : config) =
+    (* Allocate the four shared structures. *)
+    let ctrl = alloc_exn alloc ctl_size "control block" in
+    let nbuckets = 1 lsl cfg.hashpower in
+    let buckets = alloc_exn alloc (8 * nbuckets) "bucket table" in
+    let lru = alloc_exn alloc (16 * cfg.lru_count) "lru table" in
+    let stats = alloc_exn alloc (8 * C.count * cfg.stats_slots) "stats area" in
+    let t = runtime ~mem ~alloc cfg ~ctrl ~buckets ~lru ~stats in
+    zero_range t buckets (8 * nbuckets);
+    zero_range t lru (16 * cfg.lru_count);
+    zero_range t stats (8 * C.count * cfg.stats_slots);
+    wr64 t (ctrl + ctl_hashpower) cfg.hashpower;
+    wr64 t (ctrl + ctl_lru_count) cfg.lru_count;
+    wr64 t (ctrl + ctl_stats_slots) cfg.stats_slots;
+    wr64 t (ctrl + ctl_cas) 1;
+    stp t (ctrl + ctl_buckets) buckets;
+    stp t (ctrl + ctl_lru) lru;
+    stp t (ctrl + ctl_stats) stats;
+    wr64 t (ctrl + ctl_oldest_live) 0;
+    t
+
+  (* Reattach to a store found through a persistent root: geometry is
+     read back from the control block (Figure 3's extra indirection is
+     handled by the caller, who stores the ctrl offset behind a root). *)
+  let attach ~mem ~alloc (cfg : config) ~ctrl =
+    let probe =
+      runtime ~mem ~alloc cfg ~ctrl ~buckets:0 ~lru:0 ~stats:0
+    in
+    let cfg =
+      { cfg with
+        hashpower = rd64 probe (ctrl + ctl_hashpower);
+        lru_count = rd64 probe (ctrl + ctl_lru_count);
+        stats_slots = rd64 probe (ctrl + ctl_stats_slots) }
+    in
+    let t =
+      runtime ~mem ~alloc cfg ~ctrl
+        ~buckets:(ldp probe (ctrl + ctl_buckets))
+        ~lru:(ldp probe (ctrl + ctl_lru))
+        ~stats:(ldp probe (ctrl + ctl_stats))
+    in
+    Atomic.set t.cas_src (rd64 t (ctrl + ctl_cas));
+    t
+
+  (* Persist volatile high-water marks (clean shutdown). *)
+  let detach t = wr64 t (t.ctrl + ctl_cas) (Atomic.get t.cas_src)
+
+  let ctrl_off t = t.ctrl
+
+  let config t = t.cfg
+
+  (* ---- Statistics ------------------------------------------------------ *)
+
+  let stat_add t ctr v =
+    adv CM.current.stats_update;
+    if t.cfg.single_stats_lock then begin
+      (* One global lock means one globally hot cache line: every
+         acquisition under concurrency pays the line transfer. This is
+         the contention that made the paper scatter its statistics. *)
+      if Atomic.get t.active > 1 then adv CM.current.lock_handoff;
+      S.lock t.stats_mutex;
+      let off = t.stats + (8 * ctr) in
+      wr64 t off (rd64 t off + v);
+      S.unlock t.stats_mutex
+    end
+    else begin
+      let slot = S.self_id () mod t.cfg.stats_slots in
+      let off = t.stats + (8 * ((slot * C.count) + ctr)) in
+      wr64 t off (rd64 t off + v)
+    end
+
+  let stat t ctr = stat_add t ctr 1
+
+  let stat_sum t ctr =
+    let sum = ref 0 in
+    for slot = 0 to t.cfg.stats_slots - 1 do
+      sum := !sum + rd64 t (t.stats + (8 * ((slot * C.count) + ctr)))
+    done;
+    !sum
+
+  (* ---- Locks ------------------------------------------------------------ *)
+
+  let item_mutex t h = t.item_locks.((h lsr 8) land t.lock_mask)
+
+  let lock_item t h =
+    adv CM.current.lock_uncontended;
+    S.lock (item_mutex t h)
+
+  let unlock_item t h = S.unlock (item_mutex t h)
+
+  let lock_lru t l =
+    adv CM.current.lock_uncontended;
+    S.lock t.lru_locks.(l)
+
+  let unlock_lru t l = S.unlock t.lru_locks.(l)
+
+  (* ---- Item helpers (caller holds the item lock) ------------------------- *)
+
+  let bucket_of t h = t.buckets + (8 * (h land t.hash_mask))
+
+  let lru_head t l = t.lru + (16 * l)
+
+  let lru_tail t l = t.lru + (16 * l) + 8
+
+  let lru_of t ~h ~size =
+    if t.cfg.lru_by_size_class then Slab.class_of_size size mod t.cfg.lru_count
+    else h mod t.cfg.lru_count
+
+  let item_nkey t it = rd32 t (it + it_nkey)
+
+  let item_nbytes t it = rd32 t (it + it_nbytes)
+
+  let item_data_off t it = it + header_size + item_nkey t it
+
+  let item_key t it =
+    M.read_string t.mem ~off:(it + header_size) ~len:(item_nkey t it)
+
+  let is_linked t it = rd32 t (it + it_state) land state_linked <> 0
+
+  let expired t it ~now =
+    let e = rd32 t (it + it_exptime) in
+    (e > 0 && e <= now)
+    ||
+    let ol = rd64 t (t.ctrl + ctl_oldest_live) in
+    ol > 0 && rd64 t (it + it_time) <= ol
+
+  (* Walk the chain for [key]; probing costs are charged per node. *)
+  let find t h key =
+    let len = String.length key in
+    let rec go it =
+      if it = 0 then 0
+      else begin
+        adv CM.current.bucket_probe;
+        if
+          rd32 t (it + it_nkey) = len
+          && (adv (CM.key_cmp_cost len);
+              M.equal_string t.mem ~off:(it + header_size) ~len key)
+        then it
+        else go (ldp t (it + it_h_next))
+      end
+    in
+    go (ldp t (bucket_of t h))
+
+  let hash_insert t h it =
+    let b = bucket_of t h in
+    stp t (it + it_h_next) (ldp t b);
+    stp t b it;
+    wr32 t (it + it_state) (rd32 t (it + it_state) lor state_linked)
+
+  let hash_unlink t h it =
+    let b = bucket_of t h in
+    let rec go at =
+      let cur = ldp t at in
+      if cur = 0 then ()
+      else if cur = it then stp t at (ldp t (it + it_h_next))
+      else begin
+        adv CM.current.bucket_probe;
+        go (cur + it_h_next)
+      end
+    in
+    go b;
+    wr32 t (it + it_state) (rd32 t (it + it_state) land lnot state_linked)
+
+  (* LRU splicing; caller holds the matching lru lock. *)
+  let lru_link t it l =
+    adv CM.current.lru_update;
+    let head = lru_head t l and tail = lru_tail t l in
+    let old = ldp t head in
+    stp t (it + it_lru_next) old;
+    stp t (it + it_lru_prev) 0;
+    if old <> 0 then stp t (old + it_lru_prev) it;
+    stp t head it;
+    if ldp t tail = 0 then stp t tail it;
+    wr32 t (it + it_lru_id) l
+
+  let lru_unlink t it l =
+    adv CM.current.lru_update;
+    let head = lru_head t l and tail = lru_tail t l in
+    let nx = ldp t (it + it_lru_next) and pv = ldp t (it + it_lru_prev) in
+    if pv <> 0 then stp t (pv + it_lru_next) nx else stp t head nx;
+    if nx <> 0 then stp t (nx + it_lru_prev) pv else stp t tail pv;
+    stp t (it + it_lru_next) 0;
+    stp t (it + it_lru_prev) 0
+
+  let lru_bump t it =
+    let l = rd32 t (it + it_lru_id) in
+    lock_lru t l;
+    lru_unlink t it l;
+    lru_link t it l;
+    unlock_lru t l
+
+  let free_item t it =
+    adv CM.current.free_cost;
+    A.free t.alloc it
+
+  (* Remove a linked item from hash chain and LRU; frees it unless a
+     reader still holds a reference. Caller holds the item lock. *)
+  let unlink_item t h it =
+    hash_unlink t h it;
+    let l = rd32 t (it + it_lru_id) in
+    lock_lru t l;
+    lru_unlink t it l;
+    unlock_lru t l;
+    stat_add t C.curr_items (-1);
+    if rd32 t (it + it_refcount) = 0 then free_item t it
+
+  (* Drop a reader's reference; caller holds the item lock. *)
+  let release t it =
+    let r = rd32 t (it + it_refcount) - 1 in
+    wr32 t (it + it_refcount) r;
+    if r = 0 && not (is_linked t it) then free_item t it
+
+  (* ---- Eviction ----------------------------------------------------------- *)
+
+  (* Collect victims from one LRU's cold end, then take them item lock
+     first, re-verify, and unlink. Returns how many were reclaimed. *)
+  let evict_from t l =
+    lock_lru t l;
+    let rec collect it n acc =
+      if it = 0 || n = 0 then acc
+      else begin
+        adv CM.current.bucket_probe;
+        let acc =
+          if rd32 t (it + it_refcount) = 0 then it :: acc else acc
+        in
+        collect (ldp t (it + it_lru_prev)) (n - 1) acc
+      end
+    in
+    let victims = collect (ldp t (lru_tail t l)) t.cfg.evict_batch [] in
+    unlock_lru t l;
+    let reclaimed = ref 0 in
+    List.iter
+      (fun it ->
+        let h = rd32 t (it + it_hash) land 0xFFFFFFFF in
+        lock_item t h;
+        (* The world may have moved: only evict a still-linked, idle
+           item that still belongs to this LRU. *)
+        if
+          is_linked t it
+          && rd32 t (it + it_refcount) = 0
+          && rd32 t (it + it_lru_id) = l
+        then begin
+          unlink_item t h it;
+          stat t C.evictions;
+          incr reclaimed
+        end;
+        unlock_item t h)
+      victims;
+    !reclaimed
+
+  let evict_some t ~hint =
+    let n = t.cfg.lru_count in
+    let rec go i =
+      if i >= n then 0
+      else
+        let got = evict_from t ((hint + i) mod n) in
+        if got > 0 then got else go (i + 1)
+    in
+    go 0
+
+  (* The background "cleaner" entry point (bookkeeping process):
+     push usage back under the low watermark. Rotates over the LRU
+     lists until the target is met or a full rotation reclaims
+     nothing (everything left is referenced). *)
+  let maintain ?(hi = 0.95) ?(lo = 0.90) t =
+    let cap = float_of_int (A.capacity t.alloc) in
+    if float_of_int (A.used_bytes t.alloc) > hi *. cap then begin
+      let target = lo *. cap in
+      let n = t.cfg.lru_count in
+      let rec go l rotation_got =
+        if float_of_int (A.used_bytes t.alloc) > target then begin
+          let got = evict_from t (l mod n) in
+          if (l + 1) mod n = 0 then begin
+            if rotation_got + got > 0 then go (l + 1) 0
+          end
+          else go (l + 1) (rotation_got + got)
+        end
+      in
+      go 0 0
+    end
+
+  (* ---- Table resize ----------------------------------------------------
+
+     The feature the paper's authors had to disable ("our resizing code
+     in the background process is not yet working correctly", §4) —
+     implemented here as a stop-the-world migration run by the
+     bookkeeping process: take every item-lock stripe (in index order,
+     so concurrent resizes cannot deadlock each other), allocate the
+     doubled table, relink every chain using the hash stored in each
+     item header, swap the control block's bucket pointer (this is why
+     Figure 3 kept an extra level of indirection), and release. Regular
+     operations read the table pointer only while holding their stripe
+     lock, so they always see a consistent table. *)
+
+  let resize t =
+    Array.iter (fun m -> S.lock m) t.item_locks;
+    Fun.protect
+      ~finally:(fun () -> Array.iter (fun m -> S.unlock m) t.item_locks)
+      (fun () ->
+        let old_hp = t.cfg.hashpower in
+        let new_hp = old_hp + 1 in
+        let nbuckets = 1 lsl new_hp in
+        let nb = A.alloc t.alloc (8 * nbuckets) in
+        if nb = 0 then false
+        else begin
+          adv (CM.alloc_cost (8 * nbuckets));
+          zero_range t nb (8 * nbuckets);
+          let new_mask = nbuckets - 1 in
+          for b = 0 to (1 lsl old_hp) - 1 do
+            let rec move it =
+              if it <> 0 then begin
+                adv CM.current.bucket_probe;
+                let next = ldp t (it + it_h_next) in
+                let h = rd32 t (it + it_hash) land 0xFFFFFFFF in
+                let cell = nb + (8 * (h land new_mask)) in
+                stp t (it + it_h_next) (ldp t cell);
+                stp t cell it;
+                move next
+              end
+            in
+            move (ldp t (t.buckets + (8 * b)))
+          done;
+          let old_buckets = t.buckets in
+          t.buckets <- nb;
+          t.hash_mask <- new_mask;
+          t.cfg <- { t.cfg with hashpower = new_hp };
+          wr64 t (t.ctrl + ctl_hashpower) new_hp;
+          stp t (t.ctrl + ctl_buckets) nb;
+          A.free t.alloc old_buckets;
+          true
+        end)
+
+  (* Grow when the load factor passes [lf]; the bookkeeping process
+     calls this from its cleaning loop. *)
+  let maybe_resize ?(lf = 1.5) t =
+    let items = stat_sum t C.curr_items in
+    if float_of_int items
+       > lf *. float_of_int (1 lsl t.cfg.hashpower)
+    then resize t
+    else false
+
+  let load_factor t =
+    float_of_int (stat_sum t C.curr_items)
+    /. float_of_int (1 lsl t.cfg.hashpower)
+
+  let alloc_item t total ~h =
+    let rec go attempts =
+      let off = A.alloc t.alloc total in
+      adv (CM.alloc_cost total);
+      if off <> 0 then off
+      else if attempts = 0 then 0
+      else if evict_some t ~hint:(h mod t.cfg.lru_count) = 0 then 0
+      else go (attempts - 1)
+    in
+    go 10
+
+  (* ---- Item construction --------------------------------------------------- *)
+
+  let next_cas t = Atomic.fetch_and_add t.cas_src 1
+
+  let real_exptime exptime ~now =
+    if exptime = 0 then 0
+    else if exptime <= 60 * 60 * 24 * 30 then now + exptime
+    else exptime
+
+  let write_item t it ~h ~key ~data ~flags ~exptime ~now =
+    let nkey = String.length key and nbytes = String.length data in
+    stp t (it + it_h_next) 0;
+    stp t (it + it_lru_next) 0;
+    stp t (it + it_lru_prev) 0;
+    wr64 t (it + it_cas) (next_cas t);
+    wr32 t (it + it_exptime) (real_exptime exptime ~now);
+    wr32 t (it + it_flags) flags;
+    wr32 t (it + it_nkey) nkey;
+    wr32 t (it + it_nbytes) nbytes;
+    wr32 t (it + it_refcount) 0;
+    wr32 t (it + it_lru_id) 0;
+    wr32 t (it + it_state) 0;
+    wr32 t (it + it_hash) h;
+    wr64 t (it + it_time) (S.now_ns ());
+    M.write_string t.mem ~off:(it + header_size) key;
+    M.write_string t.mem ~off:(it + header_size + nkey) data;
+    adv (CM.memcpy_cost (nkey + nbytes))
+
+  (* ---- Retrieval -------------------------------------------------------------- *)
+
+  let get t key =
+    with_op t @@ fun () ->
+    adv CM.current.hash_op;
+    let h = Hash.murmur3_32 key in
+    let now = now_sec () in
+    lock_item t h;
+    let it = find t h key in
+    if it = 0 then begin
+      unlock_item t h;
+      stat t C.get_misses;
+      None
+    end
+    else if expired t it ~now then begin
+      unlink_item t h it;
+      unlock_item t h;
+      stat t C.expired;
+      stat t C.get_misses;
+      None
+    end
+    else begin
+      (* Figure 4's discipline: take a reference under the lock, copy
+         the payload into a library-private buffer without the lock,
+         then drop the reference. *)
+      wr32 t (it + it_refcount) (rd32 t (it + it_refcount) + 1);
+      wr32 t (it + it_state) (rd32 t (it + it_state) lor state_fetched);
+      let flags = rd32 t (it + it_flags) in
+      let cas = rd64 t (it + it_cas) in
+      let nbytes = item_nbytes t it in
+      let data_off = item_data_off t it in
+      lru_bump t it;
+      unlock_item t h;
+      adv (CM.memcpy_cost nbytes);
+      let value = M.read_string t.mem ~off:data_off ~len:nbytes in
+      lock_item t h;
+      release t it;
+      unlock_item t h;
+      (* Copy out to the caller's buffer (the paper's second memcpy,
+         into ordinary malloc'd memory). *)
+      adv CM.current.malloc_out;
+      adv (CM.memcpy_cost nbytes);
+      stat t C.get_hits;
+      Some { value; flags; cas = Int64.of_int cas }
+    end
+
+  (* ---- Storage ------------------------------------------------------------------ *)
+
+  type policy = P_set | P_add | P_replace | P_cas of int64
+
+  let store_with t policy ~key ~data ~flags ~exptime =
+    with_op t @@ fun () ->
+    adv CM.current.hash_op;
+    let h = Hash.murmur3_32 key in
+    let now = now_sec () in
+    let total = header_size + String.length key + String.length data in
+    let it = alloc_item t total ~h in
+    if it = 0 then No_memory
+    else begin
+      write_item t it ~h ~key ~data ~flags ~exptime ~now;
+      lock_item t h;
+      let old = find t h key in
+      let old = if old <> 0 && expired t old ~now then begin
+          unlink_item t h old;
+          0
+        end
+        else old
+      in
+      let decide =
+        match policy, old with
+        | P_set, _ -> `Store
+        | P_add, 0 -> `Store
+        | P_add, _ -> `Fail Not_stored
+        | P_replace, 0 -> `Fail Not_stored
+        | P_replace, _ -> `Store
+        | P_cas _, 0 -> `Fail Not_found
+        | P_cas c, o ->
+          if Int64.of_int (rd64 t (o + it_cas)) = c then `Store
+          else `Fail Exists
+      in
+      let result =
+        match decide with
+        | `Fail r ->
+          unlock_item t h;
+          free_item t it;
+          r
+        | `Store ->
+          if old <> 0 then unlink_item t h old;
+          hash_insert t h it;
+          let l = lru_of t ~h ~size:total in
+          lock_lru t l;
+          lru_link t it l;
+          unlock_lru t l;
+          stat_add t C.curr_items 1;
+          stat t C.total_items;
+          unlock_item t h;
+          Stored
+      in
+      stat t C.cmd_set;
+      (match policy, result with
+       | P_cas _, Stored -> stat t C.cas_hits
+       | P_cas _, Exists -> stat t C.cas_badval
+       | P_cas _, Not_found -> stat t C.cas_misses
+       | _ -> ());
+      result
+    end
+
+  let set t ?(flags = 0) ?(exptime = 0) key data =
+    store_with t P_set ~key ~data ~flags ~exptime
+
+  let add t ?(flags = 0) ?(exptime = 0) key data =
+    store_with t P_add ~key ~data ~flags ~exptime
+
+  let replace t ?(flags = 0) ?(exptime = 0) key data =
+    store_with t P_replace ~key ~data ~flags ~exptime
+
+  let cas t ?(flags = 0) ?(exptime = 0) ~cas key data =
+    store_with t (P_cas cas) ~key ~data ~flags ~exptime
+
+  (* Append/prepend: size the new item from a racy read, then verify
+     under the lock and retry on interference. *)
+  let concat_op t ~prepend key extra =
+    with_op t @@ fun () ->
+    adv CM.current.hash_op;
+    let h = Hash.murmur3_32 key in
+    let now = now_sec () in
+    let rec attempt tries =
+      if tries = 0 then Not_stored
+      else begin
+        lock_item t h;
+        let old = find t h key in
+        if old = 0 || expired t old ~now then begin
+          unlock_item t h;
+          Not_stored
+        end
+        else begin
+          let old_n = item_nbytes t old and old_cas = rd64 t (old + it_cas) in
+          let flags = rd32 t (old + it_flags) in
+          let exp = rd32 t (old + it_exptime) in
+          let old_data =
+            M.read_string t.mem ~off:(item_data_off t old) ~len:old_n
+          in
+          unlock_item t h;
+          adv (CM.memcpy_cost old_n);
+          let data = if prepend then extra ^ old_data else old_data ^ extra in
+          let total = header_size + String.length key + String.length data in
+          let it = alloc_item t total ~h in
+          if it = 0 then No_memory
+          else begin
+            write_item t it ~h ~key ~data ~flags ~exptime:0 ~now;
+            wr32 t (it + it_exptime) exp;
+            lock_item t h;
+            let cur = find t h key in
+            if cur = 0 || rd64 t (cur + it_cas) <> old_cas then begin
+              unlock_item t h;
+              free_item t it;
+              attempt (tries - 1)
+            end
+            else begin
+              unlink_item t h cur;
+              hash_insert t h it;
+              let l = lru_of t ~h ~size:total in
+              lock_lru t l;
+              lru_link t it l;
+              unlock_lru t l;
+              stat_add t C.curr_items 1;
+              stat t C.total_items;
+              unlock_item t h;
+              stat t C.cmd_set;
+              Stored
+            end
+          end
+        end
+      end
+    in
+    attempt 5
+
+  let append t key extra = concat_op t ~prepend:false key extra
+
+  let prepend t key extra = concat_op t ~prepend:true key extra
+
+  (* ---- Delete / touch ------------------------------------------------------------- *)
+
+  let delete t key =
+    with_op t @@ fun () ->
+    adv CM.current.hash_op;
+    let h = Hash.murmur3_32 key in
+    lock_item t h;
+    let it = find t h key in
+    if it = 0 || expired t it ~now:(now_sec ()) then begin
+      if it <> 0 then unlink_item t h it;
+      unlock_item t h;
+      stat t C.delete_misses;
+      false
+    end
+    else begin
+      unlink_item t h it;
+      unlock_item t h;
+      stat t C.delete_hits;
+      true
+    end
+
+  let touch t key exptime =
+    with_op t @@ fun () ->
+    adv CM.current.hash_op;
+    let h = Hash.murmur3_32 key in
+    let now = now_sec () in
+    lock_item t h;
+    let it = find t h key in
+    if it = 0 || expired t it ~now then begin
+      unlock_item t h;
+      stat t C.touch_misses;
+      false
+    end
+    else begin
+      wr32 t (it + it_exptime) (real_exptime exptime ~now);
+      lru_bump t it;
+      unlock_item t h;
+      stat t C.touch_hits;
+      true
+    end
+
+  (* ---- Counters ----------------------------------------------------------------------- *)
+
+  let parse_u64 s =
+    let n = String.length s in
+    if n = 0 || n > 20 then None
+    else begin
+      let rec go i (acc : int64) =
+        if i >= n then Some acc
+        else
+          let c = s.[i] in
+          if c < '0' || c > '9' then None
+          else
+            go (i + 1)
+              (Int64.add
+                 (Int64.mul acc 10L)
+                 (Int64.of_int (Char.code c - Char.code '0')))
+      in
+      go 0 0L
+    end
+
+  let counter_op t ~decr key (delta : int64) =
+    with_op t @@ fun () ->
+    adv CM.current.hash_op;
+    let h = Hash.murmur3_32 key in
+    let now = now_sec () in
+    lock_item t h;
+    let it = find t h key in
+    if it = 0 || expired t it ~now then begin
+      if it <> 0 then unlink_item t h it;
+      unlock_item t h;
+      stat t C.incr_misses;
+      Counter_not_found
+    end
+    else begin
+      let nbytes = item_nbytes t it in
+      adv CM.current.numeric_parse;
+      let sval = M.read_string t.mem ~off:(item_data_off t it) ~len:nbytes in
+      match parse_u64 sval with
+      | None ->
+        unlock_item t h;
+        Non_numeric
+      | Some v ->
+        let nv =
+          if decr then
+            if Int64.unsigned_compare v delta < 0 then 0L
+            else Int64.sub v delta
+          else Int64.add v delta
+        in
+        let s = Printf.sprintf "%Lu" nv in
+        let cap = A.usable_size t.alloc it - header_size - item_nkey t it in
+        if String.length s <= cap then begin
+          (* The common, in-place path: memcached overwrites the value
+             under the item lock. *)
+          M.write_string t.mem ~off:(item_data_off t it) s;
+          wr32 t (it + it_nbytes) (String.length s);
+          wr64 t (it + it_cas) (next_cas t);
+          wr64 t (it + it_time) (S.now_ns ());
+          adv (CM.memcpy_cost (String.length s));
+          unlock_item t h;
+          stat t C.incr_hits;
+          Counter nv
+        end
+        else begin
+          (* Rare: the textual value outgrew its block. Re-store. *)
+          unlock_item t h;
+          match store_with t P_set ~key ~data:s ~flags:0 ~exptime:0 with
+          | Stored ->
+            stat t C.incr_hits;
+            Counter nv
+          | No_memory | Not_stored | Exists | Not_found -> Counter_not_found
+        end
+    end
+
+  let incr t key delta = counter_op t ~decr:false key delta
+
+  let decr t key delta = counter_op t ~decr:true key delta
+
+  (* ---- flush_all / stats ----------------------------------------------------------------- *)
+
+  let flush_all t = wr64 t (t.ctrl + ctl_oldest_live) (S.now_ns ())
+
+  let curr_items t = stat_sum t C.curr_items
+
+  let stats t =
+    adv (CM.current.stats_update * t.cfg.stats_slots);
+    [ ("curr_items", string_of_int (stat_sum t C.curr_items));
+      ("total_items", string_of_int (stat_sum t C.total_items));
+      ("get_hits", string_of_int (stat_sum t C.get_hits));
+      ("get_misses", string_of_int (stat_sum t C.get_misses));
+      ("cmd_set", string_of_int (stat_sum t C.cmd_set));
+      ("delete_hits", string_of_int (stat_sum t C.delete_hits));
+      ("delete_misses", string_of_int (stat_sum t C.delete_misses));
+      ("incr_hits", string_of_int (stat_sum t C.incr_hits));
+      ("incr_misses", string_of_int (stat_sum t C.incr_misses));
+      ("cas_hits", string_of_int (stat_sum t C.cas_hits));
+      ("cas_badval", string_of_int (stat_sum t C.cas_badval));
+      ("touch_hits", string_of_int (stat_sum t C.touch_hits));
+      ("touch_misses", string_of_int (stat_sum t C.touch_misses));
+      ("evictions", string_of_int (stat_sum t C.evictions));
+      ("expired", string_of_int (stat_sum t C.expired));
+      ("bytes", string_of_int (A.used_bytes t.alloc));
+      ("limit_maxbytes", string_of_int (A.capacity t.alloc));
+      ("hash_power_level", string_of_int t.cfg.hashpower) ]
+
+  (* ---- Iteration and proactive expiry ---------------------------------- *)
+
+  (* Fold over every live item — an administrative walk (stats items /
+     cachedump flavour). Items of one bucket can hash to any lock
+     stripe, so a per-bucket lock cannot serialize a chain; like
+     {!resize}, take every stripe for a consistent snapshot. [f]
+     receives key, value length and the absolute expiry time. *)
+  let fold_keys t f init =
+    Array.iter (fun m -> S.lock m) t.item_locks;
+    Fun.protect
+      ~finally:(fun () -> Array.iter (fun m -> S.unlock m) t.item_locks)
+      (fun () ->
+        let acc = ref init in
+        for b = 0 to t.hash_mask do
+          let rec walk it =
+            if it <> 0 then begin
+              adv CM.current.bucket_probe;
+              acc :=
+                f !acc (item_key t it) ~nbytes:(item_nbytes t it)
+                  ~exptime:(rd32 t (it + it_exptime));
+              walk (ldp t (it + it_h_next))
+            end
+          in
+          walk (ldp t (t.buckets + (8 * b)))
+        done;
+        !acc)
+
+  (* The LRU crawler: walk the cold ends of the LRU lists and unlink
+     items that have already expired, without waiting for a get to
+     stumble on them. Returns how many were reaped. *)
+  let reap_expired ?(limit = 1_000) t =
+    let now = now_sec () in
+    let reaped = ref 0 in
+    for l = 0 to t.cfg.lru_count - 1 do
+      let rec candidates it n acc =
+        if it = 0 || n = 0 then acc
+        else begin
+          adv CM.current.bucket_probe;
+          let acc = if expired t it ~now then it :: acc else acc in
+          candidates (ldp t (it + it_lru_prev)) (n - 1) acc
+        end
+      in
+      lock_lru t l;
+      let victims =
+        candidates (ldp t (lru_tail t l)) (limit / t.cfg.lru_count) []
+      in
+      unlock_lru t l;
+      List.iter
+        (fun it ->
+          let h = rd32 t (it + it_hash) land 0xFFFFFFFF in
+          lock_item t h;
+          if is_linked t it && expired t it ~now
+             && rd32 t (it + it_refcount) = 0
+          then begin
+            unlink_item t h it;
+            stat t C.expired;
+            Stdlib.incr reaped
+          end;
+          unlock_item t h)
+        victims
+    done;
+    !reaped
+
+  (* ---- Integrity check (tests; call only at quiescence) ------------------------------------ *)
+
+  let check_invariants t =
+    let linked = ref 0 in
+    for b = 0 to t.hash_mask do
+      let rec walk it =
+        if it <> 0 then begin
+          if not (is_linked t it) then
+            failwith "unlinked item on a hash chain";
+          let h = rd32 t (it + it_hash) land 0xFFFFFFFF in
+          if h land t.hash_mask <> b then
+            failwith "item chained into the wrong bucket";
+          let key = item_key t it in
+          if Hash.murmur3_32 key <> h then
+            failwith "stored hash does not match key";
+          if rd32 t (it + it_refcount) < 0 then failwith "negative refcount";
+          Stdlib.incr linked;
+          walk (ldp t (it + it_h_next))
+        end
+      in
+      walk (ldp t (t.buckets + (8 * b)))
+    done;
+    let in_lru = ref 0 in
+    for l = 0 to t.cfg.lru_count - 1 do
+      let rec walk it prev =
+        if it <> 0 then begin
+          if ldp t (it + it_lru_prev) <> prev then
+            failwith "broken lru prev link";
+          if rd32 t (it + it_lru_id) <> l then
+            failwith "item on the wrong lru list";
+          Stdlib.incr in_lru;
+          walk (ldp t (it + it_lru_next)) it
+        end
+        else if ldp t (lru_tail t l) <> prev then failwith "lru tail mismatch"
+      in
+      walk (ldp t (lru_head t l)) 0
+    done;
+    if !linked <> !in_lru then
+      failwith
+        (Printf.sprintf "hash table has %d items but LRUs have %d" !linked
+           !in_lru);
+    if !linked <> curr_items t then
+      failwith
+        (Printf.sprintf "curr_items %d but %d items linked" (curr_items t)
+           !linked)
+end

@@ -1,0 +1,160 @@
+(** The memcached store: hash table, LRU lists, statistics, eviction,
+    resize — one implementation for both of the paper's builds.
+
+    - baseline server: [Make (Private_memory) (Slab) (S)]
+    - protected library: [Make (Shared_memory) (Ralloc_alloc) (S)],
+      where every pointer is a position-independent pptr in the shared
+      Ralloc heap and client threads run these functions themselves
+      through Hodor trampolines.
+
+    Concurrency mirrors memcached: striped item locks keyed by key
+    hash; per-LRU-list locks chosen by key hash (§3.2); statistics
+    scattered over per-thread slots (§3.2). Lock order is always item
+    lock then LRU lock. CPU costs are charged via [S.advance] where
+    the work happens, so critical-section lengths — and therefore
+    contention in the virtual-time benchmarks — reflect the modeled
+    machine. *)
+
+module Layout : sig
+  val header_size : int
+
+  val it_h_next : int
+  val it_lru_next : int
+  val it_lru_prev : int
+  val it_cas : int
+  val it_exptime : int
+  val it_flags : int
+  val it_nkey : int
+  val it_nbytes : int
+  val it_refcount : int
+  val it_lru_id : int
+  val it_state : int
+  val it_hash : int
+  val it_time : int
+
+  val state_linked : int
+  val state_fetched : int
+
+  val ctl_hashpower : int
+  val ctl_lru_count : int
+  val ctl_stats_slots : int
+  val ctl_cas : int
+  val ctl_buckets : int
+  val ctl_lru : int
+  val ctl_stats : int
+  val ctl_oldest_live : int
+  val ctl_size : int
+end
+
+type config = {
+  hashpower : int;  (** 2^hashpower buckets *)
+  lock_count : int;  (** item-lock stripes (power of two) *)
+  lru_count : int;  (** number of LRU lists (ablation abl1 uses 1) *)
+  stats_slots : int;  (** scattered statistics slots *)
+  single_stats_lock : bool;  (** ablation abl2: one lock, one slot *)
+  lru_by_size_class : bool;
+  (** baseline behaviour: LRU list per allocation size class; the plib
+      build chooses by key hash (§3.2) *)
+  evict_batch : int;
+}
+
+val default_config : config
+
+type store_result = Stored | Not_stored | Exists | Not_found | No_memory
+
+type get_result = { value : string; flags : int; cas : int64 }
+
+type counter_result = Counter of int64 | Counter_not_found | Non_numeric
+
+module Make
+    (M : Memory_intf.MEMORY)
+    (A : Memory_intf.ALLOCATOR)
+    (S : Platform.Sync_intf.S) : sig
+  type t
+
+  (** {1 Lifecycle} *)
+
+  val create : mem:M.t -> alloc:A.t -> config -> t
+  (** Allocate and initialise the shared structures (control block,
+      bucket table, LRU table, statistics area). *)
+
+  val attach : mem:M.t -> alloc:A.t -> config -> ctrl:int -> t
+  (** Reattach to a store found through a persistent root; geometry is
+      read back from the control block at [ctrl]. *)
+
+  val detach : t -> unit
+  (** Persist volatile high-water marks (clean shutdown). *)
+
+  val ctrl_off : t -> int
+
+  val config : t -> config
+
+  (** {1 Operations (memcached command set)} *)
+
+  val get : t -> string -> get_result option
+
+  val set : t -> ?flags:int -> ?exptime:int -> string -> string -> store_result
+
+  val add : t -> ?flags:int -> ?exptime:int -> string -> string -> store_result
+
+  val replace :
+    t -> ?flags:int -> ?exptime:int -> string -> string -> store_result
+
+  val append : t -> string -> string -> store_result
+
+  val prepend : t -> string -> string -> store_result
+
+  val cas :
+    t -> ?flags:int -> ?exptime:int -> cas:int64 -> string -> string ->
+    store_result
+
+  val delete : t -> string -> bool
+
+  val incr : t -> string -> int64 -> counter_result
+  (** Unsigned 64-bit, wrapping — memcached semantics. *)
+
+  val decr : t -> string -> int64 -> counter_result
+  (** Clamps at zero. *)
+
+  val touch : t -> string -> int -> bool
+
+  val flush_all : t -> unit
+
+  val stats : t -> (string * string) list
+
+  val curr_items : t -> int
+
+  (** {1 Bookkeeping-process duties} *)
+
+  val maintain : ?hi:float -> ?lo:float -> t -> unit
+  (** Evict from the LRU cold ends until usage is back under the low
+      watermark (§3.2's intermittent cleaning). *)
+
+  val evict_some : t -> hint:int -> int
+
+  val resize : t -> bool
+  (** Double the bucket table: stop-the-world migration under every
+      lock stripe, bucket pointer swapped behind the Figure-3
+      indirection. False if the allocator cannot supply the new table.
+      (The paper's evaluation ran with this disabled; here it works.) *)
+
+  val maybe_resize : ?lf:float -> t -> bool
+  (** {!resize} once if the load factor exceeds [lf] (default 1.5). *)
+
+  val load_factor : t -> float
+
+  val reap_expired : ?limit:int -> t -> int
+  (** LRU-crawler flavour: proactively unlink already-expired items
+      from the LRU cold ends; returns how many were reclaimed. *)
+
+  val fold_keys :
+    t -> ('a -> string -> nbytes:int -> exptime:int -> 'a) -> 'a -> 'a
+  (** Administrative walk over every live item (stop-the-world, like
+      {!resize}). *)
+
+  (** {1 Test hooks} *)
+
+  val check_invariants : t -> unit
+  (** Walk hash chains and LRU lists, verifying linkage, stored
+      hashes, refcounts and counter consistency. Call at quiescence. *)
+end

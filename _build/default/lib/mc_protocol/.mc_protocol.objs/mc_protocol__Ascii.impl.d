@@ -1,0 +1,1 @@
+lib/mc_protocol/ascii.ml: Buffer Int64 List Option Printf String Types

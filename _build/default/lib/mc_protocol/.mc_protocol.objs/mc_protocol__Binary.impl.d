@@ -1,0 +1,1 @@
+lib/mc_protocol/binary.ml: Buffer Char Int64 List String Types

@@ -1,0 +1,1 @@
+lib/mc_protocol/types.ml: Printf String

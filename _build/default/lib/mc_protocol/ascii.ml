@@ -1,0 +1,283 @@
+(** The memcached ASCII ("text") protocol.
+
+    Requests are CRLF-terminated command lines; storage commands carry
+    a data block of declared length, also CRLF-terminated. Responses
+    are lines, with VALUE blocks for retrievals. Each codec here works
+    on a complete framed message (the transport preserves message
+    boundaries, as one socket write per request does in practice). *)
+
+open Types
+
+let crlf = "\r\n"
+
+(* ---- Request encoding (client side) --------------------------------- *)
+
+let encode_store verb (p : store_params) ?cas () =
+  let b = Buffer.create (String.length p.data + 64) in
+  Buffer.add_string b verb;
+  Buffer.add_char b ' ';
+  Buffer.add_string b p.key;
+  Buffer.add_string b
+    (Printf.sprintf " %d %d %d" p.flags p.exptime (String.length p.data));
+  (match cas with
+   | Some c -> Buffer.add_string b (Printf.sprintf " %Lu" c)
+   | None -> ());
+  if p.noreply then Buffer.add_string b " noreply";
+  Buffer.add_string b crlf;
+  Buffer.add_string b p.data;
+  Buffer.add_string b crlf;
+  Buffer.contents b
+
+let encode_command (c : command) : string =
+  match c with
+  | Get keys -> "get " ^ String.concat " " keys ^ crlf
+  | Gets keys -> "gets " ^ String.concat " " keys ^ crlf
+  | Set p -> encode_store "set" p ()
+  | Add p -> encode_store "add" p ()
+  | Replace p -> encode_store "replace" p ()
+  | Append p -> encode_store "append" p ()
+  | Prepend p -> encode_store "prepend" p ()
+  | Cas (p, cas) -> encode_store "cas" p ~cas ()
+  | Delete (k, noreply) ->
+    "delete " ^ k ^ (if noreply then " noreply" else "") ^ crlf
+  | Incr (k, d, noreply) ->
+    Printf.sprintf "incr %s %Lu%s%s" k d (if noreply then " noreply" else "")
+      crlf
+  | Decr (k, d, noreply) ->
+    Printf.sprintf "decr %s %Lu%s%s" k d (if noreply then " noreply" else "")
+      crlf
+  | Touch (k, exp, noreply) ->
+    Printf.sprintf "touch %s %d%s%s" k exp (if noreply then " noreply" else "")
+      crlf
+  | Stats -> "stats" ^ crlf
+  | Version -> "version" ^ crlf
+  | Flush_all -> "flush_all" ^ crlf
+  | Quit -> "quit" ^ crlf
+
+(* ---- Request parsing (server side) ------------------------------------ *)
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let find_crlf s from =
+  let n = String.length s in
+  let rec go i =
+    if i + 1 >= n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' then Some i
+    else go (i + 1)
+  in
+  go from
+
+let int_of_token name tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> parse_error "bad %s: %S" name tok
+
+let u64_of_token name tok =
+  match Int64.of_string_opt ("0u" ^ tok) with
+  | Some v -> v
+  | None -> parse_error "bad %s: %S" name tok
+
+let check_key k =
+  if not (validate_key k) then parse_error "invalid key %S" k;
+  k
+
+(* Parse a full request out of [s]; returns the command and the number
+   of bytes consumed (so a pipelined buffer can be drained). *)
+let parse_command (s : string) : command * int =
+  match find_crlf s 0 with
+  | None ->
+    (* an over-long line without CRLF is garbage, not a short read
+       (memcached bounds its command-line buffer similarly) *)
+    if String.length s > 8192 then parse_error "request line too long"
+    else raise Need_more_data
+  | Some eol ->
+    let line = String.sub s 0 eol in
+    let after_line = eol + 2 in
+    let store verb rest =
+      match rest with
+      | key :: flags :: exptime :: len :: tail ->
+        let key = check_key key in
+        let flags = int_of_token "flags" flags in
+        let exptime = int_of_token "exptime" exptime in
+        let len = int_of_token "bytes" len in
+        let cas, tail =
+          if verb = "cas" then
+            match tail with
+            | c :: t -> (Some (u64_of_token "cas unique" c), t)
+            | [] -> parse_error "cas: missing unique"
+          else (None, tail)
+        in
+        let noreply =
+          match tail with
+          | [] -> false
+          | [ "noreply" ] -> true
+          | t :: _ -> parse_error "%s: trailing %S" verb t
+        in
+        if String.length s < after_line + len + 2 then raise Need_more_data;
+        if String.sub s (after_line + len) 2 <> crlf then
+          parse_error "%s: data block not CRLF-terminated" verb;
+        let data = String.sub s after_line len in
+        let p = { key; flags; exptime; data; noreply } in
+        let consumed = after_line + len + 2 in
+        let cmd =
+          match verb, cas with
+          | "set", None -> Set p
+          | "add", None -> Add p
+          | "replace", None -> Replace p
+          | "append", None -> Append p
+          | "prepend", None -> Prepend p
+          | "cas", Some c -> Cas (p, c)
+          | _ -> parse_error "unknown storage verb %S" verb
+        in
+        (cmd, consumed)
+      | _ -> parse_error "%s: bad argument count" verb
+    in
+    (match split_ws line with
+     | [] -> parse_error "empty command"
+     | verb :: rest ->
+       (match verb with
+        | "get" ->
+          if rest = [] then parse_error "get: no keys";
+          (Get (List.map check_key rest), after_line)
+        | "gets" ->
+          if rest = [] then parse_error "gets: no keys";
+          (Gets (List.map check_key rest), after_line)
+        | "set" | "add" | "replace" | "append" | "prepend" | "cas" ->
+          store verb rest
+        | "delete" ->
+          (match rest with
+           | [ k ] -> (Delete (check_key k, false), after_line)
+           | [ k; "noreply" ] -> (Delete (check_key k, true), after_line)
+           | _ -> parse_error "delete: bad arguments")
+        | "incr" | "decr" ->
+          (match rest with
+           | k :: d :: tail ->
+             let noreply = tail = [ "noreply" ] in
+             let d = u64_of_token "delta" d in
+             if verb = "incr" then (Incr (check_key k, d, noreply), after_line)
+             else (Decr (check_key k, d, noreply), after_line)
+           | _ -> parse_error "%s: bad arguments" verb)
+        | "touch" ->
+          (match rest with
+           | k :: e :: tail ->
+             let noreply = tail = [ "noreply" ] in
+             (Touch (check_key k, int_of_token "exptime" e, noreply),
+              after_line)
+           | _ -> parse_error "touch: bad arguments")
+        | "stats" -> (Stats, after_line)
+        | "version" -> (Version, after_line)
+        | "flush_all" -> (Flush_all, after_line)
+        | "quit" -> (Quit, after_line)
+        | v -> parse_error "unknown command %S" v))
+
+(* ---- Response encoding (server side) ----------------------------------- *)
+
+let encode_response (r : response) : string =
+  match r with
+  | Values vs ->
+    let b = Buffer.create 128 in
+    List.iter
+      (fun v ->
+        Buffer.add_string b
+          (Printf.sprintf "VALUE %s %d %d %Lu%s" v.v_key v.v_flags
+             (String.length v.v_data) v.v_cas crlf);
+        Buffer.add_string b v.v_data;
+        Buffer.add_string b crlf)
+      vs;
+    Buffer.add_string b ("END" ^ crlf);
+    Buffer.contents b
+  | Stored -> "STORED" ^ crlf
+  | Not_stored -> "NOT_STORED" ^ crlf
+  | Exists -> "EXISTS" ^ crlf
+  | Not_found -> "NOT_FOUND" ^ crlf
+  | Deleted -> "DELETED" ^ crlf
+  | Touched -> "TOUCHED" ^ crlf
+  | Number n -> Printf.sprintf "%Lu%s" n crlf
+  | Stats_reply kvs ->
+    let b = Buffer.create 128 in
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "STAT %s %s%s" k v crlf))
+      kvs;
+    Buffer.add_string b ("END" ^ crlf);
+    Buffer.contents b
+  | Version_reply v -> "VERSION " ^ v ^ crlf
+  | Ok -> "OK" ^ crlf
+  | Error -> "ERROR" ^ crlf
+  | Client_error m -> "CLIENT_ERROR " ^ m ^ crlf
+  | Server_error m -> "SERVER_ERROR " ^ m ^ crlf
+
+(* ---- Response parsing (client side) -------------------------------------- *)
+
+let parse_response (s : string) : response =
+  let rec lines from acc =
+    match find_crlf s from with
+    | None -> List.rev acc
+    | Some eol -> collect from eol acc
+  and collect from eol acc =
+    let line = String.sub s from (eol - from) in
+    if String.length line >= 6 && String.sub line 0 6 = "VALUE " then begin
+      match split_ws line with
+      | _ :: key :: flags :: len :: rest ->
+        let len = int_of_token "bytes" len in
+        let cas =
+          match rest with [ c ] -> u64_of_token "cas" c | _ -> 0L
+        in
+        let data_start = eol + 2 in
+        if String.length s < data_start + len + 2 then
+          parse_error "VALUE data truncated";
+        let data = String.sub s data_start len in
+        lines (data_start + len + 2)
+          (`Value
+             { v_key = key; v_flags = int_of_token "flags" flags;
+               v_cas = cas; v_data = data }
+           :: acc)
+      | _ -> parse_error "malformed VALUE line"
+    end
+    else lines (eol + 2) (`Line line :: acc)
+  in
+  match lines 0 [] with
+  | [ `Line "STORED" ] -> Stored
+  | [ `Line "NOT_STORED" ] -> Not_stored
+  | [ `Line "EXISTS" ] -> Exists
+  | [ `Line "NOT_FOUND" ] -> Not_found
+  | [ `Line "DELETED" ] -> Deleted
+  | [ `Line "TOUCHED" ] -> Touched
+  | [ `Line "OK" ] -> Ok
+  | [ `Line "ERROR" ] -> Error
+  | items ->
+    (match items with
+     | [ `Line l ] when String.length l >= 8 && String.sub l 0 8 = "VERSION " ->
+       Version_reply (String.sub l 8 (String.length l - 8))
+     | [ `Line l ]
+       when String.length l >= 13 && String.sub l 0 13 = "CLIENT_ERROR " ->
+       Client_error (String.sub l 13 (String.length l - 13))
+     | [ `Line l ]
+       when String.length l >= 13 && String.sub l 0 13 = "SERVER_ERROR " ->
+       Server_error (String.sub l 13 (String.length l - 13))
+     | [ `Line l ] when Int64.of_string_opt ("0u" ^ l) <> None ->
+       Number (Option.get (Int64.of_string_opt ("0u" ^ l)))
+     | _ ->
+       (* VALUE* END, or STAT* END *)
+       let rec gather items vals stats saw_end =
+         match items with
+         | [] ->
+           if not saw_end then parse_error "missing END";
+           if stats <> [] then Stats_reply (List.rev stats)
+           else Values (List.rev vals)
+         | `Value v :: rest -> gather rest (v :: vals) stats saw_end
+         | `Line "END" :: rest -> gather rest vals stats true
+         | `Line l :: rest
+           when String.length l >= 5 && String.sub l 0 5 = "STAT " ->
+           let body = String.sub l 5 (String.length l - 5) in
+           (match String.index_opt body ' ' with
+            | Some i ->
+              gather rest vals
+                ((String.sub body 0 i,
+                  String.sub body (i + 1) (String.length body - i - 1))
+                 :: stats)
+                saw_end
+            | None -> gather rest vals ((body, "") :: stats) saw_end)
+         | `Line l :: _ -> parse_error "unexpected line %S" l
+       in
+       gather items [] [] false)

@@ -1,0 +1,277 @@
+(** The memcached binary protocol: 24-byte big-endian header, then
+    extras | key | value. One request maps to one frame, except [Stats],
+    whose response is a frame sequence terminated by an empty STAT.
+
+    Multi-key [Get] is an ASCII-protocol feature; this codec accepts
+    single-key retrievals only (real binary clients pipeline GetQ
+    instead). *)
+
+open Types
+
+let header_len = 24
+
+let magic_req = 0x80
+
+let magic_res = 0x81
+
+module Op = struct
+  let get = 0x00
+  let set = 0x01
+  let add = 0x02
+  let replace = 0x03
+  let delete = 0x04
+  let increment = 0x05
+  let decrement = 0x06
+  let quit = 0x07
+  let flush = 0x08
+  let version = 0x0b
+  let append = 0x0e
+  let prepend = 0x0f
+  let stat = 0x10
+  let touch = 0x1c
+end
+
+module Status = struct
+  let ok = 0x00
+  let key_not_found = 0x01
+  let key_exists = 0x02
+  let not_stored = 0x05
+  let non_numeric = 0x06
+  let unknown_command = 0x81
+end
+
+let put_u16 b v =
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u32 b v =
+  put_u16 b ((v lsr 16) land 0xffff);
+  put_u16 b (v land 0xffff)
+
+let put_u64 b (v : int64) =
+  put_u32 b (Int64.to_int (Int64.shift_right_logical v 32) land 0xffffffff);
+  put_u32 b (Int64.to_int v land 0xffffffff)
+
+let get_u8 s i = Char.code s.[i]
+
+let get_u16 s i = (get_u8 s i lsl 8) lor get_u8 s (i + 1)
+
+let get_u32 s i = (get_u16 s i lsl 16) lor get_u16 s (i + 2)
+
+let get_u64 s i =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (get_u32 s i)) 32)
+    (Int64.of_int (get_u32 s (i + 4)))
+
+let frame ~magic ~opcode ~status ~cas ~extras ~key ~value =
+  let b = Buffer.create (header_len + String.length extras
+                         + String.length key + String.length value) in
+  Buffer.add_char b (Char.chr magic);
+  Buffer.add_char b (Char.chr opcode);
+  put_u16 b (String.length key);
+  Buffer.add_char b (Char.chr (String.length extras));
+  Buffer.add_char b '\000' (* data type *);
+  put_u16 b status;
+  put_u32 b (String.length extras + String.length key + String.length value);
+  put_u32 b 0 (* opaque *);
+  put_u64 b cas;
+  Buffer.add_string b extras;
+  Buffer.add_string b key;
+  Buffer.add_string b value;
+  Buffer.contents b
+
+let store_extras flags exptime =
+  let b = Buffer.create 8 in
+  put_u32 b flags;
+  put_u32 b exptime;
+  Buffer.contents b
+
+let counter_extras delta =
+  let b = Buffer.create 20 in
+  put_u64 b delta;
+  put_u64 b 0L (* initial *);
+  put_u32 b 0xffffffff (* no auto-create *);
+  Buffer.contents b
+
+let encode_command (c : command) : string =
+  let req = frame ~magic:magic_req ~status:0 in
+  match c with
+  | Get [ k ] | Gets [ k ] ->
+    req ~opcode:Op.get ~cas:0L ~extras:"" ~key:k ~value:""
+  | Get _ | Gets _ -> invalid_arg "Binary.encode_command: multi-key get"
+  | Set p ->
+    req ~opcode:Op.set ~cas:0L ~extras:(store_extras p.flags p.exptime)
+      ~key:p.key ~value:p.data
+  | Cas (p, cas) ->
+    req ~opcode:Op.set ~cas ~extras:(store_extras p.flags p.exptime)
+      ~key:p.key ~value:p.data
+  | Add p ->
+    req ~opcode:Op.add ~cas:0L ~extras:(store_extras p.flags p.exptime)
+      ~key:p.key ~value:p.data
+  | Replace p ->
+    req ~opcode:Op.replace ~cas:0L ~extras:(store_extras p.flags p.exptime)
+      ~key:p.key ~value:p.data
+  | Append p -> req ~opcode:Op.append ~cas:0L ~extras:"" ~key:p.key ~value:p.data
+  | Prepend p ->
+    req ~opcode:Op.prepend ~cas:0L ~extras:"" ~key:p.key ~value:p.data
+  | Delete (k, _) -> req ~opcode:Op.delete ~cas:0L ~extras:"" ~key:k ~value:""
+  | Incr (k, d, _) ->
+    req ~opcode:Op.increment ~cas:0L ~extras:(counter_extras d) ~key:k ~value:""
+  | Decr (k, d, _) ->
+    req ~opcode:Op.decrement ~cas:0L ~extras:(counter_extras d) ~key:k ~value:""
+  | Touch (k, e, _) ->
+    let b = Buffer.create 4 in
+    put_u32 b e;
+    req ~opcode:Op.touch ~cas:0L ~extras:(Buffer.contents b) ~key:k ~value:""
+  | Stats -> req ~opcode:Op.stat ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Version -> req ~opcode:Op.version ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Flush_all -> req ~opcode:Op.flush ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Quit -> req ~opcode:Op.quit ~cas:0L ~extras:"" ~key:"" ~value:""
+
+type raw = {
+  r_magic : int;
+  r_opcode : int;
+  r_status : int;
+  r_cas : int64;
+  r_extras : string;
+  r_key : string;
+  r_value : string;
+  r_consumed : int;
+}
+
+let parse_frame (s : string) ~(at : int) : raw =
+  if String.length s - at < header_len then raise Need_more_data;
+  let key_len = get_u16 s (at + 2) in
+  let extras_len = get_u8 s (at + 4) in
+  let body_len = get_u32 s (at + 8) in
+  if body_len > 64 * 1024 * 1024 then parse_error "insane body length";
+  if String.length s - at < header_len + body_len then raise Need_more_data;
+  if body_len < extras_len + key_len then parse_error "inconsistent body length";
+  let body_at = at + header_len in
+  { r_magic = get_u8 s at;
+    r_opcode = get_u8 s (at + 1);
+    r_status = get_u16 s (at + 6);
+    r_cas = get_u64 s (at + 16);
+    r_extras = String.sub s body_at extras_len;
+    r_key = String.sub s (body_at + extras_len) key_len;
+    r_value =
+      String.sub s (body_at + extras_len + key_len)
+        (body_len - extras_len - key_len);
+    r_consumed = header_len + body_len }
+
+let parse_command (s : string) : command * int =
+  let r = parse_frame s ~at:0 in
+  if r.r_magic <> magic_req then parse_error "bad request magic %#x" r.r_magic;
+  let key () =
+    if not (validate_key r.r_key) then parse_error "invalid key";
+    r.r_key
+  in
+  let store () =
+    if String.length r.r_extras <> 8 then parse_error "store: bad extras";
+    { key = key (); flags = get_u32 r.r_extras 0;
+      exptime = get_u32 r.r_extras 4; data = r.r_value; noreply = false }
+  in
+  let cmd =
+    match r.r_opcode with
+    | o when o = Op.get -> Get [ key () ]
+    | o when o = Op.set ->
+      if r.r_cas = 0L then Set (store ()) else Cas (store (), r.r_cas)
+    | o when o = Op.add -> Add (store ())
+    | o when o = Op.replace -> Replace (store ())
+    | o when o = Op.append ->
+      Append { key = key (); flags = 0; exptime = 0; data = r.r_value;
+               noreply = false }
+    | o when o = Op.prepend ->
+      Prepend { key = key (); flags = 0; exptime = 0; data = r.r_value;
+                noreply = false }
+    | o when o = Op.delete -> Delete (key (), false)
+    | o when o = Op.increment ->
+      if String.length r.r_extras <> 20 then parse_error "incr: bad extras";
+      Incr (key (), get_u64 r.r_extras 0, false)
+    | o when o = Op.decrement ->
+      if String.length r.r_extras <> 20 then parse_error "decr: bad extras";
+      Decr (key (), get_u64 r.r_extras 0, false)
+    | o when o = Op.touch ->
+      if String.length r.r_extras <> 4 then parse_error "touch: bad extras";
+      Touch (key (), get_u32 r.r_extras 0, false)
+    | o when o = Op.stat -> Stats
+    | o when o = Op.version -> Version
+    | o when o = Op.flush -> Flush_all
+    | o when o = Op.quit -> Quit
+    | o -> parse_error "unknown opcode %#x" o
+  in
+  (cmd, r.r_consumed)
+
+(* Responses carry the request opcode so the decoder knows the shape. *)
+let encode_response ~(for_op : int) (resp : response) : string =
+  let res = frame ~magic:magic_res ~opcode:for_op in
+  match resp with
+  | Values [] -> res ~status:Status.key_not_found ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Values (v :: _) ->
+    let extras =
+      let b = Buffer.create 4 in
+      put_u32 b v.v_flags;
+      Buffer.contents b
+    in
+    res ~status:Status.ok ~cas:v.v_cas ~extras ~key:"" ~value:v.v_data
+  | Stored -> res ~status:Status.ok ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Not_stored -> res ~status:Status.not_stored ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Exists -> res ~status:Status.key_exists ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Not_found -> res ~status:Status.key_not_found ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Deleted | Touched | Ok -> res ~status:Status.ok ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Number n ->
+    let b = Buffer.create 8 in
+    put_u64 b n;
+    res ~status:Status.ok ~cas:0L ~extras:"" ~key:"" ~value:(Buffer.contents b)
+  | Stats_reply kvs ->
+    let b = Buffer.create 128 in
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b
+          (res ~status:Status.ok ~cas:0L ~extras:"" ~key:k ~value:v))
+      kvs;
+    Buffer.add_string b (res ~status:Status.ok ~cas:0L ~extras:"" ~key:"" ~value:"");
+    Buffer.contents b
+  | Version_reply v -> res ~status:Status.ok ~cas:0L ~extras:"" ~key:"" ~value:v
+  | Error | Client_error _ | Server_error _ ->
+    res ~status:Status.unknown_command ~cas:0L ~extras:"" ~key:"" ~value:""
+
+let parse_response ~(for_cmd : command) (s : string) : response =
+  let r = parse_frame s ~at:0 in
+  if r.r_magic <> magic_res then parse_error "bad response magic %#x" r.r_magic;
+  match for_cmd with
+  | Get [ k ] | Gets [ k ] ->
+    if r.r_status = Status.key_not_found then Values []
+    else if r.r_status <> Status.ok then Server_error "get failed"
+    else
+      let flags = if String.length r.r_extras >= 4 then get_u32 r.r_extras 0 else 0 in
+      Values [ { v_key = k; v_flags = flags; v_cas = r.r_cas; v_data = r.r_value } ]
+  | Get _ | Gets _ -> invalid_arg "Binary.parse_response: multi-key get"
+  | Set _ | Add _ | Replace _ | Append _ | Prepend _ ->
+    if r.r_status = Status.ok then Stored
+    else if r.r_status = Status.key_exists then Exists
+    else if r.r_status = Status.key_not_found then Not_found
+    else Not_stored
+  | Cas _ ->
+    if r.r_status = Status.ok then Stored
+    else if r.r_status = Status.key_exists then Exists
+    else if r.r_status = Status.key_not_found then Not_found
+    else Not_stored
+  | Delete _ ->
+    if r.r_status = Status.ok then Deleted else Not_found
+  | Incr _ | Decr _ ->
+    if r.r_status = Status.ok then Number (get_u64 r.r_value 0)
+    else if r.r_status = Status.non_numeric then
+      Client_error "cannot increment or decrement non-numeric value"
+    else Not_found
+  | Touch _ -> if r.r_status = Status.ok then Touched else Not_found
+  | Stats ->
+    let rec go at acc =
+      let r = parse_frame s ~at in
+      if r.r_key = "" then Stats_reply (List.rev acc)
+      else go (at + r.r_consumed) ((r.r_key, r.r_value) :: acc)
+    in
+    go 0 []
+  | Version -> Version_reply r.r_value
+  | Flush_all -> if r.r_status = Status.ok then Ok else Error
+  | Quit -> Ok

@@ -1,0 +1,95 @@
+(** Wire-level request/response model shared by the ASCII and binary
+    codecs. The baseline (socket) memcached speaks these; the protected
+    library needs none of it — deleting this layer is most of the
+    paper's 24% code reduction. *)
+
+type store_params = {
+  key : string;
+  flags : int;
+  exptime : int;
+  data : string;
+  noreply : bool;
+}
+
+type command =
+  | Get of string list
+  | Gets of string list  (** get returning CAS uniques *)
+  | Set of store_params
+  | Add of store_params
+  | Replace of store_params
+  | Append of store_params
+  | Prepend of store_params
+  | Cas of store_params * int64
+  | Delete of string * bool (* noreply *)
+  | Incr of string * int64 * bool
+  | Decr of string * int64 * bool
+  | Touch of string * int * bool
+  | Stats
+  | Version
+  | Flush_all
+  | Quit
+
+type value = { v_key : string; v_flags : int; v_cas : int64; v_data : string }
+
+type response =
+  | Values of value list  (** terminated by END; empty list = miss *)
+  | Stored
+  | Not_stored
+  | Exists
+  | Not_found
+  | Deleted
+  | Touched
+  | Number of int64
+  | Stats_reply of (string * string) list
+  | Version_reply of string
+  | Ok
+  | Error
+  | Client_error of string
+  | Server_error of string
+
+exception Parse_error of string
+
+exception Need_more_data
+(** The buffer holds a prefix of a valid request: not an error, the
+    socket just has not delivered the rest yet. Stream-mode servers
+    keep accumulating; framed-mode callers treat it as malformed. *)
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let max_key_length = 250
+
+let validate_key k =
+  let n = String.length k in
+  if n = 0 || n > max_key_length then false
+  else
+    let rec ok i =
+      i >= n
+      ||
+      let c = k.[i] in
+      c > ' ' && c <> '\127' && ok (i + 1)
+    in
+    ok 0
+
+(* Does this command ask the server to suppress its reply? *)
+let is_noreply = function
+  | Set p | Add p | Replace p | Append p | Prepend p | Cas (p, _) -> p.noreply
+  | Delete (_, n) | Incr (_, _, n) | Decr (_, _, n) | Touch (_, _, n) -> n
+  | Get _ | Gets _ | Stats | Version | Flush_all | Quit -> false
+
+let command_name = function
+  | Get _ -> "get"
+  | Gets _ -> "gets"
+  | Set _ -> "set"
+  | Add _ -> "add"
+  | Replace _ -> "replace"
+  | Append _ -> "append"
+  | Prepend _ -> "prepend"
+  | Cas _ -> "cas"
+  | Delete _ -> "delete"
+  | Incr _ -> "incr"
+  | Decr _ -> "decr"
+  | Touch _ -> "touch"
+  | Stats -> "stats"
+  | Version -> "version"
+  | Flush_all -> "flush_all"
+  | Quit -> "quit"

@@ -1,0 +1,1 @@
+lib/mc_server/executor.ml: List Mc_core Mc_protocol Platform

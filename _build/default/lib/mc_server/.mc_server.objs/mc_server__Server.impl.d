@@ -1,0 +1,1 @@
+lib/mc_server/server.ml: Array Buffer Char Executor Hashtbl List Mc_core Mc_protocol Mutex Platform Printf Store String Transport

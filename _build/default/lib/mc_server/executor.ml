@@ -1,0 +1,79 @@
+(** Mapping from protocol commands to store operations: the request
+    execution engine shared by the ASCII and binary paths of the
+    baseline server. *)
+
+module P = Mc_protocol.Types
+
+module Make
+    (M : Mc_core.Memory_intf.MEMORY)
+    (A : Mc_core.Memory_intf.ALLOCATOR)
+    (S : Platform.Sync_intf.S) =
+struct
+  module Store = Mc_core.Store.Make (M) (A) (S)
+
+  let version = "1.6.0-plib-repro"
+
+  let of_store_result : Mc_core.Store.store_result -> P.response = function
+    | Mc_core.Store.Stored -> P.Stored
+    | Mc_core.Store.Not_stored -> P.Not_stored
+    | Mc_core.Store.Exists -> P.Exists
+    | Mc_core.Store.Not_found -> P.Not_found
+    | Mc_core.Store.No_memory -> P.Server_error "out of memory storing object"
+
+  let retrieve store keys ~with_cas:_ =
+    let vals =
+      List.filter_map
+        (fun key ->
+          match Store.get store key with
+          | Some r ->
+            Some
+              { P.v_key = key; v_flags = r.Mc_core.Store.flags;
+                v_cas = r.Mc_core.Store.cas; v_data = r.Mc_core.Store.value }
+          | None -> None)
+        keys
+    in
+    P.Values vals
+
+  let execute store (cmd : P.command) : P.response =
+    match cmd with
+    | P.Get keys -> retrieve store keys ~with_cas:false
+    | P.Gets keys -> retrieve store keys ~with_cas:true
+    | P.Set p ->
+      of_store_result
+        (Store.set store ~flags:p.P.flags ~exptime:p.P.exptime p.P.key p.P.data)
+    | P.Add p ->
+      of_store_result
+        (Store.add store ~flags:p.P.flags ~exptime:p.P.exptime p.P.key p.P.data)
+    | P.Replace p ->
+      of_store_result
+        (Store.replace store ~flags:p.P.flags ~exptime:p.P.exptime p.P.key
+           p.P.data)
+    | P.Append p -> of_store_result (Store.append store p.P.key p.P.data)
+    | P.Prepend p -> of_store_result (Store.prepend store p.P.key p.P.data)
+    | P.Cas (p, unique) ->
+      of_store_result
+        (Store.cas store ~flags:p.P.flags ~exptime:p.P.exptime ~cas:unique
+           p.P.key p.P.data)
+    | P.Delete (key, _) ->
+      if Store.delete store key then P.Deleted else P.Not_found
+    | P.Incr (key, delta, _) ->
+      (match Store.incr store key delta with
+       | Mc_core.Store.Counter v -> P.Number v
+       | Mc_core.Store.Counter_not_found -> P.Not_found
+       | Mc_core.Store.Non_numeric ->
+         P.Client_error "cannot increment or decrement non-numeric value")
+    | P.Decr (key, delta, _) ->
+      (match Store.decr store key delta with
+       | Mc_core.Store.Counter v -> P.Number v
+       | Mc_core.Store.Counter_not_found -> P.Not_found
+       | Mc_core.Store.Non_numeric ->
+         P.Client_error "cannot increment or decrement non-numeric value")
+    | P.Touch (key, exptime, _) ->
+      if Store.touch store key exptime then P.Touched else P.Not_found
+    | P.Stats -> P.Stats_reply (Store.stats store)
+    | P.Version -> P.Version_reply version
+    | P.Flush_all ->
+      Store.flush_all store;
+      P.Ok
+    | P.Quit -> P.Ok
+end

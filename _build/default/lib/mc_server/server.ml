@@ -1,0 +1,211 @@
+(** The baseline: memcached as a socket server.
+
+    The process owns a private slab-backed store; an acceptor thread
+    hands incoming connections to worker threads round-robin (as
+    memcached's dispatcher does); each worker runs an event loop over
+    its own queue, parsing requests, executing them against the store,
+    and writing replies. Every request crosses the kernel twice in
+    each direction — the overhead the paper eliminates. *)
+
+module P = Mc_protocol.Types
+module CM = Platform.Cost_model
+
+type protocol = Ascii | Binary
+
+type config = {
+  workers : int;
+  protocol : protocol;
+  mem_limit : int;
+  store : Mc_core.Store.config;
+}
+
+let default_config =
+  { workers = 4; protocol = Binary; mem_limit = 64 * 1024 * 1024;
+    store =
+      { Mc_core.Store.default_config with
+        lru_by_size_class = true (* original memcached: LRU per slab class *) } }
+
+(* Generic over the store's memory/allocator so the same server can
+   front a private slab store (the classic baseline) or a shared Ralloc
+   heap (the hybrid deployment of the paper's §6: remote clients over
+   sockets, local clients through Hodor, one store). *)
+module Make_generic
+    (M : Mc_core.Memory_intf.MEMORY)
+    (A : Mc_core.Memory_intf.ALLOCATOR)
+    (S : Platform.Sync_intf.S) =
+struct
+  module T = Transport.Sock.Make (S)
+  module E = Executor.Make (M) (A) (S)
+  module Store = E.Store
+
+  type t = {
+    cfg : config;
+    store : Store.t;
+    listener : T.listener;
+    inboxes : T.message S.chan array;
+    conns : (int, T.conn) Hashtbl.t;
+    conns_lock : Mutex.t;
+    wrap : (unit -> P.response) -> P.response;
+    (** runs each request execution; the hybrid server passes the
+        Hodor trampoline here so worker threads gain access rights to
+        the shared heap the way any other client of the library does *)
+    mutable threads : S.thread list;
+  }
+
+  let parse cfg payload =
+    match cfg.protocol with
+    | Ascii -> Mc_protocol.Ascii.parse_command payload
+    | Binary -> Mc_protocol.Binary.parse_command payload
+
+  let encode cfg ~for_op (resp : P.response) =
+    match cfg.protocol with
+    | Ascii -> Mc_protocol.Ascii.encode_response resp
+    | Binary -> Mc_protocol.Binary.encode_response ~for_op resp
+
+  let binary_opcode payload =
+    if String.length payload >= 2 then Char.code payload.[1] else 0
+
+  let find_conn t cid =
+    Mutex.lock t.conns_lock;
+    let c = Hashtbl.find_opt t.conns cid in
+    Mutex.unlock t.conns_lock;
+    match c with
+    | Some c -> c
+    | None -> failwith "worker: message from unregistered connection"
+
+  let drop_conn t cid =
+    Mutex.lock t.conns_lock;
+    Hashtbl.remove t.conns cid;
+    Mutex.unlock t.conns_lock
+
+  (* Each worker owns an event loop over its queue. A read from a
+     socket delivers an arbitrary byte chunk — possibly a fragment of
+     one request, possibly several pipelined requests — so the worker
+     keeps a per-connection reassembly buffer and drains every complete
+     request out of it (what the libevent loop in stock memcached
+     does). *)
+  let worker_loop t inbox =
+    let buffers : (int, Buffer.t) Hashtbl.t = Hashtbl.create 16 in
+    let buffer_of cid =
+      match Hashtbl.find_opt buffers cid with
+      | Some b -> b
+      | None ->
+        let b = Buffer.create 256 in
+        Hashtbl.add buffers cid b;
+        b
+    in
+    let rec drain conn cid buf =
+      let data = Buffer.contents buf in
+      if String.length data = 0 then ()
+      else begin
+        S.advance CM.current.proto_parse;
+        match parse t.cfg data with
+        | cmd, consumed ->
+          Buffer.clear buf;
+          Buffer.add_substring buf data consumed (String.length data - consumed);
+          (match cmd with
+           | P.Quit ->
+             T.close_conn conn;
+             drop_conn t cid;
+             Hashtbl.remove buffers cid
+           | cmd ->
+             let resp = t.wrap (fun () -> E.execute t.store cmd) in
+             if not (P.is_noreply cmd) then begin
+               S.advance CM.current.proto_pack;
+               T.server_send conn (encode t.cfg ~for_op:(binary_opcode data) resp)
+             end;
+             drain conn cid buf)
+        | exception P.Need_more_data -> () (* wait for the next chunk *)
+        | exception P.Parse_error m ->
+          (* resync by dropping the buffered garbage *)
+          Buffer.clear buf;
+          S.advance CM.current.proto_pack;
+          T.server_send conn (encode t.cfg ~for_op:0 (P.Client_error m))
+      end
+    in
+    let rec loop () =
+      match T.worker_recv inbox with
+      | exception S.Closed -> ()
+      | { T.m_cid = cid; m_payload = payload } ->
+        let conn = find_conn t cid in
+        let buf = buffer_of cid in
+        Buffer.add_string buf payload;
+        drain conn cid buf;
+        loop ()
+    in
+    loop ()
+
+  let acceptor_loop t =
+    let next = ref 0 in
+    let register conn =
+      Mutex.lock t.conns_lock;
+      Hashtbl.replace t.conns conn.T.cid conn;
+      Mutex.unlock t.conns_lock
+    in
+    let rec loop () =
+      match
+        T.accept ~register t.listener
+          ~inbox:t.inboxes.(!next mod t.cfg.workers)
+      with
+      | _conn ->
+        incr next;
+        loop ()
+      | exception S.Closed -> ()
+    in
+    loop ()
+
+  (* [prebuilt] lets benchmark sweeps reuse one loaded store across
+     many server incarnations (the dataset outlives the threads), and
+     is how the hybrid deployment hands the shared store in. *)
+  let start_with ?(cfg = default_config) ?(wrap = fun f -> f ()) ~store ~name
+      () =
+    let listener = T.listen ~name in
+    let inboxes = Array.init cfg.workers (fun _ -> S.chan ()) in
+    let t =
+      { cfg; store; listener; inboxes; conns = Hashtbl.create 64;
+        conns_lock = Mutex.create (); wrap; threads = [] }
+    in
+    let acceptor = S.spawn ~name:(name ^ ".acceptor") (fun () -> acceptor_loop t) in
+    let workers =
+      List.init cfg.workers (fun i ->
+        S.spawn
+          ~name:(Printf.sprintf "%s.worker%d" name i)
+          (fun () -> worker_loop t inboxes.(i)))
+    in
+    t.threads <- acceptor :: workers;
+    t
+
+  (* Shut down: refuse new connections, drain workers, close replies. *)
+  let stop t =
+    T.close_listener t.listener;
+    Array.iter S.close t.inboxes;
+    List.iter S.join t.threads;
+    Mutex.lock t.conns_lock;
+    Hashtbl.iter (fun _ c -> T.close_conn c) t.conns;
+    Hashtbl.reset t.conns;
+    Mutex.unlock t.conns_lock
+
+  let store t = t.store
+end
+
+(* The classic baseline: a private slab-backed store behind sockets. *)
+module Make (S : Platform.Sync_intf.S) = struct
+  include Make_generic (Mc_core.Private_memory) (Mc_core.Slab) (S)
+
+  let start ?(cfg = default_config) ?prebuilt ~name () =
+    let store =
+      match prebuilt with
+      | Some store -> store
+      | None ->
+        let arena = Mc_core.Private_memory.create ~limit:(2 * cfg.mem_limit) in
+        let slab = Mc_core.Slab.create ~arena ~mem_limit:cfg.mem_limit in
+        Store.create ~mem:arena ~alloc:slab cfg.store
+    in
+    start_with ~cfg ~store ~name ()
+end
+
+(* The hybrid deployment (§6): the bookkeeping process exposes its
+   shared, Hodor-protected store over sockets for remote clients while
+   local clients keep calling through trampolines. *)
+module Make_hybrid (S : Platform.Sync_intf.S) =
+  Make_generic (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc) (S)

@@ -1,0 +1,1 @@
+lib/pku/debug_regs.ml: List

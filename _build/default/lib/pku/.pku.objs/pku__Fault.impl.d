@@ -1,0 +1,1 @@
+lib/pku/fault.ml: Printf

@@ -1,0 +1,1 @@
+lib/pku/insn.ml: Array List

@@ -1,0 +1,1 @@
+lib/pku/pkey.ml: Array Format Mutex

@@ -1,0 +1,1 @@
+lib/pku/pkey.mli: Format

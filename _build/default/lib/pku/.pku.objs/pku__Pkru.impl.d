@@ -1,0 +1,1 @@
+lib/pku/pkru.ml: Format Pkey Tls

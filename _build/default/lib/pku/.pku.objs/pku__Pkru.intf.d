@@ -1,0 +1,1 @@
+lib/pku/pkru.mli: Format Pkey

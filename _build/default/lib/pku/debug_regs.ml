@@ -1,0 +1,38 @@
+(** The four x86 hardware breakpoint (debug address) registers, as used
+    by Hodor's loader to trap stray [wrpkru] instructions.
+
+    When a binary contains more than four strays, the loader cannot
+    cover them all with breakpoints and falls back to gating the pages
+    that contain them (modeled by {!gated_pages}), at some cost. *)
+
+let register_count = 4
+
+type t = {
+  mutable bps : (string * int) list;  (* (binary name, address) *)
+  mutable gated_pages : (string * int) list;  (* page-permission fallback *)
+}
+
+let create () = { bps = []; gated_pages = [] }
+
+exception Exhausted
+
+let install t ~binary ~addr =
+  if List.length t.bps >= register_count then raise Exhausted;
+  t.bps <- (binary, addr) :: t.bps
+
+let gate_page t ~binary ~page = t.gated_pages <- (binary, page) :: t.gated_pages
+
+let page_of_addr addr = addr / 64
+(* Our pseudo-binaries pack 64 insns per "page". *)
+
+let trips t ~binary ~addr =
+  List.mem (binary, addr) t.bps
+  || List.mem (binary, page_of_addr addr) t.gated_pages
+
+let installed t = List.length t.bps
+
+let gated t = List.length t.gated_pages
+
+let clear t =
+  t.bps <- [];
+  t.gated_pages <- []

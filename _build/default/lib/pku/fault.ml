@@ -1,0 +1,14 @@
+(** Faults raised by the simulated protection hardware. *)
+
+exception Protection_fault of string
+(** A load or store hit a page whose protection key the current
+    thread's pkru register does not open. Equivalent to the SIGSEGV
+    with si_code SEGV_PKUERR delivered by real PKU hardware. *)
+
+exception Breakpoint_trap of string
+(** Execution reached an address covered by a hardware breakpoint that
+    Hodor's loader planted on a stray [wrpkru] instruction. *)
+
+let protection_fault fmt = Printf.ksprintf (fun s -> raise (Protection_fault s)) fmt
+
+let breakpoint_trap fmt = Printf.ksprintf (fun s -> raise (Breakpoint_trap s)) fmt

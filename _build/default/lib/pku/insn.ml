@@ -1,0 +1,35 @@
+(** A miniature binary model, just rich enough for Hodor's loader
+    story: binaries are arrays of opcodes; the loader scans them for
+    stray [wrpkru] occurrences outside trampolines and plants hardware
+    breakpoints (or flips page permissions when it runs out of
+    breakpoint registers). *)
+
+type t =
+  | Wrpkru of int  (** attempt to write this value into pkru *)
+  | Compute of int  (** [n] ns of ordinary computation *)
+  | Call of string  (** call into a named (library) symbol *)
+  | Ret
+
+type binary = {
+  binary_name : string;
+  text : t array;  (** index = address *)
+  trampoline_addrs : int list;
+  (** addresses of loader-installed trampolines, where [Wrpkru] is
+      legitimate *)
+}
+
+let make ?(trampolines = []) name text =
+  { binary_name = name; text; trampoline_addrs = trampolines }
+
+(* All addresses holding a [Wrpkru] opcode that is NOT part of a
+   trampoline: these are the strays the loader must neutralise. *)
+let stray_wrpkru_addrs (b : binary) : int list =
+  let strays = ref [] in
+  Array.iteri
+    (fun addr insn ->
+      match insn with
+      | Wrpkru _ when not (List.mem addr b.trampoline_addrs) ->
+        strays := addr :: !strays
+      | Wrpkru _ | Compute _ | Call _ | Ret -> ())
+    b.text;
+  List.rev !strays

@@ -1,0 +1,45 @@
+(** Protection keys (PKU associates one of 16 keys with each page).
+
+    Key 0 is the conventional "unrestricted" key that tags ordinary
+    memory; keys 1-15 are allocatable, mirroring Linux's
+    [pkey_alloc(2)] interface. *)
+
+type t = int
+
+let count = 16
+
+let default : t = 0
+
+exception Out_of_keys
+
+let allocated = Array.make count false
+
+let () = allocated.(0) <- true
+
+let alloc_lock = Mutex.create ()
+
+let alloc () : t =
+  Mutex.lock alloc_lock;
+  let rec find i =
+    if i >= count then begin
+      Mutex.unlock alloc_lock;
+      raise Out_of_keys
+    end
+    else if not allocated.(i) then begin
+      allocated.(i) <- true;
+      Mutex.unlock alloc_lock;
+      i
+    end
+    else find (i + 1)
+  in
+  find 1
+
+let free (k : t) =
+  if k <= 0 || k >= count then invalid_arg "Pkey.free";
+  Mutex.lock alloc_lock;
+  allocated.(k) <- false;
+  Mutex.unlock alloc_lock
+
+let is_valid (k : t) = k >= 0 && k < count
+
+let pp fmt (k : t) = Format.fprintf fmt "pkey%d" k

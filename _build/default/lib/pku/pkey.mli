@@ -1,0 +1,22 @@
+(** Protection keys: PKU associates one of 16 keys with each page.
+    Key 0 is the conventional "unrestricted" key; keys 1-15 are
+    allocatable, mirroring [pkey_alloc(2)]. *)
+
+type t = int
+
+val count : int
+(** 16. *)
+
+val default : t
+(** Key 0. *)
+
+exception Out_of_keys
+
+val alloc : unit -> t
+(** A fresh key in 1..15. @raise Out_of_keys when all are taken. *)
+
+val free : t -> unit
+
+val is_valid : t -> bool
+
+val pp : Format.formatter -> t -> unit

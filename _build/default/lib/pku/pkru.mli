@@ -1,0 +1,37 @@
+(** The per-thread pkru register: 32 bits, two per key — bit [2k] is
+    access-disable, bit [2k+1] write-disable, exactly as on Intel
+    hardware. Thread-local; under the virtual-time machine each
+    {e simulated} thread has its own copy (via {!Tls}).
+
+    This module is the raw register; the policy of who may execute
+    [wrpkru] is enforced by the loader's scan and {!Debug_regs}. *)
+
+type perm = Enable | Write_disable | Access_disable
+
+type t = int
+
+val init_value : t
+(** Linux's initial pkru: everything but key 0 access-disabled. *)
+
+val all_enabled : t
+
+val read : unit -> t
+(** The calling thread's register. *)
+
+val wrpkru : t -> unit
+(** The raw register write (trusted callers only: trampolines, tests,
+    the loader's interpreter). *)
+
+val reset_thread : unit -> unit
+
+val set_perm : t -> Pkey.t -> perm -> t
+(** A new value with [key]'s two bits set for [perm]; other keys
+    untouched. *)
+
+val perm_of : t -> Pkey.t -> perm
+
+val allows_read : t -> Pkey.t -> bool
+
+val allows_write : t -> Pkey.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/platform/cost_model.ml:

@@ -1,0 +1,1 @@
+lib/platform/real_sync.ml: Condition Mutex Queue Thread Unix

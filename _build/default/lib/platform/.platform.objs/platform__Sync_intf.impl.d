@@ -1,0 +1,1 @@
+lib/platform/sync_intf.ml:

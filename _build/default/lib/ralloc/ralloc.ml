@@ -1,0 +1,606 @@
+module Region = Shm.Region
+
+exception Out_of_heap
+
+let superblock_size = 65536
+
+let sb_hdr = 128
+
+let root_slots = 64
+
+let size_classes =
+  [| 16; 24; 32; 48; 64; 96; 128; 192; 256; 384; 512; 768; 1024; 1536; 2048;
+     3072; 4096; 6144; 8192; 12288; 16384 |]
+
+let n_classes = Array.length size_classes
+
+let max_small = size_classes.(n_classes - 1)
+
+let class_of_size size =
+  let rec go i =
+    if i >= n_classes then n_classes
+    else if size_classes.(i) >= size then i
+    else go (i + 1)
+  in
+  go 0
+
+(* ---- Heap header layout (region offsets) ---------------------------
+
+   0   magic              40  used_bytes (stored at flush)
+   8   sb_size            48  free_sb_head (absolute sb offset, 0 none)
+   16  sb_base            64  root pptrs       (64 x 8)
+   24  sb_count           576 class partial heads (32 x 8, absolute)
+   32  next_fresh_sb      832 end
+
+   Superblock header layout (offsets within the superblock):
+
+   0   kind (0 free / 1 small / 2 large head / 3 large cont)
+   8   class_idx          56  next_partial (absolute, 0 none)
+   16  block_size         64  on_partial (0/1)
+   24  num_blocks         72  large_sbs
+   32  free_head          80  large_size
+   40  free_count         88  next_free_sb (absolute, 0 none)
+   48  bump_idx           96  prev_partial (absolute, 0 none)
+   ------------------------------------------------------------------- *)
+
+let magic = 0x52414C4C4F433031 (* "RALLOC01" *)
+
+let off_magic = 0
+let off_sb_size = 8
+let off_sb_base = 16
+let off_sb_count = 24
+let off_next_fresh = 32
+let off_used = 40
+let off_free_sb_head = 48
+let off_roots = 64
+let off_partial_heads = 576
+
+let sb_base = 4096
+
+let f_kind = 0
+let f_class = 8
+let f_block_size = 16
+let f_num_blocks = 24
+let f_free_head = 32
+let f_free_count = 40
+let f_bump = 48
+let f_next_partial = 56
+let f_on_partial = 64
+let f_large_sbs = 72
+let f_large_size = 80
+let f_next_free_sb = 88
+let f_prev_partial = 96
+
+let kind_free = 0
+let kind_small = 1
+let kind_large_head = 2
+let kind_large_cont = 3
+
+module Pptr = struct
+  let store r ~at target =
+    if target = 0 then Region.write_i64 r at 0
+    else Region.write_i64 r at (target - at)
+
+  let load r ~at =
+    let d = Region.read_i64 r at in
+    if d = 0 then 0 else at + d
+
+  let is_null r ~at = Region.read_i64 r at = 0
+end
+
+type t = {
+  reg : Region.t;
+  heap_id : int;
+  class_locks : Mutex.t array;
+  sb_lock : Mutex.t;
+  used : int Atomic.t;
+}
+
+(* Runtime state must be shared by every handle attached to the same
+   region: the class locks model PTHREAD_PROCESS_SHARED locks living in
+   the shared segment. *)
+let runtimes : (Region.t * t) list ref = ref []
+
+let runtimes_lock = Mutex.create ()
+
+let next_heap_id = Atomic.make 1
+
+let find_runtime reg =
+  Mutex.lock runtimes_lock;
+  let r = List.find_opt (fun (r, _) -> r == reg) !runtimes in
+  Mutex.unlock runtimes_lock;
+  Option.map snd r
+
+let new_runtime reg =
+  Mutex.lock runtimes_lock;
+  let t =
+    match List.find_opt (fun (r, _) -> r == reg) !runtimes with
+    | Some (_, t) -> t
+    | None ->
+      let t =
+        { reg; heap_id = Atomic.fetch_and_add next_heap_id 1;
+          class_locks = Array.init n_classes (fun _ -> Mutex.create ());
+          sb_lock = Mutex.create (); used = Atomic.make 0 }
+      in
+      runtimes := (reg, t) :: !runtimes;
+      t
+  in
+  Mutex.unlock runtimes_lock;
+  t
+
+let region t = t.reg
+
+let rd t off = Region.read_i64 t.reg off
+
+let wr t off v = Region.write_i64 t.reg off v
+
+let sb_count t = rd t off_sb_count
+
+let sb_off t i = sb_base + (i * rd t off_sb_size)
+
+let sb_of_block _t off =
+  sb_base + ((off - sb_base) / superblock_size * superblock_size)
+
+let capacity t = Region.size t.reg - sb_base
+
+let used_bytes t = Atomic.get t.used
+
+(* ---- Format and attach ---------------------------------------------- *)
+
+let create reg =
+  let t = new_runtime reg in
+  Region.kernel_mode (fun () ->
+    let count = (Region.size reg - sb_base) / superblock_size in
+    if count < 1 then invalid_arg "Ralloc.create: region too small";
+    wr t off_magic magic;
+    wr t off_sb_size superblock_size;
+    wr t off_sb_base sb_base;
+    wr t off_sb_count count;
+    wr t off_next_fresh 0;
+    wr t off_used 0;
+    wr t off_free_sb_head 0;
+    for i = 0 to root_slots - 1 do
+      wr t (off_roots + (8 * i)) 0
+    done;
+    for c = 0 to 31 do
+      wr t (off_partial_heads + (8 * c)) 0
+    done);
+  t
+
+let scan_used t =
+  let total = ref 0 in
+  let count = sb_count t in
+  let i = ref 0 in
+  while !i < rd t off_next_fresh && !i < count do
+    let sb = sb_off t !i in
+    (match rd t (sb + f_kind) with
+     | k when k = kind_small ->
+       let bs = rd t (sb + f_block_size) in
+       let live = rd t (sb + f_bump) - rd t (sb + f_free_count) in
+       total := !total + (live * bs)
+     | k when k = kind_large_head ->
+       total := !total + rd t (sb + f_large_size)
+     | _ -> ());
+    incr i
+  done;
+  !total
+
+let attach reg =
+  match find_runtime reg with
+  | Some t -> t
+  | None ->
+    let t = new_runtime reg in
+    Region.kernel_mode (fun () ->
+      if rd t off_magic <> magic then
+        failwith "Ralloc.attach: bad magic (not a formatted heap)";
+      if rd t off_sb_size <> superblock_size then
+        failwith "Ralloc.attach: superblock size mismatch";
+      Atomic.set t.used (scan_used t));
+    t
+
+(* ---- Per-thread caches ----------------------------------------------- *)
+
+let cache_refill = 16
+
+let cache_flush_trigger = 48
+
+let cache_keep = 16
+
+type cache = int list ref array (* one free-block list per class *)
+
+let caches_key : (int, cache) Hashtbl.t Tls.key =
+  Tls.new_key (fun () -> Hashtbl.create 4)
+
+let my_cache t : cache =
+  let tbl = Tls.get caches_key in
+  match Hashtbl.find_opt tbl t.heap_id with
+  | Some c -> c
+  | None ->
+    let c = Array.init n_classes (fun _ -> ref []) in
+    Hashtbl.add tbl t.heap_id c;
+    c
+
+(* ---- Partial-list management (under the class lock) ------------------ *)
+
+let partial_head_off c = off_partial_heads + (8 * c)
+
+let push_partial t c sb =
+  let head = rd t (partial_head_off c) in
+  wr t (sb + f_next_partial) head;
+  wr t (sb + f_prev_partial) 0;
+  if head <> 0 then wr t (head + f_prev_partial) sb;
+  wr t (partial_head_off c) sb;
+  wr t (sb + f_on_partial) 1
+
+let unlink_partial t c sb =
+  let next = rd t (sb + f_next_partial) in
+  let prev = rd t (sb + f_prev_partial) in
+  if prev <> 0 then wr t (prev + f_next_partial) next
+  else wr t (partial_head_off c) next;
+  if next <> 0 then wr t (next + f_prev_partial) prev;
+  wr t (sb + f_next_partial) 0;
+  wr t (sb + f_prev_partial) 0;
+  wr t (sb + f_on_partial) 0
+
+(* ---- Superblock pool (under sb_lock) ---------------------------------- *)
+
+let push_free_sb t sb =
+  wr t (sb + f_kind) kind_free;
+  wr t (sb + f_next_free_sb) (rd t off_free_sb_head);
+  wr t off_free_sb_head sb
+
+(* Pop a free superblock: first the free list (skipping entries
+   re-claimed by the large-allocation scan), then fresh storage. *)
+let pop_free_sb t =
+  let rec from_list () =
+    let head = rd t off_free_sb_head in
+    if head = 0 then None
+    else begin
+      wr t off_free_sb_head (rd t (head + f_next_free_sb));
+      if rd t (head + f_kind) = kind_free then Some head else from_list ()
+    end
+  in
+  match from_list () with
+  | Some sb -> Some sb
+  | None ->
+    let fresh = rd t off_next_fresh in
+    if fresh >= sb_count t then None
+    else begin
+      wr t off_next_fresh (fresh + 1);
+      Some (sb_off t fresh)
+    end
+
+let grab_superblock t c =
+  Mutex.lock t.sb_lock;
+  let sb = pop_free_sb t in
+  (match sb with
+   | Some sb ->
+     let bs = size_classes.(c) in
+     wr t (sb + f_kind) kind_small;
+     wr t (sb + f_class) c;
+     wr t (sb + f_block_size) bs;
+     wr t (sb + f_num_blocks) ((superblock_size - sb_hdr) / bs);
+     wr t (sb + f_free_head) 0;
+     wr t (sb + f_free_count) 0;
+     wr t (sb + f_bump) 0;
+     wr t (sb + f_next_partial) 0;
+     wr t (sb + f_prev_partial) 0;
+     wr t (sb + f_on_partial) 0
+   | None -> ());
+  Mutex.unlock t.sb_lock;
+  sb
+
+(* ---- Small allocation ------------------------------------------------- *)
+
+(* Carve up to [want] blocks from [sb]'s freelist then bump area.
+   Returns blocks carved; caller holds the class lock. *)
+let carve t sb bs want =
+  let got = ref [] in
+  let n = ref 0 in
+  let continue_ = ref true in
+  while !n < want && !continue_ do
+    let fh = rd t (sb + f_free_head) in
+    if fh <> 0 then begin
+      wr t (sb + f_free_head) (rd t (fh + 0));
+      wr t (sb + f_free_count) (rd t (sb + f_free_count) - 1);
+      got := fh :: !got;
+      incr n
+    end
+    else begin
+      let bump = rd t (sb + f_bump) in
+      if bump < rd t (sb + f_num_blocks) then begin
+        wr t (sb + f_bump) (bump + 1);
+        got := (sb + sb_hdr + (bump * bs)) :: !got;
+        incr n
+      end
+      else continue_ := false
+    end
+  done;
+  !got
+
+let refill_class t c want =
+  let bs = size_classes.(c) in
+  Mutex.lock t.class_locks.(c);
+  let acc = ref [] in
+  let missing () = want - List.length !acc in
+  (* grab_superblock takes sb_lock while we hold the class lock; lock
+     order is always class -> sb, so this cannot deadlock. *)
+  let rec fill () =
+    if missing () > 0 then begin
+      let sb = rd t (partial_head_off c) in
+      if sb <> 0 then begin
+        let got = carve t sb bs (missing ()) in
+        acc := got @ !acc;
+        if missing () > 0 then begin
+          (* Head exhausted; retire it from the partial list. *)
+          unlink_partial t c sb;
+          fill ()
+        end
+      end
+      else
+        match grab_superblock t c with
+        | Some sb ->
+          push_partial t c sb;
+          fill ()
+        | None -> ()
+    end
+  in
+  fill ();
+  let got_n = List.length !acc in
+  if got_n > 0 then
+    Atomic.set t.used (Atomic.get t.used + (got_n * bs));
+  Mutex.unlock t.class_locks.(c);
+  !acc
+
+(* ---- Large allocation -------------------------------------------------- *)
+
+let large_sbs_needed size = (size + sb_hdr + superblock_size - 1) / superblock_size
+
+let alloc_large t size =
+  let need = large_sbs_needed size in
+  Mutex.lock t.sb_lock;
+  let count = sb_count t in
+  let head = ref 0 in
+  (* Prefer fresh contiguous storage. *)
+  let fresh = rd t off_next_fresh in
+  if fresh + need <= count then begin
+    wr t off_next_fresh (fresh + need);
+    head := sb_off t fresh
+  end
+  else begin
+    (* First-fit scan over superblock headers for a free run. *)
+    let run_start = ref 0 and run_len = ref 0 and i = ref 0 in
+    while !head = 0 && !i < fresh do
+      let sb = sb_off t !i in
+      if rd t (sb + f_kind) = kind_free then begin
+        if !run_len = 0 then run_start := !i;
+        incr run_len;
+        if !run_len = need then head := sb_off t !run_start
+      end
+      else run_len := 0;
+      incr i
+    done
+  end;
+  if !head <> 0 then begin
+    let h = !head in
+    wr t (h + f_kind) kind_large_head;
+    wr t (h + f_large_sbs) need;
+    wr t (h + f_large_size) size;
+    for j = 1 to need - 1 do
+      wr t (h + (j * superblock_size) + f_kind) kind_large_cont
+    done;
+    Atomic.set t.used (Atomic.get t.used + size)
+  end;
+  Mutex.unlock t.sb_lock;
+  if !head = 0 then raise Out_of_heap else !head + sb_hdr
+
+(* ---- Public alloc/free -------------------------------------------------- *)
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Ralloc.alloc: size must be positive";
+  if size > max_small then alloc_large t size
+  else begin
+    let c = class_of_size size in
+    let cache = (my_cache t).(c) in
+    match !cache with
+    | off :: rest ->
+      cache := rest;
+      off
+    | [] ->
+      (match refill_class t c cache_refill with
+       | [] -> raise Out_of_heap
+       | off :: rest ->
+         cache := rest;
+         off)
+  end
+
+(* Return one block to its superblock; caller holds the class lock. *)
+let return_block t c sb off =
+  wr t (off + 0) (rd t (sb + f_free_head));
+  wr t (sb + f_free_head) off;
+  let fc = rd t (sb + f_free_count) + 1 in
+  wr t (sb + f_free_count) fc;
+  let bump = rd t (sb + f_bump) in
+  if fc = bump && fc = rd t (sb + f_num_blocks) then begin
+    (* Every carved block is back: release the superblock. *)
+    if rd t (sb + f_on_partial) = 1 then unlink_partial t c sb;
+    Mutex.lock t.sb_lock;
+    push_free_sb t sb;
+    Mutex.unlock t.sb_lock
+  end
+  else if rd t (sb + f_on_partial) = 0 then push_partial t c sb
+
+let flush_blocks t c blocks =
+  let bs = size_classes.(c) in
+  Mutex.lock t.class_locks.(c);
+  List.iter (fun off -> return_block t c (sb_of_block t off) off) blocks;
+  Atomic.set t.used (Atomic.get t.used - (List.length blocks * bs));
+  Mutex.unlock t.class_locks.(c)
+
+let free_large t off =
+  let sb = off - sb_hdr in
+  Mutex.lock t.sb_lock;
+  let n = rd t (sb + f_large_sbs) in
+  let size = rd t (sb + f_large_size) in
+  for j = n - 1 downto 0 do
+    push_free_sb t (sb + (j * superblock_size))
+  done;
+  Atomic.set t.used (Atomic.get t.used - size);
+  Mutex.unlock t.sb_lock
+
+let free t off =
+  if off < sb_base || off >= Region.size t.reg then
+    invalid_arg "Ralloc.free: offset outside heap";
+  let sb = sb_of_block t off in
+  match rd t (sb + f_kind) with
+  | k when k = kind_large_head ->
+    if off <> sb + sb_hdr then invalid_arg "Ralloc.free: misaligned large block";
+    free_large t off
+  | k when k = kind_small ->
+    let c = rd t (sb + f_class) in
+    let cache = (my_cache t).(c) in
+    cache := off :: !cache;
+    if List.length !cache > cache_flush_trigger then begin
+      let rec split i acc = function
+        | l when i = 0 -> (acc, l)
+        | x :: rest -> split (i - 1) (x :: acc) rest
+        | [] -> (acc, [])
+      in
+      let keep, spill = split cache_keep [] !cache in
+      cache := keep;
+      flush_blocks t c spill
+    end
+  | _ -> invalid_arg "Ralloc.free: block not allocated"
+
+let usable_size t off =
+  let sb = sb_of_block t off in
+  match rd t (sb + f_kind) with
+  | k when k = kind_small -> rd t (sb + f_block_size)
+  | k when k = kind_large_head -> rd t (sb + f_large_size)
+  | _ -> invalid_arg "Ralloc.usable_size: block not allocated"
+
+let flush_thread_cache t =
+  let cache = my_cache t in
+  for c = 0 to n_classes - 1 do
+    let blocks = !(cache.(c)) in
+    if blocks <> [] then begin
+      cache.(c) := [];
+      flush_blocks t c blocks
+    end
+  done
+
+(* ---- Roots -------------------------------------------------------------- *)
+
+let root_off id =
+  if id < 0 || id >= root_slots then invalid_arg "Ralloc: root id";
+  off_roots + (8 * id)
+
+let set_root t id off = Pptr.store t.reg ~at:(root_off id) off
+
+let get_root t id = Pptr.load t.reg ~at:(root_off id)
+
+(* ---- Persistence ---------------------------------------------------------- *)
+
+let flush t ~path =
+  Region.kernel_mode (fun () ->
+    (* the cache flush touches the (possibly pkey-sealed) heap, and
+       shutdown runs in the bookkeeping process's kernel-side path *)
+    flush_thread_cache t;
+    wr t off_used (Atomic.get t.used);
+    Region.flush t.reg ~path)
+
+(* ---- Introspection --------------------------------------------------------- *)
+
+type class_stat = {
+  cs_block_size : int;
+  cs_superblocks : int;
+  cs_free_blocks : int;
+  cs_cached_blocks : int;
+}
+
+let class_stats t =
+  Region.kernel_mode (fun () ->
+    let stats =
+      Array.init n_classes (fun c ->
+        { cs_block_size = size_classes.(c); cs_superblocks = 0;
+          cs_free_blocks = 0;
+          cs_cached_blocks = List.length !((my_cache t).(c)) })
+    in
+    let fresh = rd t off_next_fresh in
+    for i = 0 to fresh - 1 do
+      let sb = sb_off t i in
+      if rd t (sb + f_kind) = kind_small then begin
+        let c = rd t (sb + f_class) in
+        let free_blocks =
+          rd t (sb + f_free_count)
+          + (rd t (sb + f_num_blocks) - rd t (sb + f_bump))
+        in
+        stats.(c) <-
+          { (stats.(c)) with
+            cs_superblocks = stats.(c).cs_superblocks + 1;
+            cs_free_blocks = stats.(c).cs_free_blocks + free_blocks }
+      end
+    done;
+    stats)
+
+let check_invariants t =
+  Region.kernel_mode (fun () ->
+    let fail fmt = Printf.ksprintf failwith fmt in
+    if rd t off_magic <> magic then fail "bad magic";
+    let fresh = rd t off_next_fresh in
+    let count = sb_count t in
+    if fresh < 0 || fresh > count then fail "next_fresh out of range";
+    let i = ref 0 in
+    while !i < fresh do
+      let sb = sb_off t !i in
+      (match rd t (sb + f_kind) with
+       | k when k = kind_free || k = kind_large_cont -> incr i
+       | k when k = kind_small ->
+         let bs = rd t (sb + f_block_size) in
+         let c = rd t (sb + f_class) in
+         if c < 0 || c >= n_classes || size_classes.(c) <> bs then
+           fail "sb %d: class/block-size mismatch" !i;
+         let bump = rd t (sb + f_bump) in
+         let fc = rd t (sb + f_free_count) in
+         let nb = rd t (sb + f_num_blocks) in
+         if not (0 <= fc && fc <= bump && bump <= nb) then
+           fail "sb %d: counter order violated (fc=%d bump=%d nb=%d)" !i fc
+             bump nb;
+         (* Walk the freelist. *)
+         let seen = ref 0 in
+         let p = ref (rd t (sb + f_free_head)) in
+         while !p <> 0 do
+           if !p < sb + sb_hdr || !p >= sb + superblock_size then
+             fail "sb %d: freelist escapes superblock" !i;
+           if (!p - sb - sb_hdr) mod bs <> 0 then
+             fail "sb %d: misaligned freelist entry" !i;
+           incr seen;
+           if !seen > fc then fail "sb %d: freelist longer than free_count" !i;
+           p := rd t (!p + 0)
+         done;
+         if !seen <> fc then
+           fail "sb %d: freelist length %d <> free_count %d" !i !seen fc;
+         incr i
+       | k when k = kind_large_head ->
+         let n = rd t (sb + f_large_sbs) in
+         if n < 1 || !i + n > count then fail "sb %d: large run escapes heap" !i;
+         for j = 1 to n - 1 do
+           if rd t (sb + (j * superblock_size) + f_kind) <> kind_large_cont
+           then fail "sb %d: broken large run" !i
+         done;
+         i := !i + n
+       | k -> fail "sb %d: invalid kind %d" !i k)
+    done;
+    (* Partial lists must be doubly linked and flagged. *)
+    for c = 0 to n_classes - 1 do
+      let p = ref (rd t (partial_head_off c)) in
+      let prev = ref 0 in
+      while !p <> 0 do
+        if rd t (!p + f_kind) <> kind_small then fail "class %d: non-small sb on partial list" c;
+        if rd t (!p + f_class) <> c then fail "class %d: wrong-class sb on partial list" c;
+        if rd t (!p + f_on_partial) <> 1 then fail "class %d: unflagged sb on partial list" c;
+        if rd t (!p + f_prev_partial) <> !prev then fail "class %d: broken prev link" c;
+        prev := !p;
+        p := rd t (!p + f_next_partial)
+      done
+    done)

@@ -1,0 +1,117 @@
+(** Reimplementation of the Ralloc shared-heap allocator (Cai et al.,
+    ISMM '20), the substrate the paper's protected-library memcached
+    stores all keys, values and buckets in.
+
+    Architecture, matching the original:
+    - the heap lives in a {!Shm.Region} (the stand-in for Ralloc's
+      shared memory-mapped file);
+    - storage is carved into 64 KiB {e superblocks}, each dedicated to
+      one size class (so there is no external fragmentation for the
+      block sizes memcached uses); blocks above the largest class take
+      runs of contiguous superblocks;
+    - each thread keeps a {e per-thread cache} of free blocks per size
+      class, so the common alloc/free path touches no shared state;
+    - all intra-heap references are {e position independent}
+      ({!Pptr}: self-relative offsets, distance 0 = null), so the heap
+      works at a different base address in every process;
+    - {e persistent roots}, identified by small integer IDs, anchor the
+      data structures across restarts ([pm_set_root]/[pm_get_root] in
+      the paper's Figures 2 and 3).
+
+    Deviation from the original, documented in DESIGN.md: the global
+    per-size-class superblock lists are protected by short mutexes
+    rather than CAS loops (OCaml [Bytes] has no atomics); the
+    per-thread caches keep those sections cold, which is where Ralloc's
+    scalability comes from. *)
+
+type t
+(** A heap handle: a region plus per-process runtime state (class
+    locks, thread caches). *)
+
+exception Out_of_heap
+
+val superblock_size : int
+
+val max_small : int
+(** Largest size served from size-class superblocks. *)
+
+val root_slots : int
+(** Number of persistent root slots (64). *)
+
+val create : Shm.Region.t -> t
+(** Format a fresh heap over the whole region and return a handle.
+    Runs in kernel mode (it is the bookkeeping process's setup step). *)
+
+val attach : Shm.Region.t -> t
+(** Attach to an already-formatted heap (e.g. one reloaded from its
+    backing file). Rebuilds the runtime state; in-heap state is taken
+    as found. *)
+
+val region : t -> Shm.Region.t
+
+val alloc : t -> int -> int
+(** [alloc t size] returns the region offset of a block of at least
+    [size] bytes. Raises {!Out_of_heap} when the heap cannot satisfy
+    the request; the store evicts and retries. *)
+
+val free : t -> int -> unit
+(** Return a block. The block's size is recovered from its superblock
+    header, as in C [free]. *)
+
+val usable_size : t -> int -> int
+
+val used_bytes : t -> int
+(** Bytes currently allocated (block granularity), the store's input
+    to its eviction watermark. *)
+
+val capacity : t -> int
+
+val flush_thread_cache : t -> unit
+(** Return the calling thread's cached blocks to the shared lists
+    (called by exiting threads, and before {!flush}). *)
+
+val flush : t -> path:string -> unit
+(** Persist the heap to its backing file (bookkeeping-process
+    shutdown). *)
+
+(** {1 Persistent roots} *)
+
+val set_root : t -> int -> int -> unit
+(** [set_root t id off] anchors the object at [off]; [off = 0] clears. *)
+
+val get_root : t -> int -> int
+(** Offset anchored under [id], or [0]. *)
+
+(** {1 Position-independent pointers} *)
+
+module Pptr : sig
+  val store : Shm.Region.t -> at:int -> int -> unit
+  (** [store r ~at target] writes at [at] the self-relative encoding of
+      region offset [target]; [target = 0] encodes null. *)
+
+  val load : Shm.Region.t -> at:int -> int
+  (** Decode the pptr at [at]: the target's region offset, or [0]. *)
+
+  val is_null : Shm.Region.t -> at:int -> bool
+end
+
+(** {1 Introspection (tests, EXPERIMENTS.md)} *)
+
+type class_stat = {
+  cs_block_size : int;
+  cs_superblocks : int;
+  cs_free_blocks : int;
+  cs_cached_blocks : int;
+}
+
+val class_stats : t -> class_stat array
+
+val size_classes : int array
+
+val class_of_size : int -> int
+(** Index into {!size_classes} of the class serving [size];
+    [Array.length size_classes] when large. Exposed for tests. *)
+
+val check_invariants : t -> unit
+(** Walk every superblock and verify header/freelist consistency;
+    raises [Failure] with a description on corruption. Test hook. *)

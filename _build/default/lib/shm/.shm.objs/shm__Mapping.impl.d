@@ -1,0 +1,1 @@
+lib/shm/mapping.ml: Atomic Region

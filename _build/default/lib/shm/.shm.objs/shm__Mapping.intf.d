@@ -1,0 +1,1 @@
+lib/shm/mapping.mli: Region

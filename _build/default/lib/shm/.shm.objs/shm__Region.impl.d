@@ -1,0 +1,1 @@
+lib/shm/region.ml: Array Atomic Bytes Char Format Fun Int32 Int64 Marshal Pku Printf String Tls

@@ -1,0 +1,1 @@
+lib/shm/region.mli: Atomic Pku

@@ -1,0 +1,43 @@
+(** A per-process view of a shared region.
+
+    Real processes mmap the heap file wherever their address space has
+    room, so the same object lives at a different virtual address in
+    every process — the reason the paper needs Ralloc's
+    position-independent [pptr]s. We reproduce that: each mapping gets
+    a distinct base "address", and anything that crosses a process
+    boundary must travel as a region offset (or as a pptr within the
+    region), never as a mapped address. Tests use {!off_of_addr} /
+    {!addr_of_off} to prove position independence across remaps. *)
+
+type t = { region : Region.t; base : int }
+
+let next_base = Atomic.make 0x7f00_0000_0000
+
+(* Space mappings well apart and unpredictably, like ASLR would. *)
+let fresh_base () =
+  let n = Atomic.fetch_and_add next_base 1 in
+  0x7f00_0000_0000 + (n land 0xffff) * 0x10_0000_0000
+  + (((n * 2654435761) land 0xff) * Region.page_size)
+
+let map ?base region =
+  let base = match base with Some b -> b | None -> fresh_base () in
+  if base mod Region.page_size <> 0 then
+    invalid_arg "Mapping.map: base must be page-aligned";
+  { region; base }
+
+let region t = t.region
+
+let base t = t.base
+
+let addr_of_off t off =
+  if off < 0 || off >= Region.size t.region then
+    invalid_arg "Mapping.addr_of_off: offset out of region";
+  t.base + off
+
+let off_of_addr t addr =
+  let off = addr - t.base in
+  if off < 0 || off >= Region.size t.region then
+    invalid_arg "Mapping.off_of_addr: address not in this mapping";
+  off
+
+let contains t addr = addr >= t.base && addr - t.base < Region.size t.region

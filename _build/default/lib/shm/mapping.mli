@@ -1,0 +1,26 @@
+(** A per-process view of a shared region.
+
+    Real processes mmap the heap file wherever their address space has
+    room, so the same object lives at a different virtual address in
+    every process — the reason the paper needs Ralloc's
+    position-independent pptrs. Each mapping gets a distinct base
+    "address"; anything crossing a process boundary must travel as a
+    region offset, never as a mapped address. *)
+
+type t
+
+val map : ?base:int -> Region.t -> t
+(** Map the region at [base] (page-aligned), or at a fresh
+    ASLR-flavoured base. *)
+
+val region : t -> Region.t
+
+val base : t -> int
+
+val addr_of_off : t -> int -> int
+(** Raises [Invalid_argument] outside the region. *)
+
+val off_of_addr : t -> int -> int
+(** Raises [Invalid_argument] for an address not in this mapping. *)
+
+val contains : t -> int -> bool

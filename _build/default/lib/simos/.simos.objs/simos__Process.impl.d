@@ -1,0 +1,1 @@
+lib/simos/process.ml: Atomic Fun Printf Tls

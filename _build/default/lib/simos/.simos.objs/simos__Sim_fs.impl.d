@@ -1,0 +1,1 @@
+lib/simos/sim_fs.ml: Hashtbl Mutex Printf Shm

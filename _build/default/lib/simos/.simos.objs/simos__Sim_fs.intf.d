@@ -1,0 +1,1 @@
+lib/simos/sim_fs.mli: Shm

@@ -1,0 +1,90 @@
+(** Simulated OS processes.
+
+    A "process" here is an identity — pid, uid/euid, liveness — that
+    threads (real or virtual) bind to with {!with_process}. It gives
+    the reproduction the parts of process semantics the paper depends
+    on:
+
+    - distinct uids, so Hodor's file-permission story (the library
+      initialisation runs with the bookkeeping process's effective uid)
+      is testable;
+    - independent failure: {!kill} marks a process dead; its threads
+      observe that at cancellation points ({!check_alive}) — except
+      while inside a protected-library call, which Hodor lets run to
+      completion (that exception is implemented in {!Hodor}, which
+      consults {!set_in_library}/{!killed_at}). *)
+
+type status = Running | Killed of string | Exited
+
+type t = {
+  pid : int;
+  pname : string;
+  uid : int;
+  mutable euid : int;
+  mutable status : status;
+  mutable killed_at_ns : int option;
+  in_library : int Atomic.t;  (** threads currently inside a protected call *)
+}
+
+exception Process_killed of string
+(** Raised at a cancellation point of a thread whose process died. *)
+
+let next_pid = Atomic.make 1
+
+let make ?(uid = 0) name =
+  { pid = Atomic.fetch_and_add next_pid 1; pname = name; uid; euid = uid;
+    status = Running; killed_at_ns = None; in_library = Atomic.make 0 }
+
+let init_process = make ~uid:0 "init"
+
+let current_key = Tls.new_key (fun () -> ref init_process)
+
+let current () = !(Tls.get current_key)
+
+let with_process p f =
+  let cell = Tls.get current_key in
+  let saved = !cell in
+  cell := p;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let pid t = t.pid
+
+let name t = t.pname
+
+let uid t = t.uid
+
+let euid t = t.euid
+
+let set_euid t e = t.euid <- e
+
+let alive t = t.status = Running
+
+let status t = t.status
+
+let kill ?(signal = "SIGKILL") ~now_ns t =
+  if t.status = Running then begin
+    t.status <- Killed signal;
+    t.killed_at_ns <- Some now_ns
+  end
+
+let exit t = if t.status = Running then t.status <- Exited
+
+let killed_at t = t.killed_at_ns
+
+(* Library-call accounting, used by Hodor's completion guarantee. *)
+
+let enter_library t = Atomic.incr t.in_library
+
+let leave_library t = Atomic.decr t.in_library
+
+let in_library_calls t = Atomic.get t.in_library
+
+(* A cancellation point: ordinary (non-library) code of a dead process
+   stops here. Hodor-protected code never calls this while holding
+   library state; it checks only at trampoline exit. *)
+let check_alive () =
+  let p = current () in
+  match p.status with
+  | Running -> ()
+  | Killed s -> raise (Process_killed (Printf.sprintf "%s: %s" p.pname s))
+  | Exited -> raise (Process_killed (p.pname ^ ": exited"))

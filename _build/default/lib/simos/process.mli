@@ -1,0 +1,57 @@
+(** Simulated OS processes: an identity (pid, uid/euid, liveness) that
+    threads bind to with {!with_process}. Provides the pieces of
+    process semantics the paper's safety story depends on — distinct
+    uids for the file-permission dance, and independent failure with
+    Hodor's completion-grace semantics. *)
+
+type status = Running | Killed of string | Exited
+
+type t
+
+exception Process_killed of string
+(** Raised at a cancellation point of a thread whose process died. *)
+
+val make : ?uid:int -> string -> t
+
+val current : unit -> t
+(** The process the calling thread belongs to (the "init" process by
+    default). *)
+
+val with_process : t -> (unit -> 'a) -> 'a
+(** Bind the calling thread to [t] for the duration of [f]; restores
+    the previous binding, exceptions included. *)
+
+val pid : t -> int
+
+val name : t -> string
+
+val uid : t -> int
+
+val euid : t -> int
+
+val set_euid : t -> int -> unit
+
+val alive : t -> bool
+
+val status : t -> status
+
+val kill : ?signal:string -> now_ns:int -> t -> unit
+(** SIGKILL-style death from outside. A second kill keeps the first
+    timestamp. *)
+
+val exit : t -> unit
+
+val killed_at : t -> int option
+
+(** {1 Library-call accounting (Hodor's completion guarantee)} *)
+
+val enter_library : t -> unit
+
+val leave_library : t -> unit
+
+val in_library_calls : t -> int
+
+val check_alive : unit -> unit
+(** A cancellation point: ordinary code of a dead process stops here;
+    Hodor-protected code only checks at trampoline exit.
+    @raise Process_killed *)

@@ -1,0 +1,79 @@
+(** A tiny simulated file system, holding shared-region "files" with
+    Unix-style owner and permission bits.
+
+    Hodor relies on file-system permissions to control who may map a
+    protected library's backing file: the K-V store file is owned by
+    the bookkeeping process's uid with mode 0o600, and the loader runs
+    the library initialisation under that euid (see
+    {!Hodor.Loader}), so clients can use the store without being able
+    to open the file themselves. This module provides exactly that
+    checkable surface. *)
+
+exception Eacces of string
+
+exception Enoent of string
+
+type entry = {
+  path : string;
+  owner : int;
+  mode : int;  (** e.g. 0o600 *)
+  mutable region : Shm.Region.t option;
+}
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 16
+
+let lock = Mutex.create ()
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Mutex.unlock lock
+
+let create_file ~path ~owner ~mode region =
+  Mutex.lock lock;
+  Hashtbl.replace table path { path; owner; mode; region = Some region };
+  Mutex.unlock lock
+
+let lookup path =
+  Mutex.lock lock;
+  let e = Hashtbl.find_opt table path in
+  Mutex.unlock lock;
+  match e with Some e -> e | None -> raise (Enoent path)
+
+let exists path =
+  Mutex.lock lock;
+  let r = Hashtbl.mem table path in
+  Mutex.unlock lock;
+  r
+
+let unlink path =
+  Mutex.lock lock;
+  Hashtbl.remove table path;
+  Mutex.unlock lock
+
+(* Permission check with the caller's *effective* uid, as the kernel
+   does. Root (euid 0) bypasses, owner uses the owner triad, everyone
+   else the "other" triad. *)
+let permits ~euid ~write e =
+  let bits =
+    if euid = 0 then 0o7
+    else if euid = e.owner then (e.mode lsr 6) land 0o7
+    else e.mode land 0o7
+  in
+  let need = if write then 0o6 else 0o4 in
+  bits land need = need
+
+let open_region ~euid ?(write = false) path =
+  let e = lookup path in
+  if not (permits ~euid ~write e) then
+    raise
+      (Eacces
+         (Printf.sprintf "%s: euid %d denied (owner %d mode %o)" path euid
+            e.owner e.mode));
+  match e.region with
+  | Some r -> r
+  | None -> raise (Enoent (path ^ ": no region attached"))
+
+let owner path = (lookup path).owner
+
+let mode path = (lookup path).mode

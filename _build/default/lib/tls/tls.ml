@@ -1,0 +1,56 @@
+type table = (int, Obj.t) Hashtbl.t
+
+type 'a key = { id : int; init : unit -> 'a }
+
+let next_key_id = Atomic.make 0
+
+let new_key init = { id = Atomic.fetch_and_add next_key_id 1; init }
+
+(* Default provider: one table per OS thread. Thread ids can be reused
+   after a thread exits; a recycled id simply inherits a stale table,
+   which is indistinguishable from a fresh one once every key's [init]
+   is idempotent (they all are: keys hold no cross-thread state). *)
+let default_tables : (int, table) Hashtbl.t = Hashtbl.create 64
+
+let default_tables_lock = Mutex.create ()
+
+let default_provider () =
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock default_tables_lock;
+  let tbl =
+    match Hashtbl.find_opt default_tables tid with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 8 in
+      Hashtbl.add default_tables tid t;
+      t
+  in
+  Mutex.unlock default_tables_lock;
+  tbl
+
+let provider : (unit -> table) option ref = ref None
+
+let current_table () =
+  match !provider with Some p -> p () | None -> default_provider ()
+
+let fresh_table () : table = Hashtbl.create 8
+
+let install_provider p = provider := Some p
+
+let remove_provider () = provider := None
+
+let provider_installed () = Option.is_some !provider
+
+let get (k : 'a key) : 'a =
+  let tbl = current_table () in
+  match Hashtbl.find_opt tbl k.id with
+  | Some v -> (Obj.obj v : 'a)
+  | None ->
+    let v = k.init () in
+    Hashtbl.replace tbl k.id (Obj.repr v);
+    v
+
+let set (k : 'a key) (v : 'a) =
+  Hashtbl.replace (current_table ()) k.id (Obj.repr v)
+
+let clear (k : 'a key) = Hashtbl.remove (current_table ()) k.id

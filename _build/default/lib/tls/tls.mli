@@ -1,0 +1,46 @@
+(** Pluggable thread-local storage.
+
+    Libraries in this project (notably {!Pku}, whose pkru register is a
+    per-thread value) need "the current thread's slot" to mean different
+    things depending on the execution substrate:
+
+    - under real OS threads, a slot per [Thread.t];
+    - under the virtual-time machine ({!Vm}), a slot per {e simulated}
+      thread, of which many share one OS thread.
+
+    This module provides typed keys over a per-thread table, with a
+    pluggable provider: the default provider keys tables by OS thread;
+    the VM installs a provider that returns the running virtual thread's
+    table while the simulation executes. *)
+
+type table
+(** A bag of thread-local values, owned by one (real or virtual) thread. *)
+
+type 'a key
+(** A typed slot name, usable across all threads. *)
+
+val new_key : (unit -> 'a) -> 'a key
+(** [new_key init] allocates a fresh slot; [init] runs lazily the first
+    time a thread reads the slot. *)
+
+val get : 'a key -> 'a
+(** Current thread's value for the key, initialising it if absent. *)
+
+val set : 'a key -> 'a -> unit
+(** Set the current thread's value for the key. *)
+
+val clear : 'a key -> unit
+(** Drop the current thread's value; a later {!get} re-initialises. *)
+
+val fresh_table : unit -> table
+(** An empty table, for providers that manage their own threads. *)
+
+val install_provider : (unit -> table) -> unit
+(** Route {!get}/{!set} through [provider ()] instead of the OS-thread
+    default. Used by the VM while a simulation runs. *)
+
+val remove_provider : unit -> unit
+(** Restore the OS-thread default provider. *)
+
+val provider_installed : unit -> bool
+(** True while a custom provider is routing lookups. *)

@@ -1,0 +1,1 @@
+lib/transport/sock.ml: Atomic Hashtbl Mutex Obj Platform String

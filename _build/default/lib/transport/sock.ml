@@ -1,0 +1,182 @@
+(** Unix-domain-socket model with memcached's event-dispatch shape.
+
+    Architecture mirrors memcached + libevent:
+    - a listener accepts connections and the server assigns each to a
+      worker thread;
+    - a worker owns one event queue; readiness of any of its
+      connections lands there (client sends are tagged with the
+      connection id), which is what a libevent loop over many sockets
+      amounts to;
+    - replies flow through a per-connection channel back to the client.
+
+    Costs are charged per syscall from {!Platform.Cost_model}, plus a
+    context-switch penalty when a receive actually has to block — the
+    dynamics the paper uses to explain the baseline's scaling (§4.1):
+    with enough clients, a worker's queue is never empty and the
+    select returns without a context switch.
+
+    The same code runs on real threads or on the virtual-time machine
+    (functor over {!Platform.Sync_intf.S}). *)
+
+module CM = Platform.Cost_model
+
+(* The listener namespace is process-global, like the filesystem
+   namespace Unix-domain sockets live in: every instantiation of
+   {!Make} over the same substrate shares it. Entries are segregated
+   by [S.name], so a real-thread listener can never be dialed from
+   inside the VM or vice versa; within one substrate the stored
+   listener always has that substrate's type, making the [Obj]
+   round-trip safe. *)
+let global_listeners : (string, Obj.t) Hashtbl.t = Hashtbl.create 8
+
+let global_lock = Mutex.create ()
+
+module Make (S : Platform.Sync_intf.S) = struct
+  type message = { m_cid : int; m_payload : string }
+
+  type conn = {
+    cid : int;
+    inbox : message S.chan;  (** the owning worker's event queue *)
+    reply : string S.chan;
+  }
+
+  type listener = {
+    l_name : string;
+    backlog : (conn option -> unit) S.chan;
+    (** connect() parks a resolver here; accept() completes it *)
+  }
+
+  exception Connection_closed
+
+  (* --- listener registry (a simulated abstract-socket namespace) --- *)
+
+  let scoped name = S.name ^ ":" ^ name
+
+  let reset () =
+    Mutex.lock global_lock;
+    Hashtbl.reset global_listeners;
+    Mutex.unlock global_lock
+
+  let listen ~name =
+    let l = { l_name = name; backlog = S.chan () } in
+    Mutex.lock global_lock;
+    Hashtbl.replace global_listeners (scoped name) (Obj.repr l);
+    Mutex.unlock global_lock;
+    l
+
+  let close_listener l =
+    Mutex.lock global_lock;
+    Hashtbl.remove global_listeners (scoped l.l_name);
+    Mutex.unlock global_lock;
+    S.close l.backlog
+
+  let next_cid = Atomic.make 1
+
+  (* Client side: block until the server accepts and assigns a worker. *)
+  let connect ~name =
+    let l =
+      Mutex.lock global_lock;
+      let r = Hashtbl.find_opt global_listeners (scoped name) in
+      Mutex.unlock global_lock;
+      match r with
+      | Some l -> (Obj.obj l : listener)
+      | None -> failwith ("connect: no listener on " ^ name)
+    in
+    S.advance (2 * CM.current.syscall_send) (* socket() + connect() *);
+    let cell = S.chan ~cap:1 () in
+    (try S.send l.backlog (fun c -> S.send cell c)
+     with S.Closed -> failwith ("connect: " ^ name ^ " is shut down"));
+    match S.recv cell with
+    | Some conn -> conn
+    | None -> failwith ("connect: " ^ name ^ " refused the connection")
+
+  (* Server side: accept the oldest pending connect and bind it to
+     [inbox] (the chosen worker's event queue). [register] runs before
+     the client is released, so server-side connection tables are
+     populated before the first request can arrive. *)
+  let accept ?(register = fun (_ : conn) -> ()) l ~inbox =
+    let resolve = S.recv l.backlog in
+    S.advance CM.current.syscall_recv (* accept() *);
+    let conn =
+      { cid = Atomic.fetch_and_add next_cid 1; inbox; reply = S.chan () }
+    in
+    register conn;
+    resolve (Some conn);
+    conn
+
+  (* --- data path --- *)
+
+  let client_send conn payload =
+    S.advance CM.current.syscall_send;
+    try S.send conn.inbox { m_cid = conn.cid; m_payload = payload }
+    with S.Closed -> raise Connection_closed
+
+  (* A receive that actually blocked pays a context switch: a little
+     CPU, and scheduling latency during which the thread is off-CPU. *)
+  let ctx_switch_penalty () =
+    S.advance CM.current.ctx_switch_cpu;
+    S.sleep_ns (CM.current.ctx_switch - CM.current.ctx_switch_cpu)
+
+  let client_recv conn =
+    (* If the reply is already there, the read returns straight from
+       the kernel; otherwise the client blocks and pays a context
+       switch on wake-up. *)
+    match S.try_recv conn.reply with
+    | Some m ->
+      S.advance CM.current.syscall_recv;
+      m
+    | None ->
+      S.advance CM.current.syscall_recv;
+      let m =
+        try S.recv conn.reply with S.Closed -> raise Connection_closed
+      in
+      ctx_switch_penalty ();
+      m
+    | exception S.Closed -> raise Connection_closed
+
+  (* Worker side: pull the next event off the queue. The
+     immediate-vs-blocking distinction is the paper's select()
+     behaviour. *)
+  let worker_recv (inbox : message S.chan) =
+    (* The kernel copies the payload out on read(2): charge the wire
+       cost here, serialized into the server's critical path. *)
+    match S.try_recv inbox with
+    | Some m ->
+      S.advance
+        (CM.current.syscall_select + CM.current.syscall_recv
+         + CM.wire_cost (String.length m.m_payload));
+      m
+    | None ->
+      S.advance (CM.current.syscall_select + CM.current.syscall_recv);
+      let m = S.recv inbox in
+      ctx_switch_penalty ();
+      S.advance (CM.wire_cost (String.length m.m_payload));
+      m
+
+  let server_send conn payload =
+    S.advance (CM.current.syscall_send + CM.current.wakeup);
+    try S.send conn.reply payload with S.Closed -> ()
+
+  let close_conn conn = S.close conn.reply
+
+  (* --- a raw bidirectional pipe, for the null-call benchmark --- *)
+
+  type pipe = { a2b : string S.chan; b2a : string S.chan }
+
+  let pipe () = { a2b = S.chan (); b2a = S.chan () }
+
+  let pipe_send ch payload =
+    S.advance CM.current.syscall_send;
+    S.send ch payload
+
+  let pipe_recv ch =
+    match S.try_recv ch with
+    | Some m ->
+      S.advance CM.current.syscall_recv;
+      m
+    | None ->
+      S.advance CM.current.syscall_recv;
+      let m = S.recv ch in
+      ctx_switch_penalty ();
+      m
+end

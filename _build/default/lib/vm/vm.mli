@@ -1,0 +1,86 @@
+(** Deterministic discrete-event virtual-time machine.
+
+    The benchmark harness reproduces the paper's multicore throughput
+    results on a single-core box by running the {e real} store code on
+    simulated threads whose CPU consumption, lock contention, context
+    switches and syscalls advance a virtual clock on a modeled machine
+    (by default the paper's 10-core, 2-way-SMT Xeon).
+
+    Execution model (conservative DES):
+    - [Sync.advance n] adds [n] modeled nanoseconds to the calling
+      thread's private clock without yielding;
+    - every {e visible} operation (mutex lock/unlock, channel
+      send/receive, spawn, join) first re-synchronises: the thread
+      suspends unless its clock is the minimum among runnable threads,
+      so visible events execute in global virtual-time order and
+      contention outcomes are deterministic;
+    - CPU dilation: when more threads are runnable than the machine has
+      hardware contexts, [advance] stretches charged time according to
+      the core/SMT capacity model.
+
+    Simulated threads are cooperatively scheduled OCaml fibers
+    (effects); while a machine runs, {!Tls} lookups resolve per
+    {e virtual} thread, so per-thread state such as the pkru register
+    is correctly private to each simulated thread. *)
+
+module Config : sig
+  type t = {
+    cores : int;  (** physical cores *)
+    smt : int;  (** hardware threads per core *)
+    smt_throughput : float;
+    (** total throughput of a core running [smt] busy threads,
+        relative to one busy thread *)
+    pressure_alpha : float;
+    (** additional per-instruction slowdown from cache/memory-system
+        contention under oversubscription, ramping to [1 + alpha] *)
+    pressure_span : float;
+    (** how many extra runnable threads (in multiples of [cores]) it
+        takes to reach the full pressure slowdown *)
+    pressure_start : float;
+    (** fraction of [cores] at which contention begins *)
+  }
+
+  val default : t
+  (** The paper's testbed: 10 cores, 2-way SMT. *)
+
+  val single_core : t
+end
+
+type t
+
+type vthread
+
+exception Deadlock of string
+(** Raised by {!run} when live threads remain but none can make
+    progress; the payload names the blocked threads. *)
+
+exception Thread_failure of string * exn
+(** Raised at the end of {!run} if a simulated thread died with an
+    uncaught exception (first failure wins). *)
+
+val create : ?config:Config.t -> unit -> t
+
+val spawn : t -> ?name:string -> (unit -> unit) -> vthread
+(** Register a thread to start at virtual time 0 (before {!run}), or at
+    the spawner's current time (from inside a running simulation via
+    [Sync.spawn]). *)
+
+val run : ?raise_on_failure:bool -> t -> unit
+(** Execute until every thread completes. Not reentrant. *)
+
+val now : t -> int
+(** Greatest virtual time reached (valid after {!run}). *)
+
+val events_processed : t -> int
+(** Scheduler events consumed — a determinism fingerprint for tests. *)
+
+val failures : t -> (string * exn) list
+
+val mean_runnable : t -> float
+(** Time-weighted mean of the runnable-thread count — the CPU-demand
+    diagnostic behind the dilation model. *)
+
+(** Substrate instance for functors over {!Platform.Sync_intf.S}.
+    All operations except [mutex] and [chan] (pure constructors) must
+    be called from inside a running simulation. *)
+module Sync : Platform.Sync_intf.S

@@ -1,0 +1,1 @@
+lib/ycsb/histogram.ml: Array Bits Float

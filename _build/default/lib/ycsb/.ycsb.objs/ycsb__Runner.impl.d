@@ -1,0 +1,1 @@
+lib/ycsb/runner.ml: Array Histogram List Platform Printf Rng Workload

@@ -1,0 +1,1 @@
+lib/ycsb/workload.ml: Bytes Printf Rng String Zipfian

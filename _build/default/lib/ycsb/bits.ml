@@ -1,0 +1,9 @@
+(** Position of the most significant set bit of a positive int.
+    Uses [frexp], exact for values below 2^53 — far beyond any
+    nanosecond latency this project records. *)
+
+let msb v =
+  if v <= 0 then invalid_arg "Bits.msb";
+  snd (Float.frexp (float_of_int v)) - 1
+
+let clz v = 62 - msb v

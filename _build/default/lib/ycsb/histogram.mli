@@ -1,0 +1,23 @@
+(** Log-scale latency histogram (HdrHistogram-style: 32 sub-buckets
+    per power of two, ~3% value resolution), for per-operation
+    nanosecond latencies. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+
+val merge : into:t -> t -> unit
+
+val count : t -> int
+
+val mean : t -> float
+
+val min_value : t -> int
+
+val max_value : t -> int
+
+val percentile : t -> float -> int
+(** [percentile t 99.0] — never exceeds {!max_value}; bucket-midpoint
+    resolution (~3-4%). *)

@@ -1,0 +1,23 @@
+(** SplitMix64: a tiny, fast, deterministic PRNG. Each simulated client
+    thread owns one, seeded from (workload seed, thread id), so
+    benchmark runs are bit-reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_i64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Rng.next_int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_i64 t) 1) (Int64.of_int bound))
+
+let next_float t =
+  (* 53 random bits into [0,1) *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_i64 t) 11) in
+  float_of_int bits /. 9007199254740992.0

@@ -1,0 +1,95 @@
+(** The YCSB client harness: load a store, then drive it from a set of
+    client threads, measuring per-operation latency and aggregate
+    throughput. A functor over the substrate, so the same harness runs
+    the examples on real threads and the benchmarks inside the
+    virtual-time machine. *)
+
+type db = {
+  db_read : string -> bool;  (** returns hit/miss *)
+  db_update : string -> string -> bool;
+}
+
+type result = {
+  r_ops : int;
+  r_elapsed_ns : int;
+  r_hist : Histogram.t;
+  r_read_hist : Histogram.t;
+  r_update_hist : Histogram.t;
+  r_hits : int;
+  r_misses : int;
+}
+
+let throughput_ktps r =
+  if r.r_elapsed_ns = 0 then 0.0
+  else float_of_int r.r_ops /. (float_of_int r.r_elapsed_ns /. 1e9) /. 1e3
+
+module Make (S : Platform.Sync_intf.S) = struct
+  (* Populate the store with every key (the YCSB load phase). *)
+  let load (w : Workload.t) (db : db) =
+    for i = 0 to w.Workload.record_count - 1 do
+      let key = Workload.key_of w i in
+      ignore (db.db_update key (Workload.value_of w i))
+    done
+
+  type thread_result = {
+    hist : Histogram.t;
+    rhist : Histogram.t;
+    uhist : Histogram.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let client_body (w : Workload.t) (db : db) ~tid ~ops (tr : thread_result) =
+    let rng = Rng.create (w.Workload.seed + (7919 * tid)) in
+    let choose = Workload.chooser w rng in
+    for _ = 1 to ops do
+      let op = Workload.next_op w rng choose in
+      let t0 = S.now_ns () in
+      (match op with
+       | Workload.Read key ->
+         if db.db_read key then tr.hits <- tr.hits + 1
+         else tr.misses <- tr.misses + 1
+       | Workload.Update (key, value) -> ignore (db.db_update key value));
+      let dt = S.now_ns () - t0 in
+      Histogram.record tr.hist dt;
+      (match op with
+       | Workload.Read _ -> Histogram.record tr.rhist dt
+       | Workload.Update _ -> Histogram.record tr.uhist dt)
+    done
+
+  (* Run [w.operation_count] operations split across [threads] clients;
+     [db_for] lets each client own its connection (socket backend) or
+     share the library handle (plib backend). *)
+  let run ?(threads = 1) (w : Workload.t) ~(db_for : int -> db) : result =
+    let ops_per_thread = max 1 (w.Workload.operation_count / threads) in
+    let results =
+      Array.init threads (fun _ ->
+        { hist = Histogram.create (); rhist = Histogram.create ();
+          uhist = Histogram.create (); hits = 0; misses = 0 })
+    in
+    let t_start = S.now_ns () in
+    let handles =
+      List.init threads (fun tid ->
+        let db = db_for tid in
+        S.spawn
+          ~name:(Printf.sprintf "ycsb-client-%d" tid)
+          (fun () -> client_body w db ~tid ~ops:ops_per_thread results.(tid)))
+    in
+    List.iter S.join handles;
+    let elapsed = S.now_ns () - t_start in
+    let hist = Histogram.create () in
+    let rhist = Histogram.create () in
+    let uhist = Histogram.create () in
+    let hits = ref 0 and misses = ref 0 in
+    Array.iter
+      (fun tr ->
+        Histogram.merge ~into:hist tr.hist;
+        Histogram.merge ~into:rhist tr.rhist;
+        Histogram.merge ~into:uhist tr.uhist;
+        hits := !hits + tr.hits;
+        misses := !misses + tr.misses)
+      results;
+    { r_ops = ops_per_thread * threads; r_elapsed_ns = elapsed; r_hist = hist;
+      r_read_hist = rhist; r_update_hist = uhist; r_hits = !hits;
+      r_misses = !misses }
+end

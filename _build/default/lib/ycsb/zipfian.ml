@@ -1,0 +1,63 @@
+(** YCSB's Zipfian generators (Gray et al.'s algorithm, as implemented
+    in com.yahoo.ycsb.generator.ZipfianGenerator), plus the scrambled
+    variant that spreads the popular items across the keyspace. The
+    paper's workloads draw keys "with a Zipfian distribution" via
+    YCSB, i.e. the scrambled form. *)
+
+let default_theta = 0.99
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  zeta2theta : float;
+}
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !sum
+
+let create ?(theta = default_theta) n =
+  if n <= 0 then invalid_arg "Zipfian.create";
+  let zetan = zeta n theta in
+  let zeta2theta = zeta 2 theta in
+  { n; theta; alpha = 1.0 /. (1.0 -. theta); zetan;
+    eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta2theta /. zetan));
+    zeta2theta }
+
+let next t rng =
+  let u = Rng.next_float rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else
+    let v =
+      float_of_int t.n
+      *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+    in
+    min (t.n - 1) (int_of_float v)
+
+(* FNV-1a 64-bit, YCSB's scrambling hash. *)
+let fnv64 v =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  for shift = 0 to 7 do
+    let byte = Int64.to_int (Int64.shift_right_logical v (8 * shift)) land 0xff in
+    h := Int64.logxor !h (Int64.of_int byte);
+    h := Int64.mul !h prime
+  done;
+  !h
+
+let next_scrambled t rng =
+  let z = next t rng in
+  Int64.to_int
+    (Int64.rem
+       (Int64.shift_right_logical (fnv64 (Int64.of_int z)) 1)
+       (Int64.of_int t.n))

@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Core Fun Hodor List Mc_core Mc_server Platform Printf Simos Vm

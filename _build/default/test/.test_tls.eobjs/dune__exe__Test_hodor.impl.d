@@ -1,0 +1,1 @@
+test/test_hodor.ml: Alcotest Array Bytes Fun Hodor List Pku Platform Shm Simos

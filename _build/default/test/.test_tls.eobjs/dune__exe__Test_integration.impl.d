@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Core Fun Hodor List Mc_core Mc_server Option Printf Shm Simos Vm Ycsb

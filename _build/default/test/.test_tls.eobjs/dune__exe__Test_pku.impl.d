@@ -1,0 +1,1 @@
+test/test_pku.ml: Alcotest List Pku QCheck QCheck_alcotest Thread

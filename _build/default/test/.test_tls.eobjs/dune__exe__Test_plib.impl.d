@@ -1,0 +1,1 @@
+test/test_plib.ml: Alcotest Atomic Bytes Core Filename Fun Hodor Int64 List Mc_core Option Pku Platform Printf Ralloc Shm Simos String Sys Vm

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Bytes Char Gen Int64 List Mc_protocol QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ralloc.ml: Alcotest Array Filename List Printf QCheck QCheck_alcotest Ralloc Random Shm Sys Thread

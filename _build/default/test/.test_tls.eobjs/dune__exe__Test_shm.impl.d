@@ -1,0 +1,1 @@
+test/test_shm.ml: Alcotest Atomic Bytes Filename Fun List Pku QCheck QCheck_alcotest Shm String Sys

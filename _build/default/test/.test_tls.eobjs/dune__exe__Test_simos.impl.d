@@ -1,0 +1,1 @@
+test/test_simos.ml: Alcotest Fun Hashtbl Printf Shm Simos

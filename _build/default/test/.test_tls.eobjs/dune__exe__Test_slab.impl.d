@@ -1,0 +1,1 @@
+test/test_slab.ml: Alcotest Array List Mc_core Printf QCheck QCheck_alcotest

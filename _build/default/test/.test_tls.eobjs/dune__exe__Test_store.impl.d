@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Atomic Char Gen Hashtbl Int64 List Mc_core Option Platform Printf QCheck QCheck_alcotest Ralloc Random Shm Stdlib String Thread

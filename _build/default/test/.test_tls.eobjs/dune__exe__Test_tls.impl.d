@@ -1,0 +1,1 @@
+test/test_tls.ml: Alcotest Fun Thread Tls

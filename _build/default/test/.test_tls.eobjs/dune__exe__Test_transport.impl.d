@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Atomic Core List Mc_core Mc_protocol Mc_server Option Printf String Transport Vm

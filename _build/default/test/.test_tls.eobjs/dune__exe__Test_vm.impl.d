@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest List Printf QCheck QCheck_alcotest Tls Vm

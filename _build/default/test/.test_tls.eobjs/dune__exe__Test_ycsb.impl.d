@@ -1,0 +1,1 @@
+test/test_ycsb.ml: Alcotest Array Hashtbl List Mc_protocol Mutex Option Printf QCheck QCheck_alcotest String Vm Ycsb

@@ -1,0 +1,126 @@
+(** PKU hardware model: register semantics, key allocation, the
+    loader-facing binary scan and breakpoint registers. *)
+
+module Pkru = Pku.Pkru
+module Pkey = Pku.Pkey
+
+let test_default_pkru_denies_all_but_key0 () =
+  let v = Pkru.init_value in
+  Alcotest.(check bool) "key 0 readable" true (Pkru.allows_read v 0);
+  Alcotest.(check bool) "key 0 writable" true (Pkru.allows_write v 0);
+  for k = 1 to Pkey.count - 1 do
+    Alcotest.(check bool) "denied read" false (Pkru.allows_read v k);
+    Alcotest.(check bool) "denied write" false (Pkru.allows_write v k)
+  done
+
+let test_set_perm_bits () =
+  let v = Pkru.init_value in
+  let v = Pkru.set_perm v 3 Pkru.Enable in
+  Alcotest.(check bool) "enabled read" true (Pkru.allows_read v 3);
+  Alcotest.(check bool) "enabled write" true (Pkru.allows_write v 3);
+  let v = Pkru.set_perm v 3 Pkru.Write_disable in
+  Alcotest.(check bool) "wd read ok" true (Pkru.allows_read v 3);
+  Alcotest.(check bool) "wd write denied" false (Pkru.allows_write v 3);
+  let v = Pkru.set_perm v 3 Pkru.Access_disable in
+  Alcotest.(check bool) "ad read denied" false (Pkru.allows_read v 3);
+  Alcotest.(check bool) "ad write denied" false (Pkru.allows_write v 3);
+  (* neighbours untouched *)
+  Alcotest.(check bool) "key 2 unchanged" false (Pkru.allows_read v 2)
+
+let test_perm_of_roundtrip () =
+  List.iter
+    (fun p ->
+      let v = Pkru.set_perm Pkru.init_value 5 p in
+      Alcotest.(check bool) "roundtrip" true (Pkru.perm_of v 5 = p))
+    [ Pkru.Enable; Pkru.Write_disable; Pkru.Access_disable ]
+
+let test_wrpkru_is_thread_local () =
+  Pkru.reset_thread ();
+  Pkru.wrpkru (Pkru.set_perm (Pkru.read ()) 4 Pkru.Enable);
+  let other = ref true in
+  let th =
+    Thread.create (fun () -> other := Pkru.allows_read (Pkru.read ()) 4) ()
+  in
+  Thread.join th;
+  Alcotest.(check bool) "self sees open key" true
+    (Pkru.allows_read (Pkru.read ()) 4);
+  Alcotest.(check bool) "other thread still restricted" false !other;
+  Pkru.reset_thread ()
+
+let test_pkey_alloc_free () =
+  let k1 = Pkey.alloc () in
+  let k2 = Pkey.alloc () in
+  Alcotest.(check bool) "distinct" true (k1 <> k2);
+  Alcotest.(check bool) "valid" true (Pkey.is_valid k1 && Pkey.is_valid k2);
+  Pkey.free k1;
+  let k3 = Pkey.alloc () in
+  Alcotest.(check int) "freed keys are reused" k1 k3;
+  Pkey.free k2;
+  Pkey.free k3
+
+let test_pkey_exhaustion () =
+  let keys = ref [] in
+  (try
+     for _ = 1 to Pkey.count do
+       keys := Pkey.alloc () :: !keys
+     done;
+     Alcotest.fail "expected Out_of_keys"
+   with Pku.Pkey.Out_of_keys -> ());
+  Alcotest.(check int) "allocated all 15 allocatable keys" 15
+    (List.length !keys);
+  List.iter Pkey.free !keys
+
+let test_stray_scan () =
+  let open Pku.Insn in
+  let b =
+    make ~trampolines:[ 2 ] "app"
+      [| Compute 10; Wrpkru 0; Compute 5; Wrpkru 0; Call "get"; Ret |]
+  in
+  Alcotest.(check (list int)) "strays exclude trampoline sites" [ 1; 3 ]
+    (stray_wrpkru_addrs b)
+
+let test_debug_regs_exhaustion_and_gating () =
+  let dr = Pku.Debug_regs.create () in
+  for i = 0 to 3 do
+    Pku.Debug_regs.install dr ~binary:"app" ~addr:(i * 100)
+  done;
+  Alcotest.(check int) "four installed" 4 (Pku.Debug_regs.installed dr);
+  (match Pku.Debug_regs.install dr ~binary:"app" ~addr:999 with
+   | () -> Alcotest.fail "expected Exhausted"
+   | exception Pku.Debug_regs.Exhausted -> ());
+  Pku.Debug_regs.gate_page dr ~binary:"app"
+    ~page:(Pku.Debug_regs.page_of_addr 999);
+  Alcotest.(check bool) "breakpoint trips" true
+    (Pku.Debug_regs.trips dr ~binary:"app" ~addr:100);
+  Alcotest.(check bool) "gated page trips" true
+    (Pku.Debug_regs.trips dr ~binary:"app" ~addr:999);
+  Alcotest.(check bool) "same address, other binary, no trip" false
+    (Pku.Debug_regs.trips dr ~binary:"other" ~addr:100);
+  Pku.Debug_regs.clear dr;
+  Alcotest.(check int) "cleared" 0 (Pku.Debug_regs.installed dr)
+
+let qcheck_pkru_bits_independent =
+  QCheck.Test.make ~name:"set_perm touches only its own key's bits" ~count:200
+    QCheck.(pair (int_range 0 15) (int_range 0 15))
+    (fun (k1, k2) ->
+      QCheck.assume (k1 <> k2);
+      let v0 = Pku.Pkru.init_value in
+      let v1 = Pku.Pkru.set_perm v0 k1 Pku.Pkru.Enable in
+      Pku.Pkru.perm_of v1 k2 = Pku.Pkru.perm_of v0 k2)
+
+let () =
+  Alcotest.run "pku"
+    [ ( "pkru",
+        [ Alcotest.test_case "default restricts" `Quick
+            test_default_pkru_denies_all_but_key0;
+          Alcotest.test_case "set_perm bits" `Quick test_set_perm_bits;
+          Alcotest.test_case "perm_of roundtrip" `Quick test_perm_of_roundtrip;
+          Alcotest.test_case "thread local" `Quick test_wrpkru_is_thread_local;
+          QCheck_alcotest.to_alcotest qcheck_pkru_bits_independent ] );
+      ( "pkeys",
+        [ Alcotest.test_case "alloc/free/reuse" `Quick test_pkey_alloc_free;
+          Alcotest.test_case "exhaustion" `Quick test_pkey_exhaustion ] );
+      ( "loader hardware",
+        [ Alcotest.test_case "stray scan" `Quick test_stray_scan;
+          Alcotest.test_case "debug regs + gating" `Quick
+            test_debug_regs_exhaustion_and_gating ] ) ]

@@ -1,0 +1,341 @@
+(** Wire protocols: ASCII and binary codecs, including error paths and
+    property-based roundtrips. *)
+
+open Mc_protocol.Types
+module Ascii = Mc_protocol.Ascii
+module Binary = Mc_protocol.Binary
+
+let sp ?(flags = 0) ?(exptime = 0) ?(noreply = false) key data =
+  { key; flags; exptime; data; noreply }
+
+let ascii_roundtrip cmd =
+  let wire = Ascii.encode_command cmd in
+  let parsed, consumed = Ascii.parse_command wire in
+  Alcotest.(check int) "whole request consumed" (String.length wire) consumed;
+  parsed
+
+let test_ascii_get_forms () =
+  (match ascii_roundtrip (Get [ "a"; "bb" ]) with
+   | Get [ "a"; "bb" ] -> ()
+   | _ -> Alcotest.fail "get multi");
+  match ascii_roundtrip (Gets [ "k" ]) with
+  | Gets [ "k" ] -> ()
+  | _ -> Alcotest.fail "gets"
+
+let test_ascii_storage_forms () =
+  (match ascii_roundtrip (Set (sp ~flags:7 ~exptime:60 "k" "v\r\nwith crlf")) with
+   | Set p ->
+     Alcotest.(check string) "data intact" "v\r\nwith crlf" p.data;
+     Alcotest.(check int) "flags" 7 p.flags;
+     Alcotest.(check int) "exptime" 60 p.exptime
+   | _ -> Alcotest.fail "set");
+  (match ascii_roundtrip (Cas (sp "k" "v", 99L)) with
+   | Cas (_, 99L) -> ()
+   | _ -> Alcotest.fail "cas");
+  (match ascii_roundtrip (Add (sp ~noreply:true "k" "v")) with
+   | Add p -> Alcotest.(check bool) "noreply" true p.noreply
+   | _ -> Alcotest.fail "add");
+  match ascii_roundtrip (Append (sp "k" "")) with
+  | Append p -> Alcotest.(check string) "empty data ok" "" p.data
+  | _ -> Alcotest.fail "append"
+
+let test_ascii_other_commands () =
+  List.iter
+    (fun cmd ->
+      let got = ascii_roundtrip cmd in
+      Alcotest.(check string) "same command" (command_name cmd)
+        (command_name got))
+    [ Delete ("k", false); Delete ("k", true); Incr ("k", 5L, false);
+      Decr ("k", 3L, true); Touch ("k", 100, false); Stats; Version;
+      Flush_all; Quit ]
+
+let test_ascii_parse_errors () =
+  List.iter
+    (fun wire ->
+      match Ascii.parse_command wire with
+      | _ -> Alcotest.fail ("should not parse: " ^ String.escaped wire)
+      | exception Parse_error _ -> ())
+    [ "bogus\r\n"; "get\r\n"; "set k\r\n"; "set k a b 3\r\nabc\r\n";
+      "set k 0 0 2\r\nabXY" (* wrong terminator *);
+      "incr k\r\n"; "get " ^ String.make 300 'k' ^ "\r\n" (* key too long *);
+      "get bad\x01key\r\n"; "set k 0 0 2 garbage\r\nab\r\n" ]
+
+let test_ascii_short_reads_want_more () =
+  (* prefixes of valid requests are not errors: a stream server keeps
+     reading *)
+  List.iter
+    (fun wire ->
+      match Ascii.parse_command wire with
+      | _ -> Alcotest.fail ("should be incomplete: " ^ String.escaped wire)
+      | exception Need_more_data -> ())
+    [ ""; "ge"; "get k"; "set k 0 0 5\r\n"; "set k 0 0 5\r\nab" ];
+  List.iter
+    (fun wire ->
+      match Binary.parse_command wire with
+      | _ -> Alcotest.fail "should be incomplete"
+      | exception Need_more_data -> ())
+    [ ""; "\x80"; String.sub (Binary.encode_command (Get [ "k" ])) 0 20 ]
+
+let test_ascii_pipelined_requests () =
+  let wire = Ascii.encode_command (Get [ "a" ]) ^ Ascii.encode_command Quit in
+  let cmd1, used = Ascii.parse_command wire in
+  let rest = String.sub wire used (String.length wire - used) in
+  let cmd2, _ = Ascii.parse_command rest in
+  Alcotest.(check string) "first" "get" (command_name cmd1);
+  Alcotest.(check string) "second" "quit" (command_name cmd2)
+
+let test_ascii_responses () =
+  let values =
+    Values
+      [ { v_key = "k1"; v_flags = 3; v_cas = 42L; v_data = "da\r\nta" };
+        { v_key = "k2"; v_flags = 0; v_cas = 7L; v_data = "" } ]
+  in
+  (match Ascii.parse_response (Ascii.encode_response values) with
+   | Values [ v1; v2 ] ->
+     Alcotest.(check string) "payload with crlf survives" "da\r\nta" v1.v_data;
+     Alcotest.(check string) "second key" "k2" v2.v_key;
+     Alcotest.(check int64) "cas" 42L v1.v_cas
+   | _ -> Alcotest.fail "values");
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "simple response roundtrip" true
+        (Ascii.parse_response (Ascii.encode_response r) = r))
+    [ Stored; Not_stored; Exists; Not_found; Deleted; Touched; Ok; Error;
+      Number (-1L) (* max u64 *); Values [];
+      Version_reply "1.6"; Client_error "bad"; Server_error "oom";
+      Stats_reply [ ("a", "1"); ("b", "2") ] ]
+
+let binary_roundtrip cmd =
+  let wire = Binary.encode_command cmd in
+  let parsed, consumed = Binary.parse_command wire in
+  Alcotest.(check int) "consumed" (String.length wire) consumed;
+  parsed
+
+let test_binary_commands () =
+  (match binary_roundtrip (Get [ "key" ]) with
+   | Get [ "key" ] -> ()
+   | _ -> Alcotest.fail "get");
+  (match binary_roundtrip (Set (sp ~flags:9 ~exptime:33 "k" "binary\x00data")) with
+   | Set p ->
+     Alcotest.(check string) "data" "binary\x00data" p.data;
+     Alcotest.(check int) "flags" 9 p.flags;
+     Alcotest.(check int) "exptime" 33 p.exptime
+   | _ -> Alcotest.fail "set");
+  (match binary_roundtrip (Cas (sp "k" "v", 123456789L)) with
+   | Cas (_, 123456789L) -> ()
+   | _ -> Alcotest.fail "cas via set+cas field");
+  (match binary_roundtrip (Incr ("n", 17L, false)) with
+   | Incr ("n", 17L, _) -> ()
+   | _ -> Alcotest.fail "incr");
+  match binary_roundtrip (Delete ("k", false)) with
+  | Delete ("k", _) -> ()
+  | _ -> Alcotest.fail "delete"
+
+let test_binary_multiget_rejected () =
+  (match Binary.encode_command (Get [ "a"; "b" ]) with
+   | _ -> Alcotest.fail "expected rejection"
+   | exception Invalid_argument _ -> ())
+
+let test_binary_responses () =
+  let cmd = Get [ "k" ] in
+  let hit =
+    Values [ { v_key = "k"; v_flags = 5; v_cas = 9L; v_data = "vv" } ]
+  in
+  (match
+     Binary.parse_response ~for_cmd:cmd
+       (Binary.encode_response ~for_op:Binary.Op.get hit)
+   with
+  | Values [ v ] ->
+    Alcotest.(check string) "data" "vv" v.v_data;
+    Alcotest.(check int) "flags" 5 v.v_flags;
+    Alcotest.(check int64) "cas" 9L v.v_cas
+  | _ -> Alcotest.fail "hit");
+  (match
+     Binary.parse_response ~for_cmd:cmd
+       (Binary.encode_response ~for_op:Binary.Op.get (Values []))
+   with
+  | Values [] -> ()
+  | _ -> Alcotest.fail "miss");
+  (match
+     Binary.parse_response ~for_cmd:(Incr ("k", 1L, false))
+       (Binary.encode_response ~for_op:Binary.Op.increment (Number 41L))
+   with
+  | Number 41L -> ()
+  | _ -> Alcotest.fail "number");
+  match
+    Binary.parse_response ~for_cmd:Stats
+      (Binary.encode_response ~for_op:Binary.Op.stat
+         (Stats_reply [ ("x", "1"); ("y", "2") ]))
+  with
+  | Stats_reply [ ("x", "1"); ("y", "2") ] -> ()
+  | _ -> Alcotest.fail "stats"
+
+let test_binary_header_errors () =
+  List.iter
+    (fun wire ->
+      match Binary.parse_command wire with
+      | _ -> Alcotest.fail "should not parse"
+      | exception Parse_error _ -> ())
+    [ String.make 24 '\x00' (* wrong magic *);
+      "\x80" ^ String.make 23 '\xff' (* body length insane *) ]
+
+let gen_key =
+  QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 32))
+
+let gen_data = QCheck.Gen.(string_size (int_range 0 512))
+
+let qcheck_ascii_set_roundtrip =
+  QCheck.Test.make ~name:"ascii set roundtrips arbitrary data" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          let* k = gen_key in
+          let* d = gen_data in
+          let* f = int_range 0 0xFFFF in
+          pure (k, d, f)))
+    (fun (k, d, f) ->
+      match ascii_roundtrip (Set (sp ~flags:f k d)) with
+      | Set p -> p.key = k && p.data = d && p.flags = f
+      | _ -> false)
+
+let qcheck_binary_set_roundtrip =
+  QCheck.Test.make ~name:"binary set roundtrips arbitrary data" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          let* k = gen_key in
+          let* d = gen_data in
+          pure (k, d)))
+    (fun (k, d) ->
+      match binary_roundtrip (Set (sp k d)) with
+      | Set p -> p.key = k && p.data = d
+      | _ -> false)
+
+let qcheck_value_response_roundtrip =
+  QCheck.Test.make ~name:"ascii VALUE responses roundtrip" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          let* k = gen_key in
+          let* d = gen_data in
+          let* c = int_range 0 1_000_000 in
+          pure (k, d, Int64.of_int c)))
+    (fun (k, d, c) ->
+      let r = Values [ { v_key = k; v_flags = 1; v_cas = c; v_data = d } ] in
+      Ascii.parse_response (Ascii.encode_response r) = r)
+
+let test_noreply_classification () =
+  Alcotest.(check bool) "set noreply" true
+    (is_noreply (Set (sp ~noreply:true "k" "v")));
+  Alcotest.(check bool) "set reply" false (is_noreply (Set (sp "k" "v")));
+  Alcotest.(check bool) "delete noreply" true (is_noreply (Delete ("k", true)));
+  Alcotest.(check bool) "incr noreply" true (is_noreply (Incr ("k", 1L, true)));
+  Alcotest.(check bool) "get never noreply" false (is_noreply (Get [ "k" ]));
+  Alcotest.(check bool) "stats never noreply" false (is_noreply Stats)
+
+let test_binary_touch_roundtrip () =
+  match binary_roundtrip (Touch ("k", 3600, false)) with
+  | Touch ("k", 3600, _) -> ()
+  | _ -> Alcotest.fail "touch"
+
+let test_binary_quit_version_flush () =
+  List.iter
+    (fun cmd ->
+      let got = binary_roundtrip cmd in
+      Alcotest.(check string) "roundtrip" (command_name cmd) (command_name got))
+    [ Quit; Version; Flush_all; Stats ]
+
+let test_ascii_incr_u64_range () =
+  (* the full u64 range must survive the text protocol *)
+  match ascii_roundtrip (Incr ("k", -1L (* 2^64-1 *), false)) with
+  | Incr ("k", v, _) -> Alcotest.(check int64) "max u64 delta" (-1L) v
+  | _ -> Alcotest.fail "incr"
+
+let test_ascii_number_response_u64 () =
+  match Ascii.parse_response (Ascii.encode_response (Number (-1L))) with
+  | Number v -> Alcotest.(check int64) "max u64 number" (-1L) v
+  | _ -> Alcotest.fail "number"
+
+(* Robustness: arbitrary bytes must never escape as anything but
+   Parse_error — a server must survive any garbage a client sends. *)
+let qcheck_ascii_fuzz =
+  QCheck.Test.make ~name:"ascii parser total on garbage" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 128))
+    (fun garbage ->
+      match Ascii.parse_command garbage with
+      | _ -> true
+      | exception Parse_error _ -> true
+      | exception Need_more_data -> true
+      | exception _ -> false)
+
+let qcheck_binary_fuzz =
+  QCheck.Test.make ~name:"binary parser total on garbage" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 128))
+    (fun garbage ->
+      match Binary.parse_command garbage with
+      | _ -> true
+      | exception Parse_error _ -> true
+      | exception Need_more_data -> true
+      | exception _ -> false)
+
+(* Bit-flip fuzz: corrupt one byte of a valid frame. *)
+let qcheck_binary_bitflip =
+  QCheck.Test.make ~name:"binary parser total on corrupted frames" ~count:500
+    QCheck.(pair (int_range 0 200) (int_range 0 255))
+    (fun (pos, byte) ->
+      let wire =
+        Binary.encode_command
+          (Set (sp ~flags:1 ~exptime:2 "somekey" "some-value-data"))
+      in
+      let b = Bytes.of_string wire in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos (Char.chr byte);
+      match Binary.parse_command (Bytes.to_string b) with
+      | _ -> true
+      | exception Parse_error _ -> true
+      | exception Need_more_data -> true
+      | exception _ -> false)
+
+let test_key_validation () =
+  Alcotest.(check bool) "normal" true (validate_key "ok_key-123");
+  Alcotest.(check bool) "empty" false (validate_key "");
+  Alcotest.(check bool) "space" false (validate_key "a b");
+  Alcotest.(check bool) "control" false (validate_key "a\nb");
+  Alcotest.(check bool) "250 max" true (validate_key (String.make 250 'k'));
+  Alcotest.(check bool) "251 too long" false (validate_key (String.make 251 'k'))
+
+let () =
+  Alcotest.run "protocol"
+    [ ( "ascii",
+        [ Alcotest.test_case "get forms" `Quick test_ascii_get_forms;
+          Alcotest.test_case "storage forms" `Quick test_ascii_storage_forms;
+          Alcotest.test_case "other commands" `Quick test_ascii_other_commands;
+          Alcotest.test_case "parse errors" `Quick test_ascii_parse_errors;
+          Alcotest.test_case "pipelining" `Quick test_ascii_pipelined_requests;
+          Alcotest.test_case "responses" `Quick test_ascii_responses;
+          QCheck_alcotest.to_alcotest qcheck_ascii_set_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_value_response_roundtrip ] );
+      ( "binary",
+        [ Alcotest.test_case "commands" `Quick test_binary_commands;
+          Alcotest.test_case "multiget rejected" `Quick
+            test_binary_multiget_rejected;
+          Alcotest.test_case "responses" `Quick test_binary_responses;
+          Alcotest.test_case "header errors" `Quick test_binary_header_errors;
+          QCheck_alcotest.to_alcotest qcheck_binary_set_roundtrip ] );
+      ( "validation",
+        [ Alcotest.test_case "keys" `Quick test_key_validation;
+          Alcotest.test_case "short reads want more" `Quick
+            test_ascii_short_reads_want_more;
+          Alcotest.test_case "noreply classification" `Quick
+            test_noreply_classification ] );
+      ( "fuzz",
+        [ QCheck_alcotest.to_alcotest qcheck_ascii_fuzz;
+          QCheck_alcotest.to_alcotest qcheck_binary_fuzz;
+          QCheck_alcotest.to_alcotest qcheck_binary_bitflip ] );
+      ( "more roundtrips",
+        [ Alcotest.test_case "binary touch" `Quick test_binary_touch_roundtrip;
+          Alcotest.test_case "binary admin commands" `Quick
+            test_binary_quit_version_flush;
+          Alcotest.test_case "ascii u64 incr" `Quick test_ascii_incr_u64_range;
+          Alcotest.test_case "ascii u64 number" `Quick
+            test_ascii_number_response_u64 ] ) ]

@@ -1,0 +1,189 @@
+(** Shared region: protection enforcement, accessors, persistence,
+    per-process mappings. *)
+
+module Region = Shm.Region
+module Mapping = Shm.Mapping
+module Pkru = Pku.Pkru
+
+let with_key f =
+  let k = Pku.Pkey.alloc () in
+  Fun.protect ~finally:(fun () -> Pku.Pkey.free k) (fun () -> f k)
+
+let open_key k =
+  Pkru.wrpkru (Pkru.set_perm (Pkru.read ()) k Pkru.Enable)
+
+let test_accessor_roundtrips () =
+  let r = Region.create ~name:"t" ~size:8192 ~pkey:0 () in
+  Region.write_u8 r 0 0xAB;
+  Alcotest.(check int) "u8" 0xAB (Region.read_u8 r 0);
+  Region.write_i32 r 4 (-123456);
+  Alcotest.(check int) "i32" (-123456) (Region.read_i32 r 4);
+  Region.write_i64 r 8 0x1234_5678_9ABC;
+  Alcotest.(check int) "i64" 0x1234_5678_9ABC (Region.read_i64 r 8);
+  Region.write_string r ~off:100 "hello world";
+  Alcotest.(check string) "string" "hello world"
+    (Region.read_string r ~off:100 ~len:11);
+  Alcotest.(check bool) "equal_string" true
+    (Region.equal_string r ~off:100 ~len:11 "hello world");
+  Alcotest.(check bool) "equal_string mismatch" false
+    (Region.equal_string r ~off:100 ~len:11 "hello worlx")
+
+let test_blits () =
+  let r = Region.create ~name:"t" ~size:8192 ~pkey:0 () in
+  let src = Bytes.of_string "abcdef" in
+  Region.blit_from_bytes r ~src ~src_off:1 ~dst_off:10 ~len:4;
+  Alcotest.(check string) "blit in" "bcde" (Region.read_string r ~off:10 ~len:4);
+  let dst = Bytes.make 4 '_' in
+  Region.blit_to_bytes r ~src_off:10 ~dst ~dst_off:0 ~len:4;
+  Alcotest.(check string) "blit out" "bcde" (Bytes.to_string dst);
+  Region.blit_within r ~src_off:10 ~dst_off:20 ~len:4;
+  Alcotest.(check string) "blit within" "bcde"
+    (Region.read_string r ~off:20 ~len:4);
+  Region.fill r ~off:30 ~len:3 'z';
+  Alcotest.(check string) "fill" "zzz" (Region.read_string r ~off:30 ~len:3)
+
+let test_bounds_checked () =
+  let r = Region.create ~name:"t" ~size:4096 ~pkey:0 () in
+  List.iter
+    (fun f ->
+      match f () with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [ (fun () -> ignore (Region.read_u8 r (-1)));
+      (fun () -> ignore (Region.read_i64 r 4090));
+      (fun () -> Region.write_string r ~off:4095 "toolong") ]
+
+let test_protection_fault_outside_key () =
+  with_key (fun k ->
+    let r = Region.create ~name:"locked" ~size:4096 ~pkey:k () in
+    Pkru.reset_thread ();
+    (match Region.read_u8 r 0 with
+     | _ -> Alcotest.fail "expected Protection_fault on read"
+     | exception Pku.Fault.Protection_fault _ -> ());
+    (match Region.write_u8 r 0 1 with
+     | _ -> Alcotest.fail "expected Protection_fault on write"
+     | exception Pku.Fault.Protection_fault _ -> ());
+    (* open the key: access works *)
+    open_key k;
+    Region.write_u8 r 0 7;
+    Alcotest.(check int) "allowed with key open" 7 (Region.read_u8 r 0);
+    (* write-disable: read ok, write faults *)
+    Pkru.wrpkru (Pkru.set_perm (Pkru.read ()) k Pkru.Write_disable);
+    Alcotest.(check int) "read-only read ok" 7 (Region.read_u8 r 0);
+    (match Region.write_u8 r 0 9 with
+     | _ -> Alcotest.fail "expected write fault"
+     | exception Pku.Fault.Protection_fault _ -> ());
+    Pkru.reset_thread ())
+
+let test_kernel_mode_bypasses () =
+  with_key (fun k ->
+    let r = Region.create ~name:"locked" ~size:4096 ~pkey:k () in
+    Pkru.reset_thread ();
+    Region.kernel_mode (fun () -> Region.write_i64 r 0 99);
+    Alcotest.(check int) "kernel write visible in kernel read" 99
+      (Region.kernel_mode (fun () -> Region.read_i64 r 0));
+    (* kernel mode restores on exit, even across exceptions *)
+    (try Region.kernel_mode (fun () -> failwith "boom") with Failure _ -> ());
+    (match Region.read_i64 r 0 with
+     | _ -> Alcotest.fail "restriction must be restored"
+     | exception Pku.Fault.Protection_fault _ -> ()))
+
+let test_page_granular_tags () =
+  with_key (fun k ->
+    let r = Region.create ~name:"mixed" ~size:(3 * Region.page_size) ~pkey:0 () in
+    Region.tag_range r ~off:Region.page_size ~len:Region.page_size ~pkey:k;
+    Pkru.reset_thread ();
+    Region.write_u8 r 0 1 (* page 0: key 0, fine *);
+    Region.write_u8 r (2 * Region.page_size) 1 (* page 2: fine *);
+    (match Region.write_u8 r Region.page_size 1 with
+     | _ -> Alcotest.fail "page 1 must fault"
+     | exception Pku.Fault.Protection_fault _ -> ());
+    (* a blit crossing into the protected page must fault too *)
+    (match
+       Region.blit_from_bytes r ~src:(Bytes.make 64 'x')
+         ~src_off:0 ~dst_off:(Region.page_size - 32) ~len:64
+     with
+     | _ -> Alcotest.fail "crossing blit must fault"
+     | exception Pku.Fault.Protection_fault _ -> ()))
+
+let test_atomic_slots () =
+  let r = Region.create ~name:"t" ~size:4096 ~atomic_slots:4 () ~pkey:0 in
+  let s1 = Region.alloc_atomic r and s2 = Region.alloc_atomic r in
+  Alcotest.(check bool) "distinct slots" true (s1 <> s2);
+  Atomic.set (Region.atomic r s1) 41;
+  Atomic.incr (Region.atomic r s1);
+  Alcotest.(check int) "cas slot" 42 (Atomic.get (Region.atomic r s1));
+  ignore (Region.alloc_atomic r);
+  ignore (Region.alloc_atomic r);
+  (match Region.alloc_atomic r with
+   | _ -> Alcotest.fail "expected slot exhaustion"
+   | exception Failure _ -> ())
+
+let test_persistence_roundtrip () =
+  let path = Filename.temp_file "region" ".img" in
+  let r = Region.create ~name:"persist" ~size:16384 ~pkey:0 () in
+  Region.write_string r ~off:123 "durable";
+  Atomic.set (Region.atomic r (Region.alloc_atomic r)) 77;
+  Region.tag_range r ~off:4096 ~len:4096 ~pkey:5;
+  Region.flush r ~path;
+  let r2 = Region.load ~path in
+  Alcotest.(check string) "bytes survive" "durable"
+    (Region.read_string r2 ~off:123 ~len:7);
+  Alcotest.(check int) "atomics survive" 77 (Atomic.get (Region.atomic r2 0));
+  Alcotest.(check int) "pkeys survive" 5 (Region.pkey_of_page r2 1);
+  Alcotest.(check string) "name survives" "persist" (Region.name r2);
+  Sys.remove path
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "garbage" ".img" in
+  let oc = open_out path in
+  output_string oc "not a region";
+  close_out oc;
+  (match Region.load ~path with
+   | _ -> Alcotest.fail "expected failure"
+   | exception _ -> ());
+  Sys.remove path
+
+let test_mapping_translation () =
+  let r = Region.create ~name:"m" ~size:8192 ~pkey:0 () in
+  let m1 = Mapping.map r and m2 = Mapping.map r in
+  Alcotest.(check bool) "distinct bases" true (Mapping.base m1 <> Mapping.base m2);
+  let a = Mapping.addr_of_off m1 100 in
+  Alcotest.(check int) "roundtrip" 100 (Mapping.off_of_addr m1 a);
+  Alcotest.(check bool) "address belongs to m1 only" true
+    (Mapping.contains m1 a && not (Mapping.contains m2 a));
+  (match Mapping.off_of_addr m2 a with
+   | _ -> Alcotest.fail "foreign address must be rejected"
+   | exception Invalid_argument _ -> ())
+
+let qcheck_rw_roundtrip =
+  QCheck.Test.make ~name:"write_string/read_string roundtrip" ~count:100
+    QCheck.(pair (int_range 0 3000) (string_of_size (QCheck.Gen.int_range 1 64)))
+    (fun (off, s) ->
+      let r = Region.create ~name:"q" ~size:4096 ~pkey:0 () in
+      if off + String.length s > 4096 then true
+      else begin
+        Region.write_string r ~off s;
+        Region.read_string r ~off ~len:(String.length s) = s
+      end)
+
+let () =
+  Alcotest.run "shm"
+    [ ( "accessors",
+        [ Alcotest.test_case "roundtrips" `Quick test_accessor_roundtrips;
+          Alcotest.test_case "blits" `Quick test_blits;
+          Alcotest.test_case "bounds" `Quick test_bounds_checked;
+          QCheck_alcotest.to_alcotest qcheck_rw_roundtrip ] );
+      ( "protection",
+        [ Alcotest.test_case "fault outside key" `Quick
+            test_protection_fault_outside_key;
+          Alcotest.test_case "kernel mode" `Quick test_kernel_mode_bypasses;
+          Alcotest.test_case "page-granular tags" `Quick
+            test_page_granular_tags ] );
+      ( "state",
+        [ Alcotest.test_case "atomic slots" `Quick test_atomic_slots;
+          Alcotest.test_case "persistence" `Quick test_persistence_roundtrip;
+          Alcotest.test_case "garbage file rejected" `Quick
+            test_load_rejects_garbage;
+          Alcotest.test_case "mapping translation" `Quick
+            test_mapping_translation ] ) ]

@@ -1,0 +1,122 @@
+(** Simulated OS: process identity, signals, the permission-checked
+    file namespace. *)
+
+module Process = Simos.Process
+module Fs = Simos.Sim_fs
+
+let test_process_identity () =
+  let p = Process.make ~uid:1000 "client" in
+  let q = Process.make ~uid:1000 "client2" in
+  Alcotest.(check bool) "distinct pids" true (Process.pid p <> Process.pid q);
+  Alcotest.(check int) "uid" 1000 (Process.uid p);
+  Alcotest.(check int) "euid starts as uid" 1000 (Process.euid p);
+  Alcotest.(check bool) "alive" true (Process.alive p)
+
+let test_current_binding () =
+  let p = Process.make ~uid:7 "me" in
+  let observed =
+    Process.with_process p (fun () -> Process.name (Process.current ()))
+  in
+  Alcotest.(check string) "bound" "me" observed;
+  Alcotest.(check string) "restored" "init" (Process.name (Process.current ()))
+
+let test_with_process_restores_on_exn () =
+  let p = Process.make ~uid:7 "me" in
+  (try Process.with_process p (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check string) "restored after exn" "init"
+    (Process.name (Process.current ()))
+
+let test_kill_and_check_alive () =
+  let p = Process.make ~uid:1 "victim" in
+  Process.with_process p (fun () -> Process.check_alive ());
+  Process.kill ~now_ns:12345 p;
+  Alcotest.(check bool) "dead" false (Process.alive p);
+  Alcotest.(check (option int)) "kill time recorded" (Some 12345)
+    (Process.killed_at p);
+  (match Process.with_process p (fun () -> Process.check_alive ()) with
+   | () -> Alcotest.fail "expected Process_killed"
+   | exception Process.Process_killed _ -> ());
+  (* double kill keeps the first timestamp *)
+  Process.kill ~now_ns:99999 p;
+  Alcotest.(check (option int)) "first kill wins" (Some 12345)
+    (Process.killed_at p)
+
+let test_library_call_accounting () =
+  let p = Process.make ~uid:1 "c" in
+  Alcotest.(check int) "zero" 0 (Process.in_library_calls p);
+  Process.enter_library p;
+  Process.enter_library p;
+  Alcotest.(check int) "two" 2 (Process.in_library_calls p);
+  Process.leave_library p;
+  Alcotest.(check int) "one" 1 (Process.in_library_calls p)
+
+let with_file ~owner ~mode f =
+  let region = Shm.Region.create ~name:"f" ~size:4096 ~pkey:0 () in
+  let path = Printf.sprintf "/test/file-%d" (Hashtbl.hash (owner, mode)) in
+  Fs.create_file ~path ~owner ~mode region;
+  Fun.protect ~finally:(fun () -> Fs.unlink path) (fun () -> f path region)
+
+let test_fs_owner_access () =
+  with_file ~owner:1000 ~mode:0o600 (fun path region ->
+    let r = Fs.open_region ~euid:1000 ~write:true path in
+    Alcotest.(check bool) "owner gets the region" true (r == region))
+
+let test_fs_other_denied () =
+  with_file ~owner:1000 ~mode:0o600 (fun path _ ->
+    (match Fs.open_region ~euid:2000 path with
+     | _ -> Alcotest.fail "expected Eacces"
+     | exception Fs.Eacces _ -> ()))
+
+let test_fs_other_readonly () =
+  with_file ~owner:1000 ~mode:0o604 (fun path _ ->
+    ignore (Fs.open_region ~euid:2000 ~write:false path);
+    (match Fs.open_region ~euid:2000 ~write:true path with
+     | _ -> Alcotest.fail "expected Eacces on write"
+     | exception Fs.Eacces _ -> ()))
+
+let test_fs_root_bypasses () =
+  with_file ~owner:1000 ~mode:0o600 (fun path _ ->
+    ignore (Fs.open_region ~euid:0 ~write:true path))
+
+let test_fs_missing () =
+  (match Fs.open_region ~euid:0 "/does/not/exist" with
+   | _ -> Alcotest.fail "expected Enoent"
+   | exception Fs.Enoent _ -> ())
+
+let test_fs_metadata () =
+  with_file ~owner:42 ~mode:0o640 (fun path _ ->
+    Alcotest.(check int) "owner" 42 (Fs.owner path);
+    Alcotest.(check int) "mode" 0o640 (Fs.mode path);
+    Alcotest.(check bool) "exists" true (Fs.exists path))
+
+let test_euid_changes_rights () =
+  with_file ~owner:1000 ~mode:0o600 (fun path _ ->
+    let p = Process.make ~uid:2000 "client" in
+    Process.with_process p (fun () ->
+      (match Fs.open_region ~euid:(Process.euid p) path with
+       | _ -> Alcotest.fail "client euid must be denied"
+       | exception Fs.Eacces _ -> ());
+      (* the Hodor loader's euid dance *)
+      Process.set_euid p 1000;
+      ignore (Fs.open_region ~euid:(Process.euid p) ~write:true path);
+      Process.set_euid p 2000))
+
+let () =
+  Alcotest.run "simos"
+    [ ( "process",
+        [ Alcotest.test_case "identity" `Quick test_process_identity;
+          Alcotest.test_case "current binding" `Quick test_current_binding;
+          Alcotest.test_case "binding restored on exn" `Quick
+            test_with_process_restores_on_exn;
+          Alcotest.test_case "kill / check_alive" `Quick
+            test_kill_and_check_alive;
+          Alcotest.test_case "library accounting" `Quick
+            test_library_call_accounting ] );
+      ( "filesystem",
+        [ Alcotest.test_case "owner access" `Quick test_fs_owner_access;
+          Alcotest.test_case "other denied" `Quick test_fs_other_denied;
+          Alcotest.test_case "other read-only" `Quick test_fs_other_readonly;
+          Alcotest.test_case "root bypass" `Quick test_fs_root_bypasses;
+          Alcotest.test_case "missing file" `Quick test_fs_missing;
+          Alcotest.test_case "metadata" `Quick test_fs_metadata;
+          Alcotest.test_case "euid dance" `Quick test_euid_changes_rights ] ) ]

@@ -1,0 +1,617 @@
+(** The store proper, exercised identically over both instantiations:
+    private memory + slab (the baseline server's) and shared region +
+    Ralloc (the protected library's). Includes a model-based property
+    test against a reference Hashtbl. *)
+
+module Store = Mc_core.Store
+
+module Make_suite
+    (M : Mc_core.Memory_intf.MEMORY)
+    (A : Mc_core.Memory_intf.ALLOCATOR)
+    (Env : sig
+       val name : string
+       val fresh : ?cfg:Store.config -> unit -> M.t * A.t
+     end) =
+struct
+  module St = Store.Make (M) (A) (Platform.Real_sync)
+
+  let small_cfg =
+    { Store.default_config with hashpower = 8; lock_count = 16; lru_count = 4;
+      stats_slots = 4 }
+
+  let fresh ?(cfg = small_cfg) () =
+    let mem, alloc = Env.fresh ~cfg () in
+    St.create ~mem ~alloc cfg
+
+  let check_sr = Alcotest.(check bool)
+
+  let get_value st k =
+    match St.get st k with Some r -> Some r.Store.value | None -> None
+
+  let test_set_get () =
+    let st = fresh () in
+    check_sr "stored" true (St.set st ~flags:5 "alpha" "one" = Store.Stored);
+    (match St.get st "alpha" with
+     | Some r ->
+       Alcotest.(check string) "value" "one" r.Store.value;
+       Alcotest.(check int) "flags" 5 r.Store.flags
+     | None -> Alcotest.fail "hit expected");
+    Alcotest.(check (option string)) "miss" None (get_value st "beta");
+    (* overwrite *)
+    check_sr "overwrite" true (St.set st "alpha" "two" = Store.Stored);
+    Alcotest.(check (option string)) "new value" (Some "two")
+      (get_value st "alpha");
+    St.check_invariants st
+
+  let test_cas_monotonic () =
+    let st = fresh () in
+    ignore (St.set st "k" "1");
+    let c1 = (Option.get (St.get st "k")).Store.cas in
+    ignore (St.set st "k" "2");
+    let c2 = (Option.get (St.get st "k")).Store.cas in
+    Alcotest.(check bool) "cas increases" true (Int64.compare c2 c1 > 0)
+
+  let test_add_replace () =
+    let st = fresh () in
+    check_sr "add new" true (St.add st "k" "v" = Store.Stored);
+    check_sr "add existing fails" true (St.add st "k" "w" = Store.Not_stored);
+    Alcotest.(check (option string)) "unchanged" (Some "v") (get_value st "k");
+    check_sr "replace existing" true (St.replace st "k" "w" = Store.Stored);
+    check_sr "replace missing fails" true
+      (St.replace st "nope" "x" = Store.Not_stored);
+    St.check_invariants st
+
+  let test_cas_op () =
+    let st = fresh () in
+    check_sr "cas on missing" true
+      (St.cas st ~cas:1L "k" "v" = Store.Not_found);
+    ignore (St.set st "k" "v0");
+    let c = (Option.get (St.get st "k")).Store.cas in
+    check_sr "stale cas" true (St.cas st ~cas:99999L "k" "v1" = Store.Exists);
+    Alcotest.(check (option string)) "unchanged" (Some "v0") (get_value st "k");
+    check_sr "fresh cas" true (St.cas st ~cas:c "k" "v1" = Store.Stored);
+    Alcotest.(check (option string)) "updated" (Some "v1") (get_value st "k");
+    check_sr "reused cas rejected" true
+      (St.cas st ~cas:c "k" "v2" = Store.Exists)
+
+  let test_append_prepend () =
+    let st = fresh () in
+    check_sr "append missing" true (St.append st "k" "x" = Store.Not_stored);
+    ignore (St.set st ~flags:3 "k" "mid");
+    check_sr "append" true (St.append st "k" ">>" = Store.Stored);
+    check_sr "prepend" true (St.prepend st "k" "<<" = Store.Stored);
+    (match St.get st "k" with
+     | Some r ->
+       Alcotest.(check string) "combined" "<<mid>>" r.Store.value;
+       Alcotest.(check int) "flags preserved" 3 r.Store.flags
+     | None -> Alcotest.fail "hit expected");
+    St.check_invariants st
+
+  let test_delete () =
+    let st = fresh () in
+    Alcotest.(check bool) "delete missing" false (St.delete st "k");
+    ignore (St.set st "k" "v");
+    Alcotest.(check bool) "delete hit" true (St.delete st "k");
+    Alcotest.(check (option string)) "gone" None (get_value st "k");
+    Alcotest.(check bool) "double delete" false (St.delete st "k");
+    St.check_invariants st
+
+  let test_counters () =
+    let st = fresh () in
+    check_sr "incr missing" true (St.incr st "n" 1L = Store.Counter_not_found);
+    ignore (St.set st "n" "10");
+    check_sr "incr" true (St.incr st "n" 5L = Store.Counter 15L);
+    Alcotest.(check (option string)) "textual" (Some "15") (get_value st "n");
+    check_sr "decr" true (St.decr st "n" 6L = Store.Counter 9L);
+    check_sr "decr clamps at zero" true (St.decr st "n" 100L = Store.Counter 0L);
+    ignore (St.set st "s" "pony");
+    check_sr "non numeric" true (St.incr st "s" 1L = Store.Non_numeric);
+    St.check_invariants st
+
+  let test_counter_growth_reallocates () =
+    let st = fresh () in
+    ignore (St.set st "n" "9");
+    (* growing from 1 digit to 20 digits overflows the block's slack
+       and forces the re-store path *)
+    (match St.incr st "n" (Int64.neg 616L) (* u64: 2^64-616 *) with
+     | Store.Counter v ->
+       Alcotest.(check string) "20-digit value intact"
+         (Printf.sprintf "%Lu" v)
+         (Option.get (get_value st "n"))
+     | _ -> Alcotest.fail "counter expected");
+    St.check_invariants st
+
+  let test_counter_wraps_u64 () =
+    let st = fresh () in
+    ignore (St.set st "n" "18446744073709551615");
+    check_sr "wraps like memcached" true (St.incr st "n" 1L = Store.Counter 0L)
+
+  let test_touch () =
+    let st = fresh () in
+    Alcotest.(check bool) "touch missing" false (St.touch st "k" 100);
+    ignore (St.set st "k" "v");
+    Alcotest.(check bool) "touch hit" true (St.touch st "k" 100);
+    Alcotest.(check (option string)) "still there" (Some "v") (get_value st "k")
+
+  let test_expiry_absolute_past () =
+    let st = fresh () in
+    (* an absolute exptime in the past (2001) expires immediately *)
+    ignore (St.set st ~exptime:1_000_000_000 "old" "v");
+    Alcotest.(check (option string)) "expired on read" None
+      (get_value st "old");
+    (* expired items can be re-added *)
+    check_sr "re-add after expiry" true (St.add st "old" "new" = Store.Stored);
+    St.check_invariants st
+
+  let test_flush_all () =
+    let st = fresh () in
+    ignore (St.set st "a" "1");
+    ignore (St.set st "b" "2");
+    St.flush_all st;
+    Alcotest.(check (option string)) "a flushed" None (get_value st "a");
+    Alcotest.(check (option string)) "b flushed" None (get_value st "b");
+    ignore (St.set st "c" "3");
+    Alcotest.(check (option string)) "new set after flush lives" (Some "3")
+      (get_value st "c");
+    St.check_invariants st
+
+  let test_stats_counters () =
+    let st = fresh () in
+    ignore (St.set st "a" "1");
+    ignore (St.get st "a");
+    ignore (St.get st "miss");
+    ignore (St.delete st "a");
+    ignore (St.delete st "a");
+    let s = St.stats st in
+    let get k = int_of_string (List.assoc k s) in
+    Alcotest.(check int) "cmd_set" 1 (get "cmd_set");
+    Alcotest.(check int) "get_hits" 1 (get "get_hits");
+    Alcotest.(check int) "get_misses" 1 (get "get_misses");
+    Alcotest.(check int) "delete_hits" 1 (get "delete_hits");
+    Alcotest.(check int) "delete_misses" 1 (get "delete_misses");
+    Alcotest.(check int) "curr_items" 0 (get "curr_items");
+    Alcotest.(check int) "total_items" 1 (get "total_items")
+
+  let test_large_values () =
+    let st = fresh () in
+    let v = String.init 5120 (fun i -> Char.chr (i land 0xff)) in
+    check_sr "5KB set" true (St.set st "big" v = Store.Stored);
+    Alcotest.(check (option string)) "5KB get" (Some v) (get_value st "big");
+    St.check_invariants st
+
+  let test_many_keys_no_collision_confusion () =
+    let st = fresh () in
+    for i = 0 to 999 do
+      ignore (St.set st (Printf.sprintf "key-%d" i) (string_of_int i))
+    done;
+    for i = 0 to 999 do
+      Alcotest.(check (option string)) "value by key"
+        (Some (string_of_int i))
+        (get_value st (Printf.sprintf "key-%d" i))
+    done;
+    Alcotest.(check int) "curr_items" 1000 (St.curr_items st);
+    St.check_invariants st
+
+  (* Model-based property: any op sequence agrees with a Hashtbl. *)
+  let op_gen =
+    QCheck.Gen.(
+      let key = map (Printf.sprintf "k%d") (int_range 0 15) in
+      let value = map (Printf.sprintf "v%d") (int_range 0 99) in
+      frequency
+        [ (4, map2 (fun k v -> `Set (k, v)) key value);
+          (4, map (fun k -> `Get k) key);
+          (2, map (fun k -> `Delete k) key);
+          (1, map2 (fun k v -> `Add (k, v)) key value);
+          (1, map2 (fun k v -> `Replace (k, v)) key value);
+          (1, map2 (fun k v -> `Append (k, v)) key value);
+          (1, map2 (fun k d -> `Incr (k, Int64.of_int d)) key (int_range 0 50)) ])
+
+  let qcheck_model =
+    QCheck.Test.make
+      ~name:(Env.name ^ " agrees with a reference model")
+      ~count:60
+      QCheck.(make Gen.(list_size (int_range 0 200) op_gen))
+      (fun ops ->
+        let st = fresh () in
+        let model : (string, string) Hashtbl.t = Hashtbl.create 16 in
+        let ok = ref true in
+        let expect b = if not b then ok := false in
+        List.iter
+          (fun op ->
+            match op with
+            | `Set (k, v) ->
+              expect (St.set st k v = Store.Stored);
+              Hashtbl.replace model k v
+            | `Get k ->
+              expect (get_value st k = Hashtbl.find_opt model k)
+            | `Delete k ->
+              expect (St.delete st k = Hashtbl.mem model k);
+              Hashtbl.remove model k
+            | `Add (k, v) ->
+              if Hashtbl.mem model k then
+                expect (St.add st k v = Store.Not_stored)
+              else begin
+                expect (St.add st k v = Store.Stored);
+                Hashtbl.replace model k v
+              end
+            | `Replace (k, v) ->
+              if Hashtbl.mem model k then begin
+                expect (St.replace st k v = Store.Stored);
+                Hashtbl.replace model k v
+              end
+              else expect (St.replace st k v = Store.Not_stored)
+            | `Append (k, v) ->
+              (match Hashtbl.find_opt model k with
+               | Some old ->
+                 expect (St.append st k v = Store.Stored);
+                 Hashtbl.replace model k (old ^ v)
+               | None -> expect (St.append st k v = Store.Not_stored))
+            | `Incr (k, d) ->
+              (match Hashtbl.find_opt model k with
+               | None -> expect (St.incr st k d = Store.Counter_not_found)
+               | Some old ->
+                 (match Int64.of_string_opt old with
+                  | Some n when n >= 0L ->
+                    let expected = Int64.add n d in
+                    expect (St.incr st k d = Store.Counter expected);
+                    Hashtbl.replace model k (Printf.sprintf "%Lu" expected)
+                  | _ -> expect (St.incr st k d = Store.Non_numeric))))
+          ops;
+        St.check_invariants st;
+        expect (St.curr_items st = Hashtbl.length model);
+        !ok)
+
+  let suite =
+    [ Alcotest.test_case "set/get" `Quick test_set_get;
+      Alcotest.test_case "cas monotonic" `Quick test_cas_monotonic;
+      Alcotest.test_case "add/replace" `Quick test_add_replace;
+      Alcotest.test_case "cas op" `Quick test_cas_op;
+      Alcotest.test_case "append/prepend" `Quick test_append_prepend;
+      Alcotest.test_case "delete" `Quick test_delete;
+      Alcotest.test_case "counters" `Quick test_counters;
+      Alcotest.test_case "counter growth" `Quick
+        test_counter_growth_reallocates;
+      Alcotest.test_case "counter wrap" `Quick test_counter_wraps_u64;
+      Alcotest.test_case "touch" `Quick test_touch;
+      Alcotest.test_case "expiry" `Quick test_expiry_absolute_past;
+      Alcotest.test_case "flush_all" `Quick test_flush_all;
+      Alcotest.test_case "stats" `Quick test_stats_counters;
+      Alcotest.test_case "large values" `Quick test_large_values;
+      Alcotest.test_case "1000 keys" `Quick
+        test_many_keys_no_collision_confusion;
+      QCheck_alcotest.to_alcotest qcheck_model ]
+end
+
+module Private_env = struct
+  let name = "private+slab"
+
+  let fresh ?cfg:_ () =
+    let arena = Mc_core.Private_memory.create ~limit:(64 lsl 20) in
+    let slab = Mc_core.Slab.create ~arena ~mem_limit:(32 lsl 20) in
+    (arena, slab)
+end
+
+module Shared_env = struct
+  let name = "shared+ralloc"
+
+  let fresh ?cfg:_ () =
+    let reg = Shm.Region.create ~name:"store-test" ~size:(32 lsl 20) ~pkey:0 () in
+    let heap = Ralloc.create reg in
+    (Mc_core.Shared_memory.of_region reg, Mc_core.Ralloc_alloc.of_heap heap)
+end
+
+module Private_suite =
+  Make_suite (Mc_core.Private_memory) (Mc_core.Slab) (Private_env)
+module Shared_suite =
+  Make_suite (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc) (Shared_env)
+
+(* Eviction and concurrency get their own cases over the shared build. *)
+
+module SSt = Shared_suite.St
+
+let shared_store ~heap_mb ~cfg =
+  let reg =
+    Shm.Region.create ~name:"evict-test" ~size:(heap_mb lsl 20) ~pkey:0 ()
+  in
+  let heap = Ralloc.create reg in
+  SSt.create
+    ~mem:(Mc_core.Shared_memory.of_region reg)
+    ~alloc:(Mc_core.Ralloc_alloc.of_heap heap)
+    cfg
+
+let test_eviction_under_pressure () =
+  let cfg =
+    { Store.default_config with hashpower = 8; lock_count = 16; lru_count = 4;
+      stats_slots = 4 }
+  in
+  let st = shared_store ~heap_mb:4 ~cfg in
+  for i = 0 to 4_000 do
+    match SSt.set st (Printf.sprintf "k%d" i) (String.make 900 'x') with
+    | Store.Stored -> ()
+    | r ->
+      Alcotest.fail
+        (Printf.sprintf "set %d failed unexpectedly (%s)" i
+           (match r with
+            | Store.No_memory -> "no memory"
+            | _ -> "other"))
+  done;
+  let s = SSt.stats st in
+  Alcotest.(check bool) "evictions happened" true
+    (int_of_string (List.assoc "evictions" s) > 0);
+  SSt.check_invariants st
+
+let test_lru_eviction_order () =
+  (* One LRU list: the re-fetched key must survive eviction. *)
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 1;
+      stats_slots = 2; evict_batch = 2 }
+  in
+  let st = shared_store ~heap_mb:1 ~cfg in
+  ignore (SSt.set st "hot" (String.make 400 'h'));
+  let i = ref 0 in
+  let evicted_any = ref false in
+  while not !evicted_any && !i < 3_000 do
+    incr i;
+    ignore (SSt.set st (Printf.sprintf "cold%d" !i) (String.make 400 'c'));
+    (* keep "hot" at the head of the LRU *)
+    ignore (SSt.get st "hot");
+    let s = SSt.stats st in
+    evicted_any := int_of_string (List.assoc "evictions" s) > 0
+  done;
+  Alcotest.(check bool) "eviction occurred" true !evicted_any;
+  Alcotest.(check bool) "the hot key survived" true (SSt.get st "hot" <> None);
+  SSt.check_invariants st
+
+let test_zero_length_value () =
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 2;
+      stats_slots = 2 }
+  in
+  let st = shared_store ~heap_mb:2 ~cfg in
+  Alcotest.(check bool) "empty value stores" true
+    (SSt.set st "empty" "" = Store.Stored);
+  (match SSt.get st "empty" with
+   | Some r -> Alcotest.(check string) "empty value reads back" "" r.Store.value
+   | None -> Alcotest.fail "hit expected");
+  Alcotest.(check bool) "append onto empty" true
+    (SSt.append st "empty" "x" = Store.Stored);
+  SSt.check_invariants st
+
+let test_relative_expiry_in_future () =
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 2;
+      stats_slots = 2 }
+  in
+  let st = shared_store ~heap_mb:2 ~cfg in
+  (* a relative exptime (<= 30 days) lands in the future: still live *)
+  ignore (SSt.set st ~exptime:3600 "soon" "v");
+  Alcotest.(check bool) "not yet expired" true (SSt.get st "soon" <> None);
+  (* touch can force an absolute past time, expiring it *)
+  ignore (SSt.touch st "soon" 1_000_000_000);
+  Alcotest.(check bool) "touch to the past expires" true
+    (SSt.get st "soon" = None)
+
+let test_lru_by_size_class_mode () =
+  (* the baseline's slab-class LRU selection: different-size items land
+     on different lists; all operations remain correct *)
+  let cfg =
+    { Store.default_config with hashpower = 8; lock_count = 8; lru_count = 8;
+      stats_slots = 2; lru_by_size_class = true }
+  in
+  let st = shared_store ~heap_mb:8 ~cfg in
+  for i = 0 to 99 do
+    ignore (SSt.set st (Printf.sprintf "small%d" i) (String.make 50 's'));
+    ignore (SSt.set st (Printf.sprintf "large%d" i) (String.make 3000 'l'))
+  done;
+  for i = 0 to 99 do
+    assert (SSt.get st (Printf.sprintf "small%d" i) <> None);
+    assert (SSt.get st (Printf.sprintf "large%d" i) <> None)
+  done;
+  Alcotest.(check int) "all items live" 200 (SSt.curr_items st);
+  SSt.check_invariants st
+
+let test_single_stats_lock_mode_functional () =
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 2;
+      stats_slots = 2; single_stats_lock = true }
+  in
+  let st = shared_store ~heap_mb:2 ~cfg in
+  ignore (SSt.set st "a" "1");
+  ignore (SSt.get st "a");
+  ignore (SSt.get st "b");
+  let stats = SSt.stats st in
+  Alcotest.(check string) "hits under one lock" "1"
+    (List.assoc "get_hits" stats);
+  Alcotest.(check string) "misses under one lock" "1"
+    (List.assoc "get_misses" stats);
+  SSt.check_invariants st
+
+let test_get_bumps_protect_from_eviction_pressure () =
+  (* total_items only ever grows; evictions are counted separately *)
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 2;
+      stats_slots = 2 }
+  in
+  let st = shared_store ~heap_mb:1 ~cfg in
+  for i = 0 to 1_500 do
+    ignore (SSt.set st (Printf.sprintf "k%d" i) (String.make 500 'x'))
+  done;
+  let stats = SSt.stats st in
+  let total = int_of_string (List.assoc "total_items" stats) in
+  let curr = int_of_string (List.assoc "curr_items" stats) in
+  let evicted = int_of_string (List.assoc "evictions" stats) in
+  Alcotest.(check int) "total = 1501 stores" 1501 total;
+  Alcotest.(check bool) "eviction kept curr below total" true (curr < total);
+  Alcotest.(check bool) "books balance" true (curr + evicted = total);
+  SSt.check_invariants st
+
+let test_fold_keys_enumerates_everything () =
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 2;
+      stats_slots = 2 }
+  in
+  let st = shared_store ~heap_mb:4 ~cfg in
+  for i = 0 to 49 do
+    ignore (SSt.set st (Printf.sprintf "k%d" i) (String.make (i + 1) 'v'))
+  done;
+  let seen = SSt.fold_keys st (fun acc key ~nbytes ~exptime:_ ->
+    (key, nbytes) :: acc) [] in
+  Alcotest.(check int) "all keys enumerated" 50 (List.length seen);
+  Alcotest.(check (option int)) "sizes reported" (Some 8)
+    (List.assoc_opt "k7" seen);
+  SSt.check_invariants st
+
+let test_reap_expired_collects_proactively () =
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 2;
+      stats_slots = 2 }
+  in
+  let st = shared_store ~heap_mb:4 ~cfg in
+  for i = 0 to 19 do
+    (* absolute past expiry: dead on arrival, but still occupying
+       memory until something notices *)
+    ignore (SSt.set st ~exptime:1_000_000_000 (Printf.sprintf "dead%d" i) "x");
+    ignore (SSt.set st (Printf.sprintf "live%d" i) "y")
+  done;
+  Alcotest.(check int) "all 40 still linked" 40 (SSt.curr_items st);
+  let reaped = SSt.reap_expired st in
+  Alcotest.(check int) "reaper collected the dead" 20 reaped;
+  Alcotest.(check int) "the living remain" 20 (SSt.curr_items st);
+  for i = 0 to 19 do
+    assert (SSt.get st (Printf.sprintf "live%d" i) <> None)
+  done;
+  Alcotest.(check int) "second pass finds nothing" 0 (SSt.reap_expired st);
+  SSt.check_invariants st
+
+let test_resize_doubles_and_preserves () =
+  let cfg =
+    { Store.default_config with hashpower = 4; lock_count = 8; lru_count = 2;
+      stats_slots = 2 }
+  in
+  let st = shared_store ~heap_mb:8 ~cfg in
+  for i = 0 to 199 do
+    ignore (SSt.set st (Printf.sprintf "k%d" i) (string_of_int i))
+  done;
+  Alcotest.(check bool) "load factor high before" true
+    (SSt.load_factor st > 10.0);
+  Alcotest.(check bool) "resize succeeds" true (SSt.resize st);
+  Alcotest.(check int) "hashpower doubled" 5
+    (SSt.config st).Store.hashpower;
+  for i = 0 to 199 do
+    (match SSt.get st (Printf.sprintf "k%d" i) with
+     | Some r -> Alcotest.(check string) "value" (string_of_int i) r.Store.value
+     | None -> Alcotest.fail "key lost in resize")
+  done;
+  SSt.check_invariants st
+
+let test_maybe_resize_tracks_load_factor () =
+  let cfg =
+    { Store.default_config with hashpower = 4; lock_count = 8; lru_count = 2;
+      stats_slots = 2 }
+  in
+  let st = shared_store ~heap_mb:8 ~cfg in
+  Alcotest.(check bool) "no resize while sparse" false (SSt.maybe_resize st);
+  for i = 0 to 499 do
+    ignore (SSt.set st (Printf.sprintf "k%d" i) "v")
+  done;
+  let grew = ref 0 in
+  while SSt.maybe_resize st do
+    Stdlib.incr grew
+  done;
+  Alcotest.(check bool) "grew several times" true (!grew >= 3);
+  Alcotest.(check bool) "load factor now reasonable" true
+    (SSt.load_factor st <= 1.5);
+  for i = 0 to 499 do
+    if SSt.get st (Printf.sprintf "k%d" i) = None then
+      Alcotest.fail "key lost across repeated resizes"
+  done;
+  SSt.check_invariants st
+
+let test_resize_under_concurrent_ops () =
+  let cfg =
+    { Store.default_config with hashpower = 5; lock_count = 16; lru_count = 4;
+      stats_slots = 4 }
+  in
+  let st = shared_store ~heap_mb:16 ~cfg in
+  let stop = Atomic.make false in
+  let workers =
+    List.init 3 (fun t ->
+      Thread.create
+        (fun () ->
+          let rng = Random.State.make [| t |] in
+          let i = ref 0 in
+          while not (Atomic.get stop) do
+            Stdlib.incr i;
+            let k = Printf.sprintf "t%d-%d" t (Random.State.int rng 500) in
+            if Random.State.bool rng then ignore (SSt.set st k k)
+            else ignore (SSt.get st k)
+          done)
+        ())
+  in
+  let resizes = ref 0 in
+  for _ = 1 to 4 do
+    Thread.yield ();
+    if SSt.resize st then Stdlib.incr resizes
+  done;
+  Atomic.set stop true;
+  List.iter Thread.join workers;
+  Alcotest.(check int) "all resizes applied" 4 !resizes;
+  SSt.check_invariants st
+
+let test_concurrent_threads_no_corruption () =
+  let cfg =
+    { Store.default_config with hashpower = 10; lock_count = 64; lru_count = 8;
+      stats_slots = 8 }
+  in
+  let st = shared_store ~heap_mb:16 ~cfg in
+  let threads =
+    List.init 4 (fun t ->
+      Thread.create
+        (fun () ->
+          let rng = Random.State.make [| t |] in
+          for i = 0 to 2_000 do
+            let k = Printf.sprintf "k%d" (Random.State.int rng 200) in
+            match Random.State.int rng 5 with
+            | 0 -> ignore (SSt.set st k (Printf.sprintf "t%d-%d" t i))
+            | 1 | 2 -> ignore (SSt.get st k)
+            | 3 -> ignore (SSt.delete st k)
+            | _ -> ignore (SSt.incr st k 1L)
+          done)
+        ())
+  in
+  List.iter Thread.join threads;
+  SSt.check_invariants st
+
+let () =
+  Alcotest.run "store"
+    [ ("private+slab", Private_suite.suite);
+      ("shared+ralloc", Shared_suite.suite);
+      ( "eviction & concurrency",
+        [ Alcotest.test_case "eviction under pressure" `Quick
+            test_eviction_under_pressure;
+          Alcotest.test_case "lru order respected" `Quick
+            test_lru_eviction_order;
+          Alcotest.test_case "4-thread soup" `Slow
+            test_concurrent_threads_no_corruption ] );
+      ( "edge cases",
+        [ Alcotest.test_case "zero-length value" `Quick test_zero_length_value;
+          Alcotest.test_case "relative expiry" `Quick
+            test_relative_expiry_in_future;
+          Alcotest.test_case "lru by size class" `Quick
+            test_lru_by_size_class_mode;
+          Alcotest.test_case "single stats lock mode" `Quick
+            test_single_stats_lock_mode_functional;
+          Alcotest.test_case "eviction bookkeeping" `Quick
+            test_get_bumps_protect_from_eviction_pressure ] );
+      ( "admin",
+        [ Alcotest.test_case "fold_keys" `Quick
+            test_fold_keys_enumerates_everything;
+          Alcotest.test_case "reap expired" `Quick
+            test_reap_expired_collects_proactively ] );
+      ( "resize",
+        [ Alcotest.test_case "doubles and preserves" `Quick
+            test_resize_doubles_and_preserves;
+          Alcotest.test_case "maybe_resize tracks load" `Quick
+            test_maybe_resize_tracks_load_factor;
+          Alcotest.test_case "resize under concurrency" `Slow
+            test_resize_under_concurrent_ops ] ) ]

@@ -1,0 +1,67 @@
+let test_per_thread_isolation () =
+  let key = Tls.new_key (fun () -> ref 0) in
+  Tls.get key := 1;
+  let seen = ref (-1) in
+  let th =
+    Thread.create
+      (fun () ->
+        (* a fresh thread sees a fresh slot *)
+        seen := !(Tls.get key);
+        Tls.set key (ref 42))
+      ()
+  in
+  Thread.join th;
+  Alcotest.(check int) "other thread starts from init" 0 !seen;
+  Alcotest.(check int) "this thread kept its value" 1 !(Tls.get key)
+
+let test_lazy_init_once () =
+  let calls = ref 0 in
+  let key =
+    Tls.new_key (fun () ->
+      incr calls;
+      "v")
+  in
+  ignore (Tls.get key);
+  ignore (Tls.get key);
+  Alcotest.(check int) "init ran once" 1 !calls
+
+let test_set_get_clear () =
+  let key = Tls.new_key (fun () -> "default") in
+  Alcotest.(check string) "default" "default" (Tls.get key);
+  Tls.set key "changed";
+  Alcotest.(check string) "changed" "changed" (Tls.get key);
+  Tls.clear key;
+  Alcotest.(check string) "re-initialised" "default" (Tls.get key)
+
+let test_provider_routing () =
+  let key = Tls.new_key (fun () -> 0) in
+  Tls.set key 7;
+  let t1 = Tls.fresh_table () and t2 = Tls.fresh_table () in
+  let current = ref t1 in
+  Tls.install_provider (fun () -> !current);
+  Fun.protect ~finally:Tls.remove_provider (fun () ->
+    Alcotest.(check bool) "provider active" true (Tls.provider_installed ());
+    Tls.set key 100;
+    current := t2;
+    Alcotest.(check int) "t2 starts fresh" 0 (Tls.get key);
+    Tls.set key 200;
+    current := t1;
+    Alcotest.(check int) "t1 kept its value" 100 (Tls.get key));
+  Alcotest.(check bool) "provider removed" false (Tls.provider_installed ());
+  Alcotest.(check int) "default table restored" 7 (Tls.get key)
+
+let test_distinct_keys_independent () =
+  let k1 = Tls.new_key (fun () -> 1) and k2 = Tls.new_key (fun () -> 2) in
+  Tls.set k1 10;
+  Alcotest.(check int) "k2 untouched" 2 (Tls.get k2)
+
+let () =
+  Alcotest.run "tls"
+    [ ( "tls",
+        [ Alcotest.test_case "per-thread isolation" `Quick
+            test_per_thread_isolation;
+          Alcotest.test_case "lazy init once" `Quick test_lazy_init_once;
+          Alcotest.test_case "set/get/clear" `Quick test_set_get_clear;
+          Alcotest.test_case "provider routing" `Quick test_provider_routing;
+          Alcotest.test_case "distinct keys" `Quick
+            test_distinct_keys_independent ] ) ]

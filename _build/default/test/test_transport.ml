@@ -1,0 +1,299 @@
+(** The socket model and the baseline server, driven inside the
+    virtual-time machine. *)
+
+module S = Vm.Sync
+module T = Transport.Sock.Make (Vm.Sync)
+module Srv = Mc_server.Server.Make (Vm.Sync)
+module P = Mc_protocol.Types
+
+let in_vm f =
+  let vm = Vm.create () in
+  let out = ref None in
+  ignore (Vm.spawn vm ~name:"main" (fun () -> out := Some (f ())));
+  Vm.run vm;
+  Option.get !out
+
+let test_connect_accept_roundtrip () =
+  ignore (in_vm (fun () ->
+    let l = T.listen ~name:"svc" in
+    let inbox = S.chan () in
+    let server =
+      S.spawn ~name:"srv" (fun () ->
+        let conn = T.accept l ~inbox in
+        let m = T.worker_recv inbox in
+        Alcotest.(check int) "tagged with the conn id" conn.T.cid m.T.m_cid;
+        T.server_send conn ("pong:" ^ m.T.m_payload))
+    in
+    let conn = T.connect ~name:"svc" in
+    T.client_send conn "ping";
+    Alcotest.(check string) "reply" "pong:ping" (T.client_recv conn);
+    S.join server;
+    T.close_listener l))
+
+let test_connect_unknown_fails () =
+  ignore (in_vm (fun () ->
+    match T.connect ~name:"no-such-service" with
+    | _ -> Alcotest.fail "expected failure"
+    | exception Failure _ -> ()))
+
+let test_messages_cost_latency () =
+  let elapsed = in_vm (fun () ->
+    let l = T.listen ~name:"lat" in
+    let inbox = S.chan () in
+    let server =
+      S.spawn (fun () ->
+        let conn = T.accept l ~inbox in
+        for _ = 1 to 10 do
+          let m = T.worker_recv inbox in
+          T.server_send conn m.T.m_payload
+        done)
+    in
+    let conn = T.connect ~name:"lat" in
+    let t0 = S.now_ns () in
+    for _ = 1 to 10 do
+      T.client_send conn "x";
+      ignore (T.client_recv conn)
+    done;
+    let dt = (S.now_ns () - t0) / 10 in
+    S.join server;
+    T.close_listener l;
+    dt)
+  in
+  (* a Unix-socket round trip costs microseconds, not nanoseconds *)
+  Alcotest.(check bool)
+    (Printf.sprintf "round trip %dns in plausible range" elapsed)
+    true
+    (elapsed > 3_000 && elapsed < 20_000)
+
+let with_server ?(cfg = { Mc_server.Server.default_config with workers = 2 })
+    name f =
+  in_vm (fun () ->
+    let srv = Srv.start ~cfg ~name () in
+    let r = f () in
+    Srv.stop srv;
+    r)
+
+module Cl = Core.Client.Make (Vm.Sync)
+
+let test_server_binary_ops () =
+  ignore (with_server "srv-bin" (fun () ->
+    let c = Cl.Sock.connect ~name:"srv-bin" () in
+    Alcotest.(check bool) "set" true
+      (Cl.Sock.set c ~flags:3 "k" "v" = Mc_core.Store.Stored);
+    (match Cl.Sock.get c "k" with
+     | Some r ->
+       Alcotest.(check string) "value" "v" r.Mc_core.Store.value;
+       Alcotest.(check int) "flags" 3 r.Mc_core.Store.flags
+     | None -> Alcotest.fail "hit expected");
+    Alcotest.(check bool) "delete" true (Cl.Sock.delete c "k");
+    Alcotest.(check bool) "get miss" true (Cl.Sock.get c "k" = None);
+    ignore (Cl.Sock.set c "n" "41");
+    Alcotest.(check bool) "incr" true
+      (Cl.Sock.incr c "n" 1L = Mc_core.Store.Counter 42L);
+    Alcotest.(check bool) "version" true (Cl.Sock.version c <> None);
+    let stats = Cl.Sock.stats c in
+    Alcotest.(check bool) "stats over the wire" true
+      (List.mem_assoc "curr_items" stats);
+    Cl.Sock.quit c))
+
+let test_server_ascii_ops () =
+  let cfg =
+    { Mc_server.Server.default_config with workers = 2;
+      protocol = Mc_server.Server.Ascii }
+  in
+  ignore (with_server ~cfg "srv-ascii" (fun () ->
+    let c = Cl.Sock.connect ~protocol:Cl.Sock.Ascii ~name:"srv-ascii" () in
+    ignore (Cl.Sock.set c "a" "1");
+    ignore (Cl.Sock.set c "b" "2");
+    (* ASCII multi-get *)
+    let hits = Cl.Sock.mget c [ "a"; "b"; "missing" ] in
+    Alcotest.(check int) "two hits of three keys" 2 (List.length hits);
+    Alcotest.(check bool) "append" true
+      (Cl.Sock.append c "a" "!" = Mc_core.Store.Stored);
+    (match Cl.Sock.get c "a" with
+     | Some r -> Alcotest.(check string) "appended" "1!" r.Mc_core.Store.value
+     | None -> Alcotest.fail "hit");
+    Cl.Sock.quit c))
+
+let test_server_parse_error_keeps_connection () =
+  let cfg =
+    { Mc_server.Server.default_config with workers = 1;
+      protocol = Mc_server.Server.Ascii }
+  in
+  ignore (with_server ~cfg "srv-err" (fun () ->
+    let c = Cl.Sock.connect ~protocol:Cl.Sock.Ascii ~name:"srv-err" () in
+    (* raw garbage first *)
+    let conn = c.Cl.Sock.conn in
+    T.client_send conn "n0nsense command\r\n";
+    (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
+     | Mc_protocol.Types.Client_error _ -> ()
+     | _ -> Alcotest.fail "expected CLIENT_ERROR");
+    (* the connection still works afterwards *)
+    ignore (Cl.Sock.set c "k" "v");
+    Alcotest.(check bool) "conn survives a bad request" true
+      (Cl.Sock.get c "k" <> None)))
+
+let test_many_clients_two_workers () =
+  ignore (with_server "srv-many" (fun () ->
+    let clients = List.init 8 (fun _ -> Cl.Sock.connect ~name:"srv-many" ()) in
+    let done_ = Atomic.make 0 in
+    let ths =
+      List.mapi
+        (fun i c ->
+          S.spawn (fun () ->
+            for j = 0 to 30 do
+              let k = Printf.sprintf "c%d-%d" i j in
+              assert (Cl.Sock.set c k k = Mc_core.Store.Stored);
+              assert (Cl.Sock.get c k <> None)
+            done;
+            Atomic.incr done_))
+        clients
+    in
+    List.iter S.join ths;
+    Alcotest.(check int) "all clients finished" 8 (Atomic.get done_)))
+
+let test_noreply_suppresses_response () =
+  let cfg =
+    { Mc_server.Server.default_config with workers = 1;
+      protocol = Mc_server.Server.Ascii }
+  in
+  ignore (with_server ~cfg "srv-noreply" (fun () ->
+    let c = Cl.Sock.connect ~protocol:Cl.Sock.Ascii ~name:"srv-noreply" () in
+    let conn = c.Cl.Sock.conn in
+    (* a noreply set produces no response frame; the next command's
+       response must be the very next frame on the wire *)
+    T.client_send conn
+      (Mc_protocol.Ascii.encode_command
+         (P.Set { P.key = "quiet"; flags = 0; exptime = 0; data = "v";
+                  noreply = true }));
+    T.client_send conn (Mc_protocol.Ascii.encode_command (P.Get [ "quiet" ]));
+    (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
+     | P.Values [ v ] ->
+       Alcotest.(check string) "noreply set applied" "v" v.P.v_data
+     | _ -> Alcotest.fail "expected the GET's VALUE as the first frame")))
+
+(* Byte-stream semantics: the server must reassemble requests that
+   arrive in fragments, and drain several pipelined requests delivered
+   in one read. *)
+let test_fragmented_request_reassembled () =
+  let cfg =
+    { Mc_server.Server.default_config with workers = 1;
+      protocol = Mc_server.Server.Ascii }
+  in
+  ignore (with_server ~cfg "srv-frag" (fun () ->
+    let c = Cl.Sock.connect ~protocol:Cl.Sock.Ascii ~name:"srv-frag" () in
+    let conn = c.Cl.Sock.conn in
+    let wire =
+      Mc_protocol.Ascii.encode_command
+        (P.Set { P.key = "frag"; flags = 0; exptime = 0;
+                 data = "reassembled-data"; noreply = false })
+    in
+    (* deliver it in 5 ragged chunks, as read(2) might *)
+    let n = String.length wire in
+    let cuts = [ 0; 3; 7; n / 2; n - 2; n ] in
+    let rec send_pieces = function
+      | a :: (b :: _ as rest) ->
+        T.client_send conn (String.sub wire a (b - a));
+        send_pieces rest
+      | _ -> ()
+    in
+    send_pieces cuts;
+    (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
+     | P.Stored -> ()
+     | _ -> Alcotest.fail "expected STORED after reassembly");
+    (match Cl.Sock.get c "frag" with
+     | Some r ->
+       Alcotest.(check string) "value intact" "reassembled-data"
+         r.Mc_core.Store.value
+     | None -> Alcotest.fail "hit expected")))
+
+let test_pipelined_requests_one_chunk () =
+  let cfg =
+    { Mc_server.Server.default_config with workers = 1;
+      protocol = Mc_server.Server.Ascii }
+  in
+  ignore (with_server ~cfg "srv-pipe2" (fun () ->
+    let c = Cl.Sock.connect ~protocol:Cl.Sock.Ascii ~name:"srv-pipe2" () in
+    let conn = c.Cl.Sock.conn in
+    (* three requests in a single write *)
+    let wire =
+      Mc_protocol.Ascii.encode_command
+        (P.Set { P.key = "p1"; flags = 0; exptime = 0; data = "a";
+                 noreply = false })
+      ^ Mc_protocol.Ascii.encode_command
+          (P.Set { P.key = "p2"; flags = 0; exptime = 0; data = "b";
+                   noreply = false })
+      ^ Mc_protocol.Ascii.encode_command (P.Get [ "p1"; "p2" ])
+    in
+    T.client_send conn wire;
+    (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
+     | P.Stored -> ()
+     | _ -> Alcotest.fail "first reply");
+    (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
+     | P.Stored -> ()
+     | _ -> Alcotest.fail "second reply");
+    (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
+     | P.Values vs -> Alcotest.(check int) "both keys served" 2 (List.length vs)
+     | _ -> Alcotest.fail "third reply")))
+
+let test_binary_fragmentation () =
+  ignore (with_server "srv-binfrag" (fun () ->
+    let c = Cl.Sock.connect ~name:"srv-binfrag" () in
+    let conn = c.Cl.Sock.conn in
+    let wire =
+      Mc_protocol.Binary.encode_command
+        (P.Set { P.key = "bk"; flags = 1; exptime = 0; data = "bin-data";
+                 noreply = false })
+    in
+    (* header split from the body *)
+    T.client_send conn (String.sub wire 0 10);
+    T.client_send conn (String.sub wire 10 (String.length wire - 10));
+    (match
+       Mc_protocol.Binary.parse_response
+         ~for_cmd:(P.Set { P.key = "bk"; flags = 1; exptime = 0;
+                           data = "bin-data"; noreply = false })
+         (T.client_recv conn)
+     with
+    | P.Stored -> ()
+    | _ -> Alcotest.fail "expected Stored");
+    (match Cl.Sock.get c "bk" with
+     | Some r ->
+       Alcotest.(check string) "value" "bin-data" r.Mc_core.Store.value
+     | None -> Alcotest.fail "hit")))
+
+let test_pipe () =
+  ignore (in_vm (fun () ->
+    let p = T.pipe () in
+    let peer =
+      S.spawn (fun () ->
+        let m = T.pipe_recv p.T.a2b in
+        T.pipe_send p.T.b2a (m ^ "!"))
+    in
+    T.pipe_send p.T.a2b "hello";
+    Alcotest.(check string) "pipe roundtrip" "hello!" (T.pipe_recv p.T.b2a);
+    S.join peer))
+
+let () =
+  Alcotest.run "transport"
+    [ ( "sockets",
+        [ Alcotest.test_case "connect/accept" `Quick
+            test_connect_accept_roundtrip;
+          Alcotest.test_case "unknown service" `Quick test_connect_unknown_fails;
+          Alcotest.test_case "latency model" `Quick test_messages_cost_latency;
+          Alcotest.test_case "pipe" `Quick test_pipe ] );
+      ( "server",
+        [ Alcotest.test_case "binary protocol ops" `Quick test_server_binary_ops;
+          Alcotest.test_case "ascii protocol ops" `Quick test_server_ascii_ops;
+          Alcotest.test_case "parse error handling" `Quick
+            test_server_parse_error_keeps_connection;
+          Alcotest.test_case "8 clients, 2 workers" `Quick
+            test_many_clients_two_workers;
+          Alcotest.test_case "noreply suppression" `Quick
+            test_noreply_suppresses_response ] );
+      ( "byte-stream semantics",
+        [ Alcotest.test_case "fragmented request" `Quick
+            test_fragmented_request_reassembled;
+          Alcotest.test_case "pipelined requests" `Quick
+            test_pipelined_requests_one_chunk;
+          Alcotest.test_case "binary fragmentation" `Quick
+            test_binary_fragmentation ] ) ]

@@ -1,0 +1,215 @@
+(** YCSB workload generator: distribution properties, determinism,
+    histogram math, and the runner harness. *)
+
+module W = Ycsb.Workload
+module H = Ycsb.Histogram
+
+let test_rng_deterministic () =
+  let a = Ycsb.Rng.create 7 and b = Ycsb.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Ycsb.Rng.next_i64 a)
+      (Ycsb.Rng.next_i64 b)
+  done
+
+let test_rng_ranges () =
+  let r = Ycsb.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Ycsb.Rng.next_int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "next_int out of range";
+    let f = Ycsb.Rng.next_float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "next_float out of range"
+  done
+
+let test_zipfian_bounds_and_skew () =
+  let n = 10_000 in
+  let z = Ycsb.Zipfian.create n in
+  let rng = Ycsb.Rng.create 99 in
+  let counts = Array.make n 0 in
+  let samples = 50_000 in
+  for _ = 1 to samples do
+    let v = Ycsb.Zipfian.next z rng in
+    if v < 0 || v >= n then Alcotest.fail "zipfian out of range";
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* rank 0 is the most popular and gets roughly 1/zeta(n) of traffic *)
+  let max_count = Array.fold_left max 0 counts in
+  Alcotest.(check int) "rank 0 is the mode" counts.(0) max_count;
+  let p0 = float_of_int counts.(0) /. float_of_int samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "rank-0 share %.3f in [0.05, 0.20]" p0)
+    true
+    (p0 > 0.05 && p0 < 0.20);
+  (* the head dominates: top 1% of keys get the majority of traffic *)
+  let head = Array.sub counts 0 (n / 100) in
+  let head_share =
+    float_of_int (Array.fold_left ( + ) 0 head) /. float_of_int samples
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "head share %.3f > 0.5" head_share)
+    true (head_share > 0.5)
+
+let test_scrambled_zipfian_spreads_hotset () =
+  let n = 10_000 in
+  let z = Ycsb.Zipfian.create n in
+  let rng = Ycsb.Rng.create 5 in
+  let seen_high = ref false in
+  for _ = 1 to 2_000 do
+    let v = Ycsb.Zipfian.next_scrambled z rng in
+    if v < 0 || v >= n then Alcotest.fail "scrambled out of range";
+    if v > n / 2 then seen_high := true
+  done;
+  Alcotest.(check bool) "hot keys land across the whole keyspace" true
+    !seen_high
+
+let test_workload_mix_ratio () =
+  let w =
+    W.make ~record_count:1000 ~operation_count:0 ~read_proportion:0.95
+      ~field_length:16 ()
+  in
+  let rng = Ycsb.Rng.create w.W.seed in
+  let choose = W.chooser w rng in
+  let reads = ref 0 in
+  let total = 20_000 in
+  for _ = 1 to total do
+    match W.next_op w rng choose with
+    | W.Read _ -> incr reads
+    | W.Update _ -> ()
+  done;
+  let share = float_of_int !reads /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "read share %.3f ~ 0.95" share)
+    true
+    (abs_float (share -. 0.95) < 0.01)
+
+let test_workload_values_sized () =
+  let w =
+    W.make ~record_count:10 ~operation_count:0 ~read_proportion:0.0
+      ~field_length:128 ()
+  in
+  for i = 0 to 9 do
+    Alcotest.(check int) "value length" 128 (String.length (W.value_of w i))
+  done;
+  Alcotest.(check bool) "values differ by key" true
+    (W.value_of w 1 <> W.value_of w 2);
+  Alcotest.(check bool) "keys validate" true
+    (Mc_protocol.Types.validate_key (W.key_of w 3))
+
+let test_paper_workloads () =
+  let w = W.paper ~small_value:true ~read_heavy:false ~operation_count:100 () in
+  Alcotest.(check int) "scaled records" 400_000 w.W.record_count;
+  Alcotest.(check int) "field length" 128 w.W.field_length;
+  Alcotest.(check (float 0.001)) "write heavy" 0.5 w.W.read_proportion;
+  let w5 = W.paper ~small_value:false ~read_heavy:true ~operation_count:100 () in
+  Alcotest.(check int) "5KB records" 10_000 w5.W.record_count;
+  Alcotest.(check int) "5KB field" 5120 w5.W.field_length;
+  Alcotest.(check (float 0.001)) "read heavy" 0.95 w5.W.read_proportion
+
+let test_histogram_percentiles () =
+  let h = H.create () in
+  for v = 1 to 1000 do
+    H.record h v
+  done;
+  Alcotest.(check int) "count" 1000 (H.count h);
+  Alcotest.(check int) "min" 1 (H.min_value h);
+  Alcotest.(check int) "max" 1000 (H.max_value h);
+  let p50 = H.percentile h 50.0 in
+  let p99 = H.percentile h 99.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50=%d within 5%%" p50)
+    true
+    (abs (p50 - 500) < 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "p99=%d within 5%%" p99)
+    true
+    (abs (p99 - 990) < 50);
+  Alcotest.(check bool) "p100 = max" true (H.percentile h 100.0 <= 1000);
+  Alcotest.(check (float 10.0)) "mean" 500.5 (H.mean h)
+
+let test_histogram_merge () =
+  let a = H.create () and b = H.create () in
+  H.record a 10;
+  H.record b 1000;
+  H.merge ~into:a b;
+  Alcotest.(check int) "count" 2 (H.count a);
+  Alcotest.(check int) "min" 10 (H.min_value a);
+  Alcotest.(check int) "max" 1000 (H.max_value a)
+
+let test_histogram_wide_range () =
+  let h = H.create () in
+  List.iter (fun v -> H.record h v) [ 1; 100; 10_000; 1_000_000; 100_000_000 ];
+  Alcotest.(check int) "count" 5 (H.count h);
+  (* bucketing error stays within ~3% *)
+  let p100 = H.percentile h 100.0 in
+  Alcotest.(check bool) "extreme value representable" true
+    (p100 <= 100_000_000 && p100 > 96_000_000)
+
+let test_runner_in_vm () =
+  let module Run = Ycsb.Runner.Make (Vm.Sync) in
+  let w =
+    W.make ~record_count:500 ~operation_count:2_000 ~read_proportion:0.5
+      ~field_length:32 ()
+  in
+  let table : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let lock = Mutex.create () in
+  let db : Ycsb.Runner.db =
+    { db_read =
+        (fun k ->
+          Vm.Sync.advance 500;
+          Mutex.lock lock;
+          let r = Hashtbl.mem table k in
+          Mutex.unlock lock;
+          r);
+      db_update =
+        (fun k v ->
+          Vm.Sync.advance 800;
+          Mutex.lock lock;
+          Hashtbl.replace table k v;
+          Mutex.unlock lock;
+          true) }
+  in
+  let vm = Vm.create () in
+  let res = ref None in
+  ignore (Vm.spawn vm ~name:"main" (fun () ->
+    Run.load w db;
+    res := Some (Run.run ~threads:4 w ~db_for:(fun _ -> db))));
+  Vm.run vm;
+  let r = Option.get !res in
+  Alcotest.(check int) "ops counted" 2_000 r.Ycsb.Runner.r_ops;
+  Alcotest.(check int) "all reads hit a loaded store" 0
+    r.Ycsb.Runner.r_misses;
+  Alcotest.(check int) "latencies recorded per op" 2_000
+    (H.count r.Ycsb.Runner.r_hist);
+  Alcotest.(check bool) "throughput computed" true
+    (Ycsb.Runner.throughput_ktps r > 0.0);
+  Alcotest.(check bool) "read + update hists partition ops" true
+    (H.count r.Ycsb.Runner.r_read_hist + H.count r.Ycsb.Runner.r_update_hist
+     = 2_000)
+
+let qcheck_histogram_value_in_bucket_bounds =
+  QCheck.Test.make ~name:"percentile(100) bounds any recorded value" ~count:200
+    QCheck.(int_range 1 1_000_000_000)
+    (fun v ->
+      let h = H.create () in
+      H.record h v;
+      let p = H.percentile h 100.0 in
+      (* bucket midpoint error < 4% *)
+      float_of_int (abs (p - v)) <= 0.04 *. float_of_int v)
+
+let () =
+  Alcotest.run "ycsb"
+    [ ( "generators",
+        [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "zipfian skew" `Quick test_zipfian_bounds_and_skew;
+          Alcotest.test_case "scrambled spread" `Quick
+            test_scrambled_zipfian_spreads_hotset;
+          Alcotest.test_case "mix ratio" `Quick test_workload_mix_ratio;
+          Alcotest.test_case "value sizing" `Quick test_workload_values_sized;
+          Alcotest.test_case "paper workloads" `Quick test_paper_workloads ] );
+      ( "histogram",
+        [ Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "wide range" `Quick test_histogram_wide_range;
+          QCheck_alcotest.to_alcotest qcheck_histogram_value_in_bucket_bounds ] );
+      ( "runner",
+        [ Alcotest.test_case "vm harness" `Quick test_runner_in_vm ] ) ]
