@@ -5,32 +5,55 @@
 open Bechamel
 open Toolkit
 
-let make_store () =
+module St =
+  Mc_core.Store.Make (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc)
+    (Platform.Real_sync)
+
+(* The same store wrapped in the lock-order validator: its overhead is
+   the price of running the race-hunting harness in real time. *)
+module LSt =
+  Mc_core.Store.Make (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc)
+    (Platform.Lockdep.Make (Platform.Real_sync))
+
+let bench_cfg ~bump_interval_s =
+  { Mc_core.Store.default_config with hashpower = 12; lock_count = 64;
+    lru_count = 8; stats_slots = 8; bump_interval_s }
+
+let make_region () =
   let reg =
     Shm.Region.create ~name:"micro-kv" ~size:(32 * 1024 * 1024) ~pkey:0 ()
   in
-  let heap = Ralloc.create reg in
-  let module St =
-    Mc_core.Store.Make (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc)
-      (Platform.Real_sync)
-  in
+  (reg, Ralloc.create reg)
+
+let make_store ?(bump_interval_s = 60) () =
+  let reg, heap = make_region () in
   let st =
     St.create
       ~mem:(Mc_core.Shared_memory.of_region reg)
       ~alloc:(Mc_core.Ralloc_alloc.of_heap heap)
-      { Mc_core.Store.default_config with hashpower = 12; lock_count = 64;
-        lru_count = 8; stats_slots = 8 }
+      (bench_cfg ~bump_interval_s)
   in
   ignore (St.set st "bench-key" (String.make 128 'v'));
   (reg, heap, st)
 
+let make_lockdep_store () =
+  let reg, heap = make_region () in
+  let st =
+    LSt.create
+      ~mem:(Mc_core.Shared_memory.of_region reg)
+      ~alloc:(Mc_core.Ralloc_alloc.of_heap heap)
+      (bench_cfg ~bump_interval_s:60)
+  in
+  ignore (LSt.set st "bench-key" (String.make 128 'v'));
+  st
+
 let tests () =
   let reg, heap, _ = make_store () in
-  let module St =
-    Mc_core.Store.Make (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc)
-      (Platform.Real_sync)
-  in
   let _, _, st = make_store () in
+  (* bump_interval_s = 0 restores the historical bump-on-every-hit
+     behaviour; the default rate-limits LRU movement memcached-style *)
+  let _, _, st_eager = make_store ~bump_interval_s:0 () in
+  let lst = make_lockdep_store () in
   [ Test.make ~name:"murmur3_32(16B key)"
       (Staged.stage (fun () -> Mc_core.Hash.murmur3_32 "someuserkey12345"));
     Test.make ~name:"pkru read+wrpkru"
@@ -43,8 +66,12 @@ let tests () =
       (Staged.stage (fun () ->
          let o = Ralloc.alloc heap 64 in
          Ralloc.free heap o));
-    Test.make ~name:"store get (real time)"
+    Test.make ~name:"store get (rate-limited bump)"
       (Staged.stage (fun () -> St.get st "bench-key"));
+    Test.make ~name:"store get (bump every hit)"
+      (Staged.stage (fun () -> St.get st_eager "bench-key"));
+    Test.make ~name:"store get (lockdep wrapped)"
+      (Staged.stage (fun () -> LSt.get lst "bench-key"));
     Test.make ~name:"store set 128B (real time)"
       (Staged.stage (fun () -> St.set st "bench-key" (String.make 128 'w'))) ]
 

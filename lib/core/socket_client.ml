@@ -35,9 +35,11 @@ module Make (S : Platform.Sync_intf.S) = struct
     decode t cmd reply
 
   let get t key : Mc_core.Store.get_result option =
-    match roundtrip t (P.Get [ key ]) with
-    | P.Values [] -> None
-    | P.Values (v :: _) ->
+    (* gets, not get: the result type exposes the CAS unique, and over
+       ASCII only a gets reply carries it *)
+    match roundtrip t (P.Gets [ key ]) with
+    | P.Values { vals = []; _ } -> None
+    | P.Values { vals = v :: _; _ } ->
       Some
         { Mc_core.Store.value = v.P.v_data; flags = v.P.v_flags;
           cas = v.P.v_cas }
@@ -46,14 +48,14 @@ module Make (S : Platform.Sync_intf.S) = struct
   let mget t keys : (string * Mc_core.Store.get_result) list =
     match t.protocol with
     | Ascii ->
-      (match roundtrip t (P.Get keys) with
-       | P.Values vs ->
+      (match roundtrip t (P.Gets keys) with
+       | P.Values { vals; _ } ->
          List.map
            (fun v ->
              ( v.P.v_key,
                { Mc_core.Store.value = v.P.v_data; flags = v.P.v_flags;
                  cas = v.P.v_cas } ))
-           vs
+           vals
        | _ -> [])
     | Binary ->
       (* The binary codec is single-key; pipeline the gets. *)

@@ -1,7 +1,11 @@
 (** {!Memory_intf.MEMORY} over a shared {!Shm.Region}, with
     position-independent pointer cells (Ralloc pptrs): what the
     protected-library store runs on. Every access is pkru-checked by
-    the region. *)
+    the region, and — when the region's heap has poisoning enabled
+    (see {!Ralloc.set_poisoning}) — checked against the freed-block
+    bitmap, so a store-level use-after-free raises
+    {!Ralloc.Use_after_free} instead of silently reading recycled
+    bytes. *)
 
 module Region = Shm.Region
 
@@ -9,24 +13,48 @@ type t = Region.t
 
 let of_region r = r
 
-let read_u8 = Region.read_u8
+let guard (r : t) ~off ~len = Ralloc.poison_guard r ~off ~len
 
-let write_u8 = Region.write_u8
+let read_u8 r off =
+  guard r ~off ~len:1;
+  Region.read_u8 r off
 
-let read_i32 = Region.read_i32
+let write_u8 r off v =
+  guard r ~off ~len:1;
+  Region.write_u8 r off v
 
-let write_i32 = Region.write_i32
+let read_i32 r off =
+  guard r ~off ~len:4;
+  Region.read_i32 r off
 
-let read_i64 = Region.read_i64
+let write_i32 r off v =
+  guard r ~off ~len:4;
+  Region.write_i32 r off v
 
-let write_i64 = Region.write_i64
+let read_i64 r off =
+  guard r ~off ~len:8;
+  Region.read_i64 r off
 
-let load_ptr (r : t) ~at = Ralloc.Pptr.load r ~at
+let write_i64 r off v =
+  guard r ~off ~len:8;
+  Region.write_i64 r off v
 
-let store_ptr (r : t) ~at v = Ralloc.Pptr.store r ~at v
+let load_ptr (r : t) ~at =
+  guard r ~off:at ~len:8;
+  Ralloc.Pptr.load r ~at
 
-let read_string (r : t) ~off ~len = Region.read_string r ~off ~len
+let store_ptr (r : t) ~at v =
+  guard r ~off:at ~len:8;
+  Ralloc.Pptr.store r ~at v
 
-let write_string (r : t) ~off s = Region.write_string r ~off s
+let read_string (r : t) ~off ~len =
+  guard r ~off ~len;
+  Region.read_string r ~off ~len
 
-let equal_string (r : t) ~off ~len s = Region.equal_string r ~off ~len s
+let write_string (r : t) ~off s =
+  guard r ~off ~len:(String.length s);
+  Region.write_string r ~off s
+
+let equal_string (r : t) ~off ~len s =
+  guard r ~off ~len;
+  Region.equal_string r ~off ~len s

@@ -64,11 +64,16 @@ type config = {
   (** baseline behaviour: LRU list per allocation size class; the plib
       build chooses by key hash (§3.2) *)
   evict_batch : int;
+  bump_interval_s : int;
+  (** a get skips the LRU bump (and its lock) when the item already
+      moved within this many seconds — memcached's rate-limiting that
+      keeps hot keys off the LRU lock; [0] bumps on every hit *)
 }
 
 let default_config =
   { hashpower = 16; lock_count = 1024; lru_count = 64; stats_slots = 64;
-    single_stats_lock = false; lru_by_size_class = false; evict_batch = 8 }
+    single_stats_lock = false; lru_by_size_class = false; evict_batch = 8;
+    bump_interval_s = 60 }
 
 type store_result = Stored | Not_stored | Exists | Not_found | No_memory
 
@@ -169,9 +174,11 @@ struct
     if cfg.lock_count land (cfg.lock_count - 1) <> 0 then
       invalid_arg "Store: lock_count must be a power of two";
     { mem; alloc; cfg; ctrl; buckets; lru; stats;
-      item_locks = Array.init cfg.lock_count (fun _ -> S.mutex ());
-      lru_locks = Array.init cfg.lru_count (fun _ -> S.mutex ());
-      stats_mutex = S.mutex ();
+      item_locks =
+        Array.init cfg.lock_count (fun _ -> S.mutex ~cls:"store.item" ());
+      lru_locks =
+        Array.init cfg.lru_count (fun _ -> S.mutex ~cls:"store.lru" ());
+      stats_mutex = S.mutex ~cls:"store.stats" ();
       cas_src = Atomic.make 1;
       active = Atomic.make 0;
       hash_mask = (1 lsl cfg.hashpower) - 1;
@@ -319,6 +326,21 @@ struct
     in
     go (ldp t (bucket_of t h))
 
+  (* Is the block at [it] currently linked on the bucket chain for
+     hash [h]? Caller holds the stripe lock for [h]. Membership proves
+     the block is a live item (and not freed storage), which is what
+     eviction/reaping re-verify after having dropped the LRU lock. *)
+  let on_chain t h it =
+    let rec go cur =
+      cur <> 0
+      && (cur = it
+          || begin
+               adv CM.current.bucket_probe;
+               go (ldp t (cur + it_h_next))
+             end)
+    in
+    go (ldp t (bucket_of t h))
+
   let hash_insert t h it =
     let b = bucket_of t h in
     stp t (it + it_h_next) (ldp t b);
@@ -391,7 +413,18 @@ struct
   (* ---- Eviction ----------------------------------------------------------- *)
 
   (* Collect victims from one LRU's cold end, then take them item lock
-     first, re-verify, and unlink. Returns how many were reclaimed. *)
+     first, re-verify, and unlink. Returns how many were reclaimed.
+
+     While the LRU lock is held, every item reachable through this
+     list is guaranteed unfreed — [unlink_item] frees only after
+     [lru_unlink] under the same lock — so reading [it_hash]/[it_cas]
+     during the collect is safe. Once the lock is dropped those
+     guarantees end: a concurrent delete may free the block and a
+     concurrent set may reuse it. Each victim is therefore recorded as
+     an (offset, hash, cas) triple and re-verified under its item
+     stripe lock: bucket-chain membership proves the offset is still a
+     live item, and the cas value (unique per stored item) defeats
+     ABA reuse of the block by a different store. *)
   let evict_from t l =
     lock_lru t l;
     let rec collect it n acc =
@@ -399,7 +432,10 @@ struct
       else begin
         adv CM.current.bucket_probe;
         let acc =
-          if rd32 t (it + it_refcount) = 0 then it :: acc else acc
+          if rd32 t (it + it_refcount) = 0 then
+            (it, rd32 t (it + it_hash) land 0xFFFFFFFF, rd64 t (it + it_cas))
+            :: acc
+          else acc
         in
         collect (ldp t (it + it_lru_prev)) (n - 1) acc
       end
@@ -408,13 +444,13 @@ struct
     unlock_lru t l;
     let reclaimed = ref 0 in
     List.iter
-      (fun it ->
-        let h = rd32 t (it + it_hash) land 0xFFFFFFFF in
+      (fun (it, h, cas) ->
         lock_item t h;
-        (* The world may have moved: only evict a still-linked, idle
-           item that still belongs to this LRU. *)
+        (* The world may have moved: only evict the same still-linked,
+           idle item that still belongs to this LRU. *)
         if
-          is_linked t it
+          on_chain t h it
+          && rd64 t (it + it_cas) = cas
           && rd32 t (it + it_refcount) = 0
           && rd32 t (it + it_lru_id) = l
         then begin
@@ -591,7 +627,16 @@ struct
       let cas = rd64 t (it + it_cas) in
       let nbytes = item_nbytes t it in
       let data_off = item_data_off t it in
-      lru_bump t it;
+      (* Rate-limited bump: a hot key that already moved within the
+         last [bump_interval_s] skips the LRU lock entirely, so hot-key
+         gets do not serialize on it. Refreshing [it_time] here is
+         flush_all-safe because the expiry check above already ran. *)
+      let bump_ns = t.cfg.bump_interval_s * 1_000_000_000 in
+      if bump_ns = 0 || S.now_ns () - rd64 t (it + it_time) >= bump_ns
+      then begin
+        wr64 t (it + it_time) (S.now_ns ());
+        lru_bump t it
+      end;
       unlock_item t h;
       adv (CM.memcpy_cost nbytes);
       let value = M.read_string t.mem ~off:data_off ~len:nbytes in
@@ -610,7 +655,10 @@ struct
 
   type policy = P_set | P_add | P_replace | P_cas of int64
 
-  let store_with t policy ~key ~data ~flags ~exptime =
+  (* [abs_exptime], when [Some], overrides [exptime] with an absolute
+     expiry already in unix seconds (no [real_exptime] conversion) —
+     used by paths that must carry an existing item's TTL forward. *)
+  let store_with t policy ~abs_exptime ~key ~data ~flags ~exptime =
     with_op t @@ fun () ->
     adv CM.current.hash_op;
     let h = Hash.murmur3_32 key in
@@ -620,6 +668,9 @@ struct
     if it = 0 then No_memory
     else begin
       write_item t it ~h ~key ~data ~flags ~exptime ~now;
+      (match abs_exptime with
+       | Some e -> wr32 t (it + it_exptime) e
+       | None -> ());
       lock_item t h;
       let old = find t h key in
       let old = if old <> 0 && expired t old ~now then begin
@@ -668,16 +719,16 @@ struct
     end
 
   let set t ?(flags = 0) ?(exptime = 0) key data =
-    store_with t P_set ~key ~data ~flags ~exptime
+    store_with t P_set ~abs_exptime:None ~key ~data ~flags ~exptime
 
   let add t ?(flags = 0) ?(exptime = 0) key data =
-    store_with t P_add ~key ~data ~flags ~exptime
+    store_with t P_add ~abs_exptime:None ~key ~data ~flags ~exptime
 
   let replace t ?(flags = 0) ?(exptime = 0) key data =
-    store_with t P_replace ~key ~data ~flags ~exptime
+    store_with t P_replace ~abs_exptime:None ~key ~data ~flags ~exptime
 
   let cas t ?(flags = 0) ?(exptime = 0) ~cas key data =
-    store_with t (P_cas cas) ~key ~data ~flags ~exptime
+    store_with t (P_cas cas) ~abs_exptime:None ~key ~data ~flags ~exptime
 
   (* Append/prepend: size the new item from a racy read, then verify
      under the lock and retry on interference. *)
@@ -845,9 +896,16 @@ struct
           Counter nv
         end
         else begin
-          (* Rare: the textual value outgrew its block. Re-store. *)
+          (* Rare: the textual value outgrew its block. Re-store with
+             the counter's original flags and (absolute) expiry —
+             an incr must not silently reset either. *)
+          let flags = rd32 t (it + it_flags) in
+          let exp = rd32 t (it + it_exptime) in
           unlock_item t h;
-          match store_with t P_set ~key ~data:s ~flags:0 ~exptime:0 with
+          match
+            store_with t P_set ~abs_exptime:(Some exp) ~key ~data:s ~flags
+              ~exptime:0
+          with
           | Stored ->
             stat t C.incr_hits;
             Counter nv
@@ -920,11 +978,21 @@ struct
     let now = now_sec () in
     let reaped = ref 0 in
     for l = 0 to t.cfg.lru_count - 1 do
+      (* Same re-verification discipline as [evict_from]: candidates
+         are (offset, hash, cas) triples read while the LRU lock pins
+         them unfreed, then re-checked under the item stripe lock. *)
       let rec candidates it n acc =
         if it = 0 || n = 0 then acc
         else begin
           adv CM.current.bucket_probe;
-          let acc = if expired t it ~now then it :: acc else acc in
+          let acc =
+            if expired t it ~now then
+              ( it,
+                rd32 t (it + it_hash) land 0xFFFFFFFF,
+                rd64 t (it + it_cas) )
+              :: acc
+            else acc
+          in
           candidates (ldp t (it + it_lru_prev)) (n - 1) acc
         end
       in
@@ -934,10 +1002,11 @@ struct
       in
       unlock_lru t l;
       List.iter
-        (fun it ->
-          let h = rd32 t (it + it_hash) land 0xFFFFFFFF in
+        (fun (it, h, cas) ->
           lock_item t h;
-          if is_linked t it && expired t it ~now
+          if on_chain t h it
+             && rd64 t (it + it_cas) = cas
+             && expired t it ~now
              && rd32 t (it + it_refcount) = 0
           then begin
             unlink_item t h it;

@@ -56,6 +56,10 @@ type config = {
   (** baseline behaviour: LRU list per allocation size class; the plib
       build chooses by key hash (§3.2) *)
   evict_batch : int;
+  bump_interval_s : int;
+  (** a get skips the LRU bump (and its lock) when the item already
+      moved within this many seconds — memcached's rate-limiting that
+      keeps hot keys off the LRU lock; [0] bumps on every hit *)
 }
 
 val default_config : config

@@ -175,16 +175,23 @@ let parse_command (s : string) : command * int =
 
 let encode_response (r : response) : string =
   match r with
-  | Values vs ->
+  | Values { with_cas; vals } ->
     let b = Buffer.create 128 in
     List.iter
       (fun v ->
-        Buffer.add_string b
-          (Printf.sprintf "VALUE %s %d %d %Lu%s" v.v_key v.v_flags
-             (String.length v.v_data) v.v_cas crlf);
+        (* the CAS unique is a gets-only token; a plain get must not
+           leak it *)
+        (if with_cas then
+           Buffer.add_string b
+             (Printf.sprintf "VALUE %s %d %d %Lu%s" v.v_key v.v_flags
+                (String.length v.v_data) v.v_cas crlf)
+         else
+           Buffer.add_string b
+             (Printf.sprintf "VALUE %s %d %d%s" v.v_key v.v_flags
+                (String.length v.v_data) crlf));
         Buffer.add_string b v.v_data;
         Buffer.add_string b crlf)
-      vs;
+      vals;
     Buffer.add_string b ("END" ^ crlf);
     Buffer.contents b
   | Stored -> "STORED" ^ crlf
@@ -220,8 +227,10 @@ let parse_response (s : string) : response =
       match split_ws line with
       | _ :: key :: flags :: len :: rest ->
         let len = int_of_token "bytes" len in
-        let cas =
-          match rest with [ c ] -> u64_of_token "cas" c | _ -> 0L
+        let cas, has_cas =
+          match rest with
+          | [ c ] -> (u64_of_token "cas" c, true)
+          | _ -> (0L, false)
         in
         let data_start = eol + 2 in
         if String.length s < data_start + len + 2 then
@@ -229,8 +238,9 @@ let parse_response (s : string) : response =
         let data = String.sub s data_start len in
         lines (data_start + len + 2)
           (`Value
-             { v_key = key; v_flags = int_of_token "flags" flags;
-               v_cas = cas; v_data = data }
+             ( has_cas,
+               { v_key = key; v_flags = int_of_token "flags" flags;
+                 v_cas = cas; v_data = data } )
            :: acc)
       | _ -> parse_error "malformed VALUE line"
     end
@@ -259,25 +269,27 @@ let parse_response (s : string) : response =
        Number (Option.get (Int64.of_string_opt ("0u" ^ l)))
      | _ ->
        (* VALUE* END, or STAT* END *)
-       let rec gather items vals stats saw_end =
+       let rec gather items vals with_cas stats saw_end =
          match items with
          | [] ->
            if not saw_end then parse_error "missing END";
            if stats <> [] then Stats_reply (List.rev stats)
-           else Values (List.rev vals)
-         | `Value v :: rest -> gather rest (v :: vals) stats saw_end
-         | `Line "END" :: rest -> gather rest vals stats true
+           else Values { with_cas; vals = List.rev vals }
+         | `Value (has_cas, v) :: rest ->
+           gather rest (v :: vals) (with_cas || has_cas) stats saw_end
+         | `Line "END" :: rest -> gather rest vals with_cas stats true
          | `Line l :: rest
            when String.length l >= 5 && String.sub l 0 5 = "STAT " ->
            let body = String.sub l 5 (String.length l - 5) in
            (match String.index_opt body ' ' with
             | Some i ->
-              gather rest vals
+              gather rest vals with_cas
                 ((String.sub body 0 i,
                   String.sub body (i + 1) (String.length body - i - 1))
                  :: stats)
                 saw_end
-            | None -> gather rest vals ((body, "") :: stats) saw_end)
+            | None ->
+              gather rest vals with_cas ((body, "") :: stats) saw_end)
          | `Line l :: _ -> parse_error "unexpected line %S" l
        in
-       gather items [] [] false)
+       gather items [] false [] false)

@@ -206,8 +206,11 @@ let parse_command (s : string) : command * int =
 let encode_response ~(for_op : int) (resp : response) : string =
   let res = frame ~magic:magic_res ~opcode:for_op in
   match resp with
-  | Values [] -> res ~status:Status.key_not_found ~cas:0L ~extras:"" ~key:"" ~value:""
-  | Values (v :: _) ->
+  | Values { vals = []; _ } ->
+    res ~status:Status.key_not_found ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Values { vals = v :: _; _ } ->
+    (* the binary header always carries the CAS, for get and gets
+       alike — [with_cas] only shapes the ASCII rendering *)
     let extras =
       let b = Buffer.create 4 in
       put_u32 b v.v_flags;
@@ -241,11 +244,16 @@ let parse_response ~(for_cmd : command) (s : string) : response =
   if r.r_magic <> magic_res then parse_error "bad response magic %#x" r.r_magic;
   match for_cmd with
   | Get [ k ] | Gets [ k ] ->
-    if r.r_status = Status.key_not_found then Values []
+    if r.r_status = Status.key_not_found then
+      Values { with_cas = true; vals = [] }
     else if r.r_status <> Status.ok then Server_error "get failed"
     else
       let flags = if String.length r.r_extras >= 4 then get_u32 r.r_extras 0 else 0 in
-      Values [ { v_key = k; v_flags = flags; v_cas = r.r_cas; v_data = r.r_value } ]
+      Values
+        { with_cas = true;
+          vals =
+            [ { v_key = k; v_flags = flags; v_cas = r.r_cas;
+                v_data = r.r_value } ] }
   | Get _ | Gets _ -> invalid_arg "Binary.parse_response: multi-key get"
   | Set _ | Add _ | Replace _ | Append _ | Prepend _ ->
     if r.r_status = Status.ok then Stored

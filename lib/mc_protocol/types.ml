@@ -32,7 +32,11 @@ type command =
 type value = { v_key : string; v_flags : int; v_cas : int64; v_data : string }
 
 type response =
-  | Values of value list  (** terminated by END; empty list = miss *)
+  | Values of { with_cas : bool; vals : value list }
+  (** terminated by END; empty list = miss. [with_cas] distinguishes a
+      [gets] reply (VALUE lines carry the CAS unique) from a plain
+      [get] reply (they must not) — the binary protocol always carries
+      CAS in its response header, so the flag only shapes ASCII. *)
   | Stored
   | Not_stored
   | Exists

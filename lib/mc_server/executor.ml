@@ -20,7 +20,7 @@ struct
     | Mc_core.Store.Not_found -> P.Not_found
     | Mc_core.Store.No_memory -> P.Server_error "out of memory storing object"
 
-  let retrieve store keys ~with_cas:_ =
+  let retrieve store keys ~with_cas =
     let vals =
       List.filter_map
         (fun key ->
@@ -32,7 +32,7 @@ struct
           | None -> None)
         keys
     in
-    P.Values vals
+    P.Values { with_cas; vals }
 
   let execute store (cmd : P.command) : P.response =
     match cmd with

@@ -23,7 +23,7 @@ let yield = Thread.yield
 
 type mutex = Mutex.t
 
-let mutex () = Mutex.create ()
+let mutex ?cls:_ () = Mutex.create ()
 
 let lock = Mutex.lock
 

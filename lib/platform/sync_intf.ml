@@ -50,7 +50,12 @@ module type S = sig
 
   type mutex
 
-  val mutex : unit -> mutex
+  val mutex : ?cls:string -> unit -> mutex
+  (** [cls] is an optional lock-class label consumed by diagnostic
+      wrappers (see {!Lockdep}): mutexes sharing a class are expected
+      to be acquired in a consistent global order relative to other
+      classes. Plain substrates ignore it. *)
+
   val lock : mutex -> unit
   val unlock : mutex -> unit
 

@@ -94,6 +94,9 @@ type t = {
   class_locks : Mutex.t array;
   sb_lock : Mutex.t;
   used : int Atomic.t;
+  mutable poison : Bytes.t option;
+  (* use-after-free detector (opt-in): 1 bit per 8-byte granule, set
+     while the granule belongs to a freed block *)
 }
 
 (* Runtime state must be shared by every handle attached to the same
@@ -120,7 +123,7 @@ let new_runtime reg =
       let t =
         { reg; heap_id = Atomic.fetch_and_add next_heap_id 1;
           class_locks = Array.init n_classes (fun _ -> Mutex.create ());
-          sb_lock = Mutex.create (); used = Atomic.make 0 }
+          sb_lock = Mutex.create (); used = Atomic.make 0; poison = None }
       in
       runtimes := (reg, t) :: !runtimes;
       t
@@ -144,6 +147,80 @@ let sb_of_block _t off =
 let capacity t = Region.size t.reg - sb_base
 
 let used_bytes t = Atomic.get t.used
+
+(* ---- Use-after-free poisoning (opt-in test harness) ------------------
+
+   When enabled, [free] overwrites the block body with 0xDE and marks
+   its 8-byte granules in a side bitmap; [alloc] clears the marks on
+   the block it hands out. {!poison_guard} (called by the store's
+   memory layer, never by the allocator's own metadata traffic — the
+   freelist link legitimately reuses a freed block's first word) turns
+   any access to a marked granule into {!Use_after_free}. *)
+
+exception Use_after_free of string
+
+let poison_byte = '\xDE'
+
+(* How many heaps currently poison — lets the guard's common "nobody
+   does" path be a single atomic load. *)
+let n_poisoning = Atomic.make 0
+
+let set_poisoning t on =
+  match (t.poison, on) with
+  | None, true ->
+    t.poison <-
+      Some (Bytes.make (((Region.size t.reg / 8) + 7) / 8) '\000');
+    Atomic.incr n_poisoning
+  | Some _, false ->
+    t.poison <- None;
+    Atomic.decr n_poisoning
+  | _ -> ()
+
+let poisoning t = t.poison <> None
+
+(* Mark only granules fully inside the freed block (a block boundary
+   always is granule-aligned for small classes; large sizes may end
+   mid-granule and the tail granule stays unmarked). *)
+let poison_free t off len =
+  match t.poison with
+  | None -> ()
+  | Some bm ->
+    Region.fill t.reg ~off ~len poison_byte;
+    for g = (off + 7) / 8 to ((off + len) / 8) - 1 do
+      Bytes.set_uint8 bm (g / 8)
+        (Bytes.get_uint8 bm (g / 8) lor (1 lsl (g mod 8)))
+    done
+
+(* Clear every granule overlapping the block being handed out — also
+   erases stale marks left from a previous life of the storage under a
+   different block geometry. *)
+let unpoison_alloc t off len =
+  match t.poison with
+  | None -> ()
+  | Some bm ->
+    for g = off / 8 to (off + len - 1) / 8 do
+      Bytes.set_uint8 bm (g / 8)
+        (Bytes.get_uint8 bm (g / 8) land lnot (1 lsl (g mod 8)))
+    done
+
+let poison_guard reg ~off ~len =
+  if Atomic.get n_poisoning > 0 then
+    (* Racy read of the runtimes list is fine: it is an immutable list
+       behind a ref, and a stale snapshot only delays detection for a
+       heap registered concurrently with this access. *)
+    match List.find_opt (fun (r, _) -> r == reg) !runtimes with
+    | Some (_, { poison = Some bm; _ }) ->
+      let g1 = (off + max len 1 - 1) / 8 in
+      for g = off / 8 to g1 do
+        if Bytes.get_uint8 bm (g / 8) land (1 lsl (g mod 8)) <> 0 then
+          raise
+            (Use_after_free
+               (Printf.sprintf
+                  "use-after-free: access at off=%d len=%d touches freed \
+                   heap block"
+                  off len))
+      done
+    | _ -> ()
 
 (* ---- Format and attach ---------------------------------------------- *)
 
@@ -392,7 +469,12 @@ let alloc_large t size =
     Atomic.set t.used (Atomic.get t.used + size)
   end;
   Mutex.unlock t.sb_lock;
-  if !head = 0 then raise Out_of_heap else !head + sb_hdr
+  if !head = 0 then raise Out_of_heap
+  else begin
+    let off = !head + sb_hdr in
+    unpoison_alloc t off size;
+    off
+  end
 
 (* ---- Public alloc/free -------------------------------------------------- *)
 
@@ -405,12 +487,14 @@ let alloc t size =
     match !cache with
     | off :: rest ->
       cache := rest;
+      unpoison_alloc t off size_classes.(c);
       off
     | [] ->
       (match refill_class t c cache_refill with
        | [] -> raise Out_of_heap
        | off :: rest ->
          cache := rest;
+         unpoison_alloc t off size_classes.(c);
          off)
   end
 
@@ -455,9 +539,11 @@ let free t off =
   match rd t (sb + f_kind) with
   | k when k = kind_large_head ->
     if off <> sb + sb_hdr then invalid_arg "Ralloc.free: misaligned large block";
+    poison_free t off (rd t (sb + f_large_size));
     free_large t off
   | k when k = kind_small ->
     let c = rd t (sb + f_class) in
+    poison_free t off size_classes.(c);
     let cache = (my_cache t).(c) in
     cache := off :: !cache;
     if List.length !cache > cache_flush_trigger then begin

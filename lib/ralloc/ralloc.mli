@@ -95,6 +95,28 @@ module Pptr : sig
   val is_null : Shm.Region.t -> at:int -> bool
 end
 
+(** {1 Use-after-free poisoning (test harness)} *)
+
+exception Use_after_free of string
+
+val set_poisoning : t -> bool -> unit
+(** [set_poisoning t true] turns silent use-after-free into a hard
+    failure: from then on {!free} fills the block body with [0xDE] and
+    records its granules in a side bitmap, {!alloc} clears the record
+    on the block it returns, and {!poison_guard} raises
+    {!Use_after_free} for any guarded access that touches a recorded
+    granule. Off by default; costs nothing while off. *)
+
+val poisoning : t -> bool
+
+val poison_guard : Shm.Region.t -> off:int -> len:int -> unit
+(** Check one prospective access against the poison bitmap of the heap
+    living in [reg] (no-op when that heap does not poison, or no heap
+    is known for [reg]). Called by the store's memory layer on every
+    data access; the allocator's own metadata traffic deliberately
+    bypasses it — a freed block's first word legitimately carries the
+    freelist link. *)
+
 (** {1 Introspection (tests, EXPERIMENTS.md)} *)
 
 type class_stat = {

@@ -55,17 +55,23 @@ type 'a vchan = {
   send_waiters : (bool -> int -> unit) Queue.t; (* false = closed *)
 }
 
-type event = { at : int; seq : int; go : unit -> unit }
+type event = { at : int; prio : int; seq : int; go : unit -> unit }
 
-(* Array-based binary min-heap on (at, seq). *)
+(* Array-based binary min-heap on (at, prio, seq). [prio] equals [seq]
+   in the default deterministic-FIFO mode; under seeded schedule
+   exploration it is a random draw, so events tied at the same virtual
+   time pop in a seed-determined order. *)
 module Event_heap = struct
   type t = { mutable a : event array; mutable n : int }
 
-  let dummy = { at = 0; seq = 0; go = ignore }
+  let dummy = { at = 0; prio = 0; seq = 0; go = ignore }
 
   let create () = { a = Array.make 256 dummy; n = 0 }
 
-  let before x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
+  let before x y =
+    x.at < y.at
+    || (x.at = y.at
+        && (x.prio < y.prio || (x.prio = y.prio && x.seq < y.seq)))
 
   let push h ev =
     if h.n = Array.length h.a then begin
@@ -127,12 +133,20 @@ type t = {
   mutable running : bool;
   mutable runnable_weighted : float;  (* integral of runnable over vtime *)
   mutable last_sample : int;
+  rng : Random.State.t option;
+  (* seeded schedule exploration: when set, same-time events pop in a
+     seed-determined order instead of FIFO *)
+  preempt_jitter : int;
+  (* max extra ns (seeded-random) added per [advance], perturbing which
+     thread reaches each synchronization point first *)
 }
 
-let create ?(config = Config.default) () =
+let create ?(config = Config.default) ?sched_seed ?(preempt_jitter = 0) () =
   { config; heap = Event_heap.create (); seq = 0; next_tid = 0; live = 0;
     runnable = 0; current = None; vnow = 0; nevents = 0; fails = [];
-    running = false; runnable_weighted = 0.0; last_sample = 0 }
+    running = false; runnable_weighted = 0.0; last_sample = 0;
+    rng = Option.map (fun s -> Random.State.make [| s |]) sched_seed;
+    preempt_jitter }
 
 let now t = t.vnow
 
@@ -142,7 +156,12 @@ let failures t = t.fails
 
 let push_event t at go =
   t.seq <- t.seq + 1;
-  Event_heap.push t.heap { at; seq = t.seq; go }
+  let prio =
+    match t.rng with
+    | Some st -> Random.State.bits st
+    | None -> t.seq
+  in
+  Event_heap.push t.heap { at; prio; seq = t.seq; go }
 
 (* CPU capacity model: below [cores] runnable threads each runs at full
    speed; between [cores] and [cores*smt] the extra threads share cores
@@ -222,9 +241,22 @@ let finish t th err =
   List.iter (fun w -> w th.clock) ws
 
 (* Park the thread and re-run [op] once its clock is globally minimal;
-   run [op] inline when it already is (the common, event-free path). *)
+   run [op] inline when it already is (the common, event-free path).
+   Under seeded exploration a thread exactly tied with the heap minimum
+   may randomly requeue instead, letting the tied peer go first — this
+   is where alternative interleavings of same-time synchronization ops
+   come from. *)
 let resync t th op =
-  if th.clock <= Event_heap.min_at t.heap then op ()
+  let min_at = Event_heap.min_at t.heap in
+  let inline =
+    if th.clock < min_at then true
+    else if th.clock > min_at then false
+    else
+      match t.rng with
+      | Some st -> Random.State.bool st
+      | None -> true
+  in
+  if inline then op ()
   else
     push_event t th.clock (fun () ->
       set_current t th;
@@ -255,6 +287,11 @@ let rec handler : 'a. t -> vthread -> ('a, unit) Effect.Deep.handler =
           Some
             (fun (k : (a, unit) continuation) ->
               th.clock <- th.clock + dilate t n;
+              (match t.rng with
+               | Some st when t.preempt_jitter > 0 ->
+                 th.clock <-
+                   th.clock + Random.State.int st (t.preempt_jitter + 1)
+               | _ -> ());
               continue k ())
         | Now_eff -> Some (fun k -> continue k th.clock)
         | Self_eff -> Some (fun k -> continue k th.tid)
@@ -500,7 +537,7 @@ module Sync = struct
 
   type mutex = vmutex
 
-  let mutex () = { owner = -1; lock_waiters = Queue.create () }
+  let mutex ?cls:_ () = { owner = -1; lock_waiters = Queue.create () }
 
   let lock m = Effect.perform (Lock m)
 

@@ -58,7 +58,18 @@ exception Thread_failure of string * exn
 (** Raised at the end of {!run} if a simulated thread died with an
     uncaught exception (first failure wins). *)
 
-val create : ?config:Config.t -> unit -> t
+val create :
+  ?config:Config.t -> ?sched_seed:int -> ?preempt_jitter:int -> unit -> t
+(** [sched_seed] switches the scheduler into seeded schedule
+    exploration: whenever several events (or a resuming thread and a
+    queued event) tie at the minimum virtual time, the winner is chosen
+    by a seeded RNG instead of FIFO order. Each seed yields one
+    deterministic, reproducible interleaving; sweeping seeds explores
+    many interleavings of the same workload. [preempt_jitter] (ns,
+    requires [sched_seed]) additionally adds up to that much random
+    time to every [advance], perturbing which thread reaches each
+    synchronization point first. Without [sched_seed] behaviour is
+    bit-identical to the historical deterministic-FIFO scheduler. *)
 
 val spawn : t -> ?name:string -> (unit -> unit) -> vthread
 (** Register a thread to start at virtual time 0 (before {!run}), or at

@@ -87,23 +87,45 @@ let test_ascii_pipelined_requests () =
 let test_ascii_responses () =
   let values =
     Values
-      [ { v_key = "k1"; v_flags = 3; v_cas = 42L; v_data = "da\r\nta" };
-        { v_key = "k2"; v_flags = 0; v_cas = 7L; v_data = "" } ]
+      { with_cas = true;
+        vals =
+          [ { v_key = "k1"; v_flags = 3; v_cas = 42L; v_data = "da\r\nta" };
+            { v_key = "k2"; v_flags = 0; v_cas = 7L; v_data = "" } ] }
   in
   (match Ascii.parse_response (Ascii.encode_response values) with
-   | Values [ v1; v2 ] ->
+   | Values { vals = [ v1; v2 ]; with_cas } ->
      Alcotest.(check string) "payload with crlf survives" "da\r\nta" v1.v_data;
      Alcotest.(check string) "second key" "k2" v2.v_key;
-     Alcotest.(check int64) "cas" 42L v1.v_cas
+     Alcotest.(check int64) "cas" 42L v1.v_cas;
+     Alcotest.(check bool) "gets form detected" true with_cas
    | _ -> Alcotest.fail "values");
   List.iter
     (fun r ->
       Alcotest.(check bool) "simple response roundtrip" true
         (Ascii.parse_response (Ascii.encode_response r) = r))
     [ Stored; Not_stored; Exists; Not_found; Deleted; Touched; Ok; Error;
-      Number (-1L) (* max u64 *); Values [];
+      Number (-1L) (* max u64 *); Values { with_cas = false; vals = [] };
       Version_reply "1.6"; Client_error "bad"; Server_error "oom";
       Stats_reply [ ("a", "1"); ("b", "2") ] ]
+
+(* A plain get's VALUE line must not leak the CAS unique; a gets reply
+   must carry it. *)
+let test_ascii_get_vs_gets_rendering () =
+  let v = { v_key = "k"; v_flags = 2; v_cas = 77L; v_data = "vv" } in
+  let plain = Ascii.encode_response (Values { with_cas = false; vals = [ v ] }) in
+  let gets = Ascii.encode_response (Values { with_cas = true; vals = [ v ] }) in
+  Alcotest.(check string) "get form: 4 tokens, no cas"
+    "VALUE k 2 2\r\nvv\r\nEND\r\n" plain;
+  Alcotest.(check string) "gets form: 5 tokens with cas"
+    "VALUE k 2 2 77\r\nvv\r\nEND\r\n" gets;
+  (match Ascii.parse_response plain with
+   | Values { with_cas = false; vals = [ p ] } ->
+     Alcotest.(check int64) "no cas on the wire parses as 0" 0L p.v_cas
+   | _ -> Alcotest.fail "plain get reply");
+  match Ascii.parse_response gets with
+  | Values { with_cas = true; vals = [ p ] } ->
+    Alcotest.(check int64) "cas preserved" 77L p.v_cas
+  | _ -> Alcotest.fail "gets reply"
 
 let binary_roundtrip cmd =
   let wire = Binary.encode_command cmd in
@@ -139,22 +161,25 @@ let test_binary_multiget_rejected () =
 let test_binary_responses () =
   let cmd = Get [ "k" ] in
   let hit =
-    Values [ { v_key = "k"; v_flags = 5; v_cas = 9L; v_data = "vv" } ]
+    Values
+      { with_cas = true;
+        vals = [ { v_key = "k"; v_flags = 5; v_cas = 9L; v_data = "vv" } ] }
   in
   (match
      Binary.parse_response ~for_cmd:cmd
        (Binary.encode_response ~for_op:Binary.Op.get hit)
    with
-  | Values [ v ] ->
+  | Values { vals = [ v ]; _ } ->
     Alcotest.(check string) "data" "vv" v.v_data;
     Alcotest.(check int) "flags" 5 v.v_flags;
     Alcotest.(check int64) "cas" 9L v.v_cas
   | _ -> Alcotest.fail "hit");
   (match
      Binary.parse_response ~for_cmd:cmd
-       (Binary.encode_response ~for_op:Binary.Op.get (Values []))
+       (Binary.encode_response ~for_op:Binary.Op.get
+          (Values { with_cas = true; vals = [] }))
    with
-  | Values [] -> ()
+  | Values { vals = []; _ } -> ()
   | _ -> Alcotest.fail "miss");
   (match
      Binary.parse_response ~for_cmd:(Incr ("k", 1L, false))
@@ -221,7 +246,11 @@ let qcheck_value_response_roundtrip =
           let* c = int_range 0 1_000_000 in
           pure (k, d, Int64.of_int c)))
     (fun (k, d, c) ->
-      let r = Values [ { v_key = k; v_flags = 1; v_cas = c; v_data = d } ] in
+      let r =
+        Values
+          { with_cas = true;
+            vals = [ { v_key = k; v_flags = 1; v_cas = c; v_data = d } ] }
+      in
       Ascii.parse_response (Ascii.encode_response r) = r)
 
 let test_noreply_classification () =
@@ -313,6 +342,8 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_ascii_parse_errors;
           Alcotest.test_case "pipelining" `Quick test_ascii_pipelined_requests;
           Alcotest.test_case "responses" `Quick test_ascii_responses;
+          Alcotest.test_case "get vs gets rendering" `Quick
+            test_ascii_get_vs_gets_rendering;
           QCheck_alcotest.to_alcotest qcheck_ascii_set_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_value_response_roundtrip ] );
       ( "binary",

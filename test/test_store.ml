@@ -341,10 +341,12 @@ let test_eviction_under_pressure () =
   SSt.check_invariants st
 
 let test_lru_eviction_order () =
-  (* One LRU list: the re-fetched key must survive eviction. *)
+  (* One LRU list: the re-fetched key must survive eviction. The test
+     exercises LRU ordering, not bump rate-limiting, so bump on every
+     hit. *)
   let cfg =
     { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 1;
-      stats_slots = 2; evict_batch = 2 }
+      stats_slots = 2; evict_batch = 2; bump_interval_s = 0 }
   in
   let st = shared_store ~heap_mb:1 ~cfg in
   ignore (SSt.set st "hot" (String.make 400 'h'));
@@ -582,6 +584,121 @@ let test_concurrent_threads_no_corruption () =
   List.iter Thread.join threads;
   SSt.check_invariants st
 
+(* incr/decr must not clobber the item's metadata when the new value
+   no longer fits the old block and the counter is re-stored. *)
+let test_incr_preserves_flags_and_exptime () =
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 2;
+      stats_slots = 2 }
+  in
+  let st = shared_store ~heap_mb:2 ~cfg in
+  ignore (SSt.set st ~flags:7 ~exptime:3600 "n" "9");
+  let exptime_of key =
+    SSt.fold_keys st
+      (fun acc k ~nbytes:_ ~exptime -> if k = key then Some exptime else acc)
+      None
+  in
+  let exp_before = Option.get (exptime_of "n") in
+  Alcotest.(check bool) "absolute expiry recorded" true (exp_before > 3600);
+  (* growing 1 digit -> 20 digits overflows the block and forces the
+     re-store path *)
+  (match SSt.incr st "n" (Int64.neg 616L) with
+   | Store.Counter _ -> ()
+   | _ -> Alcotest.fail "counter expected");
+  (match SSt.get st "n" with
+   | Some r ->
+     Alcotest.(check int) "flags survive counter re-store" 7 r.Store.flags;
+     Alcotest.(check int) "value is 20 digits" 20 (String.length r.Store.value)
+   | None -> Alcotest.fail "hit expected");
+  Alcotest.(check int) "exptime survives counter re-store" exp_before
+    (Option.get (exptime_of "n"));
+  SSt.check_invariants st
+
+(* Seeded-VM races: the same workload replayed under many perturbed
+   schedules, with heap poisoning armed so any use-after-free in the
+   eviction or counter paths faults instead of silently reading
+   recycled memory. *)
+
+module VSt = Store.Make (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc) (Vm.Sync)
+
+let run_seeded_vm ~seed ~heap_bytes ~cfg body =
+  let vm = Vm.create ~sched_seed:seed ~preempt_jitter:40 () in
+  let reg =
+    Shm.Region.create ~name:"vm-race-test" ~size:heap_bytes ~pkey:0 ()
+  in
+  let heap = Ralloc.create reg in
+  Ralloc.set_poisoning heap true;
+  Fun.protect
+    ~finally:(fun () -> Ralloc.set_poisoning heap false)
+    (fun () ->
+      ignore
+        (Vm.spawn vm ~name:"main" (fun () ->
+           let st =
+             VSt.create
+               ~mem:(Mc_core.Shared_memory.of_region reg)
+               ~alloc:(Mc_core.Ralloc_alloc.of_heap heap)
+               cfg
+           in
+           body st;
+           VSt.check_invariants st));
+      Vm.run vm)
+
+let test_seeded_eviction_vs_set () =
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 2;
+      stats_slots = 2; evict_batch = 2 }
+  in
+  (* distinct 900-byte values against a 384 KiB region: the single
+     item size class holds ~63 items, so the writers race eviction
+     throughout *)
+  let total_evictions = ref 0 in
+  for seed = 0 to 9 do
+    run_seeded_vm ~seed ~heap_bytes:(384 lsl 10) ~cfg (fun st ->
+      let writers =
+        List.init 3 (fun t ->
+          Vm.Sync.spawn ~name:(Printf.sprintf "w%d" t) (fun () ->
+            for i = 0 to 149 do
+              let k = Printf.sprintf "t%d-%d" t i in
+              (match i mod 5 with
+               | 3 -> ignore (VSt.get st (Printf.sprintf "t%d-%d" t (i - 1)))
+               | 4 -> ignore (VSt.delete st (Printf.sprintf "t%d-%d" t (i - 2)))
+               | _ -> ignore (VSt.set st k (String.make 900 'x')));
+              Vm.Sync.advance 50
+            done))
+      in
+      List.iter Vm.Sync.join writers;
+      let s = VSt.stats st in
+      total_evictions :=
+        !total_evictions + int_of_string (List.assoc "evictions" s))
+  done;
+  Alcotest.(check bool) "sweep exercised eviction" true (!total_evictions > 0)
+
+let test_seeded_incr_overflow () =
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 2;
+      stats_slots = 2 }
+  in
+  for seed = 0 to 9 do
+    run_seeded_vm ~seed ~heap_bytes:(2 lsl 20) ~cfg (fun st ->
+      (* 2^64 - 6: a few concurrent increments wrap the counter *)
+      ignore (VSt.set st "n" "18446744073709551610");
+      let workers =
+        List.init 3 (fun t ->
+          Vm.Sync.spawn ~name:(Printf.sprintf "i%d" t) (fun () ->
+            for _ = 1 to 4 do
+              (match VSt.incr st "n" 2L with
+               | Store.Counter _ -> ()
+               | _ -> Alcotest.fail "counter expected");
+              Vm.Sync.advance 30
+            done))
+      in
+      List.iter Vm.Sync.join workers;
+      (* (2^64 - 6 + 24) mod 2^64 = 18, whatever the interleaving *)
+      (match VSt.get st "n" with
+       | Some r -> Alcotest.(check string) "wrapped total" "18" r.Store.value
+       | None -> Alcotest.fail "counter vanished"))
+  done
+
 let () =
   Alcotest.run "store"
     [ ("private+slab", Private_suite.suite);
@@ -592,7 +709,13 @@ let () =
           Alcotest.test_case "lru order respected" `Quick
             test_lru_eviction_order;
           Alcotest.test_case "4-thread soup" `Slow
-            test_concurrent_threads_no_corruption ] );
+            test_concurrent_threads_no_corruption;
+          Alcotest.test_case "incr preserves flags/exptime" `Quick
+            test_incr_preserves_flags_and_exptime;
+          Alcotest.test_case "seeded eviction vs set" `Quick
+            test_seeded_eviction_vs_set;
+          Alcotest.test_case "seeded incr overflow" `Quick
+            test_seeded_incr_overflow ] );
       ( "edge cases",
         [ Alcotest.test_case "zero-length value" `Quick test_zero_length_value;
           Alcotest.test_case "relative expiry" `Quick

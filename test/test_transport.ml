@@ -168,7 +168,7 @@ let test_noreply_suppresses_response () =
                   noreply = true }));
     T.client_send conn (Mc_protocol.Ascii.encode_command (P.Get [ "quiet" ]));
     (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
-     | P.Values [ v ] ->
+     | P.Values { vals = [ v ]; _ } ->
        Alcotest.(check string) "noreply set applied" "v" v.P.v_data
      | _ -> Alcotest.fail "expected the GET's VALUE as the first frame")))
 
@@ -233,7 +233,8 @@ let test_pipelined_requests_one_chunk () =
      | P.Stored -> ()
      | _ -> Alcotest.fail "second reply");
     (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
-     | P.Values vs -> Alcotest.(check int) "both keys served" 2 (List.length vs)
+     | P.Values { vals; _ } ->
+       Alcotest.(check int) "both keys served" 2 (List.length vals)
      | _ -> Alcotest.fail "third reply")))
 
 let test_binary_fragmentation () =
