@@ -54,8 +54,22 @@ module Make (S : Platform.Sync_intf.S) = struct
     Hodor.Runtime.configure ~advance:S.advance ~now:S.now_ns
 
   let build_handle ~lib ~region ~heap ~store ~path ~owner =
-    { lib; region; heap; store; path; owner;
-      stop_cleaner = Atomic.make false; cleaner = None }
+    let t =
+      { lib; region; heap; store; path; owner;
+        stop_cleaner = Atomic.make false; cleaner = None }
+    in
+    (* Recovery protocol, run by the bookkeeping process at quiescence
+       after a client died mid-call: the store drops half-linked items
+       and hands back the reachable set, which the allocator uses to
+       rebuild its free lists — anything a dead thread allocated but
+       never linked is reclaimed. The Figure-3 indirection cell is live
+       too: it is reachable from the root, not from the store. *)
+    Hodor.Library.set_recover lib (fun () ->
+      Region.kernel_mode (fun () ->
+        let live = Store.recover t.store in
+        let cell = Ralloc.get_root t.heap root_primary in
+        Ralloc.recover t.heap ~live:(if cell = 0 then live else cell :: live)));
+    t
 
   (* The bookkeeping process creates the store from nothing. *)
   let create ?(protection = Protected) ?(copy_args = false)
@@ -255,6 +269,12 @@ module Make (S : Platform.Sync_intf.S) = struct
       t.cleaner <- None
 
   let maintain t = enter t (fun () -> Store.maintain t.store)
+
+  (* Post-kill repair (bookkeeping process, at quiescence): releases
+     dead threads' locks, drops torn items, reclaims their memory and
+     re-admits callers. Safe to run even when no trampoline observed
+     the kill (the library is still [Healthy]). *)
+  let recover t = Hodor.Library.recover t.lib
 
   (* Table resize (the paper's background process had this disabled;
      see Store.resize). Run by the bookkeeping process. *)

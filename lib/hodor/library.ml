@@ -8,6 +8,17 @@ type protection =
   (** the paper's "Plib, No Hodor" configuration: same code and direct
       calls, no pkru switching — faster by ~5% and not safe *)
 
+(* Health ladder. [Killed_in_call] is the recoverable middle rung: a
+   caller was killed and its in-flight call ran past the grace window,
+   so the OS terminated it mid-call — shared state may be torn, but in
+   bounded, enumerable ways the recovery protocol repairs. [Poisoned]
+   stays terminal: the library {e code} itself crashed, so no
+   structural repair can vouch for its logic. *)
+type health =
+  | Healthy
+  | Killed_in_call of string
+  | Poisoned of string
+
 type t = {
   lib_name : string;
   pkey : Pku.Pkey.t;
@@ -21,13 +32,18 @@ type t = {
       (the paper leaves this off and copies manually; ablation abl3) *)
   exports : (string, Obj.t) Hashtbl.t;
   mutable regions : Shm.Region.t list;
-  mutable poisoned : string option;
+  mutable health : health;
   mutable init_fn : (unit -> unit) option;
+  mutable recover_fn : (unit -> unit) option;
 }
 
 exception Library_poisoned of string
 (** The library crashed during a call (e.g. a fault while holding
     locks); as in the paper, this is unrecoverable for the store. *)
+
+exception Library_needs_recovery of string
+(** A caller died mid-call past the grace window; the store must be
+    recovered (see {!recover}) before further calls are admitted. *)
 
 let default_grace_ns = 50_000_000 (* a "generous timeout": 50 ms *)
 
@@ -39,8 +55,8 @@ let create ?(protection = Protected) ?(grace_ns = default_grace_ns)
     | Unprotected -> Pku.Pkey.default
   in
   { lib_name = name; pkey; protection; owner_uid; grace_ns; copy_args;
-    exports = Hashtbl.create 8; regions = []; poisoned = None;
-    init_fn = None }
+    exports = Hashtbl.create 8; regions = []; health = Healthy;
+    init_fn = None; recover_fn = None }
 
 let name t = t.lib_name
 
@@ -69,15 +85,46 @@ let set_init t f = t.init_fn <- Some f
 
 let init_fn t = t.init_fn
 
+(* Poison dominates: a code crash is terminal even if a kill was
+   noticed first. *)
 let poison t reason =
-  if t.poisoned = None then t.poisoned <- Some reason
+  match t.health with
+  | Poisoned _ -> ()
+  | Healthy | Killed_in_call _ -> t.health <- Poisoned reason
 
-let poisoned t = t.poisoned
+(* A second kill while already awaiting recovery keeps the first
+   report (mirrors Process.kill: the first death timestamp wins). *)
+let mark_killed t reason =
+  match t.health with
+  | Healthy -> t.health <- Killed_in_call reason
+  | Killed_in_call _ | Poisoned _ -> ()
+
+let health t = t.health
+
+let poisoned t =
+  match t.health with Poisoned r -> Some r | Healthy | Killed_in_call _ -> None
+
+let killed t =
+  match t.health with Killed_in_call r -> Some r | Healthy | Poisoned _ -> None
 
 let check_poisoned t =
-  match t.poisoned with
-  | Some r -> raise (Library_poisoned (t.lib_name ^ ": " ^ r))
-  | None -> ()
+  match t.health with
+  | Poisoned r -> raise (Library_poisoned (t.lib_name ^ ": " ^ r))
+  | Killed_in_call r -> raise (Library_needs_recovery (t.lib_name ^ ": " ^ r))
+  | Healthy -> ()
+
+let set_recover t f = t.recover_fn <- Some f
+
+(* Run the registered recovery routine and re-admit callers. Also
+   callable on a [Healthy] library (e.g. after a kill so abrupt no
+   trampoline ever observed it): recovery is idempotent at quiescence.
+   A [Poisoned] library stays dead. *)
+let recover t =
+  (match t.health with
+   | Poisoned r -> raise (Library_poisoned (t.lib_name ^ ": " ^ r))
+   | Healthy | Killed_in_call _ -> ());
+  (match t.recover_fn with Some f -> f () | None -> ());
+  t.health <- Healthy
 
 (* Typed export registry, used by the loader's pseudo-binary
    interpreter. The Obj.t is always a [unit -> unit]. *)

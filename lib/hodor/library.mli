@@ -10,9 +10,23 @@ type protection =
 
 type t
 
+(** Health ladder. [Killed_in_call]: a caller was killed and its call
+    outlived the grace window, so it was terminated mid-call — shared
+    state is torn in bounded ways and {!recover} can repair it.
+    [Poisoned]: the library code itself crashed; terminal. *)
+type health =
+  | Healthy
+  | Killed_in_call of string
+  | Poisoned of string
+
 exception Library_poisoned of string
 (** Raised on calls into a library that crashed during an earlier call;
     as in the paper, such a crash is unrecoverable for the store. *)
+
+exception Library_needs_recovery of string
+(** Raised on calls into a library whose state is [Killed_in_call]:
+    a caller must run {!recover} (normally via the bookkeeping
+    process) before the store takes traffic again. *)
 
 val default_grace_ns : int
 
@@ -54,11 +68,34 @@ val set_init : t -> (unit -> unit) -> unit
 val init_fn : t -> (unit -> unit) option
 
 val poison : t -> string -> unit
+(** Terminal: dominates any [Killed_in_call] state. *)
+
+val mark_killed : t -> string -> unit
+(** Record a kill-past-grace termination; recoverable. A later kill
+    keeps the first report; an earlier {!poison} wins. *)
+
+val health : t -> health
 
 val poisoned : t -> string option
+(** [Some reason] iff terminally poisoned. *)
+
+val killed : t -> string option
+(** [Some reason] iff awaiting recovery. *)
 
 val check_poisoned : t -> unit
-(** @raise Library_poisoned if the library has crashed. *)
+(** @raise Library_poisoned if the library has crashed.
+    @raise Library_needs_recovery if it awaits post-kill recovery. *)
+
+val set_recover : t -> (unit -> unit) -> unit
+(** Register the recovery routine (the owner wires in
+    [Store.recover] + [Ralloc.recover]). *)
+
+val recover : t -> unit
+(** Run the registered recovery routine and return the library to
+    [Healthy]. Idempotent at quiescence; also callable while [Healthy]
+    (a kill so abrupt no trampoline observed it still leaves torn
+    state behind).
+    @raise Library_poisoned when terminally poisoned. *)
 
 val export : t -> entry:string -> (unit -> unit) -> unit
 (** Register a named entry point for the loader's binary interpreter. *)

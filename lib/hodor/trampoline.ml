@@ -6,6 +6,10 @@
     - if the calling process is killed by outside action while a thread
       is inside the library, the call runs to completion (up to the
       library's grace timeout) before the thread dies;
+    - if the call outlives the grace, the thread was terminated
+      mid-call: the library enters the recoverable [Killed_in_call]
+      state and refuses callers until [Library.recover] has repaired
+      the store (beyond the paper, which stopped at the grace);
     - if the call itself crashes (any escaping exception — a stray
       pointer dereference, a protection fault), the library is poisoned
       and every subsequent call fails, since invariants may be broken. *)
@@ -64,14 +68,20 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
   in
   finish ();
   (* Completion guarantee: the call finished even if the process was
-     killed mid-call — but only within the grace window. If the kill
-     happened longer ago than the grace, the OS would have terminated
-     the thread mid-call, corrupting the library. *)
+     killed mid-call — but only within the grace window. Boundary
+     semantics, pinned by test/test_hodor.ml: with the kill at
+     [kill_ns] and the call back at [end_ns], the call is covered iff
+     [end_ns - kill_ns <= grace_ns] — exactly at the boundary the OS
+     still waits; one ns past it the thread was terminated mid-call.
+     Termination mid-call tears shared state in bounded ways (a sync
+     point inside an op), so the library transitions to the
+     recoverable [Killed_in_call] state: callers are refused until the
+     bookkeeping process runs [Library.recover]. *)
   (match Process.killed_at p with
    | Some kill_ns ->
      let end_ns = max (Runtime.now_ns ()) entry_ns in
      if end_ns - kill_ns > Library.grace_ns lib then
-       Library.poison lib
+       Library.mark_killed lib
          (Printf.sprintf
             "call outlived the %dns grace after %s was killed"
             (Library.grace_ns lib) (Process.name p));

@@ -119,7 +119,7 @@ struct
     stats : int;
     item_locks : S.mutex array;
     lru_locks : S.mutex array;
-    stats_mutex : S.mutex;
+    mutable stats_mutex : S.mutex;
     cas_src : int Atomic.t;
     active : int Atomic.t;  (* threads currently executing a store op *)
     mutable hash_mask : int;
@@ -1021,19 +1021,32 @@ struct
   (* ---- Integrity check (tests; call only at quiescence) ------------------------------------ *)
 
   let check_invariants t =
+    let next_cas = Atomic.get t.cas_src in
     let linked = ref 0 in
     for b = 0 to t.hash_mask do
       let rec walk it =
         if it <> 0 then begin
           if not (is_linked t it) then
             failwith "unlinked item on a hash chain";
+          (* Accounting vs. the allocator's view: every linked item must
+             be backed by a live allocation big enough for its header,
+             key and value. *)
+          (match A.usable_size t.alloc it with
+           | exception _ ->
+             failwith "linked item not backed by a live allocation"
+           | us ->
+             if us < header_size + item_nkey t it + item_nbytes t it then
+               failwith "linked item larger than its block");
           let h = rd32 t (it + it_hash) land 0xFFFFFFFF in
           if h land t.hash_mask <> b then
             failwith "item chained into the wrong bucket";
           let key = item_key t it in
           if Hash.murmur3_32 key <> h then
             failwith "stored hash does not match key";
-          if rd32 t (it + it_refcount) < 0 then failwith "negative refcount";
+          if rd32 t (it + it_refcount) <> 0 then
+            failwith "dangling refcount at quiescence";
+          if rd64 t (it + it_cas) >= next_cas then
+            failwith "item cas from the future (cas source not monotonic)";
           Stdlib.incr linked;
           walk (ldp t (it + it_h_next))
         end
@@ -1044,6 +1057,7 @@ struct
     for l = 0 to t.cfg.lru_count - 1 do
       let rec walk it prev =
         if it <> 0 then begin
+          if not (is_linked t it) then failwith "unlinked item on an LRU";
           if ldp t (it + it_lru_prev) <> prev then
             failwith "broken lru prev link";
           if rd32 t (it + it_lru_id) <> l then
@@ -1063,4 +1077,102 @@ struct
       failwith
         (Printf.sprintf "curr_items %d but %d items linked" (curr_items t)
            !linked)
+
+  (* ---- Post-crash recovery (call only at quiescence) ------------------
+
+     A process killed abruptly inside a call leaves three kinds of
+     store-level damage, all bounded by the sync points inside an op:
+     locks owned by its dead threads, items visible from only one of
+     the two index structures (hash chain vs. LRU list), and counters
+     it updated on only one side. Recovery takes the hash table as the
+     source of truth: an item is the store's iff it sits on the correct
+     bucket chain with intact geometry. Everything else is rebuilt. *)
+
+  let recover t =
+    (* Dead threads may own any stripe/LRU/stats lock: replace them
+       all (the robust-ownership handoff a real OS gives futexes). *)
+    for i = 0 to Array.length t.item_locks - 1 do
+      t.item_locks.(i) <- S.mutex ~cls:"store.item" ()
+    done;
+    for l = 0 to Array.length t.lru_locks - 1 do
+      t.lru_locks.(l) <- S.mutex ~cls:"store.lru" ()
+    done;
+    t.stats_mutex <- S.mutex ~cls:"store.stats" ();
+    Atomic.set t.active 0;
+    (* Sift every hash chain: keep exactly the items whose backing
+       block is live, big enough, and whose stored hash matches both
+       the key bytes and the bucket — anything torn mid-link drops. *)
+    let live_items = ref [] in
+    let kept_count = ref 0 in
+    let max_cas = ref 0 in
+    for b = 0 to t.hash_mask do
+      let bucket = t.buckets + (8 * b) in
+      let rec sift it acc =
+        if it = 0 then List.rev acc
+        else begin
+          adv CM.current.bucket_probe;
+          let next = ldp t (it + it_h_next) in
+          let sane =
+            match A.usable_size t.alloc it with
+            | exception _ -> false
+            | us ->
+              let nkey = rd32 t (it + it_nkey) in
+              let nbytes = rd32 t (it + it_nbytes) in
+              nkey > 0
+              && nbytes >= 0
+              && us >= header_size + nkey + nbytes
+              &&
+              let h = rd32 t (it + it_hash) land 0xFFFFFFFF in
+              h land t.hash_mask = b && Hash.murmur3_32 (item_key t it) = h
+          in
+          sift next (if sane then it :: acc else acc)
+        end
+      in
+      let kept = sift (ldp t bucket) [] in
+      let rec relink at = function
+        | [] -> stp t at 0
+        | it :: rest ->
+          stp t at it;
+          relink (it + it_h_next) rest
+      in
+      relink bucket kept;
+      List.iter
+        (fun it ->
+          (* References held by dead readers die with them. *)
+          wr32 t (it + it_refcount) 0;
+          wr32 t (it + it_state) (rd32 t (it + it_state) lor state_linked);
+          max_cas := max !max_cas (rd64 t (it + it_cas));
+          live_items := it :: !live_items;
+          Stdlib.incr kept_count)
+        kept
+    done;
+    (* Rebuild every LRU list from the sifted hash table; half-deleted
+       items still spliced into an LRU simply never reappear. Recency
+       order is sacrificed — the paper's store persists no LRU age
+       either. *)
+    for l = 0 to t.cfg.lru_count - 1 do
+      stp t (lru_head t l) 0;
+      stp t (lru_tail t l) 0
+    done;
+    List.iter
+      (fun it ->
+        let h = rd32 t (it + it_hash) land 0xFFFFFFFF in
+        let size = header_size + item_nkey t it + item_nbytes t it in
+        lru_link t it (lru_of t ~h ~size))
+      !live_items;
+    (* Item count from the ground truth; per-thread scatter collapses
+       into slot 0. Hit/miss tallies are best-effort monitoring and are
+       left as found. *)
+    for slot = 0 to t.cfg.stats_slots - 1 do
+      wr64 t (t.stats + (8 * ((slot * C.count) + C.curr_items))) 0
+    done;
+    wr64 t (t.stats + (8 * C.curr_items)) !kept_count;
+    (* CAS monotonicity across the crash: restart above every CAS any
+       client was ever acknowledged. *)
+    let nc = max (Atomic.get t.cas_src) (!max_cas + 1) in
+    Atomic.set t.cas_src nc;
+    wr64 t (t.ctrl + ctl_cas) nc;
+    (* The allocator's recovery scan needs every offset the store still
+       reaches: control block, tables, and each live item. *)
+    t.ctrl :: t.buckets :: t.lru :: t.stats :: !live_items
 end

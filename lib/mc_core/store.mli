@@ -160,5 +160,19 @@ module Make
 
   val check_invariants : t -> unit
   (** Walk hash chains and LRU lists, verifying linkage, stored
-      hashes, refcounts and counter consistency. Call at quiescence. *)
+      hashes, hash↔LRU membership, allocator-backed sizing, CAS
+      monotonicity, refcounts and counter consistency. Call at
+      quiescence. *)
+
+  val recover : t -> int list
+  (** Post-crash recovery; call only at quiescence (no client threads
+      inside the store). Replaces every stripe/LRU/stats lock (a dead
+      thread may own any of them), sifts the hash chains dropping items
+      torn mid-link (bad backing block, size overflow, hash/bucket/key
+      mismatch), zeroes refcounts held by dead readers, rebuilds every
+      LRU list from the hash table (orphans spliced into only an LRU
+      disappear), recounts [curr_items], and restores the CAS source
+      above every CAS ever issued. Returns the offsets of every block
+      the store still reaches — control block, tables, live items — the
+      [live] input for [Ralloc.recover]. *)
 end

@@ -29,6 +29,21 @@ module Op = struct
   let prepend = 0x0f
   let stat = 0x10
   let touch = 0x1c
+
+  (* Quiet variants: the binary protocol's rendering of [noreply] — the
+     server answers only on error. Encoding a noreply command picks the
+     quiet opcode, and the parser maps it back, so noreply survives a
+     binary round trip. [Touch] has no quiet opcode (real memcached
+     reuses GAT for that); a noreply touch is normalised to a plain
+     one. *)
+  let setq = 0x11
+  let addq = 0x12
+  let replaceq = 0x13
+  let deleteq = 0x14
+  let incrementq = 0x15
+  let decrementq = 0x16
+  let appendq = 0x19
+  let prependq = 0x1a
 end
 
 module Status = struct
@@ -100,25 +115,41 @@ let encode_command (c : command) : string =
     req ~opcode:Op.get ~cas:0L ~extras:"" ~key:k ~value:""
   | Get _ | Gets _ -> invalid_arg "Binary.encode_command: multi-key get"
   | Set p ->
-    req ~opcode:Op.set ~cas:0L ~extras:(store_extras p.flags p.exptime)
-      ~key:p.key ~value:p.data
+    req
+      ~opcode:(if p.noreply then Op.setq else Op.set)
+      ~cas:0L ~extras:(store_extras p.flags p.exptime) ~key:p.key ~value:p.data
   | Cas (p, cas) ->
-    req ~opcode:Op.set ~cas ~extras:(store_extras p.flags p.exptime)
-      ~key:p.key ~value:p.data
+    req
+      ~opcode:(if p.noreply then Op.setq else Op.set)
+      ~cas ~extras:(store_extras p.flags p.exptime) ~key:p.key ~value:p.data
   | Add p ->
-    req ~opcode:Op.add ~cas:0L ~extras:(store_extras p.flags p.exptime)
-      ~key:p.key ~value:p.data
+    req
+      ~opcode:(if p.noreply then Op.addq else Op.add)
+      ~cas:0L ~extras:(store_extras p.flags p.exptime) ~key:p.key ~value:p.data
   | Replace p ->
-    req ~opcode:Op.replace ~cas:0L ~extras:(store_extras p.flags p.exptime)
-      ~key:p.key ~value:p.data
-  | Append p -> req ~opcode:Op.append ~cas:0L ~extras:"" ~key:p.key ~value:p.data
+    req
+      ~opcode:(if p.noreply then Op.replaceq else Op.replace)
+      ~cas:0L ~extras:(store_extras p.flags p.exptime) ~key:p.key ~value:p.data
+  | Append p ->
+    req
+      ~opcode:(if p.noreply then Op.appendq else Op.append)
+      ~cas:0L ~extras:"" ~key:p.key ~value:p.data
   | Prepend p ->
-    req ~opcode:Op.prepend ~cas:0L ~extras:"" ~key:p.key ~value:p.data
-  | Delete (k, _) -> req ~opcode:Op.delete ~cas:0L ~extras:"" ~key:k ~value:""
-  | Incr (k, d, _) ->
-    req ~opcode:Op.increment ~cas:0L ~extras:(counter_extras d) ~key:k ~value:""
-  | Decr (k, d, _) ->
-    req ~opcode:Op.decrement ~cas:0L ~extras:(counter_extras d) ~key:k ~value:""
+    req
+      ~opcode:(if p.noreply then Op.prependq else Op.prepend)
+      ~cas:0L ~extras:"" ~key:p.key ~value:p.data
+  | Delete (k, noreply) ->
+    req
+      ~opcode:(if noreply then Op.deleteq else Op.delete)
+      ~cas:0L ~extras:"" ~key:k ~value:""
+  | Incr (k, d, noreply) ->
+    req
+      ~opcode:(if noreply then Op.incrementq else Op.increment)
+      ~cas:0L ~extras:(counter_extras d) ~key:k ~value:""
+  | Decr (k, d, noreply) ->
+    req
+      ~opcode:(if noreply then Op.decrementq else Op.decrement)
+      ~cas:0L ~extras:(counter_extras d) ~key:k ~value:""
   | Touch (k, e, _) ->
     let b = Buffer.create 4 in
     put_u32 b e;
@@ -166,31 +197,47 @@ let parse_command (s : string) : command * int =
     if not (validate_key r.r_key) then parse_error "invalid key";
     r.r_key
   in
-  let store () =
+  let store ~noreply =
     if String.length r.r_extras <> 8 then parse_error "store: bad extras";
     { key = key (); flags = get_u32 r.r_extras 0;
-      exptime = get_u32 r.r_extras 4; data = r.r_value; noreply = false }
+      exptime = get_u32 r.r_extras 4; data = r.r_value; noreply }
+  in
+  let concat ~noreply =
+    { key = key (); flags = 0; exptime = 0; data = r.r_value; noreply }
+  in
+  let counter ~noreply what =
+    if String.length r.r_extras <> 20 then parse_error "%s: bad extras" what;
+    (key (), get_u64 r.r_extras 0, noreply)
   in
   let cmd =
     match r.r_opcode with
     | o when o = Op.get -> Get [ key () ]
-    | o when o = Op.set ->
-      if r.r_cas = 0L then Set (store ()) else Cas (store (), r.r_cas)
-    | o when o = Op.add -> Add (store ())
-    | o when o = Op.replace -> Replace (store ())
-    | o when o = Op.append ->
-      Append { key = key (); flags = 0; exptime = 0; data = r.r_value;
-               noreply = false }
-    | o when o = Op.prepend ->
-      Prepend { key = key (); flags = 0; exptime = 0; data = r.r_value;
-                noreply = false }
+    | o when o = Op.set || o = Op.setq ->
+      let noreply = r.r_opcode = Op.setq in
+      if r.r_cas = 0L then Set (store ~noreply)
+      else Cas (store ~noreply, r.r_cas)
+    | o when o = Op.add -> Add (store ~noreply:false)
+    | o when o = Op.addq -> Add (store ~noreply:true)
+    | o when o = Op.replace -> Replace (store ~noreply:false)
+    | o when o = Op.replaceq -> Replace (store ~noreply:true)
+    | o when o = Op.append -> Append (concat ~noreply:false)
+    | o when o = Op.appendq -> Append (concat ~noreply:true)
+    | o when o = Op.prepend -> Prepend (concat ~noreply:false)
+    | o when o = Op.prependq -> Prepend (concat ~noreply:true)
     | o when o = Op.delete -> Delete (key (), false)
+    | o when o = Op.deleteq -> Delete (key (), true)
     | o when o = Op.increment ->
-      if String.length r.r_extras <> 20 then parse_error "incr: bad extras";
-      Incr (key (), get_u64 r.r_extras 0, false)
+      let k, d, n = counter ~noreply:false "incr" in
+      Incr (k, d, n)
+    | o when o = Op.incrementq ->
+      let k, d, n = counter ~noreply:true "incr" in
+      Incr (k, d, n)
     | o when o = Op.decrement ->
-      if String.length r.r_extras <> 20 then parse_error "decr: bad extras";
-      Decr (key (), get_u64 r.r_extras 0, false)
+      let k, d, n = counter ~noreply:false "decr" in
+      Decr (k, d, n)
+    | o when o = Op.decrementq ->
+      let k, d, n = counter ~noreply:true "decr" in
+      Decr (k, d, n)
     | o when o = Op.touch ->
       if String.length r.r_extras <> 4 then parse_error "touch: bad extras";
       Touch (key (), get_u32 r.r_extras 0, false)

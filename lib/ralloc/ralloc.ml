@@ -34,7 +34,7 @@ let class_of_size size =
 
    Superblock header layout (offsets within the superblock):
 
-   0   kind (0 free / 1 small / 2 large head / 3 large cont)
+   0   kind (0 free / 1 small / 2 large head)
    8   class_idx          56  next_partial (absolute, 0 none)
    16  block_size         64  on_partial (0/1)
    24  num_blocks         72  large_sbs
@@ -74,7 +74,13 @@ let f_prev_partial = 96
 let kind_free = 0
 let kind_small = 1
 let kind_large_head = 2
-let kind_large_cont = 3
+
+(* A large block's data area starts at [head + sb_hdr] and runs
+   straight through the following superblocks of its run — their 128
+   header bytes are part of the data and hold no metadata at all. Every
+   walk over superblocks must therefore step {e structurally}: on a
+   large head, skip [f_large_sbs] superblocks instead of trusting
+   per-superblock kind markers, which inside a run are user bytes. *)
 
 module Pptr = struct
   let store r ~at target =
@@ -97,6 +103,10 @@ type t = {
   mutable poison : Bytes.t option;
   (* use-after-free detector (opt-in): 1 bit per 8-byte granule, set
      while the granule belongs to a freed block *)
+  mutable gen : int;
+  (* bumped by {!recover}: per-thread caches stamped with an older
+     generation are discarded, since recovery may have put their blocks
+     back on the shared freelists *)
 }
 
 (* Runtime state must be shared by every handle attached to the same
@@ -123,7 +133,8 @@ let new_runtime reg =
       let t =
         { reg; heap_id = Atomic.fetch_and_add next_heap_id 1;
           class_locks = Array.init n_classes (fun _ -> Mutex.create ());
-          sb_lock = Mutex.create (); used = Atomic.make 0; poison = None }
+          sb_lock = Mutex.create (); used = Atomic.make 0; poison = None;
+          gen = 0 }
       in
       runtimes := (reg, t) :: !runtimes;
       t
@@ -246,19 +257,20 @@ let create reg =
 
 let scan_used t =
   let total = ref 0 in
-  let count = sb_count t in
+  let fresh = min (rd t off_next_fresh) (sb_count t) in
   let i = ref 0 in
-  while !i < rd t off_next_fresh && !i < count do
+  while !i < fresh do
     let sb = sb_off t !i in
-    (match rd t (sb + f_kind) with
-     | k when k = kind_small ->
-       let bs = rd t (sb + f_block_size) in
-       let live = rd t (sb + f_bump) - rd t (sb + f_free_count) in
-       total := !total + (live * bs)
-     | k when k = kind_large_head ->
-       total := !total + rd t (sb + f_large_size)
-     | _ -> ());
-    incr i
+    match rd t (sb + f_kind) with
+    | k when k = kind_small ->
+      let bs = rd t (sb + f_block_size) in
+      let live = rd t (sb + f_bump) - rd t (sb + f_free_count) in
+      total := !total + (live * bs);
+      incr i
+    | k when k = kind_large_head ->
+      total := !total + rd t (sb + f_large_size);
+      i := !i + max 1 (rd t (sb + f_large_sbs))
+    | _ -> incr i
   done;
   !total
 
@@ -285,16 +297,19 @@ let cache_keep = 16
 
 type cache = int list ref array (* one free-block list per class *)
 
-let caches_key : (int, cache) Hashtbl.t Tls.key =
+let caches_key : (int, int * cache) Hashtbl.t Tls.key =
   Tls.new_key (fun () -> Hashtbl.create 4)
 
+(* Caches are stamped with the heap generation they were filled under;
+   a recovery bumps the generation, so survivors of a crash silently
+   drop caches whose blocks recovery may have reclaimed. *)
 let my_cache t : cache =
   let tbl = Tls.get caches_key in
   match Hashtbl.find_opt tbl t.heap_id with
-  | Some c -> c
-  | None ->
+  | Some (g, c) when g = t.gen -> c
+  | _ ->
     let c = Array.init n_classes (fun _ -> ref []) in
-    Hashtbl.add tbl t.heap_id c;
+    Hashtbl.replace tbl t.heap_id (t.gen, c);
     c
 
 (* ---- Partial-list management (under the class lock) ------------------ *)
@@ -433,6 +448,26 @@ let refill_class t c want =
 
 let large_sbs_needed size = (size + sb_hdr + superblock_size - 1) / superblock_size
 
+(* Unlink every superblock of the run [head, head + n*superblock_size)
+   from the free-superblock list. Must happen {e before} the run is
+   handed out as a large block: once user data covers the absorbed
+   headers, their [f_next_free_sb] words are gone and a later
+   {!pop_free_sb} would chase garbage. Caller holds [sb_lock]. *)
+let unlink_free_run t head n =
+  let lo = head and hi = head + (n * superblock_size) in
+  let rec filter prev p =
+    if p <> 0 then begin
+      let next = rd t (p + f_next_free_sb) in
+      if p >= lo && p < hi then begin
+        if prev = 0 then wr t off_free_sb_head next
+        else wr t (prev + f_next_free_sb) next;
+        filter prev next
+      end
+      else filter p next
+    end
+  in
+  filter 0 (rd t off_free_sb_head)
+
 let alloc_large t size =
   let need = large_sbs_needed size in
   Mutex.lock t.sb_lock;
@@ -445,27 +480,31 @@ let alloc_large t size =
     head := sb_off t fresh
   end
   else begin
-    (* First-fit scan over superblock headers for a free run. *)
+    (* First-fit scan for a free run, stepping structurally so live
+       large runs are never inspected in the middle. *)
     let run_start = ref 0 and run_len = ref 0 and i = ref 0 in
     while !head = 0 && !i < fresh do
       let sb = sb_off t !i in
-      if rd t (sb + f_kind) = kind_free then begin
+      match rd t (sb + f_kind) with
+      | k when k = kind_free ->
         if !run_len = 0 then run_start := !i;
         incr run_len;
-        if !run_len = need then head := sb_off t !run_start
-      end
-      else run_len := 0;
-      incr i
-    done
+        if !run_len = need then head := sb_off t !run_start;
+        incr i
+      | k when k = kind_large_head ->
+        run_len := 0;
+        i := !i + max 1 (rd t (sb + f_large_sbs))
+      | _ ->
+        run_len := 0;
+        incr i
+    done;
+    if !head <> 0 then unlink_free_run t !head need
   end;
   if !head <> 0 then begin
     let h = !head in
     wr t (h + f_kind) kind_large_head;
     wr t (h + f_large_sbs) need;
     wr t (h + f_large_size) size;
-    for j = 1 to need - 1 do
-      wr t (h + (j * superblock_size) + f_kind) kind_large_cont
-    done;
     Atomic.set t.used (Atomic.get t.used + size)
   end;
   Mutex.unlock t.sb_lock;
@@ -595,6 +634,122 @@ let flush t ~path =
     wr t off_used (Atomic.get t.used);
     Region.flush t.reg ~path)
 
+(* ---- Post-crash recovery --------------------------------------------------
+
+   Rebuild every piece of volatile allocator metadata from two inputs:
+   the superblock headers (which crash points can never tear — the
+   allocator's critical sections contain no scheduler sync points) and
+   the caller-supplied set of reachable block offsets. Everything
+   carved but not reachable is reclaimed: blocks sitting in a dead
+   process's thread cache, and blocks in the allocated-but-not-yet-
+   linked window of a call killed mid-flight. *)
+
+let recover t ~live =
+  Region.kernel_mode (fun () ->
+    let fail fmt = Printf.ksprintf invalid_arg fmt in
+    (* Survivors' caches may hold blocks that the rebuild below puts
+       back on shared freelists; invalidate every cache at once. *)
+    t.gen <- t.gen + 1;
+    let fresh = min (rd t off_next_fresh) (sb_count t) in
+    let carved_end = sb_off t fresh in
+    let live_by_sb = Hashtbl.create 64 in
+    List.iter
+      (fun off ->
+        if off < sb_base + sb_hdr || off >= carved_end then
+          fail "Ralloc.recover: live offset %d outside carved heap" off;
+        let sb = sb_of_block t off in
+        Hashtbl.replace live_by_sb sb
+          (off :: Option.value ~default:[] (Hashtbl.find_opt live_by_sb sb)))
+      live;
+    let free_sbs = ref [] in
+    let i = ref 0 in
+    while !i < fresh do
+      let sb = sb_off t !i in
+      let live_here =
+        Option.value ~default:[] (Hashtbl.find_opt live_by_sb sb)
+      in
+      match rd t (sb + f_kind) with
+      | k when k = kind_small ->
+        let bs = rd t (sb + f_block_size) in
+        let bump = rd t (sb + f_bump) in
+        if live_here = [] then begin
+          (* No reachable block: reclaim the whole superblock. *)
+          poison_free t (sb + sb_hdr) (bump * bs);
+          free_sbs := sb :: !free_sbs
+        end
+        else begin
+          let is_live = Array.make (max bump 1) false in
+          List.iter
+            (fun off ->
+              let rel = off - sb - sb_hdr in
+              if rel < 0 || rel mod bs <> 0 || rel / bs >= bump then
+                fail "Ralloc.recover: offset %d is not a carved block" off;
+              is_live.(rel / bs) <- true)
+            live_here;
+          (* Fresh freelist out of the dead carved blocks; reachable
+             blocks get their poison marks cleared (they may have been
+             freed by the dead process after the store last saw them —
+             reachability wins). *)
+          wr t (sb + f_free_head) 0;
+          let fc = ref 0 in
+          for b = bump - 1 downto 0 do
+            let off = sb + sb_hdr + (b * bs) in
+            if is_live.(b) then unpoison_alloc t off bs
+            else begin
+              poison_free t off bs;
+              wr t (off + 0) (rd t (sb + f_free_head));
+              wr t (sb + f_free_head) off;
+              incr fc
+            end
+          done;
+          wr t (sb + f_free_count) !fc;
+          wr t (sb + f_next_partial) 0;
+          wr t (sb + f_prev_partial) 0;
+          wr t (sb + f_on_partial) 0
+        end;
+        incr i
+      | k when k = kind_large_head ->
+        let n = max 1 (rd t (sb + f_large_sbs)) in
+        let lsize = rd t (sb + f_large_size) in
+        if List.mem (sb + sb_hdr) live_here then
+          unpoison_alloc t (sb + sb_hdr) lsize
+        else begin
+          if live_here <> [] then
+            fail "Ralloc.recover: interior offset into large block";
+          poison_free t (sb + sb_hdr) lsize;
+          for j = n - 1 downto 0 do
+            free_sbs := (sb + (j * superblock_size)) :: !free_sbs
+          done
+        end;
+        i := !i + n
+      | _ ->
+        if live_here <> [] then
+          fail "Ralloc.recover: live offset in a free superblock";
+        free_sbs := sb :: !free_sbs;
+        incr i
+    done;
+    (* Rebuild the free-superblock list... *)
+    wr t off_free_sb_head 0;
+    List.iter (fun sb -> push_free_sb t sb) (List.rev !free_sbs);
+    (* ...then the per-class partial lists, from scratch. *)
+    for c = 0 to 31 do
+      wr t (partial_head_off c) 0
+    done;
+    let i = ref 0 in
+    while !i < fresh do
+      let sb = sb_off t !i in
+      match rd t (sb + f_kind) with
+      | k when k = kind_small ->
+        if rd t (sb + f_free_count) > 0
+           || rd t (sb + f_bump) < rd t (sb + f_num_blocks)
+        then push_partial t (rd t (sb + f_class)) sb;
+        incr i
+      | k when k = kind_large_head ->
+        i := !i + max 1 (rd t (sb + f_large_sbs))
+      | _ -> incr i
+    done;
+    Atomic.set t.used (scan_used t))
+
 (* ---- Introspection --------------------------------------------------------- *)
 
 type class_stat = {
@@ -613,19 +768,24 @@ let class_stats t =
           cs_cached_blocks = List.length !((my_cache t).(c)) })
     in
     let fresh = rd t off_next_fresh in
-    for i = 0 to fresh - 1 do
-      let sb = sb_off t i in
-      if rd t (sb + f_kind) = kind_small then begin
-        let c = rd t (sb + f_class) in
-        let free_blocks =
-          rd t (sb + f_free_count)
-          + (rd t (sb + f_num_blocks) - rd t (sb + f_bump))
-        in
-        stats.(c) <-
-          { (stats.(c)) with
-            cs_superblocks = stats.(c).cs_superblocks + 1;
-            cs_free_blocks = stats.(c).cs_free_blocks + free_blocks }
-      end
+    let i = ref 0 in
+    while !i < fresh do
+      let sb = sb_off t !i in
+      (match rd t (sb + f_kind) with
+       | k when k = kind_small ->
+         let c = rd t (sb + f_class) in
+         let free_blocks =
+           rd t (sb + f_free_count)
+           + (rd t (sb + f_num_blocks) - rd t (sb + f_bump))
+         in
+         stats.(c) <-
+           { (stats.(c)) with
+             cs_superblocks = stats.(c).cs_superblocks + 1;
+             cs_free_blocks = stats.(c).cs_free_blocks + free_blocks };
+         incr i
+       | k when k = kind_large_head ->
+         i := !i + max 1 (rd t (sb + f_large_sbs))
+       | _ -> incr i)
     done;
     stats)
 
@@ -640,7 +800,7 @@ let check_invariants t =
     while !i < fresh do
       let sb = sb_off t !i in
       (match rd t (sb + f_kind) with
-       | k when k = kind_free || k = kind_large_cont -> incr i
+       | k when k = kind_free -> incr i
        | k when k = kind_small ->
          let bs = rd t (sb + f_block_size) in
          let c = rd t (sb + f_class) in
@@ -670,12 +830,27 @@ let check_invariants t =
        | k when k = kind_large_head ->
          let n = rd t (sb + f_large_sbs) in
          if n < 1 || !i + n > count then fail "sb %d: large run escapes heap" !i;
-         for j = 1 to n - 1 do
-           if rd t (sb + (j * superblock_size) + f_kind) <> kind_large_cont
-           then fail "sb %d: broken large run" !i
-         done;
+         let sz = rd t (sb + f_large_size) in
+         if sz + sb_hdr > n * superblock_size
+            || (n > 1 && sz + sb_hdr <= (n - 1) * superblock_size)
+         then fail "sb %d: large size %d does not fit its %d-sb run" !i sz n;
          i := !i + n
        | k -> fail "sb %d: invalid kind %d" !i k)
+    done;
+    (* The free-superblock list must stay within the carved area and
+       contain only free superblocks. *)
+    let seen_free = ref 0 in
+    let p = ref (rd t off_free_sb_head) in
+    while !p <> 0 do
+      incr seen_free;
+      if !seen_free > count then fail "free-superblock list cycles";
+      if !p < sb_base || !p >= sb_off t fresh then
+        fail "free-superblock list escapes carved area";
+      if (!p - sb_base) mod superblock_size <> 0 then
+        fail "misaligned free-superblock entry";
+      if rd t (!p + f_kind) <> kind_free then
+        fail "non-free superblock on the free list";
+      p := rd t (!p + f_next_free_sb)
     done;
     (* Partial lists must be doubly linked and flagged. *)
     for c = 0 to n_classes - 1 do

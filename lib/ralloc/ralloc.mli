@@ -74,6 +74,22 @@ val flush : t -> path:string -> unit
 (** Persist the heap to its backing file (bookkeeping-process
     shutdown). *)
 
+val recover : t -> live:int list -> unit
+(** Post-crash recovery (the paper's "Ralloc is a recovering
+    allocator"). [live] is the set of block offsets still reachable
+    from the store's data structures; every carved block not in it —
+    blocks cached by a dead process's threads, blocks allocated but not
+    yet linked when the process was killed — is reclaimed. Rebuilds,
+    from the superblock headers alone: per-superblock freelists, the
+    free-superblock pool, the per-class partial lists, and the used
+    counter; clears poison marks on reachable blocks and re-marks
+    reclaimed ones. Also bumps the heap generation so every thread's
+    local cache (including survivors') is discarded rather than handing
+    out blocks recovery just reclaimed. Runs in kernel mode at
+    quiescence: no concurrent library calls may be in flight. Raises
+    [Invalid_argument] if [live] names an offset that is not a carved
+    block. *)
+
 (** {1 Persistent roots} *)
 
 val set_root : t -> int -> int -> unit

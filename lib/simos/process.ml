@@ -23,6 +23,7 @@ type t = {
   mutable euid : int;
   mutable status : status;
   mutable killed_at_ns : int option;
+  mutable kill_count : int;  (** total {!kill} deliveries, duplicates included *)
   in_library : int Atomic.t;  (** threads currently inside a protected call *)
 }
 
@@ -33,7 +34,8 @@ let next_pid = Atomic.make 1
 
 let make ?(uid = 0) name =
   { pid = Atomic.fetch_and_add next_pid 1; pname = name; uid; euid = uid;
-    status = Running; killed_at_ns = None; in_library = Atomic.make 0 }
+    status = Running; killed_at_ns = None; kill_count = 0;
+    in_library = Atomic.make 0 }
 
 let init_process = make ~uid:0 "init"
 
@@ -61,15 +63,34 @@ let alive t = t.status = Running
 
 let status t = t.status
 
+(* Death is once: the first kill fixes the timestamp and signal the
+   grace-window arithmetic uses; later deliveries to an already-dead
+   process are explicit no-ops, counted in [kill_count] so callers
+   (and the grace tests) can observe that a duplicate arrived rather
+   than having it silently swallowed. A duplicate timestamped before
+   the recorded death is a driver bug — time cannot run backwards. *)
 let kill ?(signal = "SIGKILL") ~now_ns t =
-  if t.status = Running then begin
+  t.kill_count <- t.kill_count + 1;
+  match t.status with
+  | Running ->
     t.status <- Killed signal;
     t.killed_at_ns <- Some now_ns
-  end
+  | Killed _ ->
+    (match t.killed_at_ns with
+     | Some first when now_ns < first ->
+       invalid_arg
+         (Printf.sprintf
+            "Process.kill: duplicate %s for %s timestamped %dns before its \
+             recorded death"
+            signal t.pname (first - now_ns))
+     | _ -> ())
+  | Exited -> ()
 
 let exit t = if t.status = Running then t.status <- Exited
 
 let killed_at t = t.killed_at_ns
+
+let kill_count t = t.kill_count
 
 (* Library-call accounting, used by Hodor's completion guarantee. *)
 

@@ -36,12 +36,21 @@ val alive : t -> bool
 val status : t -> status
 
 val kill : ?signal:string -> now_ns:int -> t -> unit
-(** SIGKILL-style death from outside. A second kill keeps the first
-    timestamp. *)
+(** SIGKILL-style death from outside. The first kill fixes the
+    timestamp and signal used by the grace-window arithmetic; a second
+    kill is a counted no-op (see {!kill_count}).
+    @raise Invalid_argument if a duplicate kill carries a timestamp
+    earlier than the recorded death — virtual time cannot run
+    backwards. *)
 
 val exit : t -> unit
 
 val killed_at : t -> int option
+
+val kill_count : t -> int
+(** Total {!kill} deliveries, duplicates included — lets tests assert
+    that a second kill during the grace window was observed (and
+    ignored) rather than silently replacing the first timestamp. *)
 
 (** {1 Library-call accounting (Hodor's completion guarantee)} *)
 

@@ -32,6 +32,14 @@ type vthread = {
   mutable clock : int;
   mutable state : state;
   mutable join_waiters : (int -> unit) list;
+  mutable held : vmutex list;
+  (* vmutexes currently owned — consulted for robust release when the
+     thread is crashed at a kill site *)
+}
+
+and vmutex = {
+  mutable owner : int; (* tid, or -1 when free *)
+  lock_waiters : (int * (int -> unit)) Queue.t;
 }
 
 exception Deadlock of string
@@ -42,10 +50,6 @@ exception Closed_chan
 
 (* Waker convention: called exactly once, with the virtual time at which
    the wake-causing event happened; the waker re-schedules its thread. *)
-type vmutex = {
-  mutable owner : int; (* tid, or -1 when free *)
-  lock_waiters : (int * (int -> unit)) Queue.t;
-}
 
 type 'a vchan = {
   q : 'a Queue.t;
@@ -139,6 +143,14 @@ type t = {
   preempt_jitter : int;
   (* max extra ns (seeded-random) added per [advance], perturbing which
      thread reaches each synchronization point first *)
+  (* Crash-point injection: every visible sync point performed by a
+     thread matching [crash_filter] gets a dense index; when the index
+     hits [crash_at] the thread is terminated abruptly at that point. *)
+  mutable sync_points : int;
+  mutable crash_at : int option;
+  mutable crash_filter : string -> bool;
+  mutable on_crash : (string -> int -> unit) option;
+  mutable crashed : (string * int) list;
 }
 
 let create ?(config = Config.default) ?sched_seed ?(preempt_jitter = 0) () =
@@ -146,7 +158,19 @@ let create ?(config = Config.default) ?sched_seed ?(preempt_jitter = 0) () =
     runnable = 0; current = None; vnow = 0; nevents = 0; fails = [];
     running = false; runnable_weighted = 0.0; last_sample = 0;
     rng = Option.map (fun s -> Random.State.make [| s |]) sched_seed;
-    preempt_jitter }
+    preempt_jitter; sync_points = 0; crash_at = None;
+    crash_filter = (fun _ -> true); on_crash = None; crashed = [] }
+
+let set_crash_point t ?(filter = fun _ -> true) ~at ?on_crash () =
+  t.crash_filter <- filter;
+  t.crash_at <- Some at;
+  t.on_crash <- on_crash
+
+let clear_crash_point t = t.crash_at <- None
+
+let sync_points_seen t = t.sync_points
+
+let crashed t = List.rev t.crashed
 
 let now t = t.vnow
 
@@ -218,7 +242,7 @@ let new_thread t name =
     match name with Some n -> n | None -> Printf.sprintf "vthread-%d" tid
   in
   { tid; vname; table = Tls.fresh_table (); clock = 0; state = Runnable;
-    join_waiters = [] }
+    join_waiters = []; held = [] }
 
 let set_current t th = t.current <- Some th
 
@@ -239,6 +263,48 @@ let finish t th err =
   let ws = th.join_waiters in
   th.join_waiters <- [];
   List.iter (fun w -> w th.clock) ws
+
+(* Crash-point injection. Called at the entry of every visible sync
+   point; returns [true] when this is the designated kill site, in which
+   case the thread has been terminated {e abruptly}: its continuation is
+   dropped without being resumed or discontinued, so no unwinding
+   happens — finalizers do not run and whatever shared state the thread
+   was mutating stays exactly as it was, which is precisely the
+   SIGKILL-mid-call behaviour the recovery machinery must cope with.
+   The only cleanup performed is robust-mutex handoff (a real OS does
+   the equivalent for robust futexes): vmutexes owned by the dead thread
+   are released, waking the next waiter, so surviving threads do not
+   hang on the scheduler-level lock itself — they instead observe the
+   half-mutated state it protected. *)
+let crash_check t th =
+  match t.crash_at with
+  | None -> false
+  | Some at ->
+    if not (t.crash_filter th.vname) then false
+    else begin
+      let k = t.sync_points in
+      t.sync_points <- k + 1;
+      if k <> at then false
+      else begin
+        t.crash_at <- None;
+        t.crashed <- (th.vname, k) :: t.crashed;
+        List.iter
+          (fun m ->
+            if m.owner = th.tid then begin
+              m.owner <- -1;
+              match Queue.take_opt m.lock_waiters with
+              | Some (tid, w) ->
+                m.owner <- tid;
+                w th.clock
+              | None -> ()
+            end)
+          th.held;
+        th.held <- [];
+        finish t th None;
+        (match t.on_crash with Some f -> f th.vname th.clock | None -> ());
+        true
+      end
+    end
 
 (* Park the thread and re-run [op] once its clock is globally minimal;
    run [op] inline when it already is (the common, event-free path).
@@ -286,75 +352,92 @@ let rec handler : 'a. t -> vthread -> ('a, unit) Effect.Deep.handler =
         | Advance n ->
           Some
             (fun (k : (a, unit) continuation) ->
-              th.clock <- th.clock + dilate t n;
-              (match t.rng with
-               | Some st when t.preempt_jitter > 0 ->
-                 th.clock <-
-                   th.clock + Random.State.int st (t.preempt_jitter + 1)
-               | _ -> ());
-              continue k ())
+              if crash_check t th then ()
+              else begin
+                th.clock <- th.clock + dilate t n;
+                (match t.rng with
+                 | Some st when t.preempt_jitter > 0 ->
+                   th.clock <-
+                     th.clock + Random.State.int st (t.preempt_jitter + 1)
+                 | _ -> ());
+                continue k ()
+              end)
         | Now_eff -> Some (fun k -> continue k th.clock)
         | Self_eff -> Some (fun k -> continue k th.tid)
         | Yield_eff ->
           Some
             (fun k ->
-              push_event t th.clock (fun () ->
-                set_current t th;
-                continue k ()))
+              if crash_check t th then ()
+              else
+                push_event t th.clock (fun () ->
+                  set_current t th;
+                  continue k ()))
         | Sleep_until at ->
           Some
             (fun k ->
-              (* Sleeping threads consume no CPU: leave the runnable
-                 count while parked. *)
-              th.clock <- max th.clock at;
-              block t th;
-              push_event t th.clock (fun () ->
-                th.state <- Runnable;
-                t.runnable <- t.runnable + 1;
-                set_current t th;
-                continue k ()))
+              if crash_check t th then ()
+              else begin
+                (* Sleeping threads consume no CPU: leave the runnable
+                   count while parked. *)
+                th.clock <- max th.clock at;
+                block t th;
+                push_event t th.clock (fun () ->
+                  th.state <- Runnable;
+                  t.runnable <- t.runnable + 1;
+                  set_current t th;
+                  continue k ())
+              end)
         | Lock m ->
           Some
             (fun k ->
-              resync t th (fun () ->
-                if m.owner < 0 then begin
-                  m.owner <- th.tid;
-                  continue k ()
-                end
-                else begin
-                  block t th;
-                  Queue.push
-                    ( th.tid,
-                      fun at ->
-                        wake t th at (fun () ->
-                          (* A contended acquisition pays the
-                             cache-line handoff. *)
-                          th.clock <-
-                            th.clock
-                            + Platform.Cost_model.current.lock_handoff;
-                          continue k ()) )
-                    m.lock_waiters
-                end))
+              if crash_check t th then ()
+              else
+                resync t th (fun () ->
+                  if m.owner < 0 then begin
+                    m.owner <- th.tid;
+                    th.held <- m :: th.held;
+                    continue k ()
+                  end
+                  else begin
+                    block t th;
+                    Queue.push
+                      ( th.tid,
+                        fun at ->
+                          wake t th at (fun () ->
+                            (* A contended acquisition pays the
+                               cache-line handoff. *)
+                            th.clock <-
+                              th.clock
+                              + Platform.Cost_model.current.lock_handoff;
+                            th.held <- m :: th.held;
+                            continue k ()) )
+                      m.lock_waiters
+                  end))
         | Unlock m ->
           Some
             (fun k ->
-              resync t th (fun () ->
-                if m.owner <> th.tid then
-                  discontinue k
-                    (Invalid_argument "Vm.Sync.unlock: not the owner")
-                else begin
-                  m.owner <- -1;
-                  (match Queue.take_opt m.lock_waiters with
-                   | Some (tid, w) ->
-                     (* Direct handoff: no barging past a waiter. *)
-                     m.owner <- tid;
-                     w th.clock
-                   | None -> ());
-                  continue k ()
-                end))
+              if crash_check t th then ()
+              else
+                resync t th (fun () ->
+                  if m.owner <> th.tid then
+                    discontinue k
+                      (Invalid_argument "Vm.Sync.unlock: not the owner")
+                  else begin
+                    m.owner <- -1;
+                    th.held <- List.filter (fun m' -> m' != m) th.held;
+                    (match Queue.take_opt m.lock_waiters with
+                     | Some (tid, w) ->
+                       (* Direct handoff: no barging past a waiter. *)
+                       m.owner <- tid;
+                       w th.clock
+                     | None -> ());
+                    continue k ()
+                  end))
         | Send (c, v) ->
           Some
             (fun k ->
+              if crash_check t th then ()
+              else
               resync t th (fun () ->
                 if c.chan_closed then discontinue k Closed_chan
                 else
@@ -389,6 +472,8 @@ let rec handler : 'a. t -> vthread -> ('a, unit) Effect.Deep.handler =
         | Recv c ->
           Some
             (fun k ->
+              if crash_check t th then ()
+              else
               resync t th (fun () ->
                 match Queue.take_opt c.q with
                 | Some v ->
@@ -411,6 +496,8 @@ let rec handler : 'a. t -> vthread -> ('a, unit) Effect.Deep.handler =
         | Try_recv c ->
           Some
             (fun k ->
+              if crash_check t th then ()
+              else
               resync t th (fun () ->
                 match Queue.take_opt c.q with
                 | Some v ->
@@ -424,6 +511,8 @@ let rec handler : 'a. t -> vthread -> ('a, unit) Effect.Deep.handler =
         | Close_chan c ->
           Some
             (fun k ->
+              if crash_check t th then ()
+              else
               resync t th (fun () ->
                 c.chan_closed <- true;
                 Queue.iter (fun w -> w None th.clock) c.recv_waiters;
@@ -434,6 +523,8 @@ let rec handler : 'a. t -> vthread -> ('a, unit) Effect.Deep.handler =
         | Spawn_in (name, body) ->
           Some
             (fun k ->
+              if crash_check t th then ()
+              else
               resync t th (fun () ->
                 let child = new_thread t name in
                 child.clock <- th.clock;
@@ -446,6 +537,8 @@ let rec handler : 'a. t -> vthread -> ('a, unit) Effect.Deep.handler =
         | Join_t target ->
           Some
             (fun k ->
+              if crash_check t th then ()
+              else
               resync t th (fun () ->
                 if target.state = Finished then begin
                   th.clock <- max th.clock target.clock;

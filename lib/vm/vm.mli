@@ -91,6 +91,42 @@ val mean_runnable : t -> float
 (** Time-weighted mean of the runnable-thread count — the CPU-demand
     diagnostic behind the dilation model. *)
 
+(** {2 Crash-point injection}
+
+    Every {e visible} sync point (advance, yield, sleep, lock, unlock,
+    channel ops, spawn, join) performed by a thread whose name matches
+    the filter is assigned a dense index 0, 1, 2, …; at the designated
+    index the thread is killed {e abruptly}: its continuation is dropped
+    without unwinding — no finalizers run, whatever it was mutating
+    stays half-done. Scheduler-level mutexes it owned are
+    robust-released (next waiter acquires), so survivors observe the
+    protected state mid-mutation rather than hanging. Sweeping [at] over
+    [0 .. sync_points_seen] deterministically explores every kill
+    site of a workload. *)
+
+val set_crash_point :
+  t ->
+  ?filter:(string -> bool) ->
+  at:int ->
+  ?on_crash:(string -> int -> unit) ->
+  unit ->
+  unit
+(** Arm the (single-shot) crash point. [filter] selects victim threads
+    by name (default: all). [at] is the sync-point index at which the
+    matching thread dies; pass [max_int] to only count sync points.
+    [on_crash name now] fires right after the kill (e.g. to mark the
+    simulated process dead). *)
+
+val clear_crash_point : t -> unit
+
+val sync_points_seen : t -> int
+(** Number of filter-matching sync points indexed so far — after a
+    count-only run, the exclusive upper bound for a sweep over [at]. *)
+
+val crashed : t -> (string * int) list
+(** [(thread name, sync-point index)] for every injected crash, in
+    order. *)
+
 (** Substrate instance for functors over {!Platform.Sync_intf.S}.
     All operations except [mutex] and [chan] (pure constructors) must
     be called from inside a running simulation. *)

@@ -1,0 +1,358 @@
+(** Crash-point injection sweep + post-crash recovery (the PR's
+    headline test).
+
+    Every visible sync point of a victim thread is an indexed kill
+    site; the sweep runs the same deterministic workload once per site,
+    SIGKILLs the victim abruptly there (continuation dropped, no
+    unwinding — whatever it was mutating stays half-done), then runs
+    the recovery protocol and asserts:
+
+    - [Store.check_invariants] and [Ralloc.check_invariants] pass;
+    - every write a {e surviving} client had acknowledged is still
+      readable with the acknowledged value (and acknowledged deletes
+      stay deleted);
+    - the allocator's used-byte accounting equals exactly the live
+      set handed back by [Store.recover] — a reverted or weakened
+      [Ralloc.recover] shows up here as a leak;
+    - the store takes fresh traffic afterwards.
+
+    Workload A drives the full protected-library stack (trampolines,
+    copy-in, shared heap) with one victim and two surviving client
+    processes. Workload B drives the store directly under memory
+    pressure (evictions, expiry reaping) with any of three workers as
+    the victim. [CRASH_SWEEP_KMAX] caps the number of sites per
+    workload (the CI smoke job sets it); unset, the two sweeps
+    together cover 200+ kill sites. *)
+
+module VCl = Core.Client.Make (Vm.Sync)
+module Plib = VCl.Plib
+module Process = Simos.Process
+module Store = Mc_core.Store
+module SM = Mc_core.Shared_memory
+module RA = Mc_core.Ralloc_alloc
+
+let cap () =
+  match Sys.getenv_opt "CRASH_SWEEP_KMAX" with
+  | Some s -> (try int_of_string s with _ -> max_int)
+  | None -> max_int
+
+(* Sites actually killed, accumulated across the sweep tests and
+   checked by the final coverage case. *)
+let sites_a = ref 0
+
+let sites_b = ref 0
+
+type expect = Val of string | Absent
+
+let assert_conserved heap live =
+  let expected =
+    List.fold_left (fun acc off -> acc + Ralloc.usable_size heap off) 0 live
+  in
+  let used = Ralloc.used_bytes heap in
+  if used <> expected then
+    Alcotest.fail
+      (Printf.sprintf
+         "allocator leak after recovery: used=%d bytes but the live set \
+          accounts for %d"
+         used expected)
+
+(* ---- Workload A: full Plib stack, one victim + two survivors ------- *)
+
+let cfg_a =
+  { Store.default_config with hashpower = 7; lock_count = 8; lru_count = 2;
+    stats_slots = 2 }
+
+let fresh_a = ref 0
+
+(* One deterministic run with the crash point armed at [at] (pass
+   [max_int] to only count sync points). Returns (crashes, sync-point
+   count, events fingerprint). [recover_anyway] additionally runs the
+   recovery protocol when no crash fired — recovery over an untorn
+   store must be conservative. *)
+let run_a ?(recover_anyway = false) ~at () =
+  incr fresh_a;
+  let path = Printf.sprintf "/shm/crash-a-%d" !fresh_a in
+  let owner = Process.make ~uid:1000 "bk-crash" in
+  let p = Plib.create ~store_cfg:cfg_a ~path ~size:(2 lsl 20) ~owner () in
+  Fun.protect
+    ~finally:(fun () ->
+      Simos.Sim_fs.unlink path;
+      Hodor.Library.release (Plib.library p);
+      Pku.Pkru.reset_thread ())
+    (fun () ->
+      let vm = Vm.create ~sched_seed:1234 ~preempt_jitter:50 () in
+      let victim_proc = Process.make ~uid:2000 "victim-proc" in
+      Vm.set_crash_point vm
+        ~filter:(fun n -> n = "victim")
+        ~at
+        ~on_crash:(fun _name now -> Process.kill ~now_ns:now victim_proc)
+        ();
+      (* Host-side model of every acknowledged surviving-client write:
+         an entry is recorded only after the library call returned. *)
+      let model : (string, expect) Hashtbl.t = Hashtbl.create 64 in
+      ignore
+        (Vm.spawn vm ~name:"victim" (fun () ->
+           Process.with_process victim_proc (fun () ->
+             try
+               for i = 0 to 63 do
+                 let k = Printf.sprintf "v-%d" (i mod 11) in
+                 if i = 0 then ignore (Plib.set p "v-ctr" "0");
+                 match i mod 6 with
+                 | 0 | 1 ->
+                   ignore
+                     (Plib.set p k (String.make (100 + (i * 37 mod 700)) 'v'))
+                 | 2 -> ignore (Plib.get p k)
+                 | 3 -> ignore (Plib.delete p k)
+                 | 4 -> ignore (Plib.incr p "v-ctr" 1L)
+                 | _ -> ignore (Plib.touch p k 1000)
+               done
+             with Process.Process_killed _ -> ())));
+      let survivor idx =
+        ignore
+          (Vm.spawn vm ~name:(Printf.sprintf "surv%d" idx) (fun () ->
+             let proc =
+               Process.make ~uid:(3000 + idx) (Printf.sprintf "app%d" idx)
+             in
+             Process.with_process proc (fun () ->
+               let ctr_key = Printf.sprintf "s%d-ctr" idx in
+               (match Plib.set p ctr_key "0" with
+                | Store.Stored -> Hashtbl.replace model ctr_key (Val "0")
+                | _ -> ());
+               (* Stop looping once the victim died: at most the one
+                  in-flight call runs over the torn store, covered by
+                  the robust-mutex handoff. *)
+               let i = ref 0 in
+               while !i < 20 && Vm.crashed vm = [] do
+                 let k = Printf.sprintf "s%d-%d" idx (!i mod 5) in
+                 (match !i mod 6 with
+                  | 5 ->
+                    ignore (Plib.delete p k);
+                    Hashtbl.replace model k Absent
+                  | 4 -> (
+                    match Plib.incr p ctr_key 1L with
+                    | Store.Counter v ->
+                      Hashtbl.replace model ctr_key (Val (Int64.to_string v))
+                    | _ -> ())
+                  | _ ->
+                    let v =
+                      Printf.sprintf "s%d-%d-%s" idx !i
+                        (String.make
+                           (30 + (!i * 53 mod 400))
+                           (Char.chr (Char.code 'a' + idx)))
+                    in
+                    (match Plib.set p k v with
+                     | Store.Stored -> Hashtbl.replace model k (Val v)
+                     | _ -> ()));
+                 incr i
+               done)))
+      in
+      survivor 0;
+      survivor 1;
+      Vm.run vm;
+      let crashes = Vm.crashed vm in
+      let n = Vm.sync_points_seen vm in
+      let events = Vm.events_processed vm in
+      (* Recovery and verification charge virtual time, so they run as
+         the bookkeeping process inside a fresh simulation. *)
+      let vm2 = Vm.create () in
+      ignore
+        (Vm.spawn vm2 ~name:"bookkeeper" (fun () ->
+           Process.with_process owner (fun () ->
+             let crashed = crashes <> [] in
+             if crashed || recover_anyway then Plib.recover p;
+             Shm.Region.kernel_mode (fun () ->
+               Plib.Store.check_invariants (Plib.store p);
+               Ralloc.check_invariants (Plib.heap p));
+             if crashed || recover_anyway then
+               Shm.Region.kernel_mode (fun () ->
+                 (* Idempotent second pass, to get our hands on the
+                    live set for the conservation check. *)
+                 let store = Plib.store p and heap = Plib.heap p in
+                 let live = Plib.Store.recover store in
+                 let cell =
+                   Ralloc.get_root heap Core.Plib_store.root_primary
+                 in
+                 let live = if cell = 0 then live else cell :: live in
+                 Ralloc.recover heap ~live;
+                 assert_conserved heap live);
+             (* Every acknowledged surviving write is still served. *)
+             Hashtbl.iter
+               (fun k e ->
+                 match (e, Plib.get p k) with
+                 | Val v, Some r when r.Store.value = v -> ()
+                 | Val v, Some r ->
+                   Alcotest.fail
+                     (Printf.sprintf
+                        "acked write %s corrupted: wanted %d bytes, got %d" k
+                        (String.length v)
+                        (String.length r.Store.value))
+                 | Val _, None ->
+                   Alcotest.fail ("acked write lost after recovery: " ^ k)
+                 | Absent, None -> ()
+                 | Absent, Some _ ->
+                   Alcotest.fail ("acked delete resurrected: " ^ k))
+               model;
+             (* And the store takes fresh traffic. *)
+             if Plib.set p "post-crash" "recovered" <> Store.Stored then
+               Alcotest.fail "store refuses writes after recovery";
+             match Plib.get p "post-crash" with
+             | Some r when r.Store.value = "recovered" -> ()
+             | _ -> Alcotest.fail "post-recovery write not readable")));
+      Vm.run vm2;
+      (crashes, n, events))
+
+let check_crashes = Alcotest.(check (list (pair string int)))
+
+let test_sweep_plib () =
+  (* Count pass: index the kill sites without firing. *)
+  let crashes, n, _ = run_a ~at:max_int () in
+  check_crashes "count pass kills nobody" [] crashes;
+  Alcotest.(check bool)
+    (Printf.sprintf "workload exposes enough kill sites (%d)" n)
+    true (n >= 130);
+  let m = min 130 (cap ()) in
+  for i = 0 to m - 1 do
+    let k = i * n / m in
+    let crashes, _, _ = run_a ~at:k () in
+    check_crashes
+      (Printf.sprintf "kill fired at site %d/%d" k n)
+      [ ("victim", k) ] crashes;
+    incr sites_a
+  done
+
+let test_sweep_is_deterministic () =
+  let c1, n1, e1 = run_a ~at:37 () in
+  let c2, n2, e2 = run_a ~at:37 () in
+  check_crashes "same kill site" c1 c2;
+  Alcotest.(check int) "same sync-point count" n1 n2;
+  Alcotest.(check int) "same event fingerprint" e1 e2
+
+let test_crash_point_beyond_workload () =
+  (* A crash point past the last sync point never fires; the workload
+     and all checks complete untouched. *)
+  let _, n, _ = run_a ~at:max_int () in
+  let crashes, _, _ = run_a ~at:(n + 11) () in
+  check_crashes "no kill fired" [] crashes
+
+let test_recovery_is_conservative () =
+  (* Running the full recovery protocol over an untorn store must not
+     drop a single acknowledged write. *)
+  let crashes, _, _ = run_a ~recover_anyway:true ~at:max_int () in
+  check_crashes "no kill fired" [] crashes
+
+(* ---- Workload B: direct store under memory pressure ---------------- *)
+
+module BSt = Store.Make (SM) (RA) (Vm.Sync)
+
+let cfg_b =
+  { Store.default_config with hashpower = 6; lock_count = 4; lru_count = 2;
+    stats_slots = 2; evict_batch = 2 }
+
+(* Distinct 900-byte values overflow the 384 KiB heap, so sets race
+   eviction; expired items race the reaper. Any of the three workers
+   dies at site [at]. *)
+let run_b ~at =
+  let vm = Vm.create ~sched_seed:77 ~preempt_jitter:60 () in
+  Vm.set_crash_point vm ~filter:(fun n -> n.[0] = 'w') ~at ();
+  let reg = Shm.Region.create ~name:"crash-b" ~size:(384 lsl 10) ~pkey:0 () in
+  let heap = Ralloc.create reg in
+  let store_ref = ref None in
+  ignore
+    (Vm.spawn vm ~name:"main" (fun () ->
+       let st =
+         BSt.create ~mem:(SM.of_region reg) ~alloc:(RA.of_heap heap) cfg_b
+       in
+       store_ref := Some st;
+       ignore (BSt.set st "ctr" "1");
+       let worker t =
+         Vm.Sync.spawn ~name:(Printf.sprintf "w%d" t) (fun () ->
+           let i = ref 0 in
+           while !i < 60 && Vm.crashed vm = [] do
+             let k = Printf.sprintf "t%d-%d" t !i in
+             let prev = Printf.sprintf "t%d-%d" t (max 0 (!i - 2)) in
+             (match !i mod 7 with
+              | 0 | 1 | 2 -> ignore (BSt.set st k (String.make 900 'x'))
+              | 3 -> ignore (BSt.set st ~exptime:1 k "soon-dead")
+              | 4 -> ignore (BSt.get st prev)
+              | 5 -> ignore (BSt.delete st prev)
+              | _ -> ignore (BSt.incr st "ctr" 1L));
+             Vm.Sync.advance 40;
+             incr i
+           done)
+       in
+       let ws = List.init 3 worker in
+       List.iter Vm.Sync.join ws;
+       if Vm.crashed vm = [] then begin
+         (* clean runs also exercise the reap + explicit-evict paths *)
+         Vm.Sync.advance 1_500_000_000;
+         ignore (BSt.reap_expired st);
+         ignore (BSt.evict_some st ~hint:4);
+         BSt.check_invariants st
+       end));
+  Vm.run vm;
+  let crashes = Vm.crashed vm in
+  let n = Vm.sync_points_seen vm in
+  let st = Option.get !store_ref in
+  let vm2 = Vm.create () in
+  ignore
+    (Vm.spawn vm2 ~name:"recovery" (fun () ->
+       if crashes <> [] then
+         Shm.Region.kernel_mode (fun () ->
+           let live = BSt.recover st in
+           Ralloc.recover heap ~live;
+           assert_conserved heap live);
+       Shm.Region.kernel_mode (fun () ->
+         BSt.check_invariants st;
+         Ralloc.check_invariants heap);
+       if BSt.set st "post-crash" "ok" <> Store.Stored then
+         Alcotest.fail "store refuses writes after recovery";
+       match BSt.get st "post-crash" with
+       | Some r when r.Store.value = "ok" -> ()
+       | _ -> Alcotest.fail "post-recovery write not readable"));
+  Vm.run vm2;
+  (crashes, n)
+
+let test_sweep_store_pressure () =
+  let crashes, n = run_b ~at:max_int in
+  check_crashes "count pass kills nobody" [] crashes;
+  Alcotest.(check bool)
+    (Printf.sprintf "workload exposes enough kill sites (%d)" n)
+    true (n >= 90);
+  let m = min 90 (cap ()) in
+  for i = 0 to m - 1 do
+    let k = i * n / m in
+    let crashes, _ = run_b ~at:k in
+    (match crashes with
+     | [ (name, k') ] when k' = k && name.[0] = 'w' -> ()
+     | _ ->
+       Alcotest.fail
+         (Printf.sprintf "expected exactly one worker kill at site %d/%d" k n));
+    incr sites_b
+  done
+
+(* ---- Coverage floor (must run after the sweeps) -------------------- *)
+
+let test_coverage () =
+  if cap () = max_int then
+    Alcotest.(check bool)
+      (Printf.sprintf "sweeps killed at %d + %d distinct sites" !sites_a
+         !sites_b)
+      true
+      (!sites_a + !sites_b >= 200)
+
+let () =
+  Alcotest.run "crash"
+    [ ( "sweep",
+        [ Alcotest.test_case "plib stack, victim + survivors" `Quick
+            test_sweep_plib;
+          Alcotest.test_case "direct store under pressure" `Quick
+            test_sweep_store_pressure ] );
+      ( "edges",
+        [ Alcotest.test_case "sweep is deterministic" `Quick
+            test_sweep_is_deterministic;
+          Alcotest.test_case "crash point beyond workload" `Quick
+            test_crash_point_beyond_workload;
+          Alcotest.test_case "recovery is conservative" `Quick
+            test_recovery_is_conservative ] );
+      ( "coverage",
+        [ Alcotest.test_case "site floor" `Quick test_coverage ] ) ]

@@ -91,13 +91,36 @@ let test_kill_mid_call_completes_within_grace () =
       Alcotest.(check bool) "library not poisoned" true
         (Library.poisoned lib = None)))
 
-let test_kill_beyond_grace_poisons () =
-  (* drive time with a fake clock so the call visibly exceeds grace *)
+(* Drive time with a fake clock so grace arithmetic is exact to the
+   nanosecond. *)
+let with_fake_clock f =
   let now = ref 0 in
   Hodor.Runtime.configure ~advance:(fun n -> now := !now + n)
     ~now:(fun () -> !now);
-  Fun.protect ~finally:Hodor.Runtime.reset (fun () ->
+  Fun.protect ~finally:Hodor.Runtime.reset (fun () -> f now)
+
+(* Kill the current process mid-call, stretch the call so it returns
+   exactly [overrun] ns after the kill, and report the library's
+   health afterwards. *)
+let killed_call_health ~grace_ns ~overrun =
+  with_fake_clock (fun now ->
+    with_lib ~grace_ns (fun lib ->
+      let p = Process.make ~uid:1 "victim" in
+      Process.with_process p (fun () ->
+        (match
+           Trampoline.call lib (fun () ->
+             Process.kill ~now_ns:!now p;
+             now := !now + overrun)
+         with
+        | () -> Alcotest.fail "the dying thread must observe its death"
+        | exception Process.Process_killed _ -> ());
+        Library.health lib)))
+
+let test_kill_beyond_grace_needs_recovery () =
+  with_fake_clock (fun now ->
     with_lib ~grace_ns:1_000 (fun lib ->
+      let healed = ref 0 in
+      Library.set_recover lib (fun () -> incr healed);
       let p = Process.make ~uid:1 "victim" in
       Process.with_process p (fun () ->
         (match
@@ -108,8 +131,92 @@ let test_kill_beyond_grace_poisons () =
          with
         | () -> Alcotest.fail "expected kill"
         | exception Process.Process_killed _ -> ());
-        Alcotest.(check bool) "library poisoned by overlong dying call" true
-          (Library.poisoned lib <> None))))
+        Alcotest.(check bool) "killed-in-call, not poisoned" true
+          (Library.killed lib <> None && Library.poisoned lib = None));
+      (* recoverable: callers are refused until recovery has run... *)
+      let q = Process.make ~uid:2 "next-client" in
+      Process.with_process q (fun () ->
+        match Trampoline.call lib (fun () -> ()) with
+        | () -> Alcotest.fail "expected Library_needs_recovery"
+        | exception Library.Library_needs_recovery _ -> ());
+      (* ...and admitted again afterwards *)
+      Library.recover lib;
+      Alcotest.(check int) "recovery routine ran" 1 !healed;
+      Alcotest.(check bool) "healthy again" true (Library.health lib = Library.Healthy);
+      Process.with_process q (fun () -> Trampoline.call lib (fun () -> ()))))
+
+let test_grace_boundary_exact () =
+  (* Covered iff end - kill <= grace: exactly at the boundary the OS
+     still waits for the call. *)
+  Alcotest.(check bool) "overrun = grace: covered" true
+    (killed_call_health ~grace_ns:1_000 ~overrun:1_000 = Library.Healthy);
+  Alcotest.(check bool) "one ns short: covered" true
+    (killed_call_health ~grace_ns:1_000 ~overrun:999 = Library.Healthy);
+  (match killed_call_health ~grace_ns:1_000 ~overrun:1_001 with
+   | Library.Killed_in_call _ -> ()
+   | _ -> Alcotest.fail "one ns past the grace must mark the library killed")
+
+let test_second_kill_during_grace_keeps_first_timestamp () =
+  with_fake_clock (fun now ->
+    with_lib ~grace_ns:1_000 (fun lib ->
+      let p = Process.make ~uid:1 "victim" in
+      Process.with_process p (fun () ->
+        (match
+           Trampoline.call lib (fun () ->
+             let t0 = !now in
+             Process.kill ~now_ns:t0 p;
+             now := !now + 600;
+             (* a second SIGKILL lands during the grace window: counted,
+                but the first death timestamp keeps governing the
+                arithmetic — were the second to replace it, this call
+                would look covered (900 <= 1000) instead of overrun
+                (1500 > 1000) *)
+             Process.kill ~now_ns:!now p;
+             Alcotest.(check int) "both kills counted" 2 (Process.kill_count p);
+             Alcotest.(check (option int)) "first timestamp kept" (Some t0)
+               (Process.killed_at p);
+             now := !now + 900)
+         with
+        | () -> Alcotest.fail "expected kill"
+        | exception Process.Process_killed _ -> ());
+        match Library.health lib with
+        | Library.Killed_in_call _ -> ()
+        | _ ->
+          Alcotest.fail
+            "overrun must be measured from the first kill, not the duplicate")))
+
+let test_duplicate_kill_cannot_rewind_time () =
+  let p = Process.make ~uid:1 "victim" in
+  Process.kill ~now_ns:100 p;
+  (match Process.kill ~now_ns:50 p with
+   | () -> Alcotest.fail "a duplicate kill timestamped in the past is a bug"
+   | exception Invalid_argument _ -> ());
+  (* a later duplicate is a counted no-op *)
+  Process.kill ~now_ns:200 p;
+  Alcotest.(check (option int)) "first timestamp kept" (Some 100)
+    (Process.killed_at p);
+  Alcotest.(check int) "all three deliveries counted" 3 (Process.kill_count p)
+
+let test_poison_dominates_killed () =
+  with_lib (fun lib ->
+    Library.mark_killed lib "killed past grace";
+    Library.poison lib "then the code crashed";
+    Alcotest.(check bool) "poisoned wins" true (Library.poisoned lib <> None);
+    match Library.recover lib with
+    | () -> Alcotest.fail "a poisoned library must refuse recovery"
+    | exception Library.Library_poisoned _ -> ())
+
+let test_recover_on_healthy_library () =
+  (* A kill so abrupt no trampoline observed it leaves the library
+     Healthy but the store torn: recovery must be callable anyway. *)
+  with_lib (fun lib ->
+    let healed = ref 0 in
+    Library.set_recover lib (fun () -> incr healed);
+    Library.recover lib;
+    Library.recover lib;
+    Alcotest.(check int) "idempotent at quiescence" 2 !healed;
+    Alcotest.(check bool) "still healthy" true
+      (Library.health lib = Library.Healthy))
 
 let test_dead_process_cannot_enter () =
   with_lib (fun lib ->
@@ -279,8 +386,18 @@ let () =
         [ Alcotest.test_case "crash poisons" `Quick test_crash_inside_poisons;
           Alcotest.test_case "kill mid-call completes" `Quick
             test_kill_mid_call_completes_within_grace;
-          Alcotest.test_case "kill beyond grace poisons" `Quick
-            test_kill_beyond_grace_poisons;
+          Alcotest.test_case "kill beyond grace needs recovery" `Quick
+            test_kill_beyond_grace_needs_recovery;
+          Alcotest.test_case "grace boundary to the ns" `Quick
+            test_grace_boundary_exact;
+          Alcotest.test_case "second kill during grace" `Quick
+            test_second_kill_during_grace_keeps_first_timestamp;
+          Alcotest.test_case "duplicate kill can't rewind time" `Quick
+            test_duplicate_kill_cannot_rewind_time;
+          Alcotest.test_case "poison dominates killed" `Quick
+            test_poison_dominates_killed;
+          Alcotest.test_case "recover while healthy" `Quick
+            test_recover_on_healthy_library;
           Alcotest.test_case "dead process refused" `Quick
             test_dead_process_cannot_enter ] );
       ( "loader",

@@ -325,6 +325,139 @@ let qcheck_binary_bitflip =
       | exception Need_more_data -> true
       | exception _ -> false)
 
+(* ---- seeded conformance sweep --------------------------------------
+
+   A deterministic generator (explicit [Random.State], fixed seeds — a
+   red run reproduces byte-for-byte) drives full-command encode→decode
+   round trips through both codecs, with keys and values pinned to the
+   allocator's size-class boundaries (class size, one under, one over)
+   where torn-length bugs live. *)
+
+let boundary_lens =
+  List.sort_uniq compare
+    (0 :: 1
+    :: List.concat_map
+         (fun c -> [ c - 1; c; c + 1 ])
+         (Array.to_list Ralloc.size_classes))
+
+let key_lens = [ 1; 2; 16; 17; 128; 249; 250 ]
+
+let gen_key_at rs =
+  let len = List.nth key_lens (Random.State.int rs (List.length key_lens)) in
+  String.init len (fun _ -> Char.chr (97 + Random.State.int rs 26))
+
+let gen_data_at rs =
+  let len =
+    List.nth boundary_lens (Random.State.int rs (List.length boundary_lens))
+  in
+  String.init len (fun _ -> Char.chr (Random.State.int rs 256))
+
+let gen_params rs =
+  { key = gen_key_at rs;
+    flags = Random.State.int rs 0x10000;
+    exptime = Random.State.int rs 1_000_000;
+    data = gen_data_at rs;
+    noreply = Random.State.bool rs }
+
+let gen_command ?(multi_get = true) rs =
+  match Random.State.int rs 12 with
+  | 0 ->
+    let n = if multi_get then 1 + Random.State.int rs 3 else 1 in
+    Get (List.init n (fun _ -> gen_key_at rs))
+  | 1 -> Gets [ gen_key_at rs ]
+  | 2 -> Set (gen_params rs)
+  | 3 -> Add (gen_params rs)
+  | 4 -> Replace (gen_params rs)
+  | 5 -> Append (gen_params rs)
+  | 6 -> Prepend (gen_params rs)
+  | 7 ->
+    Cas (gen_params rs, Int64.of_int (1 + Random.State.int rs 1_000_000_000))
+  | 8 -> Delete (gen_key_at rs, Random.State.bool rs)
+  | 9 ->
+    Incr (gen_key_at rs, Int64.of_int (Random.State.int rs 1_000_000),
+          Random.State.bool rs)
+  | 10 ->
+    Decr (gen_key_at rs, Int64.of_int (Random.State.int rs 1_000_000),
+          Random.State.bool rs)
+  | _ -> Touch (gen_key_at rs, Random.State.int rs 100_000, Random.State.bool rs)
+
+(* What the binary wire can represent: [gets] is a response-shape
+   distinction (the header always carries CAS); concatenation ops have
+   no extras field, so flags/exptime don't travel; [Touch] has no quiet
+   opcode. Everything else — including noreply, via the quiet
+   opcodes — must survive exactly. *)
+let binary_normalize = function
+  | Gets [ k ] -> Get [ k ]
+  | Append p -> Append { p with flags = 0; exptime = 0 }
+  | Prepend p -> Prepend { p with flags = 0; exptime = 0 }
+  | Touch (k, e, _) -> Touch (k, e, false)
+  | c -> c
+
+let describe c =
+  Printf.sprintf "%s noreply=%b" (command_name c) (is_noreply c)
+
+let test_ascii_seeded_conformance () =
+  let rs = Random.State.make [| 0xC0FFEE |] in
+  for i = 0 to 999 do
+    let cmd = gen_command rs in
+    let got = ascii_roundtrip cmd in
+    if got <> cmd then
+      Alcotest.fail
+        (Printf.sprintf "iteration %d: ascii round trip changed %s into %s" i
+           (describe cmd) (describe got))
+  done
+
+let test_binary_seeded_conformance () =
+  let rs = Random.State.make [| 0xB17E5 |] in
+  for i = 0 to 999 do
+    let cmd = gen_command ~multi_get:false rs in
+    let want = binary_normalize cmd in
+    let got = binary_roundtrip cmd in
+    if got <> want then
+      Alcotest.fail
+        (Printf.sprintf "iteration %d: binary round trip changed %s into %s" i
+           (describe cmd) (describe got))
+  done
+
+(* The asymmetry this PR fixed: binary encoding used to drop [noreply]
+   (every parse came back noisy). Each noreply-capable command must now
+   pick a quiet opcode and map back. *)
+let test_binary_noreply_roundtrip () =
+  List.iter
+    (fun cmd ->
+      let got = binary_roundtrip cmd in
+      Alcotest.(check bool)
+        ("noreply survives binary: " ^ command_name cmd)
+        true (is_noreply got);
+      (* and the quiet opcode really differs from the noisy one *)
+      let quiet = (Binary.encode_command cmd).[1] in
+      let noisy =
+        (Binary.encode_command
+           (match binary_roundtrip cmd with
+            | Set p -> Set { p with noreply = false }
+            | Add p -> Add { p with noreply = false }
+            | Replace p -> Replace { p with noreply = false }
+            | Append p -> Append { p with noreply = false }
+            | Prepend p -> Prepend { p with noreply = false }
+            | Cas (p, c) -> Cas ({ p with noreply = false }, c)
+            | Delete (k, _) -> Delete (k, false)
+            | Incr (k, d, _) -> Incr (k, d, false)
+            | Decr (k, d, _) -> Decr (k, d, false)
+            | c -> c)).[1]
+      in
+      Alcotest.(check bool)
+        ("distinct quiet opcode: " ^ command_name cmd)
+        true (quiet <> noisy))
+    [ Set (sp ~noreply:true "k" "v");
+      Add (sp ~noreply:true "k" "v");
+      Replace (sp ~noreply:true "k" "v");
+      Append (sp ~noreply:true "k" "v");
+      Prepend (sp ~noreply:true "k" "v");
+      Cas (sp ~noreply:true "k" "v", 5L);
+      Delete ("k", true);
+      Incr ("k", 1L, true);
+      Decr ("k", 2L, true) ]
+
 let test_key_validation () =
   Alcotest.(check bool) "normal" true (validate_key "ok_key-123");
   Alcotest.(check bool) "empty" false (validate_key "");
@@ -352,7 +485,14 @@ let () =
             test_binary_multiget_rejected;
           Alcotest.test_case "responses" `Quick test_binary_responses;
           Alcotest.test_case "header errors" `Quick test_binary_header_errors;
-          QCheck_alcotest.to_alcotest qcheck_binary_set_roundtrip ] );
+          QCheck_alcotest.to_alcotest qcheck_binary_set_roundtrip;
+          Alcotest.test_case "noreply via quiet opcodes" `Quick
+            test_binary_noreply_roundtrip ] );
+      ( "seeded conformance",
+        [ Alcotest.test_case "ascii full-command sweep" `Quick
+            test_ascii_seeded_conformance;
+          Alcotest.test_case "binary full-command sweep" `Quick
+            test_binary_seeded_conformance ] );
       ( "validation",
         [ Alcotest.test_case "keys" `Quick test_key_validation;
           Alcotest.test_case "short reads want more" `Quick

@@ -185,6 +185,86 @@ let test_runner_in_vm () =
     (H.count r.Ycsb.Runner.r_read_hist + H.count r.Ycsb.Runner.r_update_hist
      = 2_000)
 
+(* Determinism regression: the whole pipeline — workload generation, VM
+   scheduling, latency measurement — is seeded. Running the same seeded
+   workload in two fresh VMs must produce byte-identical op streams (as
+   observed by the db hooks, i.e. including thread interleaving) and
+   identical histogram statistics. A regression here silently breaks
+   every "same seed reproduces the run" claim the test suite relies on. *)
+
+let hist_fingerprint h =
+  Printf.sprintf "n=%d min=%d max=%d mean=%.6f p50=%d p90=%d p99=%d p999=%d"
+    (H.count h) (H.min_value h) (H.max_value h) (H.mean h)
+    (H.percentile h 50.0) (H.percentile h 90.0) (H.percentile h 99.0)
+    (H.percentile h 99.9)
+
+let run_seeded_ycsb ~sched_seed ~workload_seed =
+  let module Run = Ycsb.Runner.Make (Vm.Sync) in
+  let w =
+    W.make ~seed:workload_seed ~record_count:300 ~operation_count:1_200
+      ~read_proportion:0.6 ~field_length:24 ()
+  in
+  let table : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let lock = Mutex.create () in
+  let trace = Buffer.create 4096 in
+  let db : Ycsb.Runner.db =
+    { db_read =
+        (fun k ->
+          Vm.Sync.advance 500;
+          Mutex.lock lock;
+          Buffer.add_string trace ("R " ^ k ^ "\n");
+          let r = Hashtbl.mem table k in
+          Mutex.unlock lock;
+          r);
+      db_update =
+        (fun k v ->
+          Vm.Sync.advance 800;
+          Mutex.lock lock;
+          Buffer.add_string trace
+            (Printf.sprintf "U %s %d\n" k (String.length v));
+          Hashtbl.replace table k v;
+          Mutex.unlock lock;
+          true) }
+  in
+  let vm = Vm.create ~sched_seed () in
+  let res = ref None in
+  ignore
+    (Vm.spawn vm ~name:"main" (fun () ->
+         Run.load w db;
+         res := Some (Run.run ~threads:4 w ~db_for:(fun _ -> db))));
+  Vm.run vm;
+  let r = Option.get !res in
+  ( Buffer.contents trace,
+    [ hist_fingerprint r.Ycsb.Runner.r_hist;
+      hist_fingerprint r.Ycsb.Runner.r_read_hist;
+      hist_fingerprint r.Ycsb.Runner.r_update_hist ],
+    (r.Ycsb.Runner.r_ops, r.Ycsb.Runner.r_hits, r.Ycsb.Runner.r_misses),
+    Vm.events_processed vm )
+
+let test_determinism_same_seed () =
+  let t1, h1, c1, e1 = run_seeded_ycsb ~sched_seed:4242 ~workload_seed:17 in
+  let t2, h2, c2, e2 = run_seeded_ycsb ~sched_seed:4242 ~workload_seed:17 in
+  Alcotest.(check int) "op stream bytes" (String.length t1) (String.length t2);
+  Alcotest.(check bool) "op streams byte-identical" true (String.equal t1 t2);
+  Alcotest.(check (list string)) "histogram stats identical" h1 h2;
+  let ops1, hits1, miss1 = c1 and ops2, hits2, miss2 = c2 in
+  Alcotest.(check int) "ops" ops1 ops2;
+  Alcotest.(check int) "hits" hits1 hits2;
+  Alcotest.(check int) "misses" miss1 miss2;
+  Alcotest.(check int) "scheduler events" e1 e2
+
+let test_determinism_seed_sensitivity () =
+  (* Different workload seed must produce a different op stream — otherwise
+     the "identical" assertions above would pass vacuously. *)
+  let t1, _, _, _ = run_seeded_ycsb ~sched_seed:4242 ~workload_seed:17 in
+  let t3, _, _, _ = run_seeded_ycsb ~sched_seed:4242 ~workload_seed:18 in
+  Alcotest.(check bool) "different workload seed diverges" false
+    (String.equal t1 t3);
+  (* And a different scheduler seed reorders the interleaved stream. *)
+  let t4, _, _, _ = run_seeded_ycsb ~sched_seed:4243 ~workload_seed:17 in
+  Alcotest.(check bool) "different sched seed reorders stream" false
+    (String.equal t1 t4)
+
 let qcheck_histogram_value_in_bucket_bounds =
   QCheck.Test.make ~name:"percentile(100) bounds any recorded value" ~count:200
     QCheck.(int_range 1 1_000_000_000)
@@ -212,4 +292,9 @@ let () =
           Alcotest.test_case "wide range" `Quick test_histogram_wide_range;
           QCheck_alcotest.to_alcotest qcheck_histogram_value_in_bucket_bounds ] );
       ( "runner",
-        [ Alcotest.test_case "vm harness" `Quick test_runner_in_vm ] ) ]
+        [ Alcotest.test_case "vm harness" `Quick test_runner_in_vm ] );
+      ( "determinism",
+        [ Alcotest.test_case "same seed, identical run" `Quick
+            test_determinism_same_seed;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_determinism_seed_sensitivity ] ) ]
