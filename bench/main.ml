@@ -8,10 +8,10 @@
       dune exec bench/main.exe -- --full          # paper-scale op counts
 
     Experiments: fig5 fig6 fig7 fig8 fig9 nullcall ablations complexity
-    micro. *)
+    micro stats. *)
 
 let all = [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "nullcall"; "ablations";
-            "complexity"; "micro" ]
+            "complexity"; "micro"; "stats" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -42,4 +42,5 @@ let () =
   if want "nullcall" then Nullcall.run ();
   if want "ablations" then Ablations.run ();
   if want "complexity" then Complexity.run ();
-  if want "micro" then Micro.run ()
+  if want "micro" then Micro.run ();
+  if want "stats" then Stats.run ~ops:(ops / 4) ()

@@ -60,4 +60,9 @@ let run () =
   pf "empty Unix-socket round trip:       %5d ns   (paper: 3300-9600 ns)\n"
     socket;
   pf "socket / hodor ratio:               %5.0fx    (paper: ~two orders of magnitude)\n"
-    (float_of_int socket /. float_of_int hodor)
+    (float_of_int socket /. float_of_int hodor);
+  (* Machine-readable lines for the CI overhead gate: virtual-time
+     cost per call, greppable as "nullcall.<config>_ns <n>". *)
+  pf "nullcall.hodor_ns %d\n" hodor;
+  pf "nullcall.plain_ns %d\n" plain;
+  pf "nullcall.socket_ns %d\n" socket

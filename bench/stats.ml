@@ -1,0 +1,55 @@
+(** Telemetry snapshot: domain-crossing counts per YCSB workload mix
+    and a full [stats] dump of the protected-library store.
+
+    The crossing counts ground EXPERIMENTS.md's table: every client
+    operation enters the library through exactly one trampoline, so
+    crossings/op should sit at ~1.0 for any read/update mix — the
+    paper's Figure 5 latencies are per-crossing costs, and the mix
+    (YCSB A 50/50, B 95/5, C 100/0) moves which ops pay them, not how
+    many crossings occur. The final STAT block is the snapshot the CI
+    workflow uploads as an artifact. *)
+
+open Scenarios
+module C = Telemetry.Counters
+
+let mixes = [ ("A", 0.5); ("B", 0.95); ("C", 1.0) ]
+
+let records = 20_000
+
+let workload (tag, read_proportion) ~ops =
+  Ycsb.Workload.make
+    ~name:("ycsb-" ^ tag)
+    ~record_count:records ~operation_count:ops ~read_proportion
+    ~field_length:128 ()
+
+let run ~ops () =
+  header "Telemetry: crossings per YCSB workload + stats snapshot";
+  let plib =
+    make_plib ~protection:Hodor.Library.Protected ~size:(64 lsl 20)
+      ~hashpower:15 ()
+  in
+  load_plib plib (workload (List.hd mixes) ~ops);
+  pf "%-10s %10s %12s %14s %12s\n" "workload" "ops" "crossings"
+    "crossings/op" "pkru wr/op";
+  List.iter
+    (fun mix ->
+      let w = workload mix ~ops in
+      (* Per-workload window: the shared-heap counters are cumulative,
+         so zero them between runs. *)
+      C.reset ();
+      Telemetry.Timers.reset ();
+      ignore (plib_point ~plib ~threads:4 w);
+      let enters = C.read C.Id.hodor_enter in
+      let wrpkru = C.read C.Id.pkru_writes in
+      pf "%-10s %10d %12d %14.3f %12.3f\n"
+        (fst mix) ops enters
+        (float_of_int enters /. float_of_int ops)
+        (float_of_int wrpkru /. float_of_int ops);
+      pf "crossings.ycsb_%s %d\n" (fst mix) enters)
+    mixes;
+  pf "\nstats snapshot (last workload window):\n";
+  let kvs =
+    in_vm (fun () -> Plib.stats plib) @ C.boundary_kvs ()
+    @ Telemetry.Timers.kvs ()
+  in
+  List.iter (fun (k, v) -> pf "STAT %s %s\n" k v) kvs

@@ -19,10 +19,12 @@ let usage () =
     \  get <key>              set <key> <value>      add <key> <value>\n\
     \  replace <key> <value>  append <key> <suffix>  prepend <key> <prefix>\n\
     \  del <key>              incr <key> [n]         decr <key> [n]\n\
-    \  touch <key> <secs>     stats                  flush_all\n\
+    \  touch <key> <secs>     stats [arg]            flush_all\n\
     \  resize                 maintain               help\n\
     \  keys                   reap\n\
-    \  quit (flushes to the image when one is configured)\n"
+    \  telemetry              trace [n]\n\
+    \  quit (flushes to the image when one is configured)\n\
+    \  stats args: items | slabs | latency | reset\n"
 
 let shell plib image =
   let open Mc_core.Store in
@@ -111,7 +113,40 @@ let shell plib image =
          | [ "stats" ] ->
            List.iter
              (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
-             (Plib.stats plib)
+             (Plib.stats plib @ Telemetry.Counters.boundary_kvs ())
+         | [ "stats"; "items" ] ->
+           List.iter
+             (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
+             (Plib.stats_items plib)
+         | [ "stats"; "slabs" ] ->
+           List.iter
+             (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
+             (Plib.stats_slabs plib)
+         | [ "stats"; "latency" ] ->
+           List.iter
+             (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
+             (Telemetry.Timers.kvs ())
+         | [ "stats"; "reset" ] ->
+           Plib.stats_reset plib;
+           Telemetry.Counters.reset ();
+           Telemetry.Timers.reset ();
+           print_endline "RESET"
+         | [ "telemetry" ] ->
+           (* everything the subsystem holds, store-op mirrors included *)
+           List.iter
+             (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
+             (Telemetry.Counters.all_kvs () @ Telemetry.Timers.kvs ())
+         | [ "trace" ] | [ "trace"; _ ] ->
+           let n =
+             match words with
+             | [ _; n ] -> Some (int_of_string n)
+             | _ -> None
+           in
+           let evs = Telemetry.Trace.dump ?n () in
+           List.iter (fun e -> print_endline (Telemetry.Trace.render e)) evs;
+           Printf.printf "%d event(s) shown, %d emitted in total\n"
+             (List.length evs)
+             (Telemetry.Trace.emitted ())
          | [ "flush_all" ] ->
            Plib.flush_all plib;
            print_endline "OK"

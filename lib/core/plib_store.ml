@@ -31,6 +31,14 @@ let root_primary = 0
 (** Persistent root id anchoring the double-indirect cell that points
     at the store control block. *)
 
+let root_telemetry = 1
+(** Persistent root id anchoring the telemetry counter block: a flat
+    array of [Telemetry.Counters.cells] 64-bit words in the shared
+    heap. Because it hangs off a root, the block survives client
+    crashes and bookkeeper restarts, and recovery {e sifts} it (keeps
+    it live) rather than resetting it — the SIFT semantics DESIGN.md
+    documents. *)
+
 module Make (S : Platform.Sync_intf.S) = struct
   module Store =
     Mc_core.Store.Make (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc) (S)
@@ -53,11 +61,47 @@ module Make (S : Platform.Sync_intf.S) = struct
        whichever substrate this instance runs on. *)
     Hodor.Runtime.configure ~advance:S.advance ~now:S.now_ns
 
+  (* Find (restart) or allocate (first boot) the shared-heap telemetry
+     block and point the process-wide counter store at it. Counter
+     bumps are host-side bookkeeping: they run in kernel mode (a bump
+     can happen before the trampoline has opened the pkru — e.g. the
+     [hodor_enter] count itself) and charge no virtual time. The Vm
+     schedules cooperatively at sync points only, so the read-modify-
+     write below is atomic within a simulation. *)
+  let attach_telemetry ~region ~heap =
+    Region.kernel_mode (fun () ->
+      let block =
+        match Ralloc.get_root heap root_telemetry with
+        | 0 ->
+          let block = Ralloc.alloc heap (8 * Telemetry.Counters.cells) in
+          Region.fill region ~off:block ~len:(8 * Telemetry.Counters.cells)
+            '\000';
+          Ralloc.set_root heap root_telemetry block;
+          block
+        | block -> block
+      in
+      Telemetry.Counters.install_backend
+        { add =
+            (fun cell d ->
+              Region.kernel_mode (fun () ->
+                let at = block + (8 * cell) in
+                Region.write_i64 region at (Region.read_i64 region at + d)));
+          read =
+            (fun cell ->
+              Region.kernel_mode (fun () ->
+                Region.read_i64 region (block + (8 * cell))));
+          zero =
+            (fun () ->
+              Region.kernel_mode (fun () ->
+                Region.fill region ~off:block
+                  ~len:(8 * Telemetry.Counters.cells) '\000')) })
+
   let build_handle ~lib ~region ~heap ~store ~path ~owner =
     let t =
       { lib; region; heap; store; path; owner;
         stop_cleaner = Atomic.make false; cleaner = None }
     in
+    attach_telemetry ~region ~heap;
     (* Recovery protocol, run by the bookkeeping process at quiescence
        after a client died mid-call: the store drops half-linked items
        and hands back the reachable set, which the allocator uses to
@@ -67,8 +111,19 @@ module Make (S : Platform.Sync_intf.S) = struct
     Hodor.Library.set_recover lib (fun () ->
       Region.kernel_mode (fun () ->
         let live = Store.recover t.store in
-        let cell = Ralloc.get_root t.heap root_primary in
-        Ralloc.recover t.heap ~live:(if cell = 0 then live else cell :: live)));
+        let live =
+          match Ralloc.get_root t.heap root_primary with
+          | 0 -> live
+          | cell -> cell :: live
+        in
+        (* The telemetry block is sifted, not reset: the counters it
+           holds are monotone event counts and survive recovery. *)
+        let live =
+          match Ralloc.get_root t.heap root_telemetry with
+          | 0 -> live
+          | block -> block :: live
+        in
+        Ralloc.recover t.heap ~live));
     t
 
   (* The bookkeeping process creates the store from nothing. *)
@@ -239,6 +294,12 @@ module Make (S : Platform.Sync_intf.S) = struct
 
   let stats t = enter t (fun () -> Store.stats t.store)
 
+  let stats_items t = enter t (fun () -> Store.stats_items t.store)
+
+  let stats_slabs t = enter t (fun () -> Store.stats_slabs t.store)
+
+  let stats_reset t = enter t (fun () -> Store.stats_reset t.store)
+
   (* ---- Bookkeeping process duties ------------------------------------ *)
 
   (* Intermittent cleaning (§3.2): run in the bookkeeping process. *)
@@ -314,5 +375,9 @@ module Make (S : Platform.Sync_intf.S) = struct
     Region.kernel_mode (fun () -> Store.detach t.store);
     Ralloc.flush t.heap ~path:disk_path;
     Simos.Sim_fs.unlink t.path;
-    Hodor.Library.release t.lib
+    Hodor.Library.release t.lib;
+    (* The counter cells lived in this heap; don't leave the process-
+       wide backend pointing into a detached region. The counts
+       themselves were flushed with the heap and reappear on restart. *)
+    Telemetry.Counters.reset_backend ()
 end

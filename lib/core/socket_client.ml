@@ -126,8 +126,16 @@ module Make (S : Platform.Sync_intf.S) = struct
     | P.Touched -> true
     | _ -> false
 
-  let stats t =
-    match roundtrip t P.Stats with P.Stats_reply kvs -> kvs | _ -> []
+  let stats ?arg t =
+    match roundtrip t (P.Stats arg) with
+    | P.Stats_reply kvs -> kvs
+    | P.Reset -> []
+    | _ -> []
+
+  let stats_reset t =
+    match roundtrip t (P.Stats (Some "reset")) with
+    | P.Reset -> true
+    | _ -> false
 
   let version t =
     match roundtrip t P.Version with P.Version_reply v -> Some v | _ -> None

@@ -124,7 +124,10 @@ let recover t =
    | Poisoned r -> raise (Library_poisoned (t.lib_name ^ ": " ^ r))
    | Healthy | Killed_in_call _ -> ());
   (match t.recover_fn with Some f -> f () | None -> ());
-  t.health <- Healthy
+  t.health <- Healthy;
+  Telemetry.Counters.incr Telemetry.Counters.Id.recoveries;
+  Telemetry.Trace.emit ~sev:Telemetry.Trace.Info ~subsys:"hodor"
+    (t.lib_name ^ ": recovered, callers re-admitted")
 
 (* Typed export registry, used by the loader's pseudo-binary
    interpreter. The Obj.t is always a [unit -> unit]. *)

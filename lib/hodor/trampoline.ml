@@ -38,6 +38,7 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
   Process.check_alive ();
   let p = Process.current () in
   Process.enter_library p;
+  Telemetry.Counters.incr Telemetry.Counters.Id.hodor_enter;
   let entry_ns = Runtime.now_ns () in
   let depth = Tls.get depth_key in
   let saved_pkru = Pku.Pkru.read () in
@@ -55,7 +56,10 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
      | Library.Protected -> Pku.Pkru.wrpkru saved_pkru
      | Library.Unprotected -> ());
     decr depth;
-    Process.leave_library p
+    Process.leave_library p;
+    Telemetry.Counters.incr Telemetry.Counters.Id.hodor_exit;
+    if Telemetry.Control.on () then
+      Telemetry.Timers.record ~op:"hodor_call" (Runtime.now_ns () - entry_ns)
   in
   let result =
     try f ()
@@ -63,6 +67,10 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
       (* A crash inside library code is unrecoverable (paper §2): the
          library may hold locks or half-updated structures. *)
       Library.poison lib (Printexc.to_string e);
+      Telemetry.Counters.incr Telemetry.Counters.Id.hodor_poisoned;
+      Telemetry.Trace.emit ~sev:Telemetry.Trace.Error ~subsys:"hodor"
+        (Printf.sprintf "%s poisoned: %s" (Library.name lib)
+           (Printexc.to_string e));
       finish ();
       raise (Library_call_failed (Library.name lib, e))
   in
@@ -80,11 +88,24 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
   (match Process.killed_at p with
    | Some kill_ns ->
      let end_ns = max (Runtime.now_ns ()) entry_ns in
-     if end_ns - kill_ns > Library.grace_ns lib then
+     if end_ns - kill_ns > Library.grace_ns lib then begin
+       Telemetry.Counters.incr Telemetry.Counters.Id.hodor_kill_in_call;
+       Telemetry.Trace.emit ~sev:Telemetry.Trace.Warn ~subsys:"hodor"
+         (Printf.sprintf "%s: call outlived grace after %s was killed"
+            (Library.name lib) (Process.name p));
        Library.mark_killed lib
          (Printf.sprintf
             "call outlived the %dns grace after %s was killed"
-            (Library.grace_ns lib) (Process.name p));
+            (Library.grace_ns lib) (Process.name p))
+     end
+     else begin
+       (* The grace window covered the rest of this call. *)
+       Telemetry.Counters.incr Telemetry.Counters.Id.hodor_grace_hits;
+       if Telemetry.Trace.would_log Telemetry.Trace.Info then
+         Telemetry.Trace.emit ~sev:Telemetry.Trace.Info ~subsys:"hodor"
+           (Printf.sprintf "%s: grace window covered a call of dead %s"
+              (Library.name lib) (Process.name p))
+     end;
      (* The thread itself now observes its death. *)
      Process.check_alive ()
    | None -> ());

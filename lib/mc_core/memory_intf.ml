@@ -43,4 +43,9 @@ module type ALLOCATOR = sig
   val used_bytes : t -> int
 
   val capacity : t -> int
+
+  val class_kvs : t -> (string * string) list
+  (** Per-size-class occupancy in `stats slabs` shape:
+      ["<class>:chunk_size"], ["<class>:free_chunks"], ... — only
+      classes with any footprint appear. *)
 end

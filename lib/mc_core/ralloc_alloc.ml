@@ -17,3 +17,17 @@ let usable_size = Ralloc.usable_size
 let used_bytes = Ralloc.used_bytes
 
 let capacity = Ralloc.capacity
+
+let class_kvs (t : t) =
+  let stats = Ralloc.class_stats t in
+  List.concat
+    (List.filteri (fun _ s -> s.Ralloc.cs_superblocks > 0
+                              || s.Ralloc.cs_cached_blocks > 0)
+       (Array.to_list stats)
+     |> List.map (fun s ->
+       let c = Printf.sprintf "%d" s.Ralloc.cs_block_size in
+       [ (c ^ ":chunk_size", string_of_int s.Ralloc.cs_block_size);
+         (c ^ ":superblocks", string_of_int s.Ralloc.cs_superblocks);
+         (c ^ ":free_chunks",
+          string_of_int (s.Ralloc.cs_free_blocks + s.Ralloc.cs_cached_blocks))
+       ]))

@@ -174,3 +174,22 @@ let used_bytes t = t.used
 let capacity t = t.mem_limit
 
 let class_of_off t off = t.page_class.(page_of_off off)
+
+let class_kvs t =
+  Mutex.lock t.lock;
+  let acc = ref [] in
+  for c = n_classes - 1 downto 0 do
+    let pages = ref 0 in
+    for p = 0 to t.n_pages - 1 do
+      if t.page_class.(p) = c then incr pages
+    done;
+    if !pages > 0 || !(t.free_lists.(c)) <> [] then
+      acc :=
+        (Printf.sprintf "%d:chunk_size" c, string_of_int chunk_sizes.(c))
+        :: (Printf.sprintf "%d:total_pages" c, string_of_int !pages)
+        :: (Printf.sprintf "%d:free_chunks" c,
+            string_of_int (List.length !(t.free_lists.(c))))
+        :: !acc
+  done;
+  Mutex.unlock t.lock;
+  !acc

@@ -32,3 +32,7 @@ val capacity : t -> int
 val class_of_off : t -> int -> int
 (** Class owning the page that contains [off] (markers < 0 for big
     allocations). *)
+
+val class_kvs : t -> (string * string) list
+(** Per-class occupancy for `stats slabs`: [<class>:chunk_size],
+    [<class>:total_pages], [<class>:free_chunks]. *)

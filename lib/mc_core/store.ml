@@ -99,8 +99,20 @@ module C = struct
   let cas_misses = 13
   let touch_hits = 14
   let touch_misses = 15
-  let count = 16
+  let cmd_get = 16
+  let count = 17
 end
+
+(* Mirror of each store counter in the telemetry subsystem, or -1 for
+   gauges (curr_items) that only the store tracks. Keeping the two in
+   step lets `stats` report boundary and store counters from one place
+   and lets the crash sweep cross-check them. *)
+let telemetry_id =
+  let module T = Telemetry.Counters.Id in
+  [| T.get_hits; T.get_misses; T.cmd_set; T.delete_hits; T.delete_misses;
+     T.incr_hits; T.incr_misses; T.evictions; T.expired_unfetched; -1;
+     T.total_items; T.cas_hits; T.cas_badval; T.cas_misses; T.touch_hits;
+     T.touch_misses; T.cmd_get |]
 
 module Make
     (M : Memory_intf.MEMORY)
@@ -238,6 +250,10 @@ struct
 
   let stat_add t ctr v =
     adv CM.current.stats_update;
+    (* Telemetry mirror: host-side only, no [adv] — with telemetry off
+       this is one ref read, so the cost model is unchanged. *)
+    if v > 0 && Telemetry.Control.on () && telemetry_id.(ctr) >= 0 then
+      Telemetry.Counters.add ~n:v telemetry_id.(ctr);
     if t.cfg.single_stats_lock then begin
       (* One global lock means one globally hot cache line: every
          acquisition under concurrency pays the line transfer. This is
@@ -600,6 +616,7 @@ struct
 
   let get t key =
     with_op t @@ fun () ->
+    stat t C.cmd_get;
     adv CM.current.hash_op;
     let h = Hash.murmur3_32 key in
     let now = now_sec () in
@@ -923,26 +940,77 @@ struct
 
   let curr_items t = stat_sum t C.curr_items
 
+  (* Standard memcached key names, so loadgen tooling written against
+     real memcached output works unchanged. *)
   let stats t =
     adv (CM.current.stats_update * t.cfg.stats_slots);
     [ ("curr_items", string_of_int (stat_sum t C.curr_items));
       ("total_items", string_of_int (stat_sum t C.total_items));
+      ("cmd_get", string_of_int (stat_sum t C.cmd_get));
+      ("cmd_set", string_of_int (stat_sum t C.cmd_set));
       ("get_hits", string_of_int (stat_sum t C.get_hits));
       ("get_misses", string_of_int (stat_sum t C.get_misses));
-      ("cmd_set", string_of_int (stat_sum t C.cmd_set));
       ("delete_hits", string_of_int (stat_sum t C.delete_hits));
       ("delete_misses", string_of_int (stat_sum t C.delete_misses));
       ("incr_hits", string_of_int (stat_sum t C.incr_hits));
       ("incr_misses", string_of_int (stat_sum t C.incr_misses));
       ("cas_hits", string_of_int (stat_sum t C.cas_hits));
       ("cas_badval", string_of_int (stat_sum t C.cas_badval));
+      ("cas_misses", string_of_int (stat_sum t C.cas_misses));
       ("touch_hits", string_of_int (stat_sum t C.touch_hits));
       ("touch_misses", string_of_int (stat_sum t C.touch_misses));
       ("evictions", string_of_int (stat_sum t C.evictions));
-      ("expired", string_of_int (stat_sum t C.expired));
+      ("expired_unfetched", string_of_int (stat_sum t C.expired));
       ("bytes", string_of_int (A.used_bytes t.alloc));
       ("limit_maxbytes", string_of_int (A.capacity t.alloc));
       ("hash_power_level", string_of_int t.cfg.hashpower) ]
+
+  (* `stats reset` zeroes the operation tallies. [curr_items] is a live
+     gauge and [total_items] anchors the recovery invariant
+     curr_items <= total_items, so both survive a reset. *)
+  let stats_reset t =
+    adv (CM.current.stats_update * t.cfg.stats_slots);
+    for slot = 0 to t.cfg.stats_slots - 1 do
+      for ctr = 0 to C.count - 1 do
+        if ctr <> C.curr_items && ctr <> C.total_items then
+          wr64 t (t.stats + (8 * ((slot * C.count) + ctr))) 0
+      done
+    done
+
+  (* `stats items`: per-LRU-list occupancy and cold-end age, each list
+     walked under its own lock (no stop-the-world). *)
+  let stats_items t =
+    let now = S.now_ns () in
+    let acc = ref [] in
+    for l = t.cfg.lru_count - 1 downto 0 do
+      lock_lru t l;
+      let rec count it n =
+        if it = 0 then n
+        else begin
+          adv CM.current.bucket_probe;
+          count (ldp t (it + it_lru_next)) (n + 1)
+        end
+      in
+      let n = count (ldp t (lru_head t l)) 0 in
+      let tail = ldp t (lru_tail t l) in
+      let age_s =
+        if tail = 0 then 0
+        else max 0 ((now - rd64 t (tail + it_time)) / 1_000_000_000)
+      in
+      unlock_lru t l;
+      if n > 0 then
+        acc :=
+          (Printf.sprintf "items:%d:number" l, string_of_int n)
+          :: (Printf.sprintf "items:%d:age" l, string_of_int age_s)
+          :: !acc
+    done;
+    !acc
+
+  (* `stats slabs`: the allocator's per-size-class view plus totals. *)
+  let stats_slabs t =
+    A.class_kvs t.alloc
+    @ [ ("total_malloced", string_of_int (A.used_bytes t.alloc));
+        ("limit_maxbytes", string_of_int (A.capacity t.alloc)) ]
 
   (* ---- Iteration and proactive expiry ---------------------------------- *)
 
@@ -1162,11 +1230,28 @@ struct
       !live_items;
     (* Item count from the ground truth; per-thread scatter collapses
        into slot 0. Hit/miss tallies are best-effort monitoring and are
-       left as found. *)
+       left as found (telemetry's recovery semantics are *sift*, not
+       reset — see DESIGN.md). *)
     for slot = 0 to t.cfg.stats_slots - 1 do
       wr64 t (t.stats + (8 * ((slot * C.count) + C.curr_items))) 0
     done;
     wr64 t (t.stats + (8 * C.curr_items)) !kept_count;
+    (* A crash between the curr_items and total_items updates of one
+       store (or an eviction of an item whose total_items bump never
+       landed) can leave total_items short of what the other counters
+       prove happened. Clamp it so the monitoring invariant
+       curr_items + removals <= total_items holds again. *)
+    let removals =
+      stat_sum t C.evictions + stat_sum t C.expired + stat_sum t C.delete_hits
+    in
+    let total = max (stat_sum t C.total_items) (!kept_count + removals) in
+    for slot = 0 to t.cfg.stats_slots - 1 do
+      wr64 t (t.stats + (8 * ((slot * C.count) + C.total_items))) 0
+    done;
+    wr64 t (t.stats + (8 * C.total_items)) total;
+    Telemetry.Trace.emit ~sev:Telemetry.Trace.Info ~subsys:"store"
+      (Printf.sprintf "recovery kept %d items, total_items=%d" !kept_count
+         total);
     (* CAS monotonicity across the crash: restart above every CAS any
        client was ever acknowledged. *)
     let nc = max (Atomic.get t.cas_src) (!max_cas + 1) in

@@ -125,6 +125,20 @@ module Make
   val flush_all : t -> unit
 
   val stats : t -> (string * string) list
+  (** General statistics under the standard memcached key names
+      ([cmd_get], [get_hits], [evictions], [expired_unfetched], ...). *)
+
+  val stats_items : t -> (string * string) list
+  (** Per-LRU-list occupancy and cold-end age ([items:<n>:number],
+      [items:<n>:age]); only non-empty lists appear. *)
+
+  val stats_slabs : t -> (string * string) list
+  (** The allocator's per-size-class view plus totals. *)
+
+  val stats_reset : t -> unit
+  (** Zero the operation tallies. [curr_items] (live gauge) and
+      [total_items] (recovery anchor: curr_items <= total_items)
+      survive. *)
 
   val curr_items : t -> int
 

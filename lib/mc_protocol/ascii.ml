@@ -49,7 +49,8 @@ let encode_command (c : command) : string =
   | Touch (k, exp, noreply) ->
     Printf.sprintf "touch %s %d%s%s" k exp (if noreply then " noreply" else "")
       crlf
-  | Stats -> "stats" ^ crlf
+  | Stats None -> "stats" ^ crlf
+  | Stats (Some arg) -> "stats " ^ arg ^ crlf
   | Version -> "version" ^ crlf
   | Flush_all -> "flush_all" ^ crlf
   | Quit -> "quit" ^ crlf
@@ -165,7 +166,13 @@ let parse_command (s : string) : command * int =
              (Touch (check_key k, int_of_token "exptime" e, noreply),
               after_line)
            | _ -> parse_error "touch: bad arguments")
-        | "stats" -> (Stats, after_line)
+        | "stats" ->
+          (* the argument selects a sub-report; dropping it would turn
+             e.g. `stats reset` into a read-only `stats` *)
+          (match rest with
+           | [] -> (Stats None, after_line)
+           | [ arg ] -> (Stats (Some arg), after_line)
+           | _ -> parse_error "stats: too many arguments")
         | "version" -> (Version, after_line)
         | "flush_all" -> (Flush_all, after_line)
         | "quit" -> (Quit, after_line)
@@ -208,6 +215,7 @@ let encode_response (r : response) : string =
       kvs;
     Buffer.add_string b ("END" ^ crlf);
     Buffer.contents b
+  | Reset -> "RESET" ^ crlf
   | Version_reply v -> "VERSION " ^ v ^ crlf
   | Ok -> "OK" ^ crlf
   | Error -> "ERROR" ^ crlf
@@ -253,6 +261,7 @@ let parse_response (s : string) : response =
   | [ `Line "NOT_FOUND" ] -> Not_found
   | [ `Line "DELETED" ] -> Deleted
   | [ `Line "TOUCHED" ] -> Touched
+  | [ `Line "RESET" ] -> Reset
   | [ `Line "OK" ] -> Ok
   | [ `Line "ERROR" ] -> Error
   | items ->

@@ -154,7 +154,11 @@ let encode_command (c : command) : string =
     let b = Buffer.create 4 in
     put_u32 b e;
     req ~opcode:Op.touch ~cas:0L ~extras:(Buffer.contents b) ~key:k ~value:""
-  | Stats -> req ~opcode:Op.stat ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Stats arg ->
+    (* the sub-report selector travels in the key field, as in real
+       memcached's STAT requests *)
+    req ~opcode:Op.stat ~cas:0L ~extras:""
+      ~key:(Option.value arg ~default:"") ~value:""
   | Version -> req ~opcode:Op.version ~cas:0L ~extras:"" ~key:"" ~value:""
   | Flush_all -> req ~opcode:Op.flush ~cas:0L ~extras:"" ~key:"" ~value:""
   | Quit -> req ~opcode:Op.quit ~cas:0L ~extras:"" ~key:"" ~value:""
@@ -241,7 +245,8 @@ let parse_command (s : string) : command * int =
     | o when o = Op.touch ->
       if String.length r.r_extras <> 4 then parse_error "touch: bad extras";
       Touch (key (), get_u32 r.r_extras 0, false)
-    | o when o = Op.stat -> Stats
+    | o when o = Op.stat ->
+      Stats (if r.r_key = "" then None else Some r.r_key)
     | o when o = Op.version -> Version
     | o when o = Op.flush -> Flush_all
     | o when o = Op.quit -> Quit
@@ -268,7 +273,10 @@ let encode_response ~(for_op : int) (resp : response) : string =
   | Not_stored -> res ~status:Status.not_stored ~cas:0L ~extras:"" ~key:"" ~value:""
   | Exists -> res ~status:Status.key_exists ~cas:0L ~extras:"" ~key:"" ~value:""
   | Not_found -> res ~status:Status.key_not_found ~cas:0L ~extras:"" ~key:"" ~value:""
-  | Deleted | Touched | Ok -> res ~status:Status.ok ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Deleted | Touched | Ok | Reset ->
+    (* [Reset] is the `stats reset` ack: a lone empty-key Stat frame,
+       i.e. a terminator with nothing before it *)
+    res ~status:Status.ok ~cas:0L ~extras:"" ~key:"" ~value:""
   | Number n ->
     let b = Buffer.create 8 in
     put_u64 b n;
@@ -320,7 +328,9 @@ let parse_response ~(for_cmd : command) (s : string) : response =
       Client_error "cannot increment or decrement non-numeric value"
     else Not_found
   | Touch _ -> if r.r_status = Status.ok then Touched else Not_found
-  | Stats ->
+  | Stats (Some "reset") ->
+    if r.r_status = Status.ok then Reset else Error
+  | Stats _ ->
     let rec go at acc =
       let r = parse_frame s ~at in
       if r.r_key = "" then Stats_reply (List.rev acc)

@@ -24,7 +24,10 @@ type command =
   | Incr of string * int64 * bool
   | Decr of string * int64 * bool
   | Touch of string * int * bool
-  | Stats
+  | Stats of string option
+  (** [stats] or [stats <arg>] — the argument selects a sub-report
+      ([items], [slabs], [reset], ...); the binary codec carries it in
+      the request's key field, as real memcached does. *)
   | Version
   | Flush_all
   | Quit
@@ -45,6 +48,9 @@ type response =
   | Touched
   | Number of int64
   | Stats_reply of (string * string) list
+  | Reset
+  (** reply to [stats reset]: ASCII "RESET", binary an empty Stat
+      terminator frame *)
   | Version_reply of string
   | Ok
   | Error
@@ -78,7 +84,7 @@ let validate_key k =
 let is_noreply = function
   | Set p | Add p | Replace p | Append p | Prepend p | Cas (p, _) -> p.noreply
   | Delete (_, n) | Incr (_, _, n) | Decr (_, _, n) | Touch (_, _, n) -> n
-  | Get _ | Gets _ | Stats | Version | Flush_all | Quit -> false
+  | Get _ | Gets _ | Stats _ | Version | Flush_all | Quit -> false
 
 let command_name = function
   | Get _ -> "get"
@@ -93,7 +99,7 @@ let command_name = function
   | Incr _ -> "incr"
   | Decr _ -> "decr"
   | Touch _ -> "touch"
-  | Stats -> "stats"
+  | Stats _ -> "stats"
   | Version -> "version"
   | Flush_all -> "flush_all"
   | Quit -> "quit"

@@ -70,10 +70,37 @@ struct
          P.Client_error "cannot increment or decrement non-numeric value")
     | P.Touch (key, exptime, _) ->
       if Store.touch store key exptime then P.Touched else P.Not_found
-    | P.Stats -> P.Stats_reply (Store.stats store)
+    | P.Stats None ->
+      (* store counters (authoritative, standard names) plus the
+         telemetry boundary counters: crossings, pku events, allocator
+         traffic *)
+      P.Stats_reply (Store.stats store @ Telemetry.Counters.boundary_kvs ())
+    | P.Stats (Some "items") -> P.Stats_reply (Store.stats_items store)
+    | P.Stats (Some "slabs") -> P.Stats_reply (Store.stats_slabs store)
+    | P.Stats (Some "latency") ->
+      (* extension: the telemetry latency histograms, one summary
+         block per operation *)
+      P.Stats_reply (Telemetry.Timers.kvs ())
+    | P.Stats (Some "reset") ->
+      Store.stats_reset store;
+      Telemetry.Counters.reset ();
+      Telemetry.Timers.reset ();
+      P.Reset
+    | P.Stats (Some arg) -> P.Client_error ("unknown stats argument " ^ arg)
     | P.Version -> P.Version_reply version
     | P.Flush_all ->
       Store.flush_all store;
       P.Ok
     | P.Quit -> P.Ok
+
+  (* Per-protocol-op latency, in virtual time, recorded host-side only
+     (no [advance]): with telemetry off this is one ref read. *)
+  let execute store (cmd : P.command) : P.response =
+    if not (Telemetry.Control.on ()) then execute store cmd
+    else begin
+      let t0 = S.now_ns () in
+      let resp = execute store cmd in
+      Telemetry.Timers.record ~op:(P.command_name cmd) (S.now_ns () - t0);
+      resp
+    end
 end

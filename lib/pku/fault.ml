@@ -9,6 +9,12 @@ exception Breakpoint_trap of string
 (** Execution reached an address covered by a hardware breakpoint that
     Hodor's loader planted on a stray [wrpkru] instruction. *)
 
-let protection_fault fmt = Printf.ksprintf (fun s -> raise (Protection_fault s)) fmt
+let protection_fault fmt =
+  Printf.ksprintf
+    (fun s ->
+      Telemetry.Counters.incr Telemetry.Counters.Id.pku_faults;
+      Telemetry.Trace.emit ~sev:Telemetry.Trace.Error ~subsys:"pku" s;
+      raise (Protection_fault s))
+    fmt
 
 let breakpoint_trap fmt = Printf.ksprintf (fun s -> raise (Breakpoint_trap s)) fmt

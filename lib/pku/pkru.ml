@@ -28,7 +28,9 @@ let key = Tls.new_key (fun () -> ref init_value)
 
 let read () : t = !(Tls.get key)
 
-let wrpkru (v : t) = Tls.get key := v land 0xFFFFFFFF
+let wrpkru (v : t) =
+  Telemetry.Counters.incr Telemetry.Counters.Id.pkru_writes;
+  Tls.get key := v land 0xFFFFFFFF
 
 let reset_thread () = Tls.get key := init_value
 

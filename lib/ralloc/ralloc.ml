@@ -519,6 +519,8 @@ let alloc_large t size =
 
 let alloc t size =
   if size <= 0 then invalid_arg "Ralloc.alloc: size must be positive";
+  Telemetry.Counters.incr Telemetry.Counters.Id.alloc_calls;
+  Telemetry.Counters.add ~n:size Telemetry.Counters.Id.alloc_bytes;
   if size > max_small then alloc_large t size
   else begin
     let c = class_of_size size in
@@ -574,6 +576,7 @@ let free_large t off =
 let free t off =
   if off < sb_base || off >= Region.size t.reg then
     invalid_arg "Ralloc.free: offset outside heap";
+  Telemetry.Counters.incr Telemetry.Counters.Id.free_calls;
   let sb = sb_of_block t off in
   match rd t (sb + f_kind) with
   | k when k = kind_large_head ->

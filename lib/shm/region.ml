@@ -72,6 +72,7 @@ let tag_range t ~off ~len ~pkey =
 (* ---- Protection check ---------------------------------------------- *)
 
 let fault t ~off ~write ~key =
+  Telemetry.Counters.pkey_fault key;
   Pku.Fault.protection_fault
     "pkey fault: %s of %s+%d (page %d, %a) denied under %a"
     (if write then "store" else "load")

@@ -1,10 +1,13 @@
 (** Log-scale latency histogram (HdrHistogram-style: 32 sub-buckets
     per power of two, ~3% value resolution), for per-operation
-    nanosecond latencies. *)
+    nanosecond latencies. Shared by the YCSB load generator and the
+    telemetry subsystem. *)
 
 type t
 
 val create : unit -> t
+
+val reset : t -> unit
 
 val record : t -> int -> unit
 
@@ -21,3 +24,7 @@ val max_value : t -> int
 val percentile : t -> float -> int
 (** [percentile t 99.0] — never exceeds {!max_value}; bucket-midpoint
     resolution (~3-4%). *)
+
+val kvs : prefix:string -> t -> (string * string) list
+(** Stats-style summary: [prefix:count], [prefix:mean_ns],
+    [prefix:p50_ns], [prefix:p99_ns], [prefix:max_ns]. *)

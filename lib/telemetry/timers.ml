@@ -1,0 +1,56 @@
+(** Keyed latency histograms: virtual-time cost per protected call and
+    per protocol operation, keyed by operation name.
+
+    Recording is host-side only and charges no virtual time; values
+    are virtual nanoseconds measured by the caller (trampoline entry
+    to exit, executor dispatch to reply). The table is tiny (one
+    histogram per distinct operation name) and guarded by a real
+    mutex whose critical sections never perform effects, so it is
+    safe under both OS threads and the effects-based Vm. *)
+
+let lock = Mutex.create ()
+
+let tbl : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let record ~op ns =
+  if Control.on () then
+    with_lock (fun () ->
+      let h =
+        match Hashtbl.find_opt tbl op with
+        | Some h -> h
+        | None ->
+          let h = Histogram.create () in
+          Hashtbl.add tbl op h;
+          h
+      in
+      Histogram.record h (max ns 0))
+
+(** Merged copy of one operation's histogram, if it has been seen. *)
+let get op =
+  with_lock (fun () ->
+    match Hashtbl.find_opt tbl op with
+    | None -> None
+    | Some h ->
+      let c = Histogram.create () in
+      Histogram.merge ~into:c h;
+      Some c)
+
+let ops () =
+  with_lock (fun () ->
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []))
+
+(** Stats-style dump: for each operation, count/mean/p50/p99/max. *)
+let kvs () =
+  let names = ops () in
+  List.concat_map
+    (fun op ->
+      match get op with
+      | None -> []
+      | Some h -> Histogram.kvs ~prefix:op h)
+    names
+
+let reset () = with_lock (fun () -> Hashtbl.reset tbl)

@@ -1,0 +1,86 @@
+(** Fixed-size event-trace ring buffer.
+
+    The Vm, the Hodor trampoline, and the PKU fault path emit events
+    here (sync points, crossings, faults, recovery steps). The ring
+    holds the last {!capacity} events that pass the severity filter;
+    older events are overwritten, so a dump after a failure shows the
+    run's tail — which is what a post-mortem wants.
+
+    Hot emitters should guard message construction with {!would_log}
+    so that filtered-out severities cost one ref read and a compare. *)
+
+type severity = Debug | Info | Warn | Error
+
+let severity_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let severity_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+type event = {
+  seq : int;  (** monotone across the whole run, survives wrap *)
+  at : int;  (** virtual-time ns at emission ({!Control.now_ns}) *)
+  sev : severity;
+  subsys : string;
+  msg : string;
+}
+
+let capacity = 1024
+
+let ring : event option array = Array.make capacity None
+
+let next_seq = ref 0
+
+let level = ref Info
+
+let set_level l = level := l
+
+let get_level () = !level
+
+let would_log sev =
+  Control.on () && severity_rank sev >= severity_rank !level
+
+let lock = Mutex.create ()
+
+let emit ?at ~sev ~subsys msg =
+  if would_log sev then begin
+    let at = match at with Some a -> a | None -> Control.now_ns () in
+    Mutex.lock lock;
+    let seq = !next_seq in
+    next_seq := seq + 1;
+    ring.(seq mod capacity) <- Some { seq; at; sev; subsys; msg };
+    Mutex.unlock lock
+  end
+
+let clear () =
+  Mutex.lock lock;
+  Array.fill ring 0 capacity None;
+  next_seq := 0;
+  Mutex.unlock lock
+
+(** Events currently in the ring, oldest first; [n] limits to the most
+    recent n. *)
+let dump ?n () =
+  Mutex.lock lock;
+  let evs =
+    List.sort
+      (fun a b -> compare a.seq b.seq)
+      (Array.to_list ring |> List.filter_map Fun.id)
+  in
+  Mutex.unlock lock;
+  match n with
+  | None -> evs
+  | Some n when n >= List.length evs -> evs
+  | Some n ->
+    (* keep the newest n *)
+    let drop = List.length evs - n in
+    List.filteri (fun i _ -> i >= drop) evs
+
+let render e =
+  Printf.sprintf "[%8d ns] #%d %-5s %-8s %s" e.at e.seq
+    (severity_name e.sev) e.subsys e.msg
+
+(** Total events ever emitted (including overwritten ones). *)
+let emitted () = !next_seq

@@ -258,7 +258,10 @@ let finish t th err =
   end;
   t.runnable <- t.runnable - 1;
   (match err with
-   | Some e -> t.fails <- (th.vname, e) :: t.fails
+   | Some e ->
+     t.fails <- (th.vname, e) :: t.fails;
+     Telemetry.Trace.emit ~at:th.clock ~sev:Telemetry.Trace.Warn ~subsys:"vm"
+       (Printf.sprintf "thread %s failed: %s" th.vname (Printexc.to_string e))
    | None -> ());
   let ws = th.join_waiters in
   th.join_waiters <- [];
@@ -288,6 +291,9 @@ let crash_check t th =
       else begin
         t.crash_at <- None;
         t.crashed <- (th.vname, k) :: t.crashed;
+        Telemetry.Trace.emit ~at:th.clock ~sev:Telemetry.Trace.Error
+          ~subsys:"vm"
+          (Printf.sprintf "crash point %d: %s killed abruptly" k th.vname);
         List.iter
           (fun m ->
             if m.owner = th.tid then begin
@@ -313,6 +319,9 @@ let crash_check t th =
    is where alternative interleavings of same-time synchronization ops
    come from. *)
 let resync t th op =
+  if Telemetry.Trace.would_log Telemetry.Trace.Debug then
+    Telemetry.Trace.emit ~at:th.clock ~sev:Telemetry.Trace.Debug ~subsys:"vm"
+      (th.vname ^ ": sync point");
   let min_at = Event_heap.min_at t.heap in
   let inline =
     if th.clock < min_at then true
@@ -578,14 +587,26 @@ let run ?(raise_on_failure = true) t =
   let fallback = Tls.fresh_table () in
   Tls.install_provider (fun () ->
     match t.current with Some th -> th.table | None -> fallback);
+  (* While the simulation runs, telemetry events are stamped with the
+     running virtual thread's clock. *)
+  let prev_now =
+    Telemetry.Control.install_now (fun () ->
+      match t.current with Some th -> th.clock | None -> t.vnow)
+  in
   Fun.protect
     ~finally:(fun () ->
+      Telemetry.Control.restore_now prev_now;
       Tls.remove_provider ();
       t.running <- false)
     (fun () ->
       let rec loop () =
         match Event_heap.pop t.heap with
-        | None -> if t.live > 0 then raise (Deadlock (blocked_names t))
+        | None ->
+          if t.live > 0 then begin
+            Telemetry.Trace.emit ~at:t.vnow ~sev:Telemetry.Trace.Error
+              ~subsys:"vm" (blocked_names t);
+            raise (Deadlock (blocked_names t))
+          end
         | Some ev ->
           if ev.at > t.vnow then begin
             t.runnable_weighted <-

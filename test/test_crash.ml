@@ -56,6 +56,47 @@ let assert_conserved heap live =
           accounts for %d"
          used expected)
 
+(* Post-recovery telemetry consistency: the counter block is rooted in
+   the shared heap and sifted by recovery, so after a kill + repair it
+   must still tell a coherent story. [stats] is the store's own
+   key/value reply. *)
+let assert_telemetry_consistent stats =
+  let v k =
+    match List.assoc_opt k stats with
+    | Some s -> (try int_of_string s with _ ->
+        Alcotest.fail (Printf.sprintf "stats %s=%S is not an integer" k s))
+    | None -> 0
+  in
+  let module C = Telemetry.Counters in
+  let enter = C.read C.Id.hodor_enter and exits = C.read C.Id.hodor_exit in
+  if exits > enter then
+    Alcotest.fail
+      (Printf.sprintf "telemetry: hodor_exit %d exceeds hodor_enter %d" exits
+         enter);
+  let total = v "total_items" in
+  if v "curr_items" > total then
+    Alcotest.fail
+      (Printf.sprintf "telemetry: curr_items %d exceeds total_items %d"
+         (v "curr_items") total);
+  if v "evictions" + v "expired_unfetched" + v "delete_hits" > total then
+    Alcotest.fail
+      (Printf.sprintf
+         "telemetry: removals (%d+%d+%d) exceed total_items %d after recovery"
+         (v "evictions") (v "expired_unfetched") (v "delete_hits") total);
+  (* Latency histogram summaries parse and are ordered. *)
+  List.iter
+    (fun op ->
+      match Telemetry.Timers.get op with
+      | None -> ()
+      | Some h ->
+        let module H = Telemetry.Histogram in
+        let p50 = H.percentile h 50.0 and p99 = H.percentile h 99.0 in
+        if not (p50 <= p99 && p99 <= H.max_value h) then
+          Alcotest.fail
+            (Printf.sprintf "telemetry: %s percentiles disordered: %d/%d/%d"
+               op p50 p99 (H.max_value h)))
+    (Telemetry.Timers.ops ())
+
 (* ---- Workload A: full Plib stack, one victim + two survivors ------- *)
 
 let cfg_a =
@@ -173,6 +214,12 @@ let run_a ?(recover_anyway = false) ~at () =
                    Ralloc.get_root heap Core.Plib_store.root_primary
                  in
                  let live = if cell = 0 then live else cell :: live in
+                 (* The telemetry counter block is rooted too: it must
+                    survive the sweep (SIFT), not be reclaimed. *)
+                 let tblock =
+                   Ralloc.get_root heap Core.Plib_store.root_telemetry
+                 in
+                 let live = if tblock = 0 then live else tblock :: live in
                  Ralloc.recover heap ~live;
                  assert_conserved heap live);
              (* Every acknowledged surviving write is still served. *)
@@ -192,6 +239,10 @@ let run_a ?(recover_anyway = false) ~at () =
                  | Absent, Some _ ->
                    Alcotest.fail ("acked delete resurrected: " ^ k))
                model;
+             (* The surviving telemetry is internally consistent. *)
+             assert_telemetry_consistent
+               (Shm.Region.kernel_mode (fun () ->
+                  Plib.Store.stats (Plib.store p)));
              (* And the store takes fresh traffic. *)
              if Plib.set p "post-crash" "recovered" <> Store.Stored then
                Alcotest.fail "store refuses writes after recovery";

@@ -46,7 +46,7 @@ let test_ascii_other_commands () =
       Alcotest.(check string) "same command" (command_name cmd)
         (command_name got))
     [ Delete ("k", false); Delete ("k", true); Incr ("k", 5L, false);
-      Decr ("k", 3L, true); Touch ("k", 100, false); Stats; Version;
+      Decr ("k", 3L, true); Touch ("k", 100, false); Stats None; Stats (Some "items"); Version;
       Flush_all; Quit ]
 
 let test_ascii_parse_errors () =
@@ -188,7 +188,7 @@ let test_binary_responses () =
   | Number 41L -> ()
   | _ -> Alcotest.fail "number");
   match
-    Binary.parse_response ~for_cmd:Stats
+    Binary.parse_response ~for_cmd:(Stats None)
       (Binary.encode_response ~for_op:Binary.Op.stat
          (Stats_reply [ ("x", "1"); ("y", "2") ]))
   with
@@ -260,7 +260,7 @@ let test_noreply_classification () =
   Alcotest.(check bool) "delete noreply" true (is_noreply (Delete ("k", true)));
   Alcotest.(check bool) "incr noreply" true (is_noreply (Incr ("k", 1L, true)));
   Alcotest.(check bool) "get never noreply" false (is_noreply (Get [ "k" ]));
-  Alcotest.(check bool) "stats never noreply" false (is_noreply Stats)
+  Alcotest.(check bool) "stats never noreply" false (is_noreply (Stats None))
 
 let test_binary_touch_roundtrip () =
   match binary_roundtrip (Touch ("k", 3600, false)) with
@@ -272,7 +272,7 @@ let test_binary_quit_version_flush () =
     (fun cmd ->
       let got = binary_roundtrip cmd in
       Alcotest.(check string) "roundtrip" (command_name cmd) (command_name got))
-    [ Quit; Version; Flush_all; Stats ]
+    [ Quit; Version; Flush_all; Stats None; Stats (Some "slabs") ]
 
 let test_ascii_incr_u64_range () =
   (* the full u64 range must survive the text protocol *)
