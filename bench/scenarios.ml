@@ -68,6 +68,53 @@ let sock_db conn : Ycsb.Runner.db =
         S.advance CM.current.ycsb_driver;
         Sock.set conn k v = Mc_core.Store.Stored) }
 
+(* Batched adapters (the batch plane): the whole batch is one driver
+   dispatch — a batched YCSB driver assembles the op vector and issues
+   a single call — so the driver cost, like the crossing cost, is paid
+   once per batch. *)
+
+let plib_batch_db plib : Ycsb.Runner.batch_db =
+  { b_run =
+      (fun ops ->
+        S.advance CM.current.ycsb_driver;
+        let bops =
+          List.map
+            (function
+              | Ycsb.Workload.Read k -> Plib.B_get k
+              | Ycsb.Workload.Update (k, v) ->
+                Plib.B_set
+                  { b_key = k; b_data = v; b_flags = 0; b_exptime = 0 })
+            ops
+        in
+        List.map
+          (function
+            | Plib.R_get r -> r <> None
+            | Plib.R_store r -> r = Mc_core.Store.Stored
+            | Plib.R_found b -> b)
+          (Plib.batch plib bops)) }
+
+let sock_batch_db conn : Ycsb.Runner.batch_db =
+  let module P = Mc_protocol.Types in
+  { b_run =
+      (fun ops ->
+        S.advance CM.current.ycsb_driver;
+        let cmds =
+          List.map
+            (function
+              | Ycsb.Workload.Read k -> P.Gets [ k ]
+              | Ycsb.Workload.Update (k, v) ->
+                P.Set
+                  { P.key = k; flags = 0; exptime = 0; data = v;
+                    noreply = false })
+            ops
+        in
+        List.map
+          (function
+            | P.Values { vals; _ } -> vals <> []
+            | P.Stored -> true
+            | _ -> false)
+          (Sock.pipeline conn cmds)) }
+
 (* Load the dataset straight into a store object (the load phase is
    not part of any measurement). *)
 let load_plib plib w =
@@ -100,6 +147,13 @@ let baseline_point ~store ~workers ~threads (w : Ycsb.Workload.t) =
 
 let plib_point ~plib ~threads (w : Ycsb.Workload.t) =
   in_vm (fun () -> Run.run ~threads w ~db_for:(fun _ -> plib_db plib))
+
+(* The batch-plane point: B ops per crossing. [batch = 1] degenerates
+   to the one-op path's crossing count (every op still goes through
+   [call_batch], so crossings/op stays measurable as 1/B). *)
+let plib_batch_point ~plib ~threads ~batch (w : Ycsb.Workload.t) =
+  in_vm (fun () ->
+    Run.run_batched ~threads ~batch w ~db_for:(fun _ -> plib_batch_db plib))
 
 (* ---- Output helpers ----------------------------------------------------------- *)
 

@@ -47,6 +47,40 @@ let run ~ops () =
         (float_of_int wrpkru /. float_of_int ops);
       pf "crossings.ycsb_%s %d\n" (fst mix) enters)
     mixes;
+  (* Batch plane: the same read-heavy mix driven through the batched
+     op path at B ops per crossing. crossings/op = 1/B up to the final
+     partial batch each thread flushes; pkru writes/op = 2/B. The
+     greppable [batch.*] lines are what the CI gate asserts on. *)
+  header "Batch plane: crossings amortized over batch size (YCSB B)";
+  pf "%-8s %10s %12s %14s %12s %12s %10s\n" "batch" "ops" "crossings"
+    "crossings/op" "pkru wr/op" "ktps" "mean_B";
+  let base_ktps = ref 0.0 in
+  List.iter
+    (fun b ->
+      C.reset ();
+      Telemetry.Timers.reset ();
+      let res =
+        plib_batch_point ~plib ~threads:4 ~batch:b (workload ("B", 0.95) ~ops)
+      in
+      let enters = C.read C.Id.hodor_enter in
+      let wrpkru = C.read C.Id.pkru_writes in
+      let bcalls = C.read C.Id.hodor_batch_calls in
+      let bops = C.read C.Id.hodor_batch_ops in
+      let ktps = Ycsb.Runner.throughput_ktps res in
+      if b = 1 then base_ktps := ktps;
+      pf "%-8d %10d %12d %14.4f %12.4f %12.1f %10.2f\n" b ops enters
+        (float_of_int enters /. float_of_int ops)
+        (float_of_int wrpkru /. float_of_int ops)
+        ktps
+        (float_of_int bops /. float_of_int (max 1 bcalls));
+      pf "batch.crossings_per_op.B%d %.4f\n" b
+        (float_of_int enters /. float_of_int ops);
+      pf "batch.pkru_per_op.B%d %.4f\n" b
+        (float_of_int wrpkru /. float_of_int ops);
+      pf "batch.ktps.B%d %.1f\n" b ktps;
+      if b > 1 then pf "batch.speedup.B%d %.3f\n" b (ktps /. !base_ktps))
+    [ 1; 8; 32 ];
+
   pf "\nstats snapshot (last workload window):\n";
   let kvs =
     in_vm (fun () -> Plib.stats plib) @ C.boundary_kvs ()

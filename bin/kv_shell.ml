@@ -17,6 +17,7 @@ let usage () =
   print_string
     "commands:\n\
     \  get <key>              set <key> <value>      add <key> <value>\n\
+    \  mget <key> [key ...]   (one crossing for the whole key list)\n\
     \  replace <key> <value>  append <key> <suffix>  prepend <key> <prefix>\n\
     \  del <key>              incr <key> [n]         decr <key> [n]\n\
     \  touch <key> <secs>     stats [arg]            flush_all\n\
@@ -49,6 +50,16 @@ let shell plib image =
               Printf.printf "VALUE %s flags=%d cas=%Ld\n%s\n" k r.flags r.cas
                 r.value
             | None -> print_endline "NOT_FOUND")
+         | "mget" :: (_ :: _ as keys) ->
+           (* the whole key list rides one trampoline crossing *)
+           let hits = Plib.mget plib keys in
+           List.iter
+             (fun (k, r) ->
+               Printf.printf "VALUE %s flags=%d cas=%Ld\n%s\n" k r.flags r.cas
+                 r.value)
+             hits;
+           Printf.printf "END (%d of %d hit)\n" (List.length hits)
+             (List.length keys)
          | "set" :: k :: rest ->
            let v = String.concat " " rest in
            print_endline

@@ -181,27 +181,24 @@ module Make (S : Platform.Sync_intf.S) = struct
 
   (* ---- Async (callback) interface -------------------------------------------- *)
 
+  (* Multi-get, the batch plane's client face: one protection crossing
+     (plib) or one kernel round trip (socket) for the whole key list.
+     Returns hits in key-list order. *)
+  let memcached_mget st keys : (string * Mc_core.Store.get_result) list =
+    match st.backend with
+    | Plib_backend p -> Plib.mget p keys
+    | Socket_backend s -> Sock.mget s keys
+
   (* With sockets, mget hides latency by batching; with the protected
-     library the callback fires immediately after each trampoline
-     return. Either way the application-visible contract holds. *)
+     library one trampoline crossing carries the whole run and the
+     callbacks fire right after it returns. Either way the
+     application-visible contract holds. *)
   let memcached_mget_execute st keys
       ~(callback : key:string -> value:string -> flags:int -> unit) =
-    (match st.backend with
-     | Plib_backend p ->
-       List.iter
-         (fun key ->
-           match Plib.get p key with
-           | Some g ->
-             callback ~key ~value:g.Mc_core.Store.value
-               ~flags:g.Mc_core.Store.flags
-           | None -> ())
-         keys
-     | Socket_backend s ->
-       List.iter
-         (fun (key, g) ->
-           callback ~key ~value:g.Mc_core.Store.value
-             ~flags:g.Mc_core.Store.flags)
-         (Sock.mget s keys));
+    List.iter
+      (fun (key, g) ->
+        callback ~key ~value:g.Mc_core.Store.value ~flags:g.Mc_core.Store.flags)
+      (memcached_mget st keys);
     MEMCACHED_SUCCESS
 
   (* ---- The slim Direct API (no memcached_st) ----------------------------------- *)
@@ -216,6 +213,10 @@ module Make (S : Platform.Sync_intf.S) = struct
     let the () = match !default with Some p -> p | None -> raise Not_initialized
 
     let get key = Plib.get (the ()) key
+
+    let mget keys = Plib.mget (the ()) keys
+
+    let batch ?on_op ops = Plib.batch ?on_op (the ()) ops
 
     let set ?flags ?exptime key data = Plib.set (the ()) ?flags ?exptime key data
 

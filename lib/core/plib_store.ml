@@ -290,6 +290,76 @@ module Make (S : Platform.Sync_intf.S) = struct
     enter t (fun () ->
       Store.touch t.store (copy_in t (Bytes.unsafe_of_string key)) exptime)
 
+  (* ---- Batch plane: many operations, one crossing --------------------- *)
+
+  (* Multi-get: the whole key list rides one trampoline crossing (one
+     pkru swap pair, one stack note), keys are copied into the library
+     domain first (Figure 4 idiom, before any lock), and the distinct
+     item-lock stripes the keys hash to are taken once for the group —
+     ascending, the creation-rank order lockdep demands. *)
+  let mget t keys : (string * Mc_core.Store.get_result) list =
+    match keys with
+    | [] -> []
+    | keys ->
+      Hodor.Trampoline.call_batch t.lib ~ops:(List.length keys) (fun () ->
+        let prot =
+          List.map (fun k -> copy_in t (Bytes.unsafe_of_string k)) keys
+        in
+        let stripes =
+          List.sort_uniq compare (List.map (Store.stripe_of t.store) prot)
+        in
+        Store.with_stripes t.store ~stripes (fun () ->
+          List.filter_map
+            (fun key ->
+              Option.map (fun r -> (key, r)) (Store.get t.store key))
+            prot))
+
+  (* A mixed batch for pipelining arbitrary operations through one
+     crossing. Storage ops allocate (and may evict from arbitrary
+     stripes), so a mixed batch keeps the ops' own internal locking;
+     the crossing amortization is the win, the stripe-group
+     amortization belongs to the uniform [mget]. *)
+  type batch_op =
+    | B_get of string
+    | B_set of { b_key : string; b_data : string; b_flags : int;
+                 b_exptime : int }
+    | B_delete of string
+    | B_touch of string * int
+
+  type batch_result =
+    | R_get of Mc_core.Store.get_result option
+    | R_store of Mc_core.Store.store_result
+    | R_found of bool
+
+  let exec_op t = function
+    | B_get k ->
+      R_get (Store.get t.store (copy_in t (Bytes.unsafe_of_string k)))
+    | B_set { b_key; b_data; b_flags; b_exptime } ->
+      let key_prot = copy_in t (Bytes.unsafe_of_string b_key) in
+      R_store (Store.set t.store ~flags:b_flags ~exptime:b_exptime key_prot
+                 b_data)
+    | B_delete k ->
+      R_found (Store.delete t.store (copy_in t (Bytes.unsafe_of_string k)))
+    | B_touch (k, e) ->
+      R_found (Store.touch t.store (copy_in t (Bytes.unsafe_of_string k)) e)
+
+  (* [on_op i r] fires after op [i] fully completed inside the library
+     — an application-level ack. The crash sweep leans on it: if the
+     calling thread dies mid-batch, every op that acked before the
+     kill must still be readable after recovery (the batch's committed
+     prefix), while the op in flight may have been torn and dropped. *)
+  let batch ?on_op t (ops : batch_op list) : batch_result list =
+    match ops with
+    | [] -> []
+    | ops ->
+      Hodor.Trampoline.call_batch t.lib ~ops:(List.length ops) (fun () ->
+        List.mapi
+          (fun i op ->
+            let r = exec_op t op in
+            (match on_op with Some f -> f i r | None -> ());
+            r)
+          ops)
+
   let flush_all t = enter t (fun () -> Store.flush_all t.store)
 
   let stats t = enter t (fun () -> Store.stats t.store)
@@ -360,8 +430,11 @@ module Make (S : Platform.Sync_intf.S) = struct
   module Remote = Mc_server.Server.Make_hybrid (S)
 
   let serve_remote ?(cfg = Mc_server.Server.default_config) t ~name =
-    let wrap f =
-      Process.with_process t.owner (fun () -> Hodor.Trampoline.call t.lib f)
+    let wrap =
+      { Mc_server.Server.wrap =
+          (fun ~ops f ->
+            Process.with_process t.owner (fun () ->
+              Hodor.Trampoline.call_batch t.lib ~ops f)) }
     in
     Remote.start_with ~cfg:{ cfg with store = Store.config t.store } ~wrap
       ~store:t.store ~name ()

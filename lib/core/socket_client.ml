@@ -45,23 +45,120 @@ module Make (S : Platform.Sync_intf.S) = struct
           cas = v.P.v_cas }
     | _ -> None
 
-  let mget t keys : (string * Mc_core.Store.get_result) list =
+  (* ---- Batch plane ---------------------------------------------------- *)
+
+  let encode_only t cmd =
     match t.protocol with
-    | Ascii ->
-      (match roundtrip t (P.Gets keys) with
-       | P.Values { vals; _ } ->
-         List.map
-           (fun v ->
-             ( v.P.v_key,
-               { Mc_core.Store.value = v.P.v_data; flags = v.P.v_flags;
-                 cas = v.P.v_cas } ))
-           vals
-       | _ -> [])
-    | Binary ->
-      (* The binary codec is single-key; pipeline the gets. *)
-      List.filter_map
-        (fun k -> Option.map (fun r -> (k, r)) (get t k))
-        keys
+    | Ascii -> Mc_protocol.Ascii.encode_command cmd
+    | Binary -> Mc_protocol.Binary.encode_command cmd
+
+  (* Parse one positioned reply out of the accumulation buffer,
+     receiving more bytes whenever only a prefix has arrived. *)
+  let rec parse_at t buf cmd at =
+    let data = Buffer.contents buf in
+    match
+      match t.protocol with
+      | Ascii -> Mc_protocol.Ascii.parse_response_at data ~at
+      | Binary -> Mc_protocol.Binary.parse_response_at ~for_cmd:cmd data ~at
+    with
+    | r -> r
+    | exception P.Need_more_data ->
+      Buffer.add_string buf (T.client_recv t.conn);
+      parse_at t buf cmd at
+
+  (* Pipelining: the whole command list marshalled into one buffer,
+     one send, replies parsed back in order — one kernel round trip
+     where the one-op path pays B of them. Commands whose replies the
+     server suppresses (noreply storage, quiet gets) would desync the
+     positional parse and are refused; quiet-get runs go through
+     {!mget}. *)
+  let pipeline t (cmds : P.command list) : P.response list =
+    match cmds with
+    | [] -> []
+    | cmds ->
+      S.advance CM.current.client_pack;
+      let req = Buffer.create 256 in
+      List.iter
+        (fun c ->
+          if P.is_noreply c then
+            invalid_arg "pipeline: command with a suppressed reply";
+          Buffer.add_string req (encode_only t c))
+        cmds;
+      T.client_send t.conn (Buffer.contents req);
+      S.advance CM.current.client_unpack;
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf (T.client_recv t.conn);
+      let rec go at = function
+        | [] -> []
+        | cmd :: rest ->
+          let resp, used = parse_at t buf cmd at in
+          resp :: go (at + used) rest
+      in
+      go 0 cmds
+
+  let mget t keys : (string * Mc_core.Store.get_result) list =
+    match keys with
+    | [] -> []
+    | keys ->
+      (match t.protocol with
+       | Ascii ->
+         (match roundtrip t (P.Gets keys) with
+          | P.Values { vals; _ } ->
+            List.map
+              (fun v ->
+                ( v.P.v_key,
+                  { Mc_core.Store.value = v.P.v_data; flags = v.P.v_flags;
+                    cas = v.P.v_cas } ))
+              vals
+          | _ -> [])
+       | Binary ->
+         (* The binary protocol's pipelined multi-get: a run of GetKQ
+            frames closed by a Noop. Misses are suppressed; each hit
+            frame echoes its key, and the noop reply flushes and
+            terminates the run — one round trip for the whole list. *)
+         S.advance CM.current.client_pack;
+         let req = Buffer.create 256 in
+         List.iter
+           (fun k ->
+             Buffer.add_string req
+               (encode_only t
+                  (P.Getx { g_key = k; g_quiet = true; g_withkey = true })))
+           keys;
+         Buffer.add_string req (encode_only t P.Noop);
+         T.client_send t.conn (Buffer.contents req);
+         S.advance CM.current.client_unpack;
+         let buf = Buffer.create 256 in
+         Buffer.add_string buf (T.client_recv t.conn);
+         let quiet_get =
+           P.Getx { g_key = ""; g_quiet = true; g_withkey = true }
+         in
+         let rec collect at acc =
+           (* A reply frame is either a hit for some quiet get (the key
+              is echoed in the frame) or the terminating noop; the
+              opcode byte tells which before committing to a parse. *)
+           if Buffer.length buf < at + 2 then begin
+             Buffer.add_string buf (T.client_recv t.conn);
+             collect at acc
+           end
+           else if
+             Char.code (Buffer.nth buf (at + 1)) = Mc_protocol.Binary.Op.noop
+           then List.rev acc
+           else
+             match parse_at t buf quiet_get at with
+             | P.Values { vals; _ }, used ->
+               let acc =
+                 List.fold_left
+                   (fun acc v ->
+                     ( v.P.v_key,
+                       { Mc_core.Store.value = v.P.v_data;
+                         flags = v.P.v_flags; cas = v.P.v_cas } )
+                     :: acc)
+                   acc vals
+               in
+               collect (at + used) acc
+             | _, used -> collect (at + used) acc
+         in
+         collect 0 [])
 
   let store_result_of_response : P.response -> Mc_core.Store.store_result =
     function

@@ -111,6 +111,22 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
    | None -> ());
   result
 
+(* Batch entry: one crossing — one stack note, one pkru swap pair —
+   carrying [ops] operations. The body is the same [call]; what the
+   batch plane adds is the accounting that lets crossings/op and mean
+   batch size fall out of the counters: every protected call that goes
+   through here bumps [hodor_batch_calls] once and [hodor_batch_ops]
+   by the batch size, and the batch-size distribution is recorded as a
+   histogram under op "batch_size" (value in ops, not ns — the
+   histogram machinery is unit-agnostic). *)
+let call_batch (lib : Library.t) ~(ops : int) (f : unit -> 'a) : 'a =
+  if ops < 1 then invalid_arg "Trampoline.call_batch: ops < 1";
+  Telemetry.Counters.incr Telemetry.Counters.Id.hodor_batch_calls;
+  Telemetry.Counters.add ~n:ops Telemetry.Counters.Id.hodor_batch_ops;
+  if Telemetry.Control.on () then
+    Telemetry.Timers.record ~op:"batch_size" ops;
+  call lib f
+
 (* Trampoline-level argument copying (optional in Hodor; ablation
    abl3): snapshot the caller's buffer into the library domain before
    the body runs, so concurrent application threads cannot retarget

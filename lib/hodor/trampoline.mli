@@ -20,6 +20,14 @@ val call : Library.t -> (unit -> 'a) -> 'a
     calling process died mid-call.
     @raise Library_call_failed if [f] itself raises. *)
 
+val call_batch : Library.t -> ops:int -> (unit -> 'a) -> 'a
+(** One crossing carrying a whole batch: identical to {!call} — one
+    stack switch, one pkru swap pair — plus batch accounting
+    ([hodor_batch_calls], [hodor_batch_ops], and the "batch_size"
+    histogram), so crossings/op = 1/B and pkru writes/op = 2/B are
+    measurable. [ops] is the number of operations the body executes;
+    raises [Invalid_argument] if < 1. *)
+
 val call_with_arg : Library.t -> arg:bytes -> (bytes -> 'a) -> 'a
 (** Like {!call}; when the library was created with [copy_args], [f]
     receives a snapshot of [arg] taken before entry, so concurrent

@@ -283,11 +283,75 @@ struct
 
   let item_mutex t h = t.item_locks.((h lsr 8) land t.lock_mask)
 
-  let lock_item t h =
-    adv CM.current.lock_uncontended;
-    S.lock (item_mutex t h)
+  let stripe_index t h = (h lsr 8) land t.lock_mask
 
-  let unlock_item t h = S.unlock (item_mutex t h)
+  let stripe_of t key = stripe_index t (Hash.murmur3_32 key)
+
+  let stripe_count t = t.lock_mask + 1
+
+  (* Stripes this thread already holds through [with_stripes], so the
+     per-op [lock_item]/[unlock_item] inside a grouped batch become
+     no-ops for them (the amortization: one acquisition per stripe per
+     group instead of one per op). The store handle is compared
+     physically — two stores may coexist in one process (tests attach
+     twice), and their stripe indices must not alias. *)
+  let held_stripes : (t * int) list ref Tls.key = Tls.new_key (fun () -> ref [])
+
+  let holds_stripe t s =
+    List.exists (fun (t', s') -> t' == t && s' = s) !(Tls.get held_stripes)
+
+  let lock_item t h =
+    if not (holds_stripe t (stripe_index t h)) then begin
+      adv CM.current.lock_uncontended;
+      S.lock (item_mutex t h)
+    end
+
+  let unlock_item t h =
+    if not (holds_stripe t (stripe_index t h)) then S.unlock (item_mutex t h)
+
+  (* Acquire a group of item-lock stripes for the duration of [f],
+     in exactly the order given. Stripe mutexes share the lockdep
+     class "store.item", whose rank is creation order — ascending
+     stripe index. The caller must therefore pass [stripes] sorted
+     ascending and duplicate-free; an inverted order is a lockdep
+     violation (and the batch-plane test asserts it goes red).
+     Released in reverse order between groups, exception-safe. *)
+  let with_stripes t ~stripes f =
+    let held = Tls.get held_stripes in
+    let acquired = ref [] in
+    let release () =
+      List.iter
+        (fun s ->
+          held :=
+            (let rec rm = function
+               | [] -> []
+               | (t', s') :: tl when t' == t && s' = s -> tl
+               | p :: tl -> p :: rm tl
+             in
+             rm !held);
+          S.unlock t.item_locks.(s))
+        !acquired
+    in
+    (try
+       List.iter
+         (fun s ->
+           if holds_stripe t s then
+             invalid_arg "Store.with_stripes: stripe already held";
+           adv CM.current.lock_uncontended;
+           S.lock t.item_locks.(s);
+           acquired := s :: !acquired;
+           held := (t, s) :: !held)
+         stripes
+     with e ->
+       release ();
+       raise e);
+    match f () with
+    | v ->
+      release ();
+      v
+    | exception e ->
+      release ();
+      raise e
 
   let lock_lru t l =
     adv CM.current.lock_uncontended;

@@ -93,6 +93,29 @@ module Make
 
   val config : t -> config
 
+  (** {1 Stripe groups (batch plane)}
+
+      The item-lock table is striped; a batch executor can take every
+      stripe a group of operations touches once, up front, and the
+      per-op locking inside {!get}/{!delete}/{!touch} then skips the
+      already-held stripes. Only non-allocating operations may run
+      under a stripe group: allocation can evict from arbitrary other
+      stripes, which would acquire same-class locks out of rank order. *)
+
+  val stripe_of : t -> string -> int
+  (** Item-lock stripe index the key hashes to, in
+      [0 .. stripe_count - 1]. *)
+
+  val stripe_count : t -> int
+
+  val with_stripes : t -> stripes:int list -> (unit -> 'a) -> 'a
+  (** [with_stripes t ~stripes f] locks each stripe in the order given,
+      runs [f], and releases in reverse order. [stripes] must be
+      duplicate-free and sorted ascending — stripe mutexes share one
+      lockdep class ranked by creation (= index) order, so an inverted
+      order trips lockdep. Exception-safe; raises [Invalid_argument] if
+      a stripe is already held by this thread. *)
+
   (** {1 Operations (memcached command set)} *)
 
   val get : t -> string -> get_result option

@@ -54,6 +54,9 @@ let encode_command (c : command) : string =
   | Version -> "version" ^ crlf
   | Flush_all -> "flush_all" ^ crlf
   | Quit -> "quit" ^ crlf
+  | Getx _ | Noop ->
+    invalid_arg "Ascii.encode_command: binary-only command"
+  | Invalid _ -> invalid_arg "Ascii.encode_command: Invalid is not a request"
 
 (* ---- Request parsing (server side) ------------------------------------ *)
 
@@ -79,9 +82,13 @@ let u64_of_token name tok =
   | Some v -> v
   | None -> parse_error "bad %s: %S" name tok
 
-let check_key k =
-  if not (validate_key k) then parse_error "invalid key %S" k;
-  k
+(* Key validation (memcached semantics): over-long keys and keys with
+   control characters answer CLIENT_ERROR, uniformly across the get,
+   gets, storage, delete, counter and touch arms. The command still
+   frames — including any data block — so the reply maps to exactly
+   this request and a pipelined batch stays in sync; [Invalid] carries
+   the error to the executor. *)
+let keys_ok ks = List.for_all validate_key ks
 
 (* Parse a full request out of [s]; returns the command and the number
    of bytes consumed (so a pipelined buffer can be drained). *)
@@ -98,7 +105,6 @@ let parse_command (s : string) : command * int =
     let store verb rest =
       match rest with
       | key :: flags :: exptime :: len :: tail ->
-        let key = check_key key in
         let flags = int_of_token "flags" flags in
         let exptime = int_of_token "exptime" exptime in
         let len = int_of_token "bytes" len in
@@ -119,19 +125,21 @@ let parse_command (s : string) : command * int =
         if String.sub s (after_line + len) 2 <> crlf then
           parse_error "%s: data block not CRLF-terminated" verb;
         let data = String.sub s after_line len in
-        let p = { key; flags; exptime; data; noreply } in
         let consumed = after_line + len + 2 in
-        let cmd =
-          match verb, cas with
-          | "set", None -> Set p
-          | "add", None -> Add p
-          | "replace", None -> Replace p
-          | "append", None -> Append p
-          | "prepend", None -> Prepend p
-          | "cas", Some c -> Cas (p, c)
-          | _ -> parse_error "unknown storage verb %S" verb
-        in
-        (cmd, consumed)
+        if not (validate_key key) then (Invalid bad_key_error, consumed)
+        else
+          let p = { key; flags; exptime; data; noreply } in
+          let cmd =
+            match verb, cas with
+            | "set", None -> Set p
+            | "add", None -> Add p
+            | "replace", None -> Replace p
+            | "append", None -> Append p
+            | "prepend", None -> Prepend p
+            | "cas", Some c -> Cas (p, c)
+            | _ -> parse_error "unknown storage verb %S" verb
+          in
+          (cmd, consumed)
       | _ -> parse_error "%s: bad argument count" verb
     in
     (match split_ws line with
@@ -140,31 +148,36 @@ let parse_command (s : string) : command * int =
        (match verb with
         | "get" ->
           if rest = [] then parse_error "get: no keys";
-          (Get (List.map check_key rest), after_line)
+          if keys_ok rest then (Get rest, after_line)
+          else (Invalid bad_key_error, after_line)
         | "gets" ->
           if rest = [] then parse_error "gets: no keys";
-          (Gets (List.map check_key rest), after_line)
+          if keys_ok rest then (Gets rest, after_line)
+          else (Invalid bad_key_error, after_line)
         | "set" | "add" | "replace" | "append" | "prepend" | "cas" ->
           store verb rest
         | "delete" ->
           (match rest with
-           | [ k ] -> (Delete (check_key k, false), after_line)
-           | [ k; "noreply" ] -> (Delete (check_key k, true), after_line)
+           | [ k ] | [ k; "noreply" ] ->
+             if not (validate_key k) then (Invalid bad_key_error, after_line)
+             else (Delete (k, rest <> [ k ]), after_line)
            | _ -> parse_error "delete: bad arguments")
         | "incr" | "decr" ->
           (match rest with
            | k :: d :: tail ->
              let noreply = tail = [ "noreply" ] in
              let d = u64_of_token "delta" d in
-             if verb = "incr" then (Incr (check_key k, d, noreply), after_line)
-             else (Decr (check_key k, d, noreply), after_line)
+             if not (validate_key k) then (Invalid bad_key_error, after_line)
+             else if verb = "incr" then (Incr (k, d, noreply), after_line)
+             else (Decr (k, d, noreply), after_line)
            | _ -> parse_error "%s: bad arguments" verb)
         | "touch" ->
           (match rest with
            | k :: e :: tail ->
              let noreply = tail = [ "noreply" ] in
-             (Touch (check_key k, int_of_token "exptime" e, noreply),
-              after_line)
+             let e = int_of_token "exptime" e in
+             if not (validate_key k) then (Invalid bad_key_error, after_line)
+             else (Touch (k, e, noreply), after_line)
            | _ -> parse_error "touch: bad arguments")
         | "stats" ->
           (* the argument selects a sub-report; dropping it would turn
@@ -177,6 +190,29 @@ let parse_command (s : string) : command * int =
         | "flush_all" -> (Flush_all, after_line)
         | "quit" -> (Quit, after_line)
         | v -> parse_error "unknown command %S" v))
+
+(* ---- Batch (pipelined) parsing --------------------------------------- *)
+
+(* Drain every complete request out of [s] in one pass — the op batch a
+   connection's pending bytes amount to. Returns the parsed prefix and
+   how many bytes it spans; the unconsumed tail is a partial request
+   (or the start of a malformed one). Raises only if the very first
+   request is malformed or incomplete — a mid-batch error is left in
+   the buffer so the already-parsed prefix executes first and the next
+   drain reports the error in sequence. *)
+let parse_batch ?(max_ops = max_int) (s : string) : command list * int =
+  let n = String.length s in
+  let rec go at acc ops =
+    if at >= n || ops >= max_ops then (List.rev acc, at)
+    else
+      match
+        parse_command (if at = 0 then s else String.sub s at (n - at))
+      with
+      | cmd, consumed -> go (at + consumed) (cmd :: acc) (ops + 1)
+      | exception Need_more_data -> (List.rev acc, at)
+      | exception Parse_error _ when acc <> [] -> (List.rev acc, at)
+  in
+  go 0 [] 0
 
 (* ---- Response encoding (server side) ----------------------------------- *)
 
@@ -221,6 +257,18 @@ let encode_response (r : response) : string =
   | Error -> "ERROR" ^ crlf
   | Client_error m -> "CLIENT_ERROR " ^ m ^ crlf
   | Server_error m -> "SERVER_ERROR " ^ m ^ crlf
+
+(* Encode a batch's replies into one output buffer — one write() per
+   drained batch instead of one per op. [suppress_reply] filters
+   noreply storage ops. *)
+let encode_batch (pairs : (command * response) list) : string =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (cmd, resp) ->
+      if not (suppress_reply cmd resp) then
+        Buffer.add_string b (encode_response resp))
+    pairs;
+  Buffer.contents b
 
 (* ---- Response parsing (client side) -------------------------------------- *)
 
@@ -302,3 +350,37 @@ let parse_response (s : string) : response =
          | `Line l :: _ -> parse_error "unexpected line %S" l
        in
        gather items [] false [] false)
+
+(* One response frame out of a pipelined reply buffer: the response
+   and the bytes it spans. A frame is a single line unless the first
+   line opens a VALUE/STAT block, which runs through its END line. *)
+let parse_response_at (s : string) ~(at : int) : response * int =
+  let n = String.length s in
+  let line_end i =
+    match find_crlf s i with
+    | None -> raise Need_more_data
+    | Some eol -> eol
+  in
+  let starts p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  let eol = line_end at in
+  let first = String.sub s at (eol - at) in
+  let fin stop = (parse_response (String.sub s at (stop - at)), stop - at) in
+  if starts "VALUE " first || starts "STAT " first || first = "END" then
+    let rec scan i =
+      let eol = line_end i in
+      let line = String.sub s i (eol - i) in
+      if line = "END" then eol + 2
+      else if starts "VALUE " line then
+        match split_ws line with
+        | _ :: _ :: _ :: len :: _ ->
+          let len = int_of_token "bytes" len in
+          let next = eol + 2 + len + 2 in
+          if next > n then raise Need_more_data;
+          scan next
+        | _ -> parse_error "malformed VALUE line"
+      else scan (eol + 2)
+    in
+    fin (scan at)
+  else fin (eol + 2)

@@ -3,8 +3,11 @@
     whose response is a frame sequence terminated by an empty STAT.
 
     Multi-key [Get] is an ASCII-protocol feature; this codec accepts
-    single-key retrievals only (real binary clients pipeline GetQ
-    instead). *)
+    single-key retrievals only. Real binary clients batch by pipelining
+    a run of quiet gets (GetQ/GetKQ — miss replies suppressed)
+    terminated by a Noop or a plain Get/GetK, which this codec models
+    with {!Types.Getx} and {!Types.Noop}; {!parse_batch} drains such a
+    run into an op batch. *)
 
 open Types
 
@@ -16,6 +19,10 @@ let magic_res = 0x81
 
 module Op = struct
   let get = 0x00
+  let getq = 0x09
+  let getk = 0x0c
+  let getkq = 0x0d
+  let noop = 0x0a
   let set = 0x01
   let add = 0x02
   let replace = 0x03
@@ -114,6 +121,17 @@ let encode_command (c : command) : string =
   | Get [ k ] | Gets [ k ] ->
     req ~opcode:Op.get ~cas:0L ~extras:"" ~key:k ~value:""
   | Get _ | Gets _ -> invalid_arg "Binary.encode_command: multi-key get"
+  | Getx { g_key; g_quiet; g_withkey } ->
+    let opcode =
+      match g_quiet, g_withkey with
+      | false, false -> Op.get
+      | true, false -> Op.getq
+      | false, true -> Op.getk
+      | true, true -> Op.getkq
+    in
+    req ~opcode ~cas:0L ~extras:"" ~key:g_key ~value:""
+  | Noop -> req ~opcode:Op.noop ~cas:0L ~extras:"" ~key:"" ~value:""
+  | Invalid _ -> invalid_arg "Binary.encode_command: Invalid is not a request"
   | Set p ->
     req
       ~opcode:(if p.noreply then Op.setq else Op.set)
@@ -194,11 +212,16 @@ let parse_frame (s : string) ~(at : int) : raw =
         (body_len - extras_len - key_len);
     r_consumed = header_len + body_len }
 
+exception Bad_key
+
 let parse_command (s : string) : command * int =
   let r = parse_frame s ~at:0 in
   if r.r_magic <> magic_req then parse_error "bad request magic %#x" r.r_magic;
+  (* The frame carries an explicit key length, so only the length bound
+     applies (mirroring the ASCII codec's 250-byte cap); the frame is
+     already consumed, so the error maps to exactly this request. *)
   let key () =
-    if not (validate_key r.r_key) then parse_error "invalid key";
+    if not (validate_key_binary r.r_key) then raise Bad_key;
     r.r_key
   in
   let store ~noreply =
@@ -216,6 +239,13 @@ let parse_command (s : string) : command * int =
   let cmd =
     match r.r_opcode with
     | o when o = Op.get -> Get [ key () ]
+    | o when o = Op.getq ->
+      Getx { g_key = key (); g_quiet = true; g_withkey = false }
+    | o when o = Op.getk ->
+      Getx { g_key = key (); g_quiet = false; g_withkey = true }
+    | o when o = Op.getkq ->
+      Getx { g_key = key (); g_quiet = true; g_withkey = true }
+    | o when o = Op.noop -> Noop
     | o when o = Op.set || o = Op.setq ->
       let noreply = r.r_opcode = Op.setq in
       if r.r_cas = 0L then Set (store ~noreply)
@@ -253,6 +283,29 @@ let parse_command (s : string) : command * int =
     | o -> parse_error "unknown opcode %#x" o
   in
   (cmd, r.r_consumed)
+
+let parse_command (s : string) : command * int =
+  match parse_command s with
+  | cmd, consumed -> (cmd, consumed)
+  | exception Bad_key ->
+    let r = parse_frame s ~at:0 in
+    (Invalid bad_key_error, r.r_consumed)
+
+(* Drain every complete frame out of [s]: the binary rendering of an op
+   batch — typically a run of quiet ops terminated by a noop or a
+   non-quiet get/getk, but any frame sequence drains. Same contract as
+   {!Ascii.parse_batch}. *)
+let parse_batch ?(max_ops = max_int) (s : string) : command list * int =
+  let n = String.length s in
+  let rec go at acc ops =
+    if at >= n || ops >= max_ops then (List.rev acc, at)
+    else
+      match parse_command (if at = 0 then s else String.sub s at (n - at)) with
+      | cmd, consumed -> go (at + consumed) (cmd :: acc) (ops + 1)
+      | exception Need_more_data -> (List.rev acc, at)
+      | exception Parse_error _ when acc <> [] -> (List.rev acc, at)
+  in
+  go 0 [] 0
 
 (* Responses carry the request opcode so the decoder knows the shape. *)
 let encode_response ~(for_op : int) (resp : response) : string =
@@ -294,6 +347,66 @@ let encode_response ~(for_op : int) (resp : response) : string =
   | Error | Client_error _ | Server_error _ ->
     res ~status:Status.unknown_command ~cas:0L ~extras:"" ~key:"" ~value:""
 
+(* The response opcode echoes the request's, so a pipelining client can
+   match replies (in particular, spot the noop that flushes a quiet
+   run). [Invalid] lost its original opcode when validation rejected
+   it; the error status is what matters there. *)
+let opcode_of_command (c : command) : int =
+  match c with
+  | Get _ | Gets _ -> Op.get
+  | Getx { g_quiet; g_withkey; _ } ->
+    (match g_quiet, g_withkey with
+     | false, false -> Op.get
+     | true, false -> Op.getq
+     | false, true -> Op.getk
+     | true, true -> Op.getkq)
+  | Set p | Cas (p, _) -> if p.noreply then Op.setq else Op.set
+  | Add p -> if p.noreply then Op.addq else Op.add
+  | Replace p -> if p.noreply then Op.replaceq else Op.replace
+  | Append p -> if p.noreply then Op.appendq else Op.append
+  | Prepend p -> if p.noreply then Op.prependq else Op.prepend
+  | Delete (_, n) -> if n then Op.deleteq else Op.delete
+  | Incr (_, _, n) -> if n then Op.incrementq else Op.increment
+  | Decr (_, _, n) -> if n then Op.decrementq else Op.decrement
+  | Touch _ -> Op.touch
+  | Stats _ -> Op.stat
+  | Version -> Op.version
+  | Flush_all -> Op.flush
+  | Quit -> Op.quit
+  | Noop -> Op.noop
+  | Invalid _ -> Op.noop
+
+(* Command-aware reply encoding: picks the echo opcode and, for
+   GetK/GetKQ, carries the key back in the frame so quiet-run replies
+   are attributable. *)
+let encode_reply ~(for_cmd : command) (resp : response) : string =
+  let opcode = opcode_of_command for_cmd in
+  match for_cmd, resp with
+  | Getx { g_withkey = true; g_key; _ }, Values { vals; _ } ->
+    let res = frame ~magic:magic_res ~opcode in
+    (match vals with
+     | [] ->
+       res ~status:Status.key_not_found ~cas:0L ~extras:"" ~key:g_key ~value:""
+     | v :: _ ->
+       let extras =
+         let b = Buffer.create 4 in
+         put_u32 b v.v_flags;
+         Buffer.contents b
+       in
+       res ~status:Status.ok ~cas:v.v_cas ~extras ~key:g_key ~value:v.v_data)
+  | _ -> encode_response ~for_op:opcode resp
+
+(* Encode a batch's replies into one output buffer; quiet misses and
+   noreply acks are dropped, errors always answer. *)
+let encode_batch (pairs : (command * response) list) : string =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (cmd, resp) ->
+      if not (suppress_reply cmd resp) then
+        Buffer.add_string b (encode_reply ~for_cmd:cmd resp))
+    pairs;
+  Buffer.contents b
+
 let parse_response ~(for_cmd : command) (s : string) : response =
   let r = parse_frame s ~at:0 in
   if r.r_magic <> magic_res then parse_error "bad response magic %#x" r.r_magic;
@@ -310,6 +423,20 @@ let parse_response ~(for_cmd : command) (s : string) : response =
             [ { v_key = k; v_flags = flags; v_cas = r.r_cas;
                 v_data = r.r_value } ] }
   | Get _ | Gets _ -> invalid_arg "Binary.parse_response: multi-key get"
+  | Getx { g_key; _ } ->
+    if r.r_status = Status.key_not_found then
+      Values { with_cas = true; vals = [] }
+    else if r.r_status <> Status.ok then Server_error "get failed"
+    else
+      let flags =
+        if String.length r.r_extras >= 4 then get_u32 r.r_extras 0 else 0
+      in
+      let key = if r.r_key <> "" then r.r_key else g_key in
+      Values
+        { with_cas = true;
+          vals =
+            [ { v_key = key; v_flags = flags; v_cas = r.r_cas;
+                v_data = r.r_value } ] }
   | Set _ | Add _ | Replace _ | Append _ | Prepend _ ->
     if r.r_status = Status.ok then Stored
     else if r.r_status = Status.key_exists then Exists
@@ -340,3 +467,24 @@ let parse_response ~(for_cmd : command) (s : string) : response =
   | Version -> Version_reply r.r_value
   | Flush_all -> if r.r_status = Status.ok then Ok else Error
   | Quit -> Ok
+  | Noop -> if r.r_status = Status.ok then Ok else Error
+  | Invalid _ -> invalid_arg "Binary.parse_response: Invalid is not a request"
+
+(* One response frame (or, for [Stats], frame sequence) out of a
+   pipelined reply buffer: the response and the bytes it spans. *)
+let parse_response_at ~(for_cmd : command) (s : string) ~(at : int) :
+  response * int =
+  match for_cmd with
+  | Stats (Some "reset") ->
+    let r = parse_frame s ~at in
+    (parse_response ~for_cmd (String.sub s at r.r_consumed), r.r_consumed)
+  | Stats _ ->
+    let rec go i acc =
+      let r = parse_frame s ~at:i in
+      if r.r_key = "" then (Stats_reply (List.rev acc), i + r.r_consumed - at)
+      else go (i + r.r_consumed) ((r.r_key, r.r_value) :: acc)
+    in
+    go at []
+  | _ ->
+    let r = parse_frame s ~at in
+    (parse_response ~for_cmd (String.sub s at r.r_consumed), r.r_consumed)

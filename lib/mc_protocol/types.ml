@@ -14,6 +14,11 @@ type store_params = {
 type command =
   | Get of string list
   | Gets of string list  (** get returning CAS uniques *)
+  | Getx of { g_key : string; g_quiet : bool; g_withkey : bool }
+  (** binary-only retrieval shapes: GetQ/GetK/GetKQ. [g_quiet]
+      suppresses the miss reply (a quiet-get run is the binary
+      protocol's pipelined mget); [g_withkey] echoes the key in the
+      response frame so the client can match replies to a quiet run. *)
   | Set of store_params
   | Add of store_params
   | Replace of store_params
@@ -31,6 +36,15 @@ type command =
   | Version
   | Flush_all
   | Quit
+  | Noop
+  (** binary-only: the frame that terminates a quiet-op run — it always
+      elicits a reply, flushing any pipelined quiet gets before it *)
+  | Invalid of string
+  (** a request that framed correctly but failed validation (e.g. an
+      over-long key). Unlike {!Parse_error}, the parser consumed the
+      whole request — including a storage command's data block — so a
+      pipelined batch stays in sync and the server answers
+      [CLIENT_ERROR] for exactly this one command. *)
 
 type value = { v_key : string; v_flags : int; v_cas : int64; v_data : string }
 
@@ -80,15 +94,40 @@ let validate_key k =
     in
     ok 0
 
+(* The binary protocol frames the key with an explicit length, so any
+   byte is unambiguous — only the length bound applies (real memcached
+   accepts spaces and control bytes in binary keys). *)
+let validate_key_binary k =
+  let n = String.length k in
+  n > 0 && n <= max_key_length
+
+(* The one message every invalid-key path must produce, whichever codec
+   and whichever command arm hit it. *)
+let bad_key_error = "invalid key"
+
 (* Does this command ask the server to suppress its reply? *)
 let is_noreply = function
   | Set p | Add p | Replace p | Append p | Prepend p | Cas (p, _) -> p.noreply
   | Delete (_, n) | Incr (_, _, n) | Decr (_, _, n) | Touch (_, _, n) -> n
-  | Get _ | Gets _ | Stats _ | Version | Flush_all | Quit -> false
+  | Getx { g_quiet; _ } -> g_quiet
+  | Get _ | Gets _ | Stats _ | Version | Flush_all | Quit | Noop | Invalid _ ->
+    false
+
+(* Reply suppression is per (command, response): a quiet get answers on
+   a hit but swallows the miss; noreply storage swallows everything;
+   validation failures always answer, quiet or not (binary semantics —
+   errors on quiet ops are reported). *)
+let suppress_reply cmd (resp : response) =
+  match cmd, resp with
+  | _, (Client_error _ | Server_error _ | Error) -> false
+  | Getx { g_quiet = true; _ }, Values { vals = []; _ } -> true
+  | Getx _, _ -> false
+  | cmd, _ -> is_noreply cmd
 
 let command_name = function
   | Get _ -> "get"
   | Gets _ -> "gets"
+  | Getx _ -> "get"
   | Set _ -> "set"
   | Add _ -> "add"
   | Replace _ -> "replace"
@@ -103,3 +142,5 @@ let command_name = function
   | Version -> "version"
   | Flush_all -> "flush_all"
   | Quit -> "quit"
+  | Noop -> "noop"
+  | Invalid _ -> "invalid"

@@ -38,6 +38,7 @@ struct
     match cmd with
     | P.Get keys -> retrieve store keys ~with_cas:false
     | P.Gets keys -> retrieve store keys ~with_cas:true
+    | P.Getx { g_key; _ } -> retrieve store [ g_key ] ~with_cas:true
     | P.Set p ->
       of_store_result
         (Store.set store ~flags:p.P.flags ~exptime:p.P.exptime p.P.key p.P.data)
@@ -92,6 +93,8 @@ struct
       Store.flush_all store;
       P.Ok
     | P.Quit -> P.Ok
+    | P.Noop -> P.Ok
+    | P.Invalid m -> P.Client_error m
 
   (* Per-protocol-op latency, in virtual time, recorded host-side only
      (no [advance]): with telemetry off this is one ref read. *)
@@ -103,4 +106,53 @@ struct
       Telemetry.Timers.record ~op:(P.command_name cmd) (S.now_ns () - t0);
       resp
     end
+
+  (* ---- Batch execution ------------------------------------------------- *)
+
+  (* Only operations whose store work stays within their own key's
+     stripe may run under a stripe group. Storage and counter commands
+     allocate, and allocation can evict items living in arbitrary
+     other stripes — taking those locks while a group is held would be
+     a same-class rank inversion. They execute per-op instead, with
+     their usual internal locking, still inside the one crossing. *)
+  let groupable = function
+    | P.Get _ | P.Gets _ | P.Getx _ | P.Delete _ | P.Touch _ -> true
+    | _ -> false
+
+  let cmd_keys = function
+    | P.Get keys | P.Gets keys -> keys
+    | P.Getx { g_key; _ } -> [ g_key ]
+    | P.Delete (k, _) -> [ k ]
+    | P.Touch (k, _, _) -> [ k ]
+    | _ -> []
+
+  (* Execute a pipelined batch. Groupable runs acquire their distinct
+     stripes once, sorted ascending (creation-rank order — the lockdep
+     discipline for same-class mutexes), and ops execute in arrival
+     order under the group, so two ops on one key keep their relative
+     order. Responses align 1:1 with [cmds]. *)
+  let execute_batch store (cmds : P.command list) :
+      (P.command * P.response) list =
+    let rec split_run acc = function
+      | c :: rest when groupable c -> split_run (c :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | c :: _ as cmds when groupable c ->
+        let run, rest = split_run [] cmds in
+        let stripes =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun c -> List.map (Store.stripe_of store) (cmd_keys c))
+               run)
+        in
+        let resps =
+          Store.with_stripes store ~stripes (fun () ->
+            List.map (fun c -> (c, execute store c)) run)
+        in
+        go (List.rev_append resps acc) rest
+      | c :: rest -> go ((c, execute store c) :: acc) rest
+    in
+    go [] cmds
 end

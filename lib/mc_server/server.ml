@@ -25,6 +25,15 @@ let default_config =
       { Mc_core.Store.default_config with
         lru_by_size_class = true (* original memcached: LRU per slab class *) } }
 
+type wrapper = { wrap : 'a. ops:int -> (unit -> 'a) -> 'a }
+(** Runs each batch execution; [ops] is the number of operations the
+    thunk will execute. The hybrid server passes the Hodor batch
+    trampoline here, so one crossing covers the whole batch. The
+    record makes the field polymorphic: the same wrapper must serve
+    whatever result type the executor thunk produces. *)
+
+let default_wrapper = { wrap = (fun ~ops:_ f -> f ()) }
+
 (* Generic over the store's memory/allocator so the same server can
    front a private slab store (the classic baseline) or a shared Ralloc
    heap (the hybrid deployment of the paper's §6: remote clients over
@@ -45,25 +54,23 @@ struct
     inboxes : T.message S.chan array;
     conns : (int, T.conn) Hashtbl.t;
     conns_lock : Mutex.t;
-    wrap : (unit -> P.response) -> P.response;
-    (** runs each request execution; the hybrid server passes the
-        Hodor trampoline here so worker threads gain access rights to
-        the shared heap the way any other client of the library does *)
+    wrap : wrapper;
+    (** runs each batch execution; the hybrid server passes the Hodor
+        batch trampoline here so worker threads gain access rights to
+        the shared heap the way any other client of the library does —
+        one crossing per drained batch, not per request *)
     mutable threads : S.thread list;
   }
 
-  let parse cfg payload =
+  let parse_batch cfg payload =
     match cfg.protocol with
-    | Ascii -> Mc_protocol.Ascii.parse_command payload
-    | Binary -> Mc_protocol.Binary.parse_command payload
+    | Ascii -> Mc_protocol.Ascii.parse_batch payload
+    | Binary -> Mc_protocol.Binary.parse_batch payload
 
-  let encode cfg ~for_op (resp : P.response) =
+  let encode_reply cfg (cmd : P.command) (resp : P.response) =
     match cfg.protocol with
     | Ascii -> Mc_protocol.Ascii.encode_response resp
-    | Binary -> Mc_protocol.Binary.encode_response ~for_op resp
-
-  let binary_opcode payload =
-    if String.length payload >= 2 then Char.code payload.[1] else 0
+    | Binary -> Mc_protocol.Binary.encode_reply ~for_cmd:cmd resp
 
   let find_conn t cid =
     Mutex.lock t.conns_lock;
@@ -81,9 +88,10 @@ struct
   (* Each worker owns an event loop over its queue. A read from a
      socket delivers an arbitrary byte chunk — possibly a fragment of
      one request, possibly several pipelined requests — so the worker
-     keeps a per-connection reassembly buffer and drains every complete
-     request out of it (what the libevent loop in stock memcached
-     does). *)
+     keeps a per-connection reassembly buffer. The batch plane drains
+     {e every} complete request out of it at once: one parse pass, one
+     wrapped (= one protection crossing) batch execution with grouped
+     stripe locking, one reply buffer, one send. *)
   let worker_loop t inbox =
     let buffers : (int, Buffer.t) Hashtbl.t = Hashtbl.create 16 in
     let buffer_of cid =
@@ -98,39 +106,73 @@ struct
       let data = Buffer.contents buf in
       if String.length data = 0 then ()
       else begin
-        S.advance CM.current.proto_parse;
-        match parse t.cfg data with
-        | cmd, consumed ->
+        match parse_batch t.cfg data with
+        | [], _ -> () (* an incomplete prefix: wait for the next chunk *)
+        | cmds, consumed ->
           Buffer.clear buf;
           Buffer.add_substring buf data consumed (String.length data - consumed);
-          (match cmd with
-           | P.Quit ->
-             T.close_conn conn;
-             drop_conn t cid;
-             Hashtbl.remove buffers cid
-           | cmd ->
-             let resp = t.wrap (fun () -> E.execute t.store cmd) in
-             if not (P.is_noreply cmd) then begin
-               S.advance CM.current.proto_pack;
-               T.server_send conn (encode t.cfg ~for_op:(binary_opcode data) resp)
-             end;
-             drain conn cid buf)
+          S.advance (List.length cmds * CM.current.proto_parse);
+          (* Quit closes the connection; everything before it still
+             executes, anything after it is discarded with the
+             connection (what a socket close does to pipelined bytes). *)
+          let before_quit, quit =
+            let rec split acc = function
+              | [] -> (List.rev acc, false)
+              | P.Quit :: _ -> (List.rev acc, true)
+              | c :: tl -> split (c :: acc) tl
+            in
+            split [] cmds
+          in
+          let pairs =
+            match before_quit with
+            | [] -> []
+            | cmds ->
+              t.wrap.wrap ~ops:(List.length cmds) (fun () ->
+                E.execute_batch t.store cmds)
+          in
+          (* One output buffer for the whole batch, one send. *)
+          let out = Buffer.create 256 in
+          List.iter
+            (fun (cmd, resp) ->
+              if not (P.suppress_reply cmd resp) then begin
+                S.advance CM.current.proto_pack;
+                Buffer.add_string out (encode_reply t.cfg cmd resp)
+              end)
+            pairs;
+          if Buffer.length out > 0 then T.server_send conn (Buffer.contents out);
+          if quit then begin
+            T.close_conn conn;
+            drop_conn t cid;
+            Hashtbl.remove buffers cid
+          end
+          else
+            (* Whatever stayed buffered is an incomplete prefix — or
+               garbage, which the re-entry reports and drops. *)
+            drain conn cid buf
         | exception P.Need_more_data -> () (* wait for the next chunk *)
         | exception P.Parse_error m ->
           (* resync by dropping the buffered garbage *)
           Buffer.clear buf;
           S.advance CM.current.proto_pack;
-          T.server_send conn (encode t.cfg ~for_op:0 (P.Client_error m))
+          T.server_send conn (encode_reply t.cfg (P.Invalid m) (P.Client_error m))
       end
     in
     let rec loop () =
-      match T.worker_recv inbox with
+      match T.worker_drain inbox with
       | exception S.Closed -> ()
-      | { T.m_cid = cid; m_payload = payload } ->
-        let conn = find_conn t cid in
-        let buf = buffer_of cid in
-        Buffer.add_string buf payload;
-        drain conn cid buf;
+      | msgs ->
+        (* Append every drained chunk to its connection's buffer first,
+           so pipelined requests split across chunks reassemble before
+           the batch runs; then drain each touched connection once. *)
+        let touched = ref [] in
+        List.iter
+          (fun { T.m_cid = cid; m_payload = payload } ->
+            Buffer.add_string (buffer_of cid) payload;
+            if not (List.mem cid !touched) then touched := cid :: !touched)
+          msgs;
+        List.iter
+          (fun cid -> drain (find_conn t cid) cid (buffer_of cid))
+          (List.rev !touched);
         loop ()
     in
     loop ()
@@ -157,7 +199,7 @@ struct
   (* [prebuilt] lets benchmark sweeps reuse one loaded store across
      many server incarnations (the dataset outlives the threads), and
      is how the hybrid deployment hands the shared store in. *)
-  let start_with ?(cfg = default_config) ?(wrap = fun f -> f ()) ~store ~name
+  let start_with ?(cfg = default_config) ?(wrap = default_wrapper) ~store ~name
       () =
     let listener = T.listen ~name in
     let inboxes = Array.init cfg.workers (fun _ -> S.chan ()) in

@@ -58,9 +58,16 @@ module Id = struct
   (* Recovery. *)
   let recoveries = 26
 
+  (* Batch plane: protected calls that carried a whole op batch, and
+     the ops they carried. crossings/op = hodor_enter / ops served;
+     with every op going through [Trampoline.call_batch],
+     hodor_batch_ops / hodor_batch_calls is the mean batch size. *)
+  let hodor_batch_calls = 27
+  let hodor_batch_ops = 28
+
   (* Per-pkey fault counts occupy the tail: [pku_fault_pkey + k] for
      pkey k in [0, pkeys). *)
-  let pku_fault_pkey = 27
+  let pku_fault_pkey = 29
 
   let pkeys = 16
 
@@ -86,7 +93,9 @@ let names =
       (Id.hodor_poisoned, "hodor_poisoned");
       (Id.pkru_writes, "pkru_writes"); (Id.pku_faults, "pku_faults");
       (Id.alloc_calls, "alloc_calls"); (Id.alloc_bytes, "alloc_bytes");
-      (Id.free_calls, "free_calls"); (Id.recoveries, "recoveries") ];
+      (Id.free_calls, "free_calls"); (Id.recoveries, "recoveries");
+      (Id.hodor_batch_calls, "hodor_batch_calls");
+      (Id.hodor_batch_ops, "hodor_batch_ops") ];
   for k = 0 to Id.pkeys - 1 do
     a.(Id.pku_fault_pkey + k) <- Printf.sprintf "pku_fault_pkey:%d" k
   done;
@@ -156,7 +165,7 @@ let boundary_ids =
   [ Id.hodor_enter; Id.hodor_exit; Id.hodor_grace_hits;
     Id.hodor_kill_in_call; Id.hodor_poisoned; Id.pkru_writes;
     Id.pku_faults; Id.alloc_calls; Id.alloc_bytes; Id.free_calls;
-    Id.recoveries ]
+    Id.recoveries; Id.hodor_batch_calls; Id.hodor_batch_ops ]
 
 let kv id = (name id, string_of_int (read id))
 

@@ -153,6 +153,39 @@ module Make (S : Platform.Sync_intf.S) = struct
       S.advance (CM.wire_cost (String.length m.m_payload));
       m
 
+  (* Batch plane: drain everything the event queue already holds in one
+     go — one select() covering all ready connections, then one read(2)
+     per connection that had pending bytes, the wire cost covering every
+     byte copied out of that connection's kernel buffer. Blocks (with
+     the context-switch penalty) only when nothing is pending at all.
+     For a single pending message the total charge equals
+     [worker_recv]'s; the amortization appears exactly when a
+     connection pipelined multiple requests into the queue. *)
+  let worker_drain (inbox : message S.chan) : message list =
+    let first =
+      match S.try_recv inbox with
+      | Some m ->
+        S.advance CM.current.syscall_select;
+        m
+      | None ->
+        S.advance CM.current.syscall_select;
+        let m = S.recv inbox in
+        ctx_switch_penalty ();
+        m
+    in
+    let rec drain acc =
+      match S.try_recv inbox with
+      | Some m -> drain (m :: acc)
+      | None | (exception S.Closed) -> List.rev acc
+    in
+    let msgs = first :: drain [] in
+    let cids = List.sort_uniq compare (List.map (fun m -> m.m_cid) msgs) in
+    S.advance (List.length cids * CM.current.syscall_recv);
+    List.iter
+      (fun m -> S.advance (CM.wire_cost (String.length m.m_payload)))
+      msgs;
+    msgs
+
   let server_send conn payload =
     S.advance (CM.current.syscall_send + CM.current.wakeup);
     try S.send conn.reply payload with S.Closed -> ()

@@ -9,6 +9,13 @@ type db = {
   db_update : string -> string -> bool;
 }
 
+type batch_db = {
+  b_run : Workload.op list -> bool list;
+  (** execute the ops as one batch — one protection crossing or one
+      pipelined round trip — returning per-op outcomes aligned with
+      the input (reads report hit/miss; updates report true) *)
+}
+
 type result = {
   r_ops : int;
   r_elapsed_ns : int;
@@ -57,6 +64,63 @@ module Make (S : Platform.Sync_intf.S) = struct
        | Workload.Update _ -> Histogram.record tr.uhist dt)
     done
 
+  (* Batched client: the op stream is drawn from exactly the same
+     per-thread rng stream as [client_body] — batching changes only
+     where execution happens, so a same-seed run touches the same keys
+     in the same order at every batch size (the determinism the
+     regression test pins). Per-op latency is the batch's wall time
+     split evenly over its ops. *)
+  let client_body_batched (w : Workload.t) (db : batch_db) ~batch ~tid ~ops
+      (tr : thread_result) =
+    let rng = Rng.create (w.Workload.seed + (7919 * tid)) in
+    let choose = Workload.chooser w rng in
+    let pending = ref [] and npending = ref 0 in
+    let flush () =
+      if !npending > 0 then begin
+        let batch_ops = List.rev !pending in
+        let n = !npending in
+        pending := [];
+        npending := 0;
+        let t0 = S.now_ns () in
+        let oks = db.b_run batch_ops in
+        let dt = (S.now_ns () - t0) / n in
+        List.iter2
+          (fun op ok ->
+            Histogram.record tr.hist dt;
+            match op with
+            | Workload.Read _ ->
+              Histogram.record tr.rhist dt;
+              if ok then tr.hits <- tr.hits + 1
+              else tr.misses <- tr.misses + 1
+            | Workload.Update _ -> Histogram.record tr.uhist dt)
+          batch_ops oks
+      end
+    in
+    for _ = 1 to ops do
+      pending := Workload.next_op w rng choose :: !pending;
+      incr npending;
+      if !npending >= batch then flush ()
+    done;
+    flush ()
+
+  let collect threads ops_per_thread t_start (results : thread_result array) =
+    let elapsed = S.now_ns () - t_start in
+    let hist = Histogram.create () in
+    let rhist = Histogram.create () in
+    let uhist = Histogram.create () in
+    let hits = ref 0 and misses = ref 0 in
+    Array.iter
+      (fun tr ->
+        Histogram.merge ~into:hist tr.hist;
+        Histogram.merge ~into:rhist tr.rhist;
+        Histogram.merge ~into:uhist tr.uhist;
+        hits := !hits + tr.hits;
+        misses := !misses + tr.misses)
+      results;
+    { r_ops = ops_per_thread * threads; r_elapsed_ns = elapsed; r_hist = hist;
+      r_read_hist = rhist; r_update_hist = uhist; r_hits = !hits;
+      r_misses = !misses }
+
   (* Run [w.operation_count] operations split across [threads] clients;
      [db_for] lets each client own its connection (socket backend) or
      share the library handle (plib backend). *)
@@ -76,20 +140,29 @@ module Make (S : Platform.Sync_intf.S) = struct
           (fun () -> client_body w db ~tid ~ops:ops_per_thread results.(tid)))
     in
     List.iter S.join handles;
-    let elapsed = S.now_ns () - t_start in
-    let hist = Histogram.create () in
-    let rhist = Histogram.create () in
-    let uhist = Histogram.create () in
-    let hits = ref 0 and misses = ref 0 in
-    Array.iter
-      (fun tr ->
-        Histogram.merge ~into:hist tr.hist;
-        Histogram.merge ~into:rhist tr.rhist;
-        Histogram.merge ~into:uhist tr.uhist;
-        hits := !hits + tr.hits;
-        misses := !misses + tr.misses)
-      results;
-    { r_ops = ops_per_thread * threads; r_elapsed_ns = elapsed; r_hist = hist;
-      r_read_hist = rhist; r_update_hist = uhist; r_hits = !hits;
-      r_misses = !misses }
+    collect threads ops_per_thread t_start results
+
+  (* The batch-size knob: identical orchestration, but each client
+     submits its ops [batch] at a time through a {!batch_db}. *)
+  let run_batched ?(threads = 1) ?(batch = 1) (w : Workload.t)
+      ~(db_for : int -> batch_db) : result =
+    if batch < 1 then invalid_arg "Runner.run_batched: batch < 1";
+    let ops_per_thread = max 1 (w.Workload.operation_count / threads) in
+    let results =
+      Array.init threads (fun _ ->
+        { hist = Histogram.create (); rhist = Histogram.create ();
+          uhist = Histogram.create (); hits = 0; misses = 0 })
+    in
+    let t_start = S.now_ns () in
+    let handles =
+      List.init threads (fun tid ->
+        let db = db_for tid in
+        S.spawn
+          ~name:(Printf.sprintf "ycsb-client-%d" tid)
+          (fun () ->
+            client_body_batched w db ~batch ~tid ~ops:ops_per_thread
+              results.(tid)))
+    in
+    List.iter S.join handles;
+    collect threads ops_per_thread t_start results
 end

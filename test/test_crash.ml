@@ -381,15 +381,161 @@ let test_sweep_store_pressure () =
     incr sites_b
   done
 
+(* ---- Workload C: batched protected calls --------------------------- *)
+
+(* The batch plane pushes many operations through one trampoline
+   crossing, so a kill mid-batch leaves the library with a committed
+   prefix and one possibly-torn op in flight. [Plib.batch]'s [on_op]
+   callback is the application-level ack: the sweep records each acked
+   (key, value) host-side and, after recovery, demands the acked
+   prefix verbatim while unacked ops may be present-or-absent — but
+   never torn. *)
+
+let sites_c = ref 0
+
+let fresh_c = ref 0
+
+let batch_val i = Printf.sprintf "c%d-%s" i (String.make (60 + (i * 41 mod 300)) 'b')
+
+let run_c ~at () =
+  incr fresh_c;
+  let path = Printf.sprintf "/shm/crash-c-%d" !fresh_c in
+  let owner = Process.make ~uid:1000 "bk-crash-c" in
+  let p = Plib.create ~store_cfg:cfg_a ~path ~size:(2 lsl 20) ~owner () in
+  Fun.protect
+    ~finally:(fun () ->
+      Simos.Sim_fs.unlink path;
+      Hodor.Library.release (Plib.library p);
+      Pku.Pkru.reset_thread ())
+    (fun () ->
+      let vm = Vm.create ~sched_seed:4321 ~preempt_jitter:50 () in
+      let victim_proc = Process.make ~uid:2100 "victim-proc-c" in
+      Vm.set_crash_point vm
+        ~filter:(fun n -> n = "victim")
+        ~at
+        ~on_crash:(fun _name now -> Process.kill ~now_ns:now victim_proc)
+        ();
+      (* Acked = the batch prefix whose per-op callbacks ran before the
+         kill. Issued = everything handed to [batch]; an unacked issued
+         key may or may not have landed. Keys are unique per op, so
+         present ⇒ exactly the issued value. *)
+      let acked : (string, string) Hashtbl.t = Hashtbl.create 64 in
+      let issued : (string, string) Hashtbl.t = Hashtbl.create 64 in
+      ignore
+        (Vm.spawn vm ~name:"victim" (fun () ->
+           Process.with_process victim_proc (fun () ->
+             try
+               for b = 0 to 7 do
+                 let keys = List.init 8 (fun j -> Printf.sprintf "c-%d" ((b * 8) + j)) in
+                 let ops =
+                   List.mapi
+                     (fun j k ->
+                       let v = batch_val ((b * 8) + j) in
+                       Hashtbl.replace issued k v;
+                       Plib.B_set
+                         { b_key = k; b_data = v; b_flags = 0; b_exptime = 0 })
+                     keys
+                 in
+                 ignore
+                   (Plib.batch p ops
+                      ~on_op:(fun j _r ->
+                        let k = List.nth keys j in
+                        Hashtbl.replace acked k (batch_val ((b * 8) + j))));
+                 (* Read the batch back through the grouped-stripe path
+                    so kill sites land inside [mget]'s stripe group
+                    too. *)
+                 ignore (Plib.mget p keys)
+               done
+             with Process.Process_killed _ -> ())));
+      Vm.run vm;
+      let crashes = Vm.crashed vm in
+      let n = Vm.sync_points_seen vm in
+      let events = Vm.events_processed vm in
+      let vm2 = Vm.create () in
+      ignore
+        (Vm.spawn vm2 ~name:"bookkeeper" (fun () ->
+           Process.with_process owner (fun () ->
+             if crashes <> [] then Plib.recover p;
+             Shm.Region.kernel_mode (fun () ->
+               Plib.Store.check_invariants (Plib.store p);
+               Ralloc.check_invariants (Plib.heap p));
+             if crashes <> [] then
+               Shm.Region.kernel_mode (fun () ->
+                 let store = Plib.store p and heap = Plib.heap p in
+                 let live = Plib.Store.recover store in
+                 let cell =
+                   Ralloc.get_root heap Core.Plib_store.root_primary
+                 in
+                 let live = if cell = 0 then live else cell :: live in
+                 let tblock =
+                   Ralloc.get_root heap Core.Plib_store.root_telemetry
+                 in
+                 let live = if tblock = 0 then live else tblock :: live in
+                 Ralloc.recover heap ~live;
+                 assert_conserved heap live);
+             (* The acked prefix survives verbatim. *)
+             Hashtbl.iter
+               (fun k v ->
+                 match Plib.get p k with
+                 | Some r when r.Store.value = v -> ()
+                 | Some r ->
+                   Alcotest.fail
+                     (Printf.sprintf
+                        "acked batch op %s corrupted: wanted %d bytes, got %d"
+                        k (String.length v)
+                        (String.length r.Store.value))
+                 | None ->
+                   Alcotest.fail
+                     ("acked batch op lost after recovery: " ^ k))
+               acked;
+             (* Unacked issued ops: present-or-absent, never torn. *)
+             Hashtbl.iter
+               (fun k v ->
+                 if not (Hashtbl.mem acked k) then
+                   match Plib.get p k with
+                   | None -> ()
+                   | Some r when r.Store.value = v -> ()
+                   | Some r ->
+                     Alcotest.fail
+                       (Printf.sprintf
+                          "unacked batch op %s torn: wanted %d bytes, got %d"
+                          k (String.length v)
+                          (String.length r.Store.value)))
+               issued;
+             (* The store takes fresh traffic after the batch kill. *)
+             if Plib.set p "post-crash" "recovered" <> Store.Stored then
+               Alcotest.fail "store refuses writes after recovery";
+             match Plib.get p "post-crash" with
+             | Some r when r.Store.value = "recovered" -> ()
+             | _ -> Alcotest.fail "post-recovery write not readable")));
+      Vm.run vm2;
+      (crashes, n, events))
+
+let test_sweep_batched () =
+  let crashes, n, _ = run_c ~at:max_int () in
+  check_crashes "count pass kills nobody" [] crashes;
+  Alcotest.(check bool)
+    (Printf.sprintf "batched workload exposes enough kill sites (%d)" n)
+    true (n >= 40);
+  let m = min 40 (cap ()) in
+  for i = 0 to m - 1 do
+    let k = i * n / m in
+    let crashes, _, _ = run_c ~at:k () in
+    check_crashes
+      (Printf.sprintf "kill fired at site %d/%d" k n)
+      [ ("victim", k) ] crashes;
+    incr sites_c
+  done
+
 (* ---- Coverage floor (must run after the sweeps) -------------------- *)
 
 let test_coverage () =
   if cap () = max_int then
     Alcotest.(check bool)
-      (Printf.sprintf "sweeps killed at %d + %d distinct sites" !sites_a
-         !sites_b)
+      (Printf.sprintf "sweeps killed at %d + %d + %d distinct sites" !sites_a
+         !sites_b !sites_c)
       true
-      (!sites_a + !sites_b >= 200)
+      (!sites_a + !sites_b + !sites_c >= 240)
 
 let () =
   Alcotest.run "crash"
@@ -397,7 +543,9 @@ let () =
         [ Alcotest.test_case "plib stack, victim + survivors" `Quick
             test_sweep_plib;
           Alcotest.test_case "direct store under pressure" `Quick
-            test_sweep_store_pressure ] );
+            test_sweep_store_pressure;
+          Alcotest.test_case "batched protected calls" `Quick
+            test_sweep_batched ] );
       ( "edges",
         [ Alcotest.test_case "sweep is deterministic" `Quick
             test_sweep_is_deterministic;

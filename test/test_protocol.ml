@@ -57,8 +57,25 @@ let test_ascii_parse_errors () =
       | exception Parse_error _ -> ())
     [ "bogus\r\n"; "get\r\n"; "set k\r\n"; "set k a b 3\r\nabc\r\n";
       "set k 0 0 2\r\nabXY" (* wrong terminator *);
-      "incr k\r\n"; "get " ^ String.make 300 'k' ^ "\r\n" (* key too long *);
-      "get bad\x01key\r\n"; "set k 0 0 2 garbage\r\nab\r\n" ]
+      "incr k\r\n"; "set k 0 0 2 garbage\r\nab\r\n" ];
+  (* Invalid keys are not parse errors: the request frames, the whole
+     thing (data block included) is consumed so a pipelined batch
+     stays in sync, and the command surfaces as [Invalid] — which the
+     executor answers with a uniform CLIENT_ERROR. *)
+  List.iter
+    (fun wire ->
+      match Ascii.parse_command wire with
+      | Invalid m, used ->
+        Alcotest.(check string) "uniform message" bad_key_error m;
+        Alcotest.(check int) "whole request consumed" (String.length wire)
+          used
+      | _ -> Alcotest.fail ("should frame as Invalid: " ^ String.escaped wire))
+    [ "get " ^ String.make 300 'k' ^ "\r\n" (* key too long *);
+      "get bad\x01key\r\n" (* control byte *);
+      "gets ok bad\x01key\r\n" (* one bad key poisons the multi-get *);
+      "set " ^ String.make 251 'k' ^ " 0 0 2\r\nab\r\n";
+      "delete bad\x7fkey\r\n"; "incr bad\x02key 1\r\n";
+      "touch " ^ String.make 300 't' ^ " 60\r\n" ]
 
 let test_ascii_short_reads_want_more () =
   (* prefixes of valid requests are not errors: a stream server keeps
@@ -466,6 +483,147 @@ let test_key_validation () =
   Alcotest.(check bool) "250 max" true (validate_key (String.make 250 'k'));
   Alcotest.(check bool) "251 too long" false (validate_key (String.make 251 'k'))
 
+(* Binary keys are length-framed: any byte goes, only the length bound
+   applies — and the codec enforces it by framing the request as
+   [Invalid] rather than desyncing the stream. *)
+let test_binary_key_validation () =
+  Alcotest.(check bool) "space ok in binary" true (validate_key_binary "a b");
+  Alcotest.(check bool) "control ok in binary" true
+    (validate_key_binary "a\x01b");
+  Alcotest.(check bool) "empty" false (validate_key_binary "");
+  Alcotest.(check bool) "251 too long" false
+    (validate_key_binary (String.make 251 'k'));
+  (* a space key really travels *)
+  (match binary_roundtrip (Get [ "a b" ]) with
+   | Get [ "a b" ] -> ()
+   | _ -> Alcotest.fail "space key lost");
+  (* an over-long key frames as Invalid, whole frame consumed *)
+  let wire = Binary.encode_command (Delete (String.make 251 'k', false)) in
+  match Binary.parse_command wire with
+  | Invalid m, used ->
+    Alcotest.(check string) "uniform message" bad_key_error m;
+    Alcotest.(check int) "frame consumed" (String.length wire) used
+  | _ -> Alcotest.fail "over-long binary key should frame as Invalid"
+
+(* ---- The batch plane: pipelined parse and coalesced encode ---------- *)
+
+let test_ascii_batch_parse () =
+  let wire =
+    Ascii.encode_command (Set (sp "k1" "v1"))
+    ^ Ascii.encode_command (Get [ "k1"; "k2" ])
+    ^ Ascii.encode_command (Delete ("k3", false))
+    ^ "get partial" (* incomplete tail stays unconsumed *)
+  in
+  let cmds, used = Ascii.parse_batch wire in
+  Alcotest.(check (list string)) "ops in order" [ "set"; "get"; "delete" ]
+    (List.map command_name cmds);
+  Alcotest.(check int) "tail left in the buffer"
+    (String.length wire - String.length "get partial")
+    used;
+  (* an invalid key mid-batch yields Invalid in place, batch in sync *)
+  let wire2 =
+    Ascii.encode_command (Get [ "ok1" ])
+    ^ "get " ^ String.make 300 'x' ^ "\r\n"
+    ^ Ascii.encode_command (Get [ "ok2" ])
+  in
+  let cmds2, used2 = Ascii.parse_batch wire2 in
+  Alcotest.(check (list string)) "invalid framed in place"
+    [ "get"; "invalid"; "get" ]
+    (List.map command_name cmds2);
+  Alcotest.(check int) "all consumed" (String.length wire2) used2;
+  (* garbage mid-batch stops the batch at the boundary *)
+  let wire3 = Ascii.encode_command (Get [ "ok" ]) ^ "bogus junk\r\n" in
+  let cmds3, used3 = Ascii.parse_batch wire3 in
+  Alcotest.(check int) "one op before the garbage" 1 (List.length cmds3);
+  Alcotest.(check int) "stopped at the boundary"
+    (String.length (Ascii.encode_command (Get [ "ok" ])))
+    used3;
+  (* max_ops bounds a batch *)
+  let many = String.concat "" (List.init 10 (fun _ -> "get k\r\n")) in
+  let cmds4, used4 = Ascii.parse_batch ~max_ops:4 many in
+  Alcotest.(check int) "max_ops honored" 4 (List.length cmds4);
+  Alcotest.(check int) "consumed exactly 4" (4 * String.length "get k\r\n")
+    used4
+
+let test_binary_batch_parse () =
+  (* the binary mget idiom: a quiet-get run closed by a noop *)
+  let wire =
+    Binary.encode_command
+      (Getx { g_key = "a"; g_quiet = true; g_withkey = true })
+    ^ Binary.encode_command
+        (Getx { g_key = "b"; g_quiet = true; g_withkey = true })
+    ^ Binary.encode_command Noop
+  in
+  let cmds, used = Binary.parse_batch wire in
+  Alcotest.(check int) "whole run consumed" (String.length wire) used;
+  match cmds with
+  | [ Getx { g_key = "a"; g_quiet = true; _ };
+      Getx { g_key = "b"; g_quiet = true; _ }; Noop ] ->
+    ()
+  | _ -> Alcotest.fail "quiet-run parse"
+
+let test_batch_encode_suppression () =
+  (* one output buffer; quiet misses and noreply acks dropped, errors
+     always answered *)
+  let hit k =
+    Values
+      { with_cas = true;
+        vals = [ { v_key = k; v_flags = 0; v_cas = 1L; v_data = "v" } ] }
+  in
+  let miss = Values { with_cas = true; vals = [] } in
+  let quiet k = Getx { g_key = k; g_quiet = true; g_withkey = true } in
+  let out =
+    Binary.encode_batch
+      [ (quiet "a", hit "a"); (quiet "b", miss);
+        (Set (sp ~noreply:true "k" "v"), Stored);
+        (Invalid bad_key_error, Client_error bad_key_error); (Noop, Ok) ]
+  in
+  (* the two suppressed replies (quiet miss, noreply ack) are absent:
+     hit + error + noop = 3 frames *)
+  let rec count at n =
+    if at >= String.length out then n
+    else
+      let _, used = Binary.parse_response_at ~for_cmd:Noop out ~at in
+      count (at + used) (n + 1)
+  in
+  Alcotest.(check int) "three frames" 3 (count 0 0);
+  (* ascii side: noreply storage suppressed, errors kept *)
+  let aout =
+    Ascii.encode_batch
+      [ (Set (sp ~noreply:true "k" "v"), Stored);
+        (Get [ "k" ], hit "k");
+        (Invalid bad_key_error, Client_error bad_key_error) ]
+  in
+  Alcotest.(check bool) "no STORED line" false
+    (String.length aout >= 8 && String.sub aout 0 8 = "STORED\r\n");
+  Alcotest.(check bool) "CLIENT_ERROR present" true
+    (let rec has at =
+       at + 12 <= String.length aout
+       && (String.sub aout at 12 = "CLIENT_ERROR" || has (at + 1))
+     in
+     has 0)
+
+let test_ascii_response_at_positions () =
+  let r1 = Ascii.encode_response Stored in
+  let r2 =
+    Ascii.encode_response
+      (Values
+         { with_cas = false;
+           vals = [ { v_key = "k"; v_flags = 0; v_cas = 0L; v_data = "END" } ] })
+  in
+  let r3 = Ascii.encode_response (Number 7L) in
+  let buf = r1 ^ r2 ^ r3 in
+  let a, u1 = Ascii.parse_response_at buf ~at:0 in
+  let b, u2 = Ascii.parse_response_at buf ~at:u1 in
+  let c, u3 = Ascii.parse_response_at buf ~at:(u1 + u2) in
+  Alcotest.(check bool) "stored" true (a = Stored);
+  (match b with
+   | Values { vals = [ v ]; _ } ->
+     Alcotest.(check string) "data containing END survives" "END" v.v_data
+   | _ -> Alcotest.fail "values");
+  Alcotest.(check bool) "number" true (c = Number 7L);
+  Alcotest.(check int) "exact spans" (String.length buf) (u1 + u2 + u3)
+
 let () =
   Alcotest.run "protocol"
     [ ( "ascii",
@@ -495,10 +653,19 @@ let () =
             test_binary_seeded_conformance ] );
       ( "validation",
         [ Alcotest.test_case "keys" `Quick test_key_validation;
+          Alcotest.test_case "binary keys" `Quick test_binary_key_validation;
           Alcotest.test_case "short reads want more" `Quick
             test_ascii_short_reads_want_more;
           Alcotest.test_case "noreply classification" `Quick
             test_noreply_classification ] );
+      ( "batch plane",
+        [ Alcotest.test_case "ascii batch parse" `Quick test_ascii_batch_parse;
+          Alcotest.test_case "binary quiet-run parse" `Quick
+            test_binary_batch_parse;
+          Alcotest.test_case "batch encode suppression" `Quick
+            test_batch_encode_suppression;
+          Alcotest.test_case "positional responses" `Quick
+            test_ascii_response_at_positions ] );
       ( "fuzz",
         [ QCheck_alcotest.to_alcotest qcheck_ascii_fuzz;
           QCheck_alcotest.to_alcotest qcheck_binary_fuzz;

@@ -242,6 +242,73 @@ let test_seed_sweep_evict_vs_delete () =
   done;
   Alcotest.(check bool) "sweep exercised eviction" true (!total_evictions > 0)
 
+(* ---- batch plane: grouped stripe acquisition ---------------------- *)
+
+let test_stripe_groups_lockdep_clean () =
+  (* Grouped acquisition takes same-class item-lock stripes in
+     creation-rank (= ascending index) order, holds them across the
+     group, and releases between groups. Racing it against single-op
+     writers (whose [lock_item] path skips a held stripe only in the
+     thread that holds it) must stay lockdep-clean. *)
+  run_seed ~seed:7 ~heap_bytes:(512 lsl 10)
+    ~cfg:{ sweep_cfg with lock_count = 8 }
+    (fun st ->
+      for i = 0 to 19 do
+        ignore (RSt.set st (Printf.sprintf "g%d" i) (string_of_int i))
+      done;
+      let reader =
+        LVm.spawn ~name:"grouped-reader" (fun () ->
+          let keys = List.init 6 (fun i -> Printf.sprintf "g%d" i) in
+          let stripes =
+            List.sort_uniq compare (List.map (RSt.stripe_of st) keys)
+          in
+          for _round = 0 to 24 do
+            RSt.with_stripes st ~stripes (fun () ->
+              List.iter (fun k -> ignore (RSt.get st k)) keys);
+            (* released between groups: a fresh group re-acquires *)
+            LVm.advance 50
+          done)
+      in
+      let writer =
+        LVm.spawn ~name:"writer" (fun () ->
+          for i = 0 to 49 do
+            ignore (RSt.set st (Printf.sprintf "g%d" (i mod 20)) "w");
+            LVm.advance 35
+          done)
+      in
+      LVm.join reader;
+      LVm.join writer)
+
+let test_stripe_group_inversion_goes_red () =
+  (* The discipline is real: handing [with_stripes] a descending pair
+     acquires same-class mutexes against creation-rank order, and
+     lockdep must flag it. *)
+  LVm.reset ();
+  let vm = Vm.create ~sched_seed:0 () in
+  let reg =
+    Shm.Region.create ~name:"stripe-inv" ~size:(1 lsl 20) ~pkey:0 ()
+  in
+  let heap = Ralloc.create reg in
+  let caught = ref false in
+  ignore
+    (Vm.spawn vm ~name:"main" (fun () ->
+       let st =
+         RSt.create
+           ~mem:(Mc_core.Shared_memory.of_region reg)
+           ~alloc:(Mc_core.Ralloc_alloc.of_heap heap)
+           { sweep_cfg with lock_count = 8 }
+       in
+       match RSt.with_stripes st ~stripes:[ 5; 2 ] (fun () -> ()) with
+       | () -> ()
+       | exception Platform.Lockdep.Violation _ -> caught := true));
+  (match Vm.run vm with
+   | () -> ()
+   | exception Vm.Thread_failure (_, Platform.Lockdep.Violation _) ->
+     caught := true
+   | exception _ -> ());
+  Alcotest.(check bool) "descending stripe order goes red" true
+    (!caught || LVm.violations () <> [])
+
 let test_store_locking_is_lockdep_clean () =
   (* One deterministic pass over every store entry point (including
      resize and fold_keys, whose stripe sweeps rely on the same-class
@@ -287,4 +354,9 @@ let () =
           Alcotest.test_case "50-seed evict vs delete" `Slow
             test_seed_sweep_evict_vs_delete;
           Alcotest.test_case "store is lockdep-clean" `Quick
-            test_store_locking_is_lockdep_clean ] ) ]
+            test_store_locking_is_lockdep_clean ] );
+      ( "stripe groups",
+        [ Alcotest.test_case "grouped acquisition is clean" `Quick
+            test_stripe_groups_lockdep_clean;
+          Alcotest.test_case "order inversion goes red" `Quick
+            test_stripe_group_inversion_goes_red ] ) ]

@@ -226,13 +226,17 @@ let test_pipelined_requests_one_chunk () =
       ^ Mc_protocol.Ascii.encode_command (P.Get [ "p1"; "p2" ])
     in
     T.client_send conn wire;
-    (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
-     | P.Stored -> ()
-     | _ -> Alcotest.fail "first reply");
-    (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
-     | P.Stored -> ()
-     | _ -> Alcotest.fail "second reply");
-    (match Mc_protocol.Ascii.parse_response (T.client_recv conn) with
+    (* The batch plane answers a pipelined chunk with one coalesced
+       reply buffer: one send carrying all three replies in order. *)
+    let reply = T.client_recv conn in
+    let r1, u1 = Mc_protocol.Ascii.parse_response_at reply ~at:0 in
+    let r2, u2 = Mc_protocol.Ascii.parse_response_at reply ~at:u1 in
+    let r3, u3 = Mc_protocol.Ascii.parse_response_at reply ~at:(u1 + u2) in
+    Alcotest.(check int) "one send carried everything" (String.length reply)
+      (u1 + u2 + u3);
+    (match r1 with P.Stored -> () | _ -> Alcotest.fail "first reply");
+    (match r2 with P.Stored -> () | _ -> Alcotest.fail "second reply");
+    (match r3 with
      | P.Values { vals; _ } ->
        Alcotest.(check int) "both keys served" 2 (List.length vals)
      | _ -> Alcotest.fail "third reply")))

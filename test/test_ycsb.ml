@@ -265,6 +265,109 @@ let test_determinism_seed_sensitivity () =
   Alcotest.(check bool) "different sched seed reorders stream" false
     (String.equal t1 t4)
 
+(* Batch-plane determinism: the batched runner draws from exactly the
+   same per-thread rng streams as the scalar one, so (a) two same-seed
+   runs at any batch size are byte-identical, and (b) each thread's op
+   stream — keys, order, update sizes — is byte-identical at every
+   batch size. Only the execution grouping (and hence cross-thread
+   interleaving) may move. *)
+
+let run_seeded_ycsb_batched ~sched_seed ~workload_seed ~batch =
+  let module Run = Ycsb.Runner.Make (Vm.Sync) in
+  let w =
+    W.make ~seed:workload_seed ~record_count:300 ~operation_count:1_200
+      ~read_proportion:0.6 ~field_length:24 ()
+  in
+  let table : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let lock = Mutex.create () in
+  let threads = 4 in
+  let traces = Array.init threads (fun _ -> Buffer.create 4096) in
+  let loader : Ycsb.Runner.db =
+    { db_read = (fun k -> Hashtbl.mem table k);
+      db_update =
+        (fun k v ->
+          Hashtbl.replace table k v;
+          true) }
+  in
+  let db_for tid : Ycsb.Runner.batch_db =
+    { b_run =
+        (fun ops ->
+          Vm.Sync.advance 300;
+          Mutex.lock lock;
+          let oks =
+            List.map
+              (fun op ->
+                match op with
+                | W.Read k ->
+                  Vm.Sync.advance 500;
+                  Buffer.add_string traces.(tid) ("R " ^ k ^ "\n");
+                  Hashtbl.mem table k
+                | W.Update (k, v) ->
+                  Vm.Sync.advance 800;
+                  Buffer.add_string traces.(tid)
+                    (Printf.sprintf "U %s %d\n" k (String.length v));
+                  Hashtbl.replace table k v;
+                  true)
+              ops
+          in
+          Mutex.unlock lock;
+          oks) }
+  in
+  let vm = Vm.create ~sched_seed () in
+  let res = ref None in
+  ignore
+    (Vm.spawn vm ~name:"main" (fun () ->
+         Run.load w loader;
+         res := Some (Run.run_batched ~threads ~batch w ~db_for)));
+  Vm.run vm;
+  let r = Option.get !res in
+  ( Array.to_list (Array.map Buffer.contents traces),
+    [ hist_fingerprint r.Ycsb.Runner.r_hist;
+      hist_fingerprint r.Ycsb.Runner.r_read_hist;
+      hist_fingerprint r.Ycsb.Runner.r_update_hist ],
+    (r.Ycsb.Runner.r_ops, r.Ycsb.Runner.r_hits, r.Ycsb.Runner.r_misses),
+    Vm.events_processed vm )
+
+let test_determinism_batched_same_seed () =
+  List.iter
+    (fun batch ->
+      let t1, h1, c1, e1 =
+        run_seeded_ycsb_batched ~sched_seed:4242 ~workload_seed:17 ~batch
+      in
+      let t2, h2, c2, e2 =
+        run_seeded_ycsb_batched ~sched_seed:4242 ~workload_seed:17 ~batch
+      in
+      let tag fmt = Printf.sprintf fmt batch in
+      Alcotest.(check (list string))
+        (tag "B=%d per-thread op streams byte-identical") t1 t2;
+      Alcotest.(check (list string)) (tag "B=%d histogram stats") h1 h2;
+      let ops1, hits1, miss1 = c1 and ops2, hits2, miss2 = c2 in
+      Alcotest.(check int) (tag "B=%d ops") ops1 ops2;
+      Alcotest.(check int) (tag "B=%d hits") hits1 hits2;
+      Alcotest.(check int) (tag "B=%d misses") miss1 miss2;
+      Alcotest.(check int) (tag "B=%d scheduler events") e1 e2)
+    [ 1; 8; 32 ]
+
+let test_batch_size_preserves_op_streams () =
+  (* The knob moves execution grouping only: every thread draws the
+     same keys in the same order whether it flushes every op or every
+     32. *)
+  let t1, _, (ops1, _, _), _ =
+    run_seeded_ycsb_batched ~sched_seed:4242 ~workload_seed:17 ~batch:1
+  in
+  List.iter
+    (fun batch ->
+      let tb, _, (opsb, _, _), _ =
+        run_seeded_ycsb_batched ~sched_seed:4242 ~workload_seed:17 ~batch
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "B=%d executes the same op count" batch)
+        ops1 opsb;
+      Alcotest.(check (list string))
+        (Printf.sprintf "B=%d leaves per-thread op streams unchanged" batch)
+        t1 tb)
+    [ 8; 32 ]
+
 let qcheck_histogram_value_in_bucket_bounds =
   QCheck.Test.make ~name:"percentile(100) bounds any recorded value" ~count:200
     QCheck.(int_range 1 1_000_000_000)
@@ -297,4 +400,8 @@ let () =
         [ Alcotest.test_case "same seed, identical run" `Quick
             test_determinism_same_seed;
           Alcotest.test_case "seed sensitivity" `Quick
-            test_determinism_seed_sensitivity ] ) ]
+            test_determinism_seed_sensitivity;
+          Alcotest.test_case "batched run, same seed" `Quick
+            test_determinism_batched_same_seed;
+          Alcotest.test_case "batch size preserves op streams" `Quick
+            test_batch_size_preserves_op_streams ] ) ]
