@@ -17,7 +17,11 @@ let empty_hodor ~protection () =
     in_vm (fun () ->
       let t0 = S.now_ns () in
       for _ = 1 to iters do
-        Hodor.Trampoline.call lib (fun () -> ())
+        (* Each call is its own trace root so the CI tracer-overhead
+           gate exercises the full mint/attribute path per iteration. *)
+        let root = Telemetry.Span.ingress ~op:"null" () in
+        Hodor.Trampoline.call lib (fun () -> ());
+        Telemetry.Span.finish root
       done;
       (S.now_ns () - t0) / iters)
   in

@@ -59,6 +59,8 @@ let run ~ops () =
     (fun b ->
       C.reset ();
       Telemetry.Timers.reset ();
+      Telemetry.Span.reset ();
+      Telemetry.Contention.reset ();
       let res =
         plib_batch_point ~plib ~threads:4 ~batch:b (workload ("B", 0.95) ~ops)
       in
@@ -78,8 +80,40 @@ let run ~ops () =
       pf "batch.pkru_per_op.B%d %.4f\n" b
         (float_of_int wrpkru /. float_of_int ops);
       pf "batch.ktps.B%d %.1f\n" b ktps;
-      if b > 1 then pf "batch.speedup.B%d %.3f\n" b (ktps /. !base_ktps))
+      if b > 1 then pf "batch.speedup.B%d %.3f\n" b (ktps /. !base_ktps);
+      (* Span-level attribution for this window: the crossing phase's
+         self time per op shrinks ~1/B while the store phase holds
+         steady — the per-phase view of why batching wins. *)
+      let phases = Telemetry.Span.phase_report () in
+      let e2e = Telemetry.Span.e2e_report () in
+      let self_of name =
+        match List.assoc_opt name phases with
+        | Some s -> s
+        | None ->
+          { Telemetry.Span.p_count = 0; p_self_ns = 0; p_p50_ns = 0;
+            p_p99_ns = 0 }
+      in
+      let crossing = self_of "crossing" and store = self_of "store" in
+      pf "span.crossing_self_per_op_ns.B%d %.1f\n" b
+        (float_of_int crossing.Telemetry.Span.p_self_ns /. float_of_int ops);
+      pf "span.crossing_p99_ns.B%d %d\n" b crossing.Telemetry.Span.p_p99_ns;
+      pf "span.store_p99_ns.B%d %d\n" b store.Telemetry.Span.p_p99_ns;
+      pf "span.crossing_share.B%d %.4f\n" b
+        (float_of_int crossing.Telemetry.Span.p_self_ns
+         /. float_of_int (max 1 e2e.Telemetry.Span.p_self_ns)))
     [ 1; 8; 32 ];
+
+  (* Phase-attribution JSON (the CI artifact) and a trace-tree sample
+     from the last (B=32) window. *)
+  pf "phases.json %s\n" (Telemetry.Span.phases_json ());
+  (match Telemetry.Contention.kvs ~k:4 () with
+   | [] -> ()
+   | kvs -> List.iter (fun (k, v) -> pf "STAT %s %s\n" k v) kvs);
+  pf "--- trace-tree sample ---\n";
+  List.iter
+    (fun tr -> pf "%s" (Telemetry.Span.render_tree tr))
+    (Telemetry.Span.traces ~n:2 ());
+  pf "--- end trace-tree ---\n";
 
   pf "\nstats snapshot (last workload window):\n";
   let kvs =

@@ -23,9 +23,10 @@ let usage () =
     \  touch <key> <secs>     stats [arg]            flush_all\n\
     \  resize                 maintain               help\n\
     \  keys                   reap\n\
-    \  telemetry              trace [n]\n\
+    \  telemetry              trace [n]              trace <subsys> [sev]\n\
+    \  trace-tree [n]         (last n sampled span trees, default 3)\n\
     \  quit (flushes to the image when one is configured)\n\
-    \  stats args: items | slabs | latency | reset\n"
+    \  stats args: items | slabs | latency | phases | contention | reset\n"
 
 let shell plib image =
   let open Mc_core.Store in
@@ -137,27 +138,58 @@ let shell plib image =
            List.iter
              (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
              (Telemetry.Timers.kvs ())
+         | [ "stats"; "phases" ] ->
+           List.iter
+             (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
+             (Telemetry.Span.phase_kvs ())
+         | [ "stats"; "contention" ] ->
+           List.iter
+             (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
+             (Telemetry.Contention.kvs ())
          | [ "stats"; "reset" ] ->
            Plib.stats_reset plib;
            Telemetry.Counters.reset ();
            Telemetry.Timers.reset ();
+           Telemetry.Span.reset_phases ();
+           Telemetry.Contention.reset ();
            print_endline "RESET"
          | [ "telemetry" ] ->
            (* everything the subsystem holds, store-op mirrors included *)
            List.iter
              (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
              (Telemetry.Counters.all_kvs () @ Telemetry.Timers.kvs ())
-         | [ "trace" ] | [ "trace"; _ ] ->
-           let n =
-             match words with
-             | [ _; n ] -> Some (int_of_string n)
-             | _ -> None
+         | "trace" :: args ->
+           (* trace [n] | trace <subsys> [severity] *)
+           let n, subsys, min_sev =
+             match args with
+             | [] -> (None, None, None)
+             | [ a ] ->
+               (match int_of_string_opt a with
+                | Some n -> (Some n, None, None)
+                | None -> (None, Some a, None))
+             | [ s; sev ] ->
+               (match Telemetry.Trace.severity_of_string sev with
+                | Some _ as ms -> (None, Some s, ms)
+                | None -> failwith ("unknown severity " ^ sev))
+             | _ -> failwith "usage: trace [n] | trace <subsys> [severity]"
            in
-           let evs = Telemetry.Trace.dump ?n () in
+           let evs = Telemetry.Trace.dump ?n ?subsys ?min_sev () in
            List.iter (fun e -> print_endline (Telemetry.Trace.render e)) evs;
            Printf.printf "%d event(s) shown, %d emitted in total\n"
              (List.length evs)
-             (Telemetry.Trace.emitted ())
+             (Telemetry.Trace.emitted ());
+           if evs = [] && subsys <> None then
+             Printf.printf "subsystems in the ring: %s\n"
+               (String.concat " " (Telemetry.Trace.subsystems ()))
+         | [ "trace-tree" ] | [ "trace-tree"; _ ] ->
+           let n =
+             match words with [ _; n ] -> int_of_string n | _ -> 3
+           in
+           (match Telemetry.Span.traces ~n () with
+            | [] -> print_endline "no sampled traces (is TELEMETRY on?)"
+            | trs ->
+              List.iter (fun tr -> print_string (Telemetry.Span.render_tree tr))
+                trs)
          | [ "flush_all" ] ->
            Plib.flush_all plib;
            print_endline "OK"
@@ -176,6 +208,11 @@ let shell plib image =
   | None -> ()
 
 let run image size_mb =
+  (* Real wall clock for span/trace stamps: the shell runs on real
+     threads, so no Vm ever installs a virtual clock here. *)
+  let (_prev : unit -> int) =
+    Telemetry.Control.install_now Platform.Real_sync.now_ns
+  in
   let owner = Simos.Process.make ~uid:1000 "kv-shell-bookkeeper" in
   let plib =
     match image with

@@ -218,14 +218,31 @@ module Make (S : Platform.Sync_intf.S) = struct
 
   let enter t f = Hodor.Trampoline.call t.lib f
 
+  (* Trace ingress on the client-facing surface: each public op mints a
+     trace rooted at [plib.<op>] (or, when already under a server-drain
+     trace, degrades to a child span). An exception on the way out
+     drops the root — a failed call carries no latency worth
+     attributing. *)
+  let span_root name f =
+    let r = Telemetry.Span.ingress ~op:("plib." ^ name) () in
+    match f () with
+    | v ->
+      Telemetry.Span.finish r;
+      v
+    | exception e ->
+      Telemetry.Span.drop r;
+      raise e
+
   (* ---- Raw (bytes-keyed) operations: the real protection boundary --- *)
 
   let get_raw t (key : bytes) =
+    span_root "get" @@ fun () ->
     Hodor.Trampoline.call_with_arg t.lib ~arg:key (fun key ->
       let key_prot = copy_in t key in
       Store.get t.store key_prot)
 
   let set_raw t ?(flags = 0) ?(exptime = 0) (key : bytes) (data : bytes) =
+    span_root "set" @@ fun () ->
     Hodor.Trampoline.call_with_args t.lib ~args:[ key; data ] (fun args ->
       match args with
       | [ key; data ] ->
@@ -235,6 +252,7 @@ module Make (S : Platform.Sync_intf.S) = struct
       | _ -> assert false)
 
   let delete_raw t (key : bytes) =
+    span_root "delete" @@ fun () ->
     Hodor.Trampoline.call_with_arg t.lib ~arg:key (fun key ->
       let key_prot = copy_in t key in
       Store.delete t.store key_prot)
@@ -242,51 +260,63 @@ module Make (S : Platform.Sync_intf.S) = struct
   (* ---- String-keyed operations (OCaml strings are immutable, so the
      copy is for cost and idiom fidelity) -------------------------------- *)
 
-  let get t key = enter t (fun () -> Store.get t.store (copy_in t (Bytes.unsafe_of_string key)))
+  let get t key =
+    span_root "get" @@ fun () ->
+    enter t (fun () -> Store.get t.store (copy_in t (Bytes.unsafe_of_string key)))
 
   let set t ?(flags = 0) ?(exptime = 0) key data =
+    span_root "set" @@ fun () ->
     enter t (fun () ->
       let key_prot = copy_in t (Bytes.unsafe_of_string key) in
       Store.set t.store ~flags ~exptime key_prot data)
 
   let add t ?(flags = 0) ?(exptime = 0) key data =
+    span_root "add" @@ fun () ->
     enter t (fun () ->
       Store.add t.store ~flags ~exptime
         (copy_in t (Bytes.unsafe_of_string key))
         data)
 
   let replace t ?(flags = 0) ?(exptime = 0) key data =
+    span_root "replace" @@ fun () ->
     enter t (fun () ->
       Store.replace t.store ~flags ~exptime
         (copy_in t (Bytes.unsafe_of_string key))
         data)
 
   let append t key extra =
+    span_root "append" @@ fun () ->
     enter t (fun () ->
       Store.append t.store (copy_in t (Bytes.unsafe_of_string key)) extra)
 
   let prepend t key extra =
+    span_root "prepend" @@ fun () ->
     enter t (fun () ->
       Store.prepend t.store (copy_in t (Bytes.unsafe_of_string key)) extra)
 
   let cas t ?(flags = 0) ?(exptime = 0) ~cas key data =
+    span_root "cas" @@ fun () ->
     enter t (fun () ->
       Store.cas t.store ~flags ~exptime ~cas
         (copy_in t (Bytes.unsafe_of_string key))
         data)
 
   let delete t key =
+    span_root "delete" @@ fun () ->
     enter t (fun () -> Store.delete t.store (copy_in t (Bytes.unsafe_of_string key)))
 
   let incr t key delta =
+    span_root "incr" @@ fun () ->
     enter t (fun () ->
       Store.incr t.store (copy_in t (Bytes.unsafe_of_string key)) delta)
 
   let decr t key delta =
+    span_root "decr" @@ fun () ->
     enter t (fun () ->
       Store.decr t.store (copy_in t (Bytes.unsafe_of_string key)) delta)
 
   let touch t key exptime =
+    span_root "touch" @@ fun () ->
     enter t (fun () ->
       Store.touch t.store (copy_in t (Bytes.unsafe_of_string key)) exptime)
 
@@ -301,6 +331,7 @@ module Make (S : Platform.Sync_intf.S) = struct
     match keys with
     | [] -> []
     | keys ->
+      span_root "mget" @@ fun () ->
       Hodor.Trampoline.call_batch t.lib ~ops:(List.length keys) (fun () ->
         let prot =
           List.map (fun k -> copy_in t (Bytes.unsafe_of_string k)) keys
@@ -311,7 +342,10 @@ module Make (S : Platform.Sync_intf.S) = struct
         Store.with_stripes t.store ~stripes (fun () ->
           List.filter_map
             (fun key ->
-              Option.map (fun r -> (key, r)) (Store.get t.store key))
+              (* The batch fans out one [exec] child per op, so a trace
+                 tree shows every key's lookup under one crossing. *)
+              Telemetry.Span.around ~phase:"exec" (fun () ->
+                Option.map (fun r -> (key, r)) (Store.get t.store key)))
             prot))
 
   (* A mixed batch for pipelining arbitrary operations through one
@@ -352,10 +386,13 @@ module Make (S : Platform.Sync_intf.S) = struct
     match ops with
     | [] -> []
     | ops ->
+      span_root "batch" @@ fun () ->
       Hodor.Trampoline.call_batch t.lib ~ops:(List.length ops) (fun () ->
         List.mapi
           (fun i op ->
-            let r = exec_op t op in
+            let r =
+              Telemetry.Span.around ~phase:"exec" (fun () -> exec_op t op)
+            in
             (match on_op with Some f -> f i r | None -> ());
             r)
           ops)

@@ -42,6 +42,10 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
   let entry_ns = Runtime.now_ns () in
   let depth = Tls.get depth_key in
   let saved_pkru = Pku.Pkru.read () in
+  (* The crossing is its own trace phase: it covers wrpkru-in to
+     wrpkru-out, so its self time (minus store/alloc children) is the
+     per-call gate cost the paper's section 2 argues about. *)
+  let span = Telemetry.Span.start ~phase:"crossing" () in
   (* Way in: stack switch + wrpkru opening the library's key. *)
   incr depth;
   (match Library.protection lib with
@@ -58,6 +62,7 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
     decr depth;
     Process.leave_library p;
     Telemetry.Counters.incr Telemetry.Counters.Id.hodor_exit;
+    Telemetry.Span.finish span;
     if Telemetry.Control.on () then
       Telemetry.Timers.record ~op:"hodor_call" (Runtime.now_ns () - entry_ns)
   in

@@ -151,7 +151,17 @@ struct
 
   let with_op t f =
     op_enter t;
-    let r = try f () with e -> op_exit t; raise e in
+    (* One [store] span per op body. Host-side only, like every span:
+       the cost model sees identical latencies with tracing off. *)
+    let sp = Telemetry.Span.start ~phase:"store" () in
+    let r =
+      try f ()
+      with e ->
+        Telemetry.Span.finish sp;
+        op_exit t;
+        raise e
+    in
+    Telemetry.Span.finish sp;
     op_exit t;
     r
 
@@ -300,14 +310,55 @@ struct
   let holds_stripe t s =
     List.exists (fun (t', s') -> t' == t && s' = s) !(Tls.get held_stripes)
 
+  (* Stripe acquisitions this thread has open: stripe index, how long
+     the thread waited for the lock, when it got it, and the open
+     [stripe_hold] span — popped at unlock to feed the contention
+     profiler. Keyed by the store handle too (two stores may coexist
+     in one process, and their stripe indices must not alias). *)
+  type hold_entry = {
+    he_store : t;
+    he_stripe : int;
+    he_wait_ns : int;
+    he_since : int;
+    he_span : Telemetry.Span.t;
+  }
+
+  let open_holds : hold_entry list ref Tls.key = Tls.new_key (fun () -> ref [])
+
   let lock_item t h =
     if not (holds_stripe t (stripe_index t h)) then begin
       adv CM.current.lock_uncontended;
-      S.lock (item_mutex t h)
+      (* [stripe_wait] covers only the blocking acquire: under the Vm
+         it is nonzero exactly when another thread held the stripe. *)
+      let wsp = Telemetry.Span.start ~phase:"stripe_wait" () in
+      let t0 = S.now_ns () in
+      S.lock (item_mutex t h);
+      let t1 = S.now_ns () in
+      Telemetry.Span.finish wsp;
+      let holds = Tls.get open_holds in
+      holds :=
+        { he_store = t; he_stripe = stripe_index t h; he_wait_ns = t1 - t0;
+          he_since = t1;
+          he_span = Telemetry.Span.start ~phase:"stripe_hold" () }
+        :: !holds
     end
 
   let unlock_item t h =
-    if not (holds_stripe t (stripe_index t h)) then S.unlock (item_mutex t h)
+    if not (holds_stripe t (stripe_index t h)) then begin
+      let s = stripe_index t h in
+      let holds = Tls.get open_holds in
+      (let rec pop acc = function
+         | [] -> ()
+         | e :: tl when e.he_store == t && e.he_stripe = s ->
+           holds := List.rev_append acc tl;
+           Telemetry.Span.finish e.he_span;
+           Telemetry.Contention.record ~stripe:s ~wait_ns:e.he_wait_ns
+             ~hold_ns:(S.now_ns () - e.he_since)
+         | e :: tl -> pop (e :: acc) tl
+       in
+       pop [] !holds);
+      S.unlock (item_mutex t h)
+    end
 
   (* Acquire a group of item-lock stripes for the duration of [f],
      in exactly the order given. Stripe mutexes share the lockdep
@@ -319,7 +370,17 @@ struct
   let with_stripes t ~stripes f =
     let held = Tls.get held_stripes in
     let acquired = ref [] in
+    (* Per-stripe waits collected under one group [stripe_wait] span;
+       the hold side is one [stripe_hold] span for the whole group,
+       and each stripe is charged the group's hold duration in the
+       contention profiler (it was pinned that long). *)
+    let waits = ref [] in
+    let hold_span = ref Telemetry.Span.null in
+    let hold_since = ref 0 in
     let release () =
+      Telemetry.Span.finish !hold_span;
+      hold_span := Telemetry.Span.null;
+      let hold_ns = S.now_ns () - !hold_since in
       List.iter
         (fun s ->
           held :=
@@ -329,22 +390,33 @@ struct
                | p :: tl -> p :: rm tl
              in
              rm !held);
+          let wait_ns =
+            match List.assoc_opt s !waits with Some w -> w | None -> 0
+          in
+          Telemetry.Contention.record ~stripe:s ~wait_ns ~hold_ns;
           S.unlock t.item_locks.(s))
         !acquired
     in
+    let wsp = Telemetry.Span.start ~phase:"stripe_wait" () in
     (try
        List.iter
          (fun s ->
            if holds_stripe t s then
              invalid_arg "Store.with_stripes: stripe already held";
            adv CM.current.lock_uncontended;
+           let t0 = S.now_ns () in
            S.lock t.item_locks.(s);
+           waits := (s, S.now_ns () - t0) :: !waits;
            acquired := s :: !acquired;
            held := (t, s) :: !held)
          stripes
      with e ->
+       Telemetry.Span.finish wsp;
        release ();
        raise e);
+    Telemetry.Span.finish wsp;
+    hold_span := Telemetry.Span.start ~phase:"stripe_hold" ();
+    hold_since := S.now_ns ();
     match f () with
     | v ->
       release ();

@@ -82,10 +82,19 @@ struct
       (* extension: the telemetry latency histograms, one summary
          block per operation *)
       P.Stats_reply (Telemetry.Timers.kvs ())
+    | P.Stats (Some "phases") ->
+      (* extension: per-phase p50/p99 self-time breakdown folded from
+         the sampled span trees *)
+      P.Stats_reply (Telemetry.Span.phase_kvs ())
+    | P.Stats (Some "contention") ->
+      (* extension: the stripe-contention profiler's top-K report *)
+      P.Stats_reply (Telemetry.Contention.kvs ())
     | P.Stats (Some "reset") ->
       Store.stats_reset store;
       Telemetry.Counters.reset ();
       Telemetry.Timers.reset ();
+      Telemetry.Span.reset_phases ();
+      Telemetry.Contention.reset ();
       P.Reset
     | P.Stats (Some arg) -> P.Client_error ("unknown stats argument " ^ arg)
     | P.Version -> P.Version_reply version
@@ -99,6 +108,7 @@ struct
   (* Per-protocol-op latency, in virtual time, recorded host-side only
      (no [advance]): with telemetry off this is one ref read. *)
   let execute store (cmd : P.command) : P.response =
+    Telemetry.Span.around ~phase:"exec" @@ fun () ->
     if not (Telemetry.Control.on ()) then execute store cmd
     else begin
       let t0 = S.now_ns () in
@@ -148,8 +158,11 @@ struct
                run)
         in
         let resps =
-          Store.with_stripes store ~stripes (fun () ->
-            List.map (fun c -> (c, execute store c)) run)
+          (* [group] covers the stripe-amortized run: stripe_wait/
+             stripe_hold and the per-op [exec] children nest under it. *)
+          Telemetry.Span.around ~phase:"group" (fun () ->
+            Store.with_stripes store ~stripes (fun () ->
+              List.map (fun c -> (c, execute store c)) run))
         in
         go (List.rev_append resps acc) rest
       | c :: rest -> go ((c, execute store c) :: acc) rest

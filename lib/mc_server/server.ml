@@ -102,16 +102,34 @@ struct
         Hashtbl.add buffers cid b;
         b
     in
-    let rec drain conn cid buf =
+    (* [enq_at] is the socket enqueue stamp of the oldest chunk this
+       drain is serving: the trace is backdated to it, so the time a
+       request sat in the worker's event queue appears as its own
+       [queue] phase. Re-entries (leftover pipelined bytes) pass no
+       stamp — those bytes were just produced, nothing queued. *)
+    let rec drain ?enq_at conn cid buf =
       let data = Buffer.contents buf in
       if String.length data = 0 then ()
       else begin
+        let root = Telemetry.Span.ingress ?t_start:enq_at ~op:"srv.batch" () in
+        (match enq_at with
+         | Some at ->
+           (* opened backdated, closed immediately: [at, now] is
+              exactly the queueing window *)
+           Telemetry.Span.finish
+             (Telemetry.Span.start ~t_start:at ~phase:"queue" ())
+         | None -> ());
+        let psp = Telemetry.Span.start ~phase:"parse" () in
         match parse_batch t.cfg data with
-        | [], _ -> () (* an incomplete prefix: wait for the next chunk *)
+        | [], _ ->
+          (* an incomplete prefix: wait for the next chunk *)
+          Telemetry.Span.finish psp;
+          Telemetry.Span.drop root
         | cmds, consumed ->
           Buffer.clear buf;
           Buffer.add_substring buf data consumed (String.length data - consumed);
           S.advance (List.length cmds * CM.current.proto_parse);
+          Telemetry.Span.finish psp;
           (* Quit closes the connection; everything before it still
              executes, anything after it is discarded with the
              connection (what a socket close does to pipelined bytes). *)
@@ -131,15 +149,18 @@ struct
                 E.execute_batch t.store cmds)
           in
           (* One output buffer for the whole batch, one send. *)
-          let out = Buffer.create 256 in
-          List.iter
-            (fun (cmd, resp) ->
-              if not (P.suppress_reply cmd resp) then begin
-                S.advance CM.current.proto_pack;
-                Buffer.add_string out (encode_reply t.cfg cmd resp)
-              end)
-            pairs;
-          if Buffer.length out > 0 then T.server_send conn (Buffer.contents out);
+          Telemetry.Span.around ~phase:"reply" (fun () ->
+            let out = Buffer.create 256 in
+            List.iter
+              (fun (cmd, resp) ->
+                if not (P.suppress_reply cmd resp) then begin
+                  S.advance CM.current.proto_pack;
+                  Buffer.add_string out (encode_reply t.cfg cmd resp)
+                end)
+              pairs;
+            if Buffer.length out > 0 then
+              T.server_send conn (Buffer.contents out));
+          Telemetry.Span.finish root;
           if quit then begin
             T.close_conn conn;
             drop_conn t cid;
@@ -149,12 +170,17 @@ struct
             (* Whatever stayed buffered is an incomplete prefix — or
                garbage, which the re-entry reports and drops. *)
             drain conn cid buf
-        | exception P.Need_more_data -> () (* wait for the next chunk *)
+        | exception P.Need_more_data ->
+          (* wait for the next chunk *)
+          Telemetry.Span.finish psp;
+          Telemetry.Span.drop root
         | exception P.Parse_error m ->
           (* resync by dropping the buffered garbage *)
+          Telemetry.Span.finish psp;
           Buffer.clear buf;
           S.advance CM.current.proto_pack;
-          T.server_send conn (encode_reply t.cfg (P.Invalid m) (P.Client_error m))
+          T.server_send conn (encode_reply t.cfg (P.Invalid m) (P.Client_error m));
+          Telemetry.Span.drop root
       end
     in
     let rec loop () =
@@ -164,14 +190,18 @@ struct
         (* Append every drained chunk to its connection's buffer first,
            so pipelined requests split across chunks reassemble before
            the batch runs; then drain each touched connection once. *)
-        let touched = ref [] in
+        let touched : (int * int) list ref = ref [] in
         List.iter
-          (fun { T.m_cid = cid; m_payload = payload } ->
+          (fun { T.m_cid = cid; m_payload = payload; m_at = at } ->
             Buffer.add_string (buffer_of cid) payload;
-            if not (List.mem cid !touched) then touched := cid :: !touched)
+            (* first chunk per cid carries the earliest enqueue stamp
+               (the inbox is FIFO) — that is the trace's backdate *)
+            if not (List.mem_assoc cid !touched) then
+              touched := (cid, at) :: !touched)
           msgs;
         List.iter
-          (fun cid -> drain (find_conn t cid) cid (buffer_of cid))
+          (fun (cid, at) ->
+            drain ~enq_at:at (find_conn t cid) cid (buffer_of cid))
           (List.rev !touched);
         loop ()
     in

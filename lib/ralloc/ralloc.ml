@@ -521,6 +521,7 @@ let alloc t size =
   if size <= 0 then invalid_arg "Ralloc.alloc: size must be positive";
   Telemetry.Counters.incr Telemetry.Counters.Id.alloc_calls;
   Telemetry.Counters.add ~n:size Telemetry.Counters.Id.alloc_bytes;
+  Telemetry.Span.around ~phase:"alloc" @@ fun () ->
   if size > max_small then alloc_large t size
   else begin
     let c = class_of_size size in
@@ -577,6 +578,7 @@ let free t off =
   if off < sb_base || off >= Region.size t.reg then
     invalid_arg "Ralloc.free: offset outside heap";
   Telemetry.Counters.incr Telemetry.Counters.Id.free_calls;
+  Telemetry.Span.around ~phase:"free" @@ fun () ->
   let sb = sb_of_block t off in
   match rd t (sb + f_kind) with
   | k when k = kind_large_head ->

@@ -76,8 +76,17 @@ let min_value t = if t.total = 0 then 0 else t.vmin
 
 let max_value t = t.vmax
 
+let sum t = t.sum
+
+(* Percentile edge cases: an empty histogram returns the sentinel 0
+   (there is no sample to interpolate towards); a single-sample
+   histogram returns that sample exactly. In general the answer is a
+   bucket's lower bound clamped into [vmin, vmax] — without the vmin
+   clamp a lone sample of 1000 would report p50 = 992, the bucket
+   floor, a value that was never recorded. *)
 let percentile t p =
   if t.total = 0 then 0
+  else if t.total = 1 then t.vmin
   else begin
     let target =
       int_of_float (Float.round (p /. 100.0 *. float_of_int t.total))
@@ -87,7 +96,8 @@ let percentile t p =
       if b >= n_buckets then t.vmax
       else
         let acc = acc + t.counts.(b) in
-        if acc >= target then min (value_of b) t.vmax else go (b + 1) acc
+        if acc >= target then max t.vmin (min (value_of b) t.vmax)
+        else go (b + 1) acc
     in
     go 0 0
   end

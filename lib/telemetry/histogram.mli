@@ -17,13 +17,19 @@ val count : t -> int
 
 val mean : t -> float
 
+val sum : t -> int
+(** Exact sum of every recorded value (the phase-attribution pass
+    depends on sums being integers, not bucket approximations). *)
+
 val min_value : t -> int
 
 val max_value : t -> int
 
 val percentile : t -> float -> int
-(** [percentile t 99.0] — never exceeds {!max_value}; bucket-midpoint
-    resolution (~3-4%). *)
+(** [percentile t 99.0] — bucket-floor resolution (~3-4%), always
+    clamped into [[min_value, max_value]]. Edge cases: an empty
+    histogram returns the sentinel 0; a single-sample histogram
+    returns the sample itself (never a bucket bound below it). *)
 
 val kvs : prefix:string -> t -> (string * string) list
 (** Stats-style summary: [prefix:count], [prefix:mean_ns],

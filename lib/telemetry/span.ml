@@ -1,0 +1,503 @@
+(** Causal span trees — see span.mli for the contract.
+
+    Everything here is host-side bookkeeping: no call advances virtual
+    time, so the cost model (and the tracer-overhead CI gate) see the
+    same simulated latencies with tracing on or off. Mutex-guarded
+    critical sections never perform effects, so the module is safe
+    under OS threads and the effects-based Vm alike. *)
+
+type span = {
+  sid : int;
+  parent : int;
+  phase : string;
+  s_start : int;
+  s_end : int;
+  s_aborted : bool;
+}
+
+type trace = {
+  trace_id : int;
+  root_op : string;
+  sampled : bool;
+  t_aborted : bool;
+  spans : span list;
+  done_seq : int;
+}
+
+(* Open spans are mutable while the trace is live; they freeze into
+   the immutable [span] at completion. *)
+type open_span = {
+  o_sid : int;
+  o_parent : int;
+  o_phase : string;
+  o_start : int;
+  mutable o_end : int;  (* -1 while open *)
+  mutable o_aborted : bool;
+}
+
+type live = {
+  l_id : int;
+  l_op : string;
+  l_sampled : bool;
+  mutable l_spans : open_span list;  (* reverse start order *)
+  mutable l_next : int;
+  mutable l_stack : open_span list;  (* open spans, innermost first *)
+  mutable l_closed : bool;
+}
+
+type t = No_span | Sp of live * open_span
+
+let null = No_span
+
+(* ---- Configuration --------------------------------------------------- *)
+
+let int_env name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try int_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+let sample_every = ref (max 0 (int_env "TRACE_SAMPLE" 1))
+
+let set_sampling n = sample_every := max 0 n
+
+let sampling () = !sample_every
+
+let slow_ns = ref (max 0 (int_env "TRACE_SLOW_NS" 0))
+
+let set_slow_threshold_ns n = slow_ns := max 0 n
+
+let slow_threshold_ns () = !slow_ns
+
+(* ---- Per-thread state ------------------------------------------------- *)
+
+let current : live option ref Tls.key = Tls.new_key (fun () -> ref None)
+
+(* Completed traces: a bounded buffer per thread — the first
+   [head_cap] traces, a ring of the last [tail_cap], and every
+   over-threshold trace (the slow-op log, [slow_cap]-bounded). A
+   global registry keeps buffers reachable after their thread exits,
+   so post-run dumps see everything. One real mutex guards buffers,
+   registry and accumulators; its critical sections are effect-free. *)
+let head_cap = 8
+
+let tail_cap = 32
+
+let slow_cap = 64
+
+type buffer = {
+  mutable head : trace list;  (* newest first, first head_cap traces *)
+  mutable head_n : int;
+  tail : trace option array;
+  mutable tail_at : int;
+  mutable slow : trace list;  (* newest first *)
+  mutable slow_n : int;
+}
+
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let registry : buffer list ref = ref []
+
+let buffer_key : buffer Tls.key =
+  Tls.new_key (fun () ->
+    let b =
+      { head = []; head_n = 0; tail = Array.make tail_cap None; tail_at = 0;
+        slow = []; slow_n = 0 }
+    in
+    with_lock (fun () -> registry := b :: !registry);
+    b)
+
+(* ---- Counters and accumulators ---------------------------------------- *)
+
+let mint_counter = Atomic.make 0
+
+let done_counter = Atomic.make 0
+
+let phase_tbl : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+
+let e2e_hist = Histogram.create ()
+
+(* ---- Building trees --------------------------------------------------- *)
+
+let start_in lv ?t_start ~phase () =
+  let t0 = match t_start with Some a -> a | None -> Control.now_ns () in
+  let parent =
+    match lv.l_stack with [] -> -1 | top :: _ -> top.o_sid
+  in
+  let sp =
+    { o_sid = lv.l_next; o_parent = parent; o_phase = phase; o_start = t0;
+      o_end = -1; o_aborted = false }
+  in
+  lv.l_next <- lv.l_next + 1;
+  lv.l_spans <- sp :: lv.l_spans;
+  lv.l_stack <- sp :: lv.l_stack;
+  Sp (lv, sp)
+
+let start ?t_start ~phase () =
+  match !(Tls.get current) with
+  | Some lv when lv.l_sampled && not lv.l_closed ->
+    start_in lv ?t_start ~phase ()
+  | _ -> No_span
+
+let ingress ?t_start ~op () =
+  if not (Control.on ()) || !sample_every = 0 then No_span
+  else
+    let r = Tls.get current in
+    match !r with
+    | Some lv when not lv.l_closed ->
+      (* nested ingress: the inner op is a child phase of the outer
+         trace (a library call under a server drain, say) *)
+      if lv.l_sampled then start_in lv ?t_start ~phase:op () else No_span
+    | _ ->
+      let n = Atomic.fetch_and_add mint_counter 1 in
+      let sampled = !sample_every = 1 || n mod !sample_every = 0 in
+      let t0 = match t_start with Some a -> a | None -> Control.now_ns () in
+      let root =
+        { o_sid = 0; o_parent = -1; o_phase = op; o_start = t0; o_end = -1;
+          o_aborted = false }
+      in
+      let lv =
+        { l_id = n; l_op = op; l_sampled = sampled; l_spans = [ root ];
+          l_next = 1; l_stack = [ root ]; l_closed = false }
+      in
+      r := Some lv;
+      Sp (lv, root)
+
+let freeze (o : open_span) =
+  { sid = o.o_sid; parent = o.o_parent; phase = o.o_phase;
+    s_start = o.o_start; s_end = max o.o_end o.o_start;
+    s_aborted = o.o_aborted }
+
+let duration tr =
+  match tr.spans with [] -> 0 | root :: _ -> root.s_end - root.s_start
+
+(* Per-phase self time: each span's duration minus its direct
+   children's. Integer arithmetic, so the sum over phases equals the
+   root duration exactly. *)
+let self_times tr =
+  let n = List.length tr.spans in
+  let child_sum = Array.make n 0 in
+  List.iter
+    (fun sp ->
+      if sp.parent >= 0 && sp.parent < n then
+        child_sum.(sp.parent) <-
+          child_sum.(sp.parent) + (sp.s_end - sp.s_start))
+    tr.spans;
+  let per_phase : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun sp ->
+      let self = sp.s_end - sp.s_start - child_sum.(sp.sid) in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt per_phase sp.phase) in
+      Hashtbl.replace per_phase sp.phase (prev + self))
+    tr.spans;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_phase [])
+
+let attribute tr =
+  with_lock (fun () ->
+    List.iter
+      (fun (phase, self) ->
+        let h =
+          match Hashtbl.find_opt phase_tbl phase with
+          | Some h -> h
+          | None ->
+            let h = Histogram.create () in
+            Hashtbl.add phase_tbl phase h;
+            h
+        in
+        Histogram.record h (max self 0))
+      (self_times tr);
+    Histogram.record e2e_hist (max (duration tr) 0))
+
+let keep buf tr ~slow =
+  if buf.head_n < head_cap then begin
+    buf.head <- tr :: buf.head;
+    buf.head_n <- buf.head_n + 1
+  end
+  else begin
+    buf.tail.(buf.tail_at mod tail_cap) <- Some tr;
+    buf.tail_at <- buf.tail_at + 1
+  end;
+  if slow then begin
+    buf.slow <- tr :: buf.slow;
+    buf.slow_n <- buf.slow_n + 1;
+    if buf.slow_n > slow_cap then begin
+      (* drop the oldest kept slow trace *)
+      buf.slow <- List.filteri (fun i _ -> i < slow_cap) buf.slow;
+      buf.slow_n <- slow_cap
+    end
+  end
+
+let complete lv ~aborted =
+  if not lv.l_closed then begin
+    lv.l_closed <- true;
+    let r = Tls.get current in
+    (match !r with Some lv' when lv' == lv -> r := None | _ -> ());
+    let spans =
+      List.rev_map freeze lv.l_spans
+      |> List.sort (fun a b -> compare a.sid b.sid)
+    in
+    let tr =
+      { trace_id = lv.l_id; root_op = lv.l_op; sampled = lv.l_sampled;
+        t_aborted = aborted; spans;
+        done_seq = Atomic.fetch_and_add done_counter 1 }
+    in
+    if (not aborted) && lv.l_sampled then attribute tr;
+    let slow = !slow_ns > 0 && duration tr >= !slow_ns in
+    (* Unsampled traces exist only to detect slowness: buffer them
+       when over threshold (or flushed aborted), drop them otherwise. *)
+    if lv.l_sampled || slow || aborted then begin
+      let buf = Tls.get buffer_key in
+      with_lock (fun () -> keep buf tr ~slow)
+    end;
+    if slow && Trace.would_log Trace.Warn then
+      Trace.emit ~sev:Trace.Warn ~subsys:"span"
+        (Printf.sprintf "slow trace #%d %s: %d ns (threshold %d)" tr.trace_id
+           tr.root_op (duration tr) !slow_ns);
+    if aborted && Trace.would_log Trace.Warn then
+      Trace.emit ~sev:Trace.Warn ~subsys:"span"
+        (Printf.sprintf "trace #%d %s aborted: %d span(s) flushed" tr.trace_id
+           tr.root_op (List.length tr.spans))
+  end
+
+let close_open lv at =
+  List.iter
+    (fun o ->
+      if o.o_end < 0 then begin
+        o.o_end <- max at o.o_start;
+        o.o_aborted <- true
+      end)
+    lv.l_spans;
+  lv.l_stack <- []
+
+let finish = function
+  | No_span -> ()
+  | Sp (lv, sp) ->
+    if (not lv.l_closed) && sp.o_end < 0 then begin
+      sp.o_end <- Control.now_ns ();
+      lv.l_stack <- List.filter (fun o -> o != sp) lv.l_stack;
+      if sp.o_parent = -1 then begin
+        (* robustness: a child left open under a finishing root is a
+           bug in the instrumentation — flag it rather than hang *)
+        close_open lv sp.o_end;
+        complete lv ~aborted:false
+      end
+    end
+
+let drop = function
+  | No_span -> ()
+  | Sp (lv, sp) ->
+    if (not lv.l_closed) && sp.o_end < 0 then begin
+      sp.o_end <- Control.now_ns ();
+      sp.o_aborted <- true;
+      lv.l_stack <- List.filter (fun o -> o != sp) lv.l_stack;
+      if sp.o_parent = -1 then begin
+        (* discard the whole trace: no attribution, no buffers *)
+        lv.l_closed <- true;
+        let r = Tls.get current in
+        match !r with Some lv' when lv' == lv -> r := None | _ -> ()
+      end
+    end
+
+let around ~phase f =
+  let sp = start ~phase () in
+  match f () with
+  | v ->
+    finish sp;
+    v
+  | exception e ->
+    finish sp;
+    raise e
+
+let flush_aborted () =
+  match !(Tls.get current) with
+  | None -> ()
+  | Some lv ->
+    if not lv.l_closed then begin
+      close_open lv (Control.now_ns ());
+      complete lv ~aborted:true
+    end
+
+let active () =
+  match !(Tls.get current) with
+  | Some lv -> not lv.l_closed
+  | None -> false
+
+(* ---- Completed traces ------------------------------------------------- *)
+
+let all_of buf =
+  List.rev_append buf.head
+    (Array.to_list buf.tail |> List.filter_map Fun.id)
+
+let traces ?n () =
+  let all =
+    with_lock (fun () ->
+      List.concat_map (fun b -> all_of b @ b.slow) !registry)
+  in
+  let all =
+    List.sort_uniq (fun a b -> compare a.done_seq b.done_seq) all
+  in
+  match n with
+  | None -> all
+  | Some n when n >= List.length all -> all
+  | Some n ->
+    let drop = List.length all - n in
+    List.filteri (fun i _ -> i >= drop) all
+
+let slow_traces () =
+  with_lock (fun () -> List.concat_map (fun b -> b.slow) !registry)
+  |> List.sort (fun a b -> compare a.done_seq b.done_seq)
+
+(* ---- Well-formedness -------------------------------------------------- *)
+
+let well_formed tr =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let arr = Array.of_list tr.spans in
+  let n = Array.length arr in
+  if n = 0 then err "trace #%d has no spans" tr.trace_id
+  else if arr.(0).sid <> 0 || arr.(0).parent <> -1 then
+    err "trace #%d: span 0 is not a root" tr.trace_id
+  else begin
+    let bad = ref None in
+    let check c msg = if !bad = None && not c then bad := Some msg in
+    Array.iteri
+      (fun i sp ->
+        check (sp.sid = i) (Printf.sprintf "span ids not dense at %d" i);
+        if i > 0 then begin
+          check
+            (sp.parent >= 0 && sp.parent < i)
+            (Printf.sprintf "span %d: parent %d does not precede it" i
+               sp.parent);
+          if sp.parent >= 0 && sp.parent < i then begin
+            let p = arr.(sp.parent) in
+            check (p.s_start <= sp.s_start)
+              (Printf.sprintf "span %d opens before its parent" i);
+            check
+              (sp.s_aborted || p.s_aborted || sp.s_end <= p.s_end)
+              (Printf.sprintf "span %d outlives its parent" i)
+          end
+        end;
+        check
+          (sp.s_aborted || sp.s_end >= sp.s_start)
+          (Printf.sprintf "span %d never finished" i);
+        (* a crossing is a gate into the library: it can contain store
+           work but never hang below it *)
+        if sp.phase = "crossing" then begin
+          let rec ancestor_store p =
+            p >= 0
+            && (arr.(p).phase = "store" || ancestor_store arr.(p).parent)
+          in
+          check
+            (not (ancestor_store sp.parent))
+            (Printf.sprintf "span %d: crossing nested inside store" i)
+        end)
+      arr;
+    match !bad with
+    | Some m -> err "trace #%d: %s" tr.trace_id m
+    | None -> Ok ()
+  end
+
+(* ---- Rendering -------------------------------------------------------- *)
+
+let render_tree tr =
+  let b = Buffer.create 256 in
+  let n = List.length tr.spans in
+  let child_sum = Array.make (max n 1) 0 in
+  List.iter
+    (fun sp ->
+      if sp.parent >= 0 && sp.parent < n then
+        child_sum.(sp.parent) <-
+          child_sum.(sp.parent) + (sp.s_end - sp.s_start))
+    tr.spans;
+  let depth = Array.make (max n 1) 0 in
+  List.iter
+    (fun sp ->
+      if sp.parent >= 0 && sp.parent < n then
+        depth.(sp.sid) <- depth.(sp.parent) + 1)
+    tr.spans;
+  Buffer.add_string b
+    (Printf.sprintf "trace #%d %s: %d ns%s%s\n" tr.trace_id tr.root_op
+       (duration tr)
+       (if tr.sampled then "" else " [unsampled]")
+       (if tr.t_aborted then " [ABORTED]" else ""));
+  List.iter
+    (fun sp ->
+      let dur = sp.s_end - sp.s_start in
+      Buffer.add_string b
+        (Printf.sprintf "%s%s @%d +%d ns (self %d ns)%s\n"
+           (String.make (2 * (depth.(sp.sid) + 1)) ' ')
+           sp.phase sp.s_start dur
+           (dur - child_sum.(sp.sid))
+           (if sp.s_aborted then " [aborted]" else "")))
+    tr.spans;
+  Buffer.contents b
+
+(* ---- Phase attribution ------------------------------------------------ *)
+
+type phase_stats = {
+  p_count : int;
+  p_self_ns : int;
+  p_p50_ns : int;
+  p_p99_ns : int;
+}
+
+let stats_of h =
+  { p_count = Histogram.count h; p_self_ns = Histogram.sum h;
+    p_p50_ns = Histogram.percentile h 50.0;
+    p_p99_ns = Histogram.percentile h 99.0 }
+
+let phase_report () =
+  with_lock (fun () ->
+    Hashtbl.fold (fun k h acc -> (k, stats_of h) :: acc) phase_tbl [])
+  |> List.sort compare
+
+let e2e_report () = with_lock (fun () -> stats_of e2e_hist)
+
+let phase_kvs () =
+  let rows (name, s) =
+    [ (Printf.sprintf "phase:%s:count" name, string_of_int s.p_count);
+      (Printf.sprintf "phase:%s:self_ns" name, string_of_int s.p_self_ns);
+      (Printf.sprintf "phase:%s:p50_ns" name, string_of_int s.p_p50_ns);
+      (Printf.sprintf "phase:%s:p99_ns" name, string_of_int s.p_p99_ns) ]
+  in
+  let e = e2e_report () in
+  List.concat_map rows (phase_report ())
+  @ [ ("e2e:count", string_of_int e.p_count);
+      ("e2e:total_ns", string_of_int e.p_self_ns);
+      ("e2e:p50_ns", string_of_int e.p_p50_ns);
+      ("e2e:p99_ns", string_of_int e.p_p99_ns) ]
+
+let phases_json () =
+  let field (name, s) =
+    Printf.sprintf
+      "\"%s\":{\"count\":%d,\"self_ns\":%d,\"p50_ns\":%d,\"p99_ns\":%d}" name
+      s.p_count s.p_self_ns s.p_p50_ns s.p_p99_ns
+  in
+  let e = e2e_report () in
+  Printf.sprintf
+    "{\"e2e\":{\"count\":%d,\"total_ns\":%d,\"p50_ns\":%d,\"p99_ns\":%d},\"phases\":{%s}}"
+    e.p_count e.p_self_ns e.p_p50_ns e.p_p99_ns
+    (String.concat "," (List.map field (phase_report ())))
+
+let reset_phases () =
+  with_lock (fun () ->
+    Hashtbl.reset phase_tbl;
+    Histogram.reset e2e_hist)
+
+let reset () =
+  reset_phases ();
+  (* clear buffers in place: live threads keep their TLS handle *)
+  with_lock (fun () ->
+    List.iter
+      (fun b ->
+        b.head <- [];
+        b.head_n <- 0;
+        Array.fill b.tail 0 tail_cap None;
+        b.tail_at <- 0;
+        b.slow <- [];
+        b.slow_n <- 0)
+      !registry);
+  Atomic.set mint_counter 0;
+  Atomic.set done_counter 0

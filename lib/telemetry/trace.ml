@@ -19,6 +19,13 @@ let severity_name = function
   | Warn -> "warn"
   | Error -> "error"
 
+let severity_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
 type event = {
   seq : int;  (** monotone across the whole run, survives wrap *)
   at : int;  (** virtual-time ns at emission ({!Control.now_ns}) *)
@@ -60,9 +67,11 @@ let clear () =
   next_seq := 0;
   Mutex.unlock lock
 
-(** Events currently in the ring, oldest first; [n] limits to the most
-    recent n. *)
-let dump ?n () =
+(** Events currently in the ring, oldest first. [n] limits to the most
+    recent n; [subsys] keeps one subsystem's events; [min_sev] keeps
+    events at or above a severity — both filters apply before the [n]
+    cut, so "the last 20 hodor warnings" means what it says. *)
+let dump ?n ?subsys ?min_sev () =
   Mutex.lock lock;
   let evs =
     List.sort
@@ -70,6 +79,17 @@ let dump ?n () =
       (Array.to_list ring |> List.filter_map Fun.id)
   in
   Mutex.unlock lock;
+  let evs =
+    match subsys with
+    | None -> evs
+    | Some s -> List.filter (fun e -> e.subsys = s) evs
+  in
+  let evs =
+    match min_sev with
+    | None -> evs
+    | Some sev ->
+      List.filter (fun e -> severity_rank e.sev >= severity_rank sev) evs
+  in
   match n with
   | None -> evs
   | Some n when n >= List.length evs -> evs
@@ -77,6 +97,15 @@ let dump ?n () =
     (* keep the newest n *)
     let drop = List.length evs - n in
     List.filteri (fun i _ -> i >= drop) evs
+
+(** Subsystems currently represented in the ring, sorted. *)
+let subsystems () =
+  Mutex.lock lock;
+  let tags =
+    Array.to_list ring |> List.filter_map (Option.map (fun e -> e.subsys))
+  in
+  Mutex.unlock lock;
+  List.sort_uniq compare tags
 
 let render e =
   Printf.sprintf "[%8d ns] #%d %-5s %-8s %s" e.at e.seq

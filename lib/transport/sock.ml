@@ -32,7 +32,14 @@ let global_listeners : (string, Obj.t) Hashtbl.t = Hashtbl.create 8
 let global_lock = Mutex.create ()
 
 module Make (S : Platform.Sync_intf.S) = struct
-  type message = { m_cid : int; m_payload : string }
+  type message = {
+    m_cid : int;
+    m_payload : string;
+    m_at : int;
+        (** enqueue stamp ({!S.now_ns} at [client_send]) — lets the
+            server backdate a request's trace to when the bytes hit the
+            socket, so queueing shows up as its own phase *)
+  }
 
   type conn = {
     cid : int;
@@ -108,7 +115,9 @@ module Make (S : Platform.Sync_intf.S) = struct
 
   let client_send conn payload =
     S.advance CM.current.syscall_send;
-    try S.send conn.inbox { m_cid = conn.cid; m_payload = payload }
+    try
+      S.send conn.inbox
+        { m_cid = conn.cid; m_payload = payload; m_at = S.now_ns () }
     with S.Closed -> raise Connection_closed
 
   (* A receive that actually blocked pays a context switch: a little

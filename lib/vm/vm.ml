@@ -294,6 +294,10 @@ let crash_check t th =
         Telemetry.Trace.emit ~at:th.clock ~sev:Telemetry.Trace.Error
           ~subsys:"vm"
           (Printf.sprintf "crash point %d: %s killed abruptly" k th.vname);
+        (* The dying thread is still [t.current], so its TLS resolves:
+           flush whatever trace it was inside as aborted — the
+           post-mortem view of where the kill landed. *)
+        Telemetry.Span.flush_aborted ();
         List.iter
           (fun m ->
             if m.owner = th.tid then begin

@@ -52,11 +52,22 @@ module Make (S : Platform.Sync_intf.S) = struct
     for _ = 1 to ops do
       let op = Workload.next_op w rng choose in
       let t0 = S.now_ns () in
+      (* Driver-level ingress: the plib backend's own [plib.*] ingress
+         nests under this as a child, so a trace shows the whole op as
+         the driver saw it. *)
+      let root =
+        Telemetry.Span.ingress
+          ~op:(match op with
+               | Workload.Read _ -> "ycsb.read"
+               | Workload.Update _ -> "ycsb.update")
+          ()
+      in
       (match op with
        | Workload.Read key ->
          if db.db_read key then tr.hits <- tr.hits + 1
          else tr.misses <- tr.misses + 1
        | Workload.Update (key, value) -> ignore (db.db_update key value));
+      Telemetry.Span.finish root;
       let dt = S.now_ns () - t0 in
       Histogram.record tr.hist dt;
       (match op with
@@ -82,7 +93,9 @@ module Make (S : Platform.Sync_intf.S) = struct
         pending := [];
         npending := 0;
         let t0 = S.now_ns () in
+        let root = Telemetry.Span.ingress ~op:"ycsb.batch" () in
         let oks = db.b_run batch_ops in
+        Telemetry.Span.finish root;
         let dt = (S.now_ns () - t0) / n in
         List.iter2
           (fun op ok ->

@@ -121,6 +121,7 @@ let run_a ?(recover_anyway = false) ~at () =
       Hodor.Library.release (Plib.library p);
       Pku.Pkru.reset_thread ())
     (fun () ->
+      Telemetry.Span.reset ();
       let vm = Vm.create ~sched_seed:1234 ~preempt_jitter:50 () in
       let victim_proc = Process.make ~uid:2000 "victim-proc" in
       Vm.set_crash_point vm
@@ -193,6 +194,15 @@ let run_a ?(recover_anyway = false) ~at () =
       let crashes = Vm.crashed vm in
       let n = Vm.sync_points_seen vm in
       let events = Vm.events_processed vm in
+      (* Whatever the kill site, every completed trace — including the
+         aborted flush from the dying thread — is a well-shaped tree. *)
+      List.iter
+        (fun tr ->
+          match Telemetry.Span.well_formed tr with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.fail (Printf.sprintf "span tree after kill at %d: %s" at m))
+        (Telemetry.Span.traces ());
       (* Recovery and verification charge virtual time, so they run as
          the bookkeeping process inside a fresh simulation. *)
       let vm2 = Vm.create () in
@@ -408,6 +418,7 @@ let run_c ~at () =
       Hodor.Library.release (Plib.library p);
       Pku.Pkru.reset_thread ())
     (fun () ->
+      Telemetry.Span.reset ();
       let vm = Vm.create ~sched_seed:4321 ~preempt_jitter:50 () in
       let victim_proc = Process.make ~uid:2100 "victim-proc-c" in
       Vm.set_crash_point vm
@@ -451,6 +462,15 @@ let run_c ~at () =
       let crashes = Vm.crashed vm in
       let n = Vm.sync_points_seen vm in
       let events = Vm.events_processed vm in
+      (* A kill mid-batch must still flush a well-shaped span tree:
+         the crossing span with the committed prefix's exec children. *)
+      List.iter
+        (fun tr ->
+          match Telemetry.Span.well_formed tr with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.fail (Printf.sprintf "span tree after kill at %d: %s" at m))
+        (Telemetry.Span.traces ());
       let vm2 = Vm.create () in
       ignore
         (Vm.spawn vm2 ~name:"bookkeeper" (fun () ->

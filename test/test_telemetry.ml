@@ -15,7 +15,12 @@ let fresh () =
   C.reset_backend ();
   Telemetry.Timers.reset ();
   Telemetry.Trace.clear ();
-  Telemetry.Trace.set_level Telemetry.Trace.Info
+  Telemetry.Trace.set_level Telemetry.Trace.Info;
+  Telemetry.Span.flush_aborted ();
+  Telemetry.Span.set_sampling 1;
+  Telemetry.Span.set_slow_threshold_ns 0;
+  Telemetry.Span.reset ();
+  Telemetry.Contention.reset ()
 
 (* ---- Counters ------------------------------------------------------- *)
 
@@ -105,6 +110,36 @@ let test_histogram_shared_with_ycsb () =
   H.reset h;
   Alcotest.(check int) "reset" 0 (H.count h)
 
+let test_histogram_percentile_edges () =
+  (* Regression: percentiles on 0/1/2-sample histograms used to report
+     bucket floors — a lone sample of 1000 came back as 992, a value
+     never recorded. *)
+  let h = H.create () in
+  Alcotest.(check int) "empty p50 is the sentinel 0" 0 (H.percentile h 50.0);
+  Alcotest.(check int) "empty p99 is the sentinel 0" 0 (H.percentile h 99.0);
+  H.record h 1000;
+  Alcotest.(check int) "lone sample reported exactly (p50)" 1000
+    (H.percentile h 50.0);
+  Alcotest.(check int) "lone sample reported exactly (p99)" 1000
+    (H.percentile h 99.0);
+  Alcotest.(check int) "lone sample reported exactly (p0)" 1000
+    (H.percentile h 0.0);
+  H.record h 3000;
+  let p0 = H.percentile h 0.0
+  and p50 = H.percentile h 50.0
+  and p99 = H.percentile h 99.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "two samples clamp into [min,max]: %d %d %d" p0 p50 p99)
+    true
+    (List.for_all (fun p -> p >= 1000 && p <= 3000) [ p0; p50; p99 ]);
+  Alcotest.(check bool) "two-sample p99 reaches the larger sample" true
+    (p99 >= 2900);
+  (* clamping also holds when every sample lands in one bucket *)
+  let h1 = H.create () in
+  List.iter (H.record h1) [ 1000; 1000; 1000 ];
+  Alcotest.(check int) "identical samples, exact p99" 1000
+    (H.percentile h1 99.0)
+
 let test_timers () =
   fresh ();
   List.iter (fun v -> Telemetry.Timers.record ~op:"get" v) [ 50; 60; 70 ];
@@ -169,6 +204,35 @@ let test_trace_severity_filter () =
   Alcotest.(check bool) "off filters everything" false (T.would_log T.Error);
   T.emit ~sev:T.Error ~subsys:"test" "silent";
   Alcotest.(check int) "off means no events" 1 (List.length (T.dump ()))
+
+let test_trace_subsys_filter () =
+  fresh ();
+  let module T = Telemetry.Trace in
+  T.emit ~sev:T.Info ~subsys:"vm" "a";
+  T.emit ~sev:T.Warn ~subsys:"hodor" "b";
+  T.emit ~sev:T.Error ~subsys:"vm" "c";
+  Alcotest.(check int) "subsys filter keeps one tag" 2
+    (List.length (T.dump ~subsys:"vm" ()));
+  Alcotest.(check int) "severity floor" 2
+    (List.length (T.dump ~min_sev:T.Warn ()));
+  (match T.dump ~subsys:"vm" ~min_sev:T.Warn () with
+   | [ e ] -> Alcotest.(check string) "filters compose" "c" e.T.msg
+   | evs ->
+     Alcotest.fail (Printf.sprintf "expected 1 event, got %d"
+                      (List.length evs)));
+  (* filters apply before the n-cut: "the last 1 vm event" is c, not b *)
+  (match T.dump ~n:1 ~subsys:"vm" () with
+   | [ e ] -> Alcotest.(check string) "n cuts after filtering" "c" e.T.msg
+   | _ -> Alcotest.fail "expected 1 event");
+  Alcotest.(check (list string)) "subsystems listed sorted" [ "hodor"; "vm" ]
+    (T.subsystems ());
+  (* the shell's severity parser, including the "warning" alias *)
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check bool) ("severity_of_string " ^ s) true
+        (T.severity_of_string s = expect))
+    [ ("debug", Some T.Debug); ("warn", Some T.Warn);
+      ("warning", Some T.Warn); ("error", Some T.Error); ("bogus", None) ]
 
 (* ---- The stats surface through the executor ------------------------- *)
 
@@ -380,6 +444,34 @@ let over_the_wire protocol =
       (VCl.Sock.stats ~arg:"items" c <> []);
     Alcotest.(check bool) "wire stats slabs" true
       (List.mem_assoc "total_malloced" (VCl.Sock.stats ~arg:"slabs" c));
+    (* the causal-span surface, over the wire: phase self times must
+       sum (exactly — integer attribution) to the e2e total *)
+    let phase_sum ph =
+      List.fold_left
+        (fun acc (k, v) ->
+          let is_self =
+            String.length k > 14
+            && String.sub k 0 6 = "phase:"
+            && String.sub k (String.length k - 8) 8 = ":self_ns"
+          in
+          if is_self then acc + int_of_string v else acc)
+        0 ph
+    in
+    let ph = VCl.Sock.stats ~arg:"phases" c in
+    let pv k =
+      match List.assoc_opt k ph with
+      | Some s -> int_of_string s
+      | None -> Alcotest.fail ("stats phases missing " ^ k)
+    in
+    let count_before = pv "e2e:count" in
+    Alcotest.(check bool) "wire phases folded traces" true (count_before > 0);
+    Alcotest.(check int) "wire phases sum to e2e" (pv "e2e:total_ns")
+      (phase_sum ph);
+    Alcotest.(check bool) "wire phases include the parse phase" true
+      (List.mem_assoc "phase:parse:self_ns" ph);
+    let ct = VCl.Sock.stats ~arg:"contention" c in
+    Alcotest.(check bool) "wire contention summary" true
+      (List.mem_assoc "contention:acquisitions" ct);
     Alcotest.(check bool) "wire stats reset acked" true
       (VCl.Sock.stats_reset c);
     let kvs = VCl.Sock.stats c in
@@ -387,6 +479,18 @@ let over_the_wire protocol =
       (List.assoc_opt "get_hits" kvs);
     Alcotest.(check (option string)) "wire curr_items survives" (Some "1")
       (List.assoc_opt "curr_items" kvs);
+    (* reset cleared the phase and contention accumulators too; the
+       requests since the reset re-mint a few traces, so "cleared"
+       means "far fewer than before", with the invariant intact *)
+    let ph = VCl.Sock.stats ~arg:"phases" c in
+    let pv k = int_of_string (List.assoc k ph) in
+    Alcotest.(check bool)
+      (Printf.sprintf "wire reset cleared phases (%d -> %d)" count_before
+         (pv "e2e:count"))
+      true
+      (pv "e2e:count" < count_before);
+    Alcotest.(check int) "wire phases still sum after reset"
+      (pv "e2e:total_ns") (phase_sum ph);
     VCl.Sock.quit c;
     VSrv.stop srv)
 
@@ -464,11 +568,15 @@ let () =
       ( "histograms",
         [ Alcotest.test_case "shared with ycsb" `Quick
             test_histogram_shared_with_ycsb;
+          Alcotest.test_case "percentile edge cases" `Quick
+            test_histogram_percentile_edges;
           Alcotest.test_case "keyed timers" `Quick test_timers ] );
       ( "trace",
         [ Alcotest.test_case "ring wraps" `Quick test_trace_ring_wraps;
           Alcotest.test_case "severity filter" `Quick
-            test_trace_severity_filter ] );
+            test_trace_severity_filter;
+          Alcotest.test_case "subsystem filter" `Quick
+            test_trace_subsys_filter ] );
       ( "stats-surface",
         [ Alcotest.test_case "executor stats forms" `Quick
             test_executor_stats_surface;
