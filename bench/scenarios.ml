@@ -32,10 +32,20 @@ let store_cfg ~hashpower =
   { Mc_core.Store.default_config with hashpower; lock_count = 1024;
     lru_count = 64; stats_slots = 64 }
 
-let make_plib ~protection ~size ~hashpower () =
+(* [optimistic] toggles the seqlock read path; [lock_count] overrides
+   the stripe count (fewer stripes = more collisions — what the
+   locked-vs-optimistic contention comparison needs). *)
+let make_plib ?(optimistic = true) ?lock_count ~protection ~size ~hashpower ()
+    =
   let owner = Simos.Process.make ~uid:1000 (fresh_name "memcached-bk") in
-  Plib.create ~protection ~store_cfg:(store_cfg ~hashpower)
-    ~path:(fresh_name "/dev/shm/kv") ~size ~owner ()
+  let cfg = store_cfg ~hashpower in
+  let cfg =
+    { cfg with
+      optimistic_reads = optimistic;
+      lock_count = Option.value lock_count ~default:cfg.lock_count }
+  in
+  Plib.create ~protection ~store_cfg:cfg ~path:(fresh_name "/dev/shm/kv")
+    ~size ~owner ()
 
 let make_baseline_store ~mem_limit ~hashpower () =
   let arena = Mc_core.Private_memory.create ~limit:(2 * mem_limit) in

@@ -145,7 +145,8 @@ let shell plib image =
          | [ "stats"; "contention" ] ->
            List.iter
              (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
-             (Telemetry.Contention.kvs ())
+             (Telemetry.Contention.kvs ()
+             @ Telemetry.Counters.optimistic_kvs ())
          | [ "stats"; "reset" ] ->
            Plib.stats_reset plib;
            Telemetry.Counters.reset ();

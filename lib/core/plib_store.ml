@@ -39,6 +39,12 @@ let root_telemetry = 1
     it live) rather than resetting it — the SIFT semantics DESIGN.md
     documents. *)
 
+let root_arena = 2
+(** Persistent root id anchoring the bump-arena hot tier: a pptr cell
+    pointing at the newest 1 MiB arena region, whose directory chains
+    to the older ones. Recovery walks the chain from here, so arena
+    regions survive client crashes like everything else in the heap. *)
+
 module Make (S : Platform.Sync_intf.S) = struct
   module Store =
     Mc_core.Store.Make (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc) (S)
@@ -47,6 +53,7 @@ module Make (S : Platform.Sync_intf.S) = struct
     lib : Hodor.Library.t;
     region : Region.t;
     heap : Ralloc.t;
+    arena : Mc_core.Bump_arena.t;
     store : Store.t;
     path : string;
     owner : Process.t;
@@ -96,9 +103,9 @@ module Make (S : Platform.Sync_intf.S) = struct
                 Region.fill region ~off:block
                   ~len:(8 * Telemetry.Counters.cells) '\000')) })
 
-  let build_handle ~lib ~region ~heap ~store ~path ~owner =
+  let build_handle ~lib ~region ~heap ~arena ~store ~path ~owner =
     let t =
-      { lib; region; heap; store; path; owner;
+      { lib; region; heap; arena; store; path; owner;
         stop_cleaner = Atomic.make false; cleaner = None }
     in
     attach_telemetry ~region ~heap;
@@ -111,6 +118,15 @@ module Make (S : Platform.Sync_intf.S) = struct
     Hodor.Library.set_recover lib (fun () ->
       Region.kernel_mode (fun () ->
         let live = Store.recover t.store in
+        (* Items served by the bump arena live {e inside} its 1 MiB
+           regions; the heap's recovery keeps those whole regions alive
+           through the chain heads (and would reject interior offsets),
+           so arena residents are peeled off and recovered by the
+           arena's own sweep afterwards. *)
+        let arena_live, live =
+          List.partition (Mc_core.Bump_arena.owns t.arena) live
+        in
+        let live = Mc_core.Bump_arena.recovery_roots t.arena @ live in
         let live =
           match Ralloc.get_root t.heap root_primary with
           | 0 -> live
@@ -123,7 +139,13 @@ module Make (S : Platform.Sync_intf.S) = struct
           | 0 -> live
           | block -> block :: live
         in
-        Ralloc.recover t.heap ~live));
+        let live =
+          match Ralloc.get_root t.heap root_arena with
+          | 0 -> live
+          | cell -> cell :: live
+        in
+        Ralloc.recover t.heap ~live;
+        Mc_core.Bump_arena.recover t.arena ~live:arena_live));
     t
 
   (* The bookkeeping process creates the store from nothing. *)
@@ -141,12 +163,16 @@ module Make (S : Platform.Sync_intf.S) = struct
     Hodor.Library.protect_region lib region;
     Simos.Sim_fs.create_file ~path ~owner:(Process.uid owner) ~mode:0o600 region;
     let heap = Ralloc.create region in
-    let store =
+    let arena, store =
       Region.kernel_mode (fun () ->
+        let anchor = Ralloc.alloc heap 16 in
+        Ralloc.Pptr.store region ~at:anchor 0;
+        Ralloc.set_root heap root_arena anchor;
+        let arena = Mc_core.Bump_arena.create ~heap ~anchor () in
         let store =
           Store.create
             ~mem:(Mc_core.Shared_memory.of_region region)
-            ~alloc:(Mc_core.Ralloc_alloc.of_heap heap)
+            ~alloc:(Mc_core.Ralloc_alloc.of_heap_with_arena heap arena)
             store_cfg
         in
         (* Figure 3: root -> cell -> control block, so the block could
@@ -154,9 +180,9 @@ module Make (S : Platform.Sync_intf.S) = struct
         let cell = Ralloc.alloc heap 16 in
         Ralloc.Pptr.store region ~at:cell (Store.ctrl_off store);
         Ralloc.set_root heap root_primary cell;
-        store)
+        (arena, store))
     in
-    build_handle ~lib ~region ~heap ~store ~path ~owner
+    build_handle ~lib ~region ~heap ~arena ~store ~path ~owner
 
   (* Restart: map the flushed heap file and find the store through the
      persistent root. No data-rebuilding code exists — that is the
@@ -173,17 +199,32 @@ module Make (S : Platform.Sync_intf.S) = struct
     Hodor.Library.protect_region lib region;
     Simos.Sim_fs.create_file ~path ~owner:(Process.uid owner) ~mode:0o600 region;
     let heap = Ralloc.attach region in
-    let store =
+    let arena, store =
       Region.kernel_mode (fun () ->
+        let anchor =
+          (* Heaps flushed before the hot tier existed have no arena
+             root; give them an empty chain to grow from. *)
+          match Ralloc.get_root heap root_arena with
+          | 0 ->
+            let cell = Ralloc.alloc heap 16 in
+            Ralloc.Pptr.store region ~at:cell 0;
+            Ralloc.set_root heap root_arena cell;
+            cell
+          | cell -> cell
+        in
+        let arena = Mc_core.Bump_arena.create ~heap ~anchor () in
         let cell = Ralloc.get_root heap root_primary in
         if cell = 0 then failwith "restart: no store rooted in this heap";
         let ctrl = Ralloc.Pptr.load region ~at:cell in
-        Store.attach
-          ~mem:(Mc_core.Shared_memory.of_region region)
-          ~alloc:(Mc_core.Ralloc_alloc.of_heap heap)
-          store_cfg ~ctrl)
+        let store =
+          Store.attach
+            ~mem:(Mc_core.Shared_memory.of_region region)
+            ~alloc:(Mc_core.Ralloc_alloc.of_heap_with_arena heap arena)
+            store_cfg ~ctrl
+        in
+        (arena, store))
     in
-    build_handle ~lib ~region ~heap ~store ~path ~owner
+    build_handle ~lib ~region ~heap ~arena ~store ~path ~owner
 
   (* A client process links the library: the loader performs the euid
      dance to open the store file on the client's behalf (§3.3). *)
@@ -199,6 +240,8 @@ module Make (S : Platform.Sync_intf.S) = struct
   let store t = t.store
 
   let heap t = t.heap
+
+  let arena t = t.arena
 
   let region t = t.region
 
@@ -336,8 +379,13 @@ module Make (S : Platform.Sync_intf.S) = struct
         let prot =
           List.map (fun k -> copy_in t (Bytes.unsafe_of_string k)) keys
         in
+        (* With the seqlock read path on, an all-get group needs no
+           stripes at all: each lookup validates against the version
+           words, and the rare conflict falls back to per-op locking. *)
         let stripes =
-          List.sort_uniq compare (List.map (Store.stripe_of t.store) prot)
+          if (Store.config t.store).Mc_core.Store.optimistic_reads then []
+          else
+            List.sort_uniq compare (List.map (Store.stripe_of t.store) prot)
         in
         Store.with_stripes t.store ~stripes (fun () ->
           List.filter_map

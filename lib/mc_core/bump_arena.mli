@@ -1,0 +1,49 @@
+(** Per-thread bump-allocation hot tier over the shared Ralloc heap:
+    1 MiB regions (plain Ralloc large blocks, chained from a
+    persistent anchor) carved into 32 KiB blocks with one writer per
+    block, serving small hot values with a pointer increment instead
+    of size-class traffic. Crash-recoverable: region heads keep the
+    chain alive through {!Ralloc.recover}, and {!recover} rebuilds
+    per-block state from the store's surviving objects. *)
+
+type t
+
+val region_size : int
+
+val block_size : int
+
+val hot_max : int
+(** Largest request (whole item) the tier serves; bigger requests must
+    go to the underlying heap. *)
+
+val create : heap:Ralloc.t -> ?anchor:int -> unit -> t
+(** [create ~heap ~anchor ()] attaches to (or starts) the region chain
+    anchored at the pptr cell [anchor] — typically a Ralloc persistent
+    root cell. Without [anchor] the chain lives only in the handle (no
+    crash recovery). *)
+
+val alloc : t -> int -> int
+(** Offset of a block of exactly the requested usable size, or [0]
+    when the request is too big for the tier or the heap cannot grow
+    it another region (callers fall through to the main allocator). *)
+
+val free : t -> int -> unit
+
+val owns : t -> int -> bool
+(** Does this offset lie inside one of the tier's regions? The
+    dispatch test for free/usable_size. *)
+
+val usable_size : t -> int -> int
+
+val recovery_roots : t -> int list
+(** Region-head offsets from the persistent chain: these must be part
+    of [live] for {!Ralloc.recover}, or the sweep reclaims the tier. *)
+
+val recover : t -> live:int list -> unit
+(** Rebuild per-block bump offsets and live counts from the store's
+    surviving arena-resident objects (offsets as handed to the store),
+    re-poisoning dead spans. Call after {!Ralloc.recover}, at
+    quiescence. *)
+
+val stats_kvs : t -> (string * string) list
+(** [arena:*] occupancy rows for `stats slabs`. *)

@@ -16,6 +16,13 @@ module type MEMORY = sig
   val read_i64 : t -> int -> int
   val write_i64 : t -> int -> int -> unit
 
+  val read_i64_raw : t -> int -> int64
+  (** Full 64-bit read. [read_i64] round-trips through the native
+      63-bit int, which silently drops the top bit — unsigned fields
+      (the CAS counter) must use the raw variants. *)
+
+  val write_i64_raw : t -> int -> int64 -> unit
+
   val load_ptr : t -> at:int -> int
   (** Read the pointer cell at [at]: target offset, or [0] for null.
       Position independent in the shared implementation. *)
@@ -39,6 +46,12 @@ module type ALLOCATOR = sig
   val free : t -> int -> unit
 
   val usable_size : t -> int -> int
+
+  val alloc_ns : t -> int -> int
+  (** Modeled CPU cost (ns) of allocating [size] bytes, charged by the
+      store around {!alloc}. Lets an allocator with a cheaper fast
+      path (the bump-arena hot tier) price it into the virtual-time
+      benchmarks. *)
 
   val used_bytes : t -> int
 

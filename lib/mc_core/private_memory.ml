@@ -45,6 +45,10 @@ let read_i64 t off = Int64.to_int (Bytes.get_int64_le t.data off)
 
 let write_i64 t off v = Bytes.set_int64_le t.data off (Int64.of_int v)
 
+let read_i64_raw t off = Bytes.get_int64_le t.data off
+
+let write_i64_raw t off v = Bytes.set_int64_le t.data off v
+
 let load_ptr t ~at = read_i64 t at
 
 let store_ptr t ~at v = write_i64 t at v

@@ -1,25 +1,54 @@
 (** {!Memory_intf.ALLOCATOR} over a Ralloc heap: the protected-library
-    store's allocator. *)
+    store's allocator. Optionally fronted by a {!Bump_arena} hot tier
+    that serves small items with a per-thread pointer bump, keeping
+    Ralloc's size-class machinery off the hot set path. *)
 
-type t = Ralloc.t
+type t = { heap : Ralloc.t; arena : Bump_arena.t option }
 
-let of_heap h = h
+let of_heap h = { heap = h; arena = None }
 
-let alloc (t : t) size =
-  match Ralloc.alloc t size with
+let of_heap_with_arena h a = { heap = h; arena = Some a }
+
+let heap t = t.heap
+
+let arena t = t.arena
+
+let heap_alloc t size =
+  match Ralloc.alloc t.heap size with
   | off -> off
   | exception Ralloc.Out_of_heap -> 0
 
-let free = Ralloc.free
+let alloc t size =
+  match t.arena with
+  | Some a when size <= Bump_arena.hot_max ->
+    (* The tier declines (returns 0) when the heap cannot spare it a
+       region; such requests fall through to the size classes. *)
+    let off = Bump_arena.alloc a size in
+    if off <> 0 then off else heap_alloc t size
+  | _ -> heap_alloc t size
 
-let usable_size = Ralloc.usable_size
+let free t off =
+  match t.arena with
+  | Some a when Bump_arena.owns a off -> Bump_arena.free a off
+  | _ -> Ralloc.free t.heap off
 
-let used_bytes = Ralloc.used_bytes
+let usable_size t off =
+  match t.arena with
+  | Some a when Bump_arena.owns a off -> Bump_arena.usable_size a off
+  | _ -> Ralloc.usable_size t.heap off
 
-let capacity = Ralloc.capacity
+let alloc_ns t size =
+  match t.arena with
+  | Some _ when size <= Bump_arena.hot_max ->
+    Platform.Cost_model.current.alloc_bump
+  | _ -> Platform.Cost_model.alloc_cost size
+
+let used_bytes t = Ralloc.used_bytes t.heap
+
+let capacity t = Ralloc.capacity t.heap
 
 let class_kvs (t : t) =
-  let stats = Ralloc.class_stats t in
+  let stats = Ralloc.class_stats t.heap in
   List.concat
     (List.filteri (fun _ s -> s.Ralloc.cs_superblocks > 0
                               || s.Ralloc.cs_cached_blocks > 0)
@@ -31,3 +60,4 @@ let class_kvs (t : t) =
          (c ^ ":free_chunks",
           string_of_int (s.Ralloc.cs_free_blocks + s.Ralloc.cs_cached_blocks))
        ]))
+  @ (match t.arena with Some a -> Bump_arena.stats_kvs a | None -> [])

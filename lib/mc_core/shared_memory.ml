@@ -39,6 +39,14 @@ let write_i64 r off v =
   guard r ~off ~len:8;
   Region.write_i64 r off v
 
+let read_i64_raw r off =
+  guard r ~off ~len:8;
+  Region.read_i64_raw r off
+
+let write_i64_raw r off v =
+  guard r ~off ~len:8;
+  Region.write_i64_raw r off v
+
 let load_ptr (r : t) ~at =
   guard r ~off:at ~len:8;
   Ralloc.Pptr.load r ~at

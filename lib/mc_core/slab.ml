@@ -163,6 +163,8 @@ let free t off =
     invalid_arg "Slab.free: offset not in any slab page"
   end
 
+let alloc_ns _t size = Platform.Cost_model.alloc_cost size
+
 let usable_size t off =
   let c = t.page_class.(page_of_off off) in
   if c >= 0 then chunk_sizes.(c)

@@ -23,6 +23,8 @@ val alloc : t -> int -> int
 
 val free : t -> int -> unit
 
+val alloc_ns : t -> int -> int
+
 val usable_size : t -> int -> int
 
 val used_bytes : t -> int

@@ -51,7 +51,12 @@ module Layout = struct
   let ctl_lru = 40 (* ptr *)
   let ctl_stats = 48 (* ptr *)
   let ctl_oldest_live = 56 (* i64 ns: flush_all watermark *)
-  let ctl_size = 64
+  let ctl_lock_count = 64
+  (* Stripe count is part of the persistent geometry: the seqlock
+     word array below is indexed by stripe, so an attacher must use
+     the creator's stripe mapping, not its own config's. *)
+  let ctl_seqs = 72 (* ptr: per-stripe seqlock version words *)
+  let ctl_size = 80
 end
 
 type config = {
@@ -68,12 +73,20 @@ type config = {
   (** a get skips the LRU bump (and its lock) when the item already
       moved within this many seconds — memcached's rate-limiting that
       keeps hot keys off the LRU lock; [0] bumps on every hit *)
+  optimistic_reads : bool;
+  (** seqlock read path: a get snapshots the item without the stripe
+      lock and validates against the stripe's version word, falling
+      back to the locked path on conflict or when the hit needs a
+      side effect (LRU bump, expiry unlink) *)
+  opt_max_retries : int;
+  (** snapshot attempts before an optimistic get gives up and takes
+      the stripe lock *)
 }
 
 let default_config =
   { hashpower = 16; lock_count = 1024; lru_count = 64; stats_slots = 64;
     single_stats_lock = false; lru_by_size_class = false; evict_batch = 8;
-    bump_interval_s = 60 }
+    bump_interval_s = 60; optimistic_reads = true; opt_max_retries = 3 }
 
 type store_result = Stored | Not_stored | Exists | Not_found | No_memory
 
@@ -129,10 +142,11 @@ struct
     mutable buckets : int;
     lru : int;
     stats : int;
+    seqs : int;  (* per-stripe seqlock version words (even = free) *)
     item_locks : S.mutex array;
     lru_locks : S.mutex array;
     mutable stats_mutex : S.mutex;
-    cas_src : int Atomic.t;
+    cas_src : int64 Atomic.t;
     active : int Atomic.t;  (* threads currently executing a store op *)
     mutable hash_mask : int;
     lock_mask : int;
@@ -173,6 +187,14 @@ struct
 
   let wr64 t off v = M.write_i64 t.mem off v
 
+  (* Full-width 64-bit accessors: CAS values are unsigned and must not
+     round-trip through the native 63-bit int — a CAS with the top
+     bits set would otherwise truncate on read and false-match under
+     [P_cas]. *)
+  let rd64r t off = M.read_i64_raw t.mem off
+
+  let wr64r t off v = M.write_i64_raw t.mem off v
+
   let ldp t at = M.load_ptr t.mem ~at
 
   let stp t at v = M.store_ptr t.mem ~at v
@@ -192,39 +214,43 @@ struct
       wr64 t (off + (8 * i)) 0
     done
 
-  let runtime ~mem ~alloc (cfg : config) ~ctrl ~buckets ~lru ~stats =
+  let runtime ~mem ~alloc (cfg : config) ~ctrl ~buckets ~lru ~stats ~seqs =
     if cfg.lock_count land (cfg.lock_count - 1) <> 0 then
       invalid_arg "Store: lock_count must be a power of two";
-    { mem; alloc; cfg; ctrl; buckets; lru; stats;
+    { mem; alloc; cfg; ctrl; buckets; lru; stats; seqs;
       item_locks =
         Array.init cfg.lock_count (fun _ -> S.mutex ~cls:"store.item" ());
       lru_locks =
         Array.init cfg.lru_count (fun _ -> S.mutex ~cls:"store.lru" ());
       stats_mutex = S.mutex ~cls:"store.stats" ();
-      cas_src = Atomic.make 1;
+      cas_src = Atomic.make 1L;
       active = Atomic.make 0;
       hash_mask = (1 lsl cfg.hashpower) - 1;
       lock_mask = cfg.lock_count - 1 }
 
   let create ~mem ~alloc (cfg : config) =
-    (* Allocate the four shared structures. *)
+    (* Allocate the five shared structures. *)
     let ctrl = alloc_exn alloc ctl_size "control block" in
     let nbuckets = 1 lsl cfg.hashpower in
     let buckets = alloc_exn alloc (8 * nbuckets) "bucket table" in
     let lru = alloc_exn alloc (16 * cfg.lru_count) "lru table" in
     let stats = alloc_exn alloc (8 * C.count * cfg.stats_slots) "stats area" in
-    let t = runtime ~mem ~alloc cfg ~ctrl ~buckets ~lru ~stats in
+    let seqs = alloc_exn alloc (8 * cfg.lock_count) "seqlock words" in
+    let t = runtime ~mem ~alloc cfg ~ctrl ~buckets ~lru ~stats ~seqs in
     zero_range t buckets (8 * nbuckets);
     zero_range t lru (16 * cfg.lru_count);
     zero_range t stats (8 * C.count * cfg.stats_slots);
+    zero_range t seqs (8 * cfg.lock_count);
     wr64 t (ctrl + ctl_hashpower) cfg.hashpower;
     wr64 t (ctrl + ctl_lru_count) cfg.lru_count;
     wr64 t (ctrl + ctl_stats_slots) cfg.stats_slots;
-    wr64 t (ctrl + ctl_cas) 1;
+    wr64r t (ctrl + ctl_cas) 1L;
     stp t (ctrl + ctl_buckets) buckets;
     stp t (ctrl + ctl_lru) lru;
     stp t (ctrl + ctl_stats) stats;
     wr64 t (ctrl + ctl_oldest_live) 0;
+    wr64 t (ctrl + ctl_lock_count) cfg.lock_count;
+    stp t (ctrl + ctl_seqs) seqs;
     t
 
   (* Reattach to a store found through a persistent root: geometry is
@@ -232,25 +258,27 @@ struct
      handled by the caller, who stores the ctrl offset behind a root). *)
   let attach ~mem ~alloc (cfg : config) ~ctrl =
     let probe =
-      runtime ~mem ~alloc cfg ~ctrl ~buckets:0 ~lru:0 ~stats:0
+      runtime ~mem ~alloc cfg ~ctrl ~buckets:0 ~lru:0 ~stats:0 ~seqs:0
     in
     let cfg =
       { cfg with
         hashpower = rd64 probe (ctrl + ctl_hashpower);
         lru_count = rd64 probe (ctrl + ctl_lru_count);
-        stats_slots = rd64 probe (ctrl + ctl_stats_slots) }
+        stats_slots = rd64 probe (ctrl + ctl_stats_slots);
+        lock_count = rd64 probe (ctrl + ctl_lock_count) }
     in
     let t =
       runtime ~mem ~alloc cfg ~ctrl
         ~buckets:(ldp probe (ctrl + ctl_buckets))
         ~lru:(ldp probe (ctrl + ctl_lru))
         ~stats:(ldp probe (ctrl + ctl_stats))
+        ~seqs:(ldp probe (ctrl + ctl_seqs))
     in
-    Atomic.set t.cas_src (rd64 t (ctrl + ctl_cas));
+    Atomic.set t.cas_src (rd64r t (ctrl + ctl_cas));
     t
 
   (* Persist volatile high-water marks (clean shutdown). *)
-  let detach t = wr64 t (t.ctrl + ctl_cas) (Atomic.get t.cas_src)
+  let detach t = wr64r t (t.ctrl + ctl_cas) (Atomic.get t.cas_src)
 
   let ctrl_off t = t.ctrl
 
@@ -299,6 +327,24 @@ struct
 
   let stripe_count t = t.lock_mask + 1
 
+  (* ---- Seqlock version words --------------------------------------------
+     One word per stripe, in shared memory next to the structures it
+     versions. Discipline: every stripe acquisition bumps the word to
+     odd on acquire and back to even on release, so a word is odd
+     exactly while some thread may be mutating the stripe's chains.
+     An optimistic reader snapshots item fields with no lock, then
+     revalidates: if the word was odd at the start, or changed by the
+     end, the snapshot may be torn and is discarded. Writers bump
+     under the stripe lock, so the two increments need no atomicity of
+     their own. Bumping costs no modeled time: it rides on the cache
+     line the lock acquisition already paid for. *)
+
+  let seq_off t s = t.seqs + (8 * s)
+
+  let seq_bump t s = wr64 t (seq_off t s) (rd64 t (seq_off t s) + 1)
+
+  let seq_read t s = rd64 t (seq_off t s)
+
   (* Stripes this thread already holds through [with_stripes], so the
      per-op [lock_item]/[unlock_item] inside a grouped batch become
      no-ops for them (the amortization: one acquisition per stripe per
@@ -333,6 +379,7 @@ struct
       let wsp = Telemetry.Span.start ~phase:"stripe_wait" () in
       let t0 = S.now_ns () in
       S.lock (item_mutex t h);
+      seq_bump t (stripe_index t h);
       let t1 = S.now_ns () in
       Telemetry.Span.finish wsp;
       let holds = Tls.get open_holds in
@@ -357,6 +404,7 @@ struct
          | e :: tl -> pop (e :: acc) tl
        in
        pop [] !holds);
+      seq_bump t s;
       S.unlock (item_mutex t h)
     end
 
@@ -394,6 +442,7 @@ struct
             match List.assoc_opt s !waits with Some w -> w | None -> 0
           in
           Telemetry.Contention.record ~stripe:s ~wait_ns ~hold_ns;
+          seq_bump t s;
           S.unlock t.item_locks.(s))
         !acquired
     in
@@ -406,6 +455,7 @@ struct
            adv CM.current.lock_uncontended;
            let t0 = S.now_ns () in
            S.lock t.item_locks.(s);
+           seq_bump t s;
            waits := (s, S.now_ns () - t0) :: !waits;
            acquired := s :: !acquired;
            held := (t, s) :: !held)
@@ -431,6 +481,23 @@ struct
 
   let unlock_lru t l = S.unlock t.lru_locks.(l)
 
+  (* Stop-the-world (resize, fold_keys): every stripe, in index order,
+     with the seq words bumped like any other acquisition so
+     optimistic readers cannot snapshot mid-migration. *)
+  let lock_all_stripes t =
+    Array.iteri
+      (fun s m ->
+        S.lock m;
+        seq_bump t s)
+      t.item_locks
+
+  let unlock_all_stripes t =
+    Array.iteri
+      (fun s m ->
+        seq_bump t s;
+        S.unlock m)
+      t.item_locks
+
   (* ---- Item helpers (caller holds the item lock) ------------------------- *)
 
   let bucket_of t h = t.buckets + (8 * (h land t.hash_mask))
@@ -454,9 +521,17 @@ struct
 
   let is_linked t it = rd32 t (it + it_state) land state_linked <> 0
 
+  (* Expiry from already-snapshotted fields — shared by the locked
+     check below and the optimistic read path, so both apply the same
+     rule to one consistent view of the item. A negative exptime is
+     the [real_exptime] sentinel for "born dead" (memcached expires
+     negative TTLs immediately, whatever the clock says — under the
+     virtual clock [now] starts at 0, so a past-absolute encoding
+     could not represent it). *)
+  let expired_fields ~exptime ~now = exptime < 0 || (exptime > 0 && exptime <= now)
+
   let expired t it ~now =
-    let e = rd32 t (it + it_exptime) in
-    (e > 0 && e <= now)
+    expired_fields ~exptime:(rd32 t (it + it_exptime)) ~now
     ||
     let ol = rd64 t (t.ctrl + ctl_oldest_live) in
     ol > 0 && rd64 t (it + it_time) <= ol
@@ -585,7 +660,7 @@ struct
         adv CM.current.bucket_probe;
         let acc =
           if rd32 t (it + it_refcount) = 0 then
-            (it, rd32 t (it + it_hash) land 0xFFFFFFFF, rd64 t (it + it_cas))
+            (it, rd32 t (it + it_hash) land 0xFFFFFFFF, rd64r t (it + it_cas))
             :: acc
           else acc
         in
@@ -602,7 +677,7 @@ struct
            idle item that still belongs to this LRU. *)
         if
           on_chain t h it
-          && rd64 t (it + it_cas) = cas
+          && Int64.equal (rd64r t (it + it_cas)) cas
           && rd32 t (it + it_refcount) = 0
           && rd32 t (it + it_lru_id) = l
         then begin
@@ -659,9 +734,9 @@ struct
      lock, so they always see a consistent table. *)
 
   let resize t =
-    Array.iter (fun m -> S.lock m) t.item_locks;
+    lock_all_stripes t;
     Fun.protect
-      ~finally:(fun () -> Array.iter (fun m -> S.unlock m) t.item_locks)
+      ~finally:(fun () -> unlock_all_stripes t)
       (fun () ->
         let old_hp = t.cfg.hashpower in
         let new_hp = old_hp + 1 in
@@ -712,7 +787,10 @@ struct
   let alloc_item t total ~h =
     let rec go attempts =
       let off = A.alloc t.alloc total in
-      adv (CM.alloc_cost total);
+      (* Allocator-priced: the bump-arena hot tier makes small-item
+         allocation a pointer increment, and the set path should see
+         that in virtual time too. *)
+      adv (A.alloc_ns t.alloc total);
       if off <> 0 then off
       else if attempts = 0 then 0
       else if evict_some t ~hint:(h mod t.cfg.lru_count) = 0 then 0
@@ -722,10 +800,18 @@ struct
 
   (* ---- Item construction --------------------------------------------------- *)
 
-  let next_cas t = Atomic.fetch_and_add t.cas_src 1
+  (* CAS values are unsigned 64-bit end-to-end ([Atomic] has no 64-bit
+     fetch-and-add, hence the CAS loop). *)
+  let next_cas t =
+    let rec go () =
+      let c = Atomic.get t.cas_src in
+      if Atomic.compare_and_set t.cas_src c (Int64.add c 1L) then c else go ()
+    in
+    go ()
 
   let real_exptime exptime ~now =
     if exptime = 0 then 0
+    else if exptime < 0 then -1 (* expire immediately, memcached-style *)
     else if exptime <= 60 * 60 * 24 * 30 then now + exptime
     else exptime
 
@@ -734,7 +820,7 @@ struct
     stp t (it + it_h_next) 0;
     stp t (it + it_lru_next) 0;
     stp t (it + it_lru_prev) 0;
-    wr64 t (it + it_cas) (next_cas t);
+    wr64r t (it + it_cas) (next_cas t);
     wr32 t (it + it_exptime) (real_exptime exptime ~now);
     wr32 t (it + it_flags) flags;
     wr32 t (it + it_nkey) nkey;
@@ -750,12 +836,7 @@ struct
 
   (* ---- Retrieval -------------------------------------------------------------- *)
 
-  let get t key =
-    with_op t @@ fun () ->
-    stat t C.cmd_get;
-    adv CM.current.hash_op;
-    let h = Hash.murmur3_32 key in
-    let now = now_sec () in
+  let locked_get t ~h ~now key =
     lock_item t h;
     let it = find t h key in
     if it = 0 then begin
@@ -777,7 +858,7 @@ struct
       wr32 t (it + it_refcount) (rd32 t (it + it_refcount) + 1);
       wr32 t (it + it_state) (rd32 t (it + it_state) lor state_fetched);
       let flags = rd32 t (it + it_flags) in
-      let cas = rd64 t (it + it_cas) in
+      let cas = rd64r t (it + it_cas) in
       let nbytes = item_nbytes t it in
       let data_off = item_data_off t it in
       (* Rate-limited bump: a hot key that already moved within the
@@ -801,8 +882,141 @@ struct
       adv CM.current.malloc_out;
       adv (CM.memcpy_cost nbytes);
       stat t C.get_hits;
-      Some { value; flags; cas = Int64.of_int cas }
+      Some { value; flags; cas }
     end
+
+  (* ---- Optimistic (seqlock) retrieval ------------------------------------
+     Snapshot–validate–retry against the stripe's version word, with
+     no lock and no refcount. Anything read mid-mutation can be torn:
+     chain links may cycle, lengths may be garbage, and with heap
+     poisoning armed a concurrently freed block raises — all of it is
+     caught (bounded probes, [Invalid_argument] from the range checks,
+     {!Ralloc.Use_after_free}) and classified as a conflict. A
+     snapshot only counts if the version word is even before and
+     unchanged after; what it then *means* is decided from the
+     validated fields alone:
+     - expired (or killed by the flush_all watermark) → fall back, the
+       locked path owns the unlink side effect;
+     - LRU bump due → fall back, the bump needs the stripe;
+     - otherwise → a hit that never touched a lock.
+     The watermark is re-read *after* validation: it is monotonic, so
+     the check covers any flush_all that completed before the snapshot
+     was validated — an optimistic get can never return an item a
+     completed flush_all logically killed. *)
+
+  exception Conflict
+
+  (* Probe budget for the lock-free chain walk: a torn chain may
+     cycle, so unlike [find] the walk must be bounded. *)
+  let opt_probe_budget = 128
+
+  let opt_find t h key =
+    let len = String.length key in
+    let rec go it n =
+      if it = 0 then 0
+      else if n = 0 then raise Conflict
+      else begin
+        adv CM.current.bucket_probe;
+        if
+          rd32 t (it + it_nkey) = len
+          && (adv (CM.key_cmp_cost len);
+              M.equal_string t.mem ~off:(it + header_size) ~len key)
+        then it
+        else go (ldp t (it + it_h_next)) (n - 1)
+      end
+    in
+    go (ldp t (bucket_of t h)) opt_probe_budget
+
+  let opt_attempt t ~h ~now key =
+    let s = stripe_index t h in
+    let v0 = seq_read t s in
+    if v0 land 1 <> 0 then raise Conflict;
+    let it = opt_find t h key in
+    let outcome =
+      if it = 0 then `Miss
+      else begin
+        let state = rd32 t (it + it_state) in
+        let flags = rd32 t (it + it_flags) in
+        let cas = rd64r t (it + it_cas) in
+        let exptime = rd32 t (it + it_exptime) in
+        let itime = rd64 t (it + it_time) in
+        let nkey = rd32 t (it + it_nkey) in
+        let nbytes = rd32 t (it + it_nbytes) in
+        (* Bound before charging copy cost: a torn length would
+           otherwise advance the virtual clock absurdly before the
+           range check faults. *)
+        if nbytes < 0 || nkey < 0 || nbytes > A.capacity t.alloc then
+          raise Conflict;
+        adv (CM.memcpy_cost nbytes);
+        let value =
+          M.read_string t.mem ~off:(it + header_size + nkey) ~len:nbytes
+        in
+        if state land state_linked = 0 then raise Conflict;
+        `Snap (value, flags, cas, exptime, itime)
+      end
+    in
+    if seq_read t s <> v0 then raise Conflict;
+    (* The snapshot is consistent as of [v0]; interpret it. *)
+    match outcome with
+    | `Miss -> `Miss
+    | `Snap (value, flags, cas, exptime, itime) ->
+      if expired_fields ~exptime ~now then `Fallback
+      else begin
+        let ol = rd64 t (t.ctrl + ctl_oldest_live) in
+        if ol > 0 && itime <= ol then `Fallback
+        else begin
+          let bump_ns = t.cfg.bump_interval_s * 1_000_000_000 in
+          if bump_ns = 0 || S.now_ns () - itime >= bump_ns then `Fallback
+          else begin
+            adv CM.current.malloc_out;
+            adv (CM.memcpy_cost (String.length value));
+            `Hit { value; flags; cas }
+          end
+        end
+      end
+
+  let optimistic_get t ~h ~now key =
+    let module TC = Telemetry.Counters in
+    let rec go tries =
+      if tries <= 0 then begin
+        TC.incr TC.Id.opt_fallbacks;
+        `Fallback
+      end
+      else
+        match opt_attempt t ~h ~now key with
+        | `Hit r ->
+          TC.incr TC.Id.opt_hits;
+          `Hit r
+        | `Miss ->
+          TC.incr TC.Id.opt_hits;
+          `Miss
+        | `Fallback ->
+          TC.incr TC.Id.opt_fallbacks;
+          `Fallback
+        | exception (Conflict | Ralloc.Use_after_free _ | Invalid_argument _)
+          ->
+          TC.incr TC.Id.opt_retries;
+          go (tries - 1)
+    in
+    go (t.cfg.opt_max_retries + 1)
+
+  let get t key =
+    with_op t @@ fun () ->
+    stat t C.cmd_get;
+    adv CM.current.hash_op;
+    let h = Hash.murmur3_32 key in
+    let now = now_sec () in
+    if (not t.cfg.optimistic_reads) || holds_stripe t (stripe_index t h) then
+      locked_get t ~h ~now key
+    else
+      match optimistic_get t ~h ~now key with
+      | `Hit r ->
+        stat t C.get_hits;
+        Some r
+      | `Miss ->
+        stat t C.get_misses;
+        None
+      | `Fallback -> locked_get t ~h ~now key
 
   (* ---- Storage ------------------------------------------------------------------ *)
 
@@ -841,7 +1055,7 @@ struct
         | P_replace, _ -> `Store
         | P_cas _, 0 -> `Fail Not_found
         | P_cas c, o ->
-          if Int64.of_int (rd64 t (o + it_cas)) = c then `Store
+          if Int64.equal (rd64r t (o + it_cas)) c then `Store
           else `Fail Exists
       in
       let result =
@@ -900,7 +1114,8 @@ struct
           Not_stored
         end
         else begin
-          let old_n = item_nbytes t old and old_cas = rd64 t (old + it_cas) in
+          let old_n = item_nbytes t old
+          and old_cas = rd64r t (old + it_cas) in
           let flags = rd32 t (old + it_flags) in
           let exp = rd32 t (old + it_exptime) in
           let old_data =
@@ -917,7 +1132,8 @@ struct
             wr32 t (it + it_exptime) exp;
             lock_item t h;
             let cur = find t h key in
-            if cur = 0 || rd64 t (cur + it_cas) <> old_cas then begin
+            if cur = 0 || not (Int64.equal (rd64r t (cur + it_cas)) old_cas)
+            then begin
               unlock_item t h;
               free_item t it;
               attempt (tries - 1)
@@ -988,6 +1204,11 @@ struct
 
   (* ---- Counters ----------------------------------------------------------------------- *)
 
+  (* Strict unsigned-64 decimal: values above 2^64-1 are rejected, not
+     wrapped — memcached answers CLIENT_ERROR for an oversized stored
+     counter rather than applying a silently wrapped delta. *)
+  let max_u64_div10 = 1844674407370955161L (* (2^64 - 1) / 10 *)
+
   let parse_u64 s =
     let n = String.length s in
     if n = 0 || n > 20 then None
@@ -998,10 +1219,12 @@ struct
           let c = s.[i] in
           if c < '0' || c > '9' then None
           else
-            go (i + 1)
-              (Int64.add
-                 (Int64.mul acc 10L)
-                 (Int64.of_int (Char.code c - Char.code '0')))
+            let d = Char.code c - Char.code '0' in
+            if
+              Int64.unsigned_compare acc max_u64_div10 > 0
+              || (Int64.equal acc max_u64_div10 && d > 5)
+            then None
+            else go (i + 1) (Int64.add (Int64.mul acc 10L) (Int64.of_int d))
       in
       go 0 0L
     end
@@ -1041,7 +1264,7 @@ struct
              under the item lock. *)
           M.write_string t.mem ~off:(item_data_off t it) s;
           wr32 t (it + it_nbytes) (String.length s);
-          wr64 t (it + it_cas) (next_cas t);
+          wr64r t (it + it_cas) (next_cas t);
           wr64 t (it + it_time) (S.now_ns ());
           adv (CM.memcpy_cost (String.length s));
           unlock_item t h;
@@ -1156,9 +1379,9 @@ struct
      {!resize}, take every stripe for a consistent snapshot. [f]
      receives key, value length and the absolute expiry time. *)
   let fold_keys t f init =
-    Array.iter (fun m -> S.lock m) t.item_locks;
+    lock_all_stripes t;
     Fun.protect
-      ~finally:(fun () -> Array.iter (fun m -> S.unlock m) t.item_locks)
+      ~finally:(fun () -> unlock_all_stripes t)
       (fun () ->
         let acc = ref init in
         for b = 0 to t.hash_mask do
@@ -1193,7 +1416,7 @@ struct
             if expired t it ~now then
               ( it,
                 rd32 t (it + it_hash) land 0xFFFFFFFF,
-                rd64 t (it + it_cas) )
+                rd64r t (it + it_cas) )
               :: acc
             else acc
           in
@@ -1209,7 +1432,7 @@ struct
         (fun (it, h, cas) ->
           lock_item t h;
           if on_chain t h it
-             && rd64 t (it + it_cas) = cas
+             && Int64.equal (rd64r t (it + it_cas)) cas
              && expired t it ~now
              && rd32 t (it + it_refcount) = 0
           then begin
@@ -1249,7 +1472,7 @@ struct
             failwith "stored hash does not match key";
           if rd32 t (it + it_refcount) <> 0 then
             failwith "dangling refcount at quiescence";
-          if rd64 t (it + it_cas) >= next_cas then
+          if Int64.unsigned_compare (rd64r t (it + it_cas)) next_cas >= 0 then
             failwith "item cas from the future (cas source not monotonic)";
           Stdlib.incr linked;
           walk (ldp t (it + it_h_next))
@@ -1308,7 +1531,7 @@ struct
        the key bytes and the bucket — anything torn mid-link drops. *)
     let live_items = ref [] in
     let kept_count = ref 0 in
-    let max_cas = ref 0 in
+    let max_cas = ref 0L in
     for b = 0 to t.hash_mask do
       let bucket = t.buckets + (8 * b) in
       let rec sift it acc =
@@ -1345,7 +1568,8 @@ struct
           (* References held by dead readers die with them. *)
           wr32 t (it + it_refcount) 0;
           wr32 t (it + it_state) (rd32 t (it + it_state) lor state_linked);
-          max_cas := max !max_cas (rd64 t (it + it_cas));
+          let c = rd64r t (it + it_cas) in
+          if Int64.unsigned_compare c !max_cas > 0 then max_cas := c;
           live_items := it :: !live_items;
           Stdlib.incr kept_count)
         kept
@@ -1390,10 +1614,19 @@ struct
          total);
     (* CAS monotonicity across the crash: restart above every CAS any
        client was ever acknowledged. *)
-    let nc = max (Atomic.get t.cas_src) (!max_cas + 1) in
+    let cur = Atomic.get t.cas_src in
+    let above = Int64.add !max_cas 1L in
+    let nc = if Int64.unsigned_compare cur above > 0 then cur else above in
     Atomic.set t.cas_src nc;
-    wr64 t (t.ctrl + ctl_cas) nc;
+    wr64r t (t.ctrl + ctl_cas) nc;
+    (* A kill inside a stripe acquisition leaves its seq word odd;
+       every lock is being replaced above, so normalize the words back
+       to even or optimistic readers would spin forever on the stripe. *)
+    for s = 0 to t.lock_mask do
+      let v = rd64 t (seq_off t s) in
+      if v land 1 <> 0 then wr64 t (seq_off t s) (v + 1)
+    done;
     (* The allocator's recovery scan needs every offset the store still
-       reaches: control block, tables, and each live item. *)
-    t.ctrl :: t.buckets :: t.lru :: t.stats :: !live_items
+       reaches: control block, tables, seq words, and each live item. *)
+    t.ctrl :: t.buckets :: t.lru :: t.stats :: t.seqs :: !live_items
 end

@@ -43,6 +43,8 @@ module Layout : sig
   val ctl_lru : int
   val ctl_stats : int
   val ctl_oldest_live : int
+  val ctl_lock_count : int
+  val ctl_seqs : int
   val ctl_size : int
 end
 
@@ -60,6 +62,14 @@ type config = {
   (** a get skips the LRU bump (and its lock) when the item already
       moved within this many seconds — memcached's rate-limiting that
       keeps hot keys off the LRU lock; [0] bumps on every hit *)
+  optimistic_reads : bool;
+  (** seqlock read path: a get snapshots the item without the stripe
+      lock and validates against the stripe's version word, falling
+      back to the locked path on conflict or when the hit needs a
+      side effect (LRU bump, expiry unlink) *)
+  opt_max_retries : int;
+  (** snapshot attempts before an optimistic get gives up and takes
+      the stripe lock *)
 }
 
 val default_config : config

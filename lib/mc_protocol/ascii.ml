@@ -78,7 +78,7 @@ let int_of_token name tok =
   | None -> parse_error "bad %s: %S" name tok
 
 let u64_of_token name tok =
-  match Int64.of_string_opt ("0u" ^ tok) with
+  match parse_u64 tok with
   | Some v -> v
   | None -> parse_error "bad %s: %S" name tok
 
@@ -108,10 +108,14 @@ let parse_command (s : string) : command * int =
         let flags = int_of_token "flags" flags in
         let exptime = int_of_token "exptime" exptime in
         let len = int_of_token "bytes" len in
+        (* A bad CAS unique must not abort here: the data block is
+           still on the wire, so the request frames in full and the
+           error answers exactly this command ([Invalid] discipline) —
+           aborting would desync every pipelined request behind it. *)
         let cas, tail =
           if verb = "cas" then
             match tail with
-            | c :: t -> (Some (u64_of_token "cas unique" c), t)
+            | c :: t -> (Some (parse_u64 c), t)
             | [] -> parse_error "cas: missing unique"
           else (None, tail)
         in
@@ -136,7 +140,10 @@ let parse_command (s : string) : command * int =
             | "replace", None -> Replace p
             | "append", None -> Append p
             | "prepend", None -> Prepend p
-            | "cas", Some c -> Cas (p, c)
+            | "cas", Some (Some c) -> Cas (p, c)
+            | "cas", Some None ->
+              (* non-numeric or > 2^64-1: framed, answered, not wrapped *)
+              Invalid "bad command line format"
             | _ -> parse_error "unknown storage verb %S" verb
           in
           (cmd, consumed)
@@ -166,10 +173,16 @@ let parse_command (s : string) : command * int =
           (match rest with
            | k :: d :: tail ->
              let noreply = tail = [ "noreply" ] in
-             let d = u64_of_token "delta" d in
              if not (validate_key k) then (Invalid bad_key_error, after_line)
-             else if verb = "incr" then (Incr (k, d, noreply), after_line)
-             else (Decr (k, d, noreply), after_line)
+             else
+               (* memcached's wording; a 20-digit operand past 2^64-1
+                  lands here too instead of wrapping modulo 2^64 *)
+               (match parse_u64 d with
+                | None ->
+                  (Invalid "invalid numeric delta argument", after_line)
+                | Some d ->
+                  if verb = "incr" then (Incr (k, d, noreply), after_line)
+                  else (Decr (k, d, noreply), after_line))
            | _ -> parse_error "%s: bad arguments" verb)
         | "touch" ->
           (match rest with
@@ -322,8 +335,7 @@ let parse_response (s : string) : response =
      | [ `Line l ]
        when String.length l >= 13 && String.sub l 0 13 = "SERVER_ERROR " ->
        Server_error (String.sub l 13 (String.length l - 13))
-     | [ `Line l ] when Int64.of_string_opt ("0u" ^ l) <> None ->
-       Number (Option.get (Int64.of_string_opt ("0u" ^ l)))
+     | [ `Line l ] when parse_u64 l <> None -> Number (Option.get (parse_u64 l))
      | _ ->
        (* VALUE* END, or STAT* END *)
        let rec gather items vals with_cas stats saw_end =

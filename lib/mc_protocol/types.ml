@@ -80,6 +80,32 @@ exception Need_more_data
 
 let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+(* Strict unsigned-64 parse for protocol operands (CAS uniques, counter
+   deltas): decimal digits only, and anything above 2^64-1 is rejected
+   rather than wrapped. [Int64.of_string "0u..."] would accept
+   underscores, and a wrap here would turn a garbage delta into a
+   silently-applied huge one. *)
+let max_u64_div10 = 1844674407370955161L (* (2^64-1) / 10 *)
+
+let parse_u64 (s : string) : int64 option =
+  let n = String.length s in
+  if n = 0 then None
+  else
+    let rec go i acc =
+      if i >= n then Some acc
+      else
+        match s.[i] with
+        | '0' .. '9' as c ->
+          let d = Char.code c - Char.code '0' in
+          if
+            Int64.unsigned_compare acc max_u64_div10 > 0
+            || (Int64.equal acc max_u64_div10 && d > 5)
+          then None
+          else go (i + 1) (Int64.add (Int64.mul acc 10L) (Int64.of_int d))
+        | _ -> None
+    in
+    go 0 0L
+
 let max_key_length = 250
 
 let validate_key k =

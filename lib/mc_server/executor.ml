@@ -87,8 +87,11 @@ struct
          the sampled span trees *)
       P.Stats_reply (Telemetry.Span.phase_kvs ())
     | P.Stats (Some "contention") ->
-      (* extension: the stripe-contention profiler's top-K report *)
-      P.Stats_reply (Telemetry.Contention.kvs ())
+      (* extension: the stripe-contention profiler's top-K report,
+         plus the seqlock read-path counters that explain a quiet
+         profile (hits never queued on a stripe at all) *)
+      P.Stats_reply
+        (Telemetry.Contention.kvs () @ Telemetry.Counters.optimistic_kvs ())
     | P.Stats (Some "reset") ->
       Store.stats_reset store;
       Telemetry.Counters.reset ();
@@ -151,10 +154,20 @@ struct
       | [] -> List.rev acc
       | c :: _ as cmds when groupable c ->
         let run, rest = split_run [] cmds in
+        (* With the seqlock read path on, gets need no stripes — they
+           validate against the version words and fall back per-op on
+           conflict. Only the mutating groupables (delete/touch) still
+           pin their stripes; an all-get run holds nothing at all. *)
+        let optimistic =
+          (Store.config store).Mc_core.Store.optimistic_reads
+        in
         let stripes =
           List.sort_uniq compare
             (List.concat_map
-               (fun c -> List.map (Store.stripe_of store) (cmd_keys c))
+               (fun c ->
+                 match c with
+                 | (P.Get _ | P.Gets _ | P.Getx _) when optimistic -> []
+                 | c -> List.map (Store.stripe_of store) (cmd_keys c))
                run)
         in
         let resps =

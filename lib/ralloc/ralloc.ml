@@ -214,6 +214,14 @@ let unpoison_alloc t off len =
         (Bytes.get_uint8 bm (g / 8) land lnot (1 lsl (g mod 8)))
     done
 
+(* Exposed for satellite allocators (the bump arena) that carve their
+   own objects out of Ralloc large blocks: they keep use-after-free
+   detection alive by marking freed object spans and clearing spans
+   they hand out, with the same granule discipline as free/alloc. *)
+let poison_mark t ~off ~len = poison_free t off len
+
+let poison_clear t ~off ~len = unpoison_alloc t off len
+
 let poison_guard reg ~off ~len =
   if Atomic.get n_poisoning > 0 then
     (* Racy read of the runtimes list is fine: it is an immutable list

@@ -125,6 +125,16 @@ val set_poisoning : t -> bool -> unit
 
 val poisoning : t -> bool
 
+val poison_mark : t -> off:int -> len:int -> unit
+(** Record (and 0xDE-fill) a span as dead in the poison bitmap, as
+    {!free} does for whole blocks. No-op with poisoning off. Used by
+    allocators layered over Ralloc (the bump arena) whose objects are
+    interior to Ralloc blocks. *)
+
+val poison_clear : t -> off:int -> len:int -> unit
+(** Clear poison marks over a span being handed out, as {!alloc}
+    does. No-op with poisoning off. *)
+
 val poison_guard : Shm.Region.t -> off:int -> len:int -> unit
 (** Check one prospective access against the poison bitmap of the heap
     living in [reg] (no-op when that heap does not poison, or no heap

@@ -132,6 +132,17 @@ let write_i64 t off v =
   check t ~off ~len:8 ~write:true;
   Bytes.set_int64_le t.data off (Int64.of_int v)
 
+(* Full-width variants: the store's CAS counter is an unsigned 64-bit
+   quantity, which [read_i64]'s native-int round trip would truncate
+   (OCaml ints are 63-bit). *)
+let read_i64_raw t off =
+  check t ~off ~len:8 ~write:false;
+  Bytes.get_int64_le t.data off
+
+let write_i64_raw t off v =
+  check t ~off ~len:8 ~write:true;
+  Bytes.set_int64_le t.data off v
+
 let blit_from_bytes t ~src ~src_off ~dst_off ~len =
   check t ~off:dst_off ~len ~write:true;
   Bytes.blit src src_off t.data dst_off len

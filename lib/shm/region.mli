@@ -61,6 +61,12 @@ val read_i64 : t -> int -> int
 
 val write_i64 : t -> int -> int -> unit
 
+val read_i64_raw : t -> int -> int64
+(** Full 64-bit read, without the native-int truncation of
+    {!read_i64}. Used for unsigned quantities such as CAS values. *)
+
+val write_i64_raw : t -> int -> int64 -> unit
+
 val blit_from_bytes : t -> src:bytes -> src_off:int -> dst_off:int -> len:int -> unit
 
 val blit_to_bytes : t -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit

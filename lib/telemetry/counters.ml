@@ -65,9 +65,16 @@ module Id = struct
   let hodor_batch_calls = 27
   let hodor_batch_ops = 28
 
+  (* Optimistic (seqlock) read path: gets that retired without the
+     stripe lock, snapshot attempts that had to retry, and gets that
+     gave up and took the locked path. *)
+  let opt_hits = 29
+  let opt_retries = 30
+  let opt_fallbacks = 31
+
   (* Per-pkey fault counts occupy the tail: [pku_fault_pkey + k] for
      pkey k in [0, pkeys). *)
-  let pku_fault_pkey = 29
+  let pku_fault_pkey = 32
 
   let pkeys = 16
 
@@ -95,7 +102,9 @@ let names =
       (Id.alloc_calls, "alloc_calls"); (Id.alloc_bytes, "alloc_bytes");
       (Id.free_calls, "free_calls"); (Id.recoveries, "recoveries");
       (Id.hodor_batch_calls, "hodor_batch_calls");
-      (Id.hodor_batch_ops, "hodor_batch_ops") ];
+      (Id.hodor_batch_ops, "hodor_batch_ops");
+      (Id.opt_hits, "opt_hits"); (Id.opt_retries, "opt_retries");
+      (Id.opt_fallbacks, "opt_fallbacks") ];
   for k = 0 to Id.pkeys - 1 do
     a.(Id.pku_fault_pkey + k) <- Printf.sprintf "pku_fault_pkey:%d" k
   done;
@@ -177,6 +186,11 @@ let boundary_kvs () =
         let v = read id in
         if v = 0 then None else Some (name id, string_of_int v))
       (List.init Id.pkeys Fun.id)
+
+(* Seqlock read-path counters — merged into `stats contention`, next
+   to the stripe-wait profile they explain. *)
+let optimistic_kvs () =
+  List.map kv [ Id.opt_hits; Id.opt_retries; Id.opt_fallbacks ]
 
 let all_kvs () =
   List.filter_map

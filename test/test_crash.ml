@@ -219,7 +219,17 @@ let run_a ?(recover_anyway = false) ~at () =
                  (* Idempotent second pass, to get our hands on the
                     live set for the conservation check. *)
                  let store = Plib.store p and heap = Plib.heap p in
+                 let arena = Plib.arena p in
                  let live = Plib.Store.recover store in
+                 (* Arena-resident items recover through the arena's
+                    own sweep; the heap sees their whole regions via
+                    the chain heads. *)
+                 let arena_live, live =
+                   List.partition (Mc_core.Bump_arena.owns arena) live
+                 in
+                 let live =
+                   Mc_core.Bump_arena.recovery_roots arena @ live
+                 in
                  let cell =
                    Ralloc.get_root heap Core.Plib_store.root_primary
                  in
@@ -230,7 +240,12 @@ let run_a ?(recover_anyway = false) ~at () =
                    Ralloc.get_root heap Core.Plib_store.root_telemetry
                  in
                  let live = if tblock = 0 then live else tblock :: live in
+                 let acell =
+                   Ralloc.get_root heap Core.Plib_store.root_arena
+                 in
+                 let live = if acell = 0 then live else acell :: live in
                  Ralloc.recover heap ~live;
+                 Mc_core.Bump_arena.recover arena ~live:arena_live;
                  assert_conserved heap live);
              (* Every acknowledged surviving write is still served. *)
              Hashtbl.iter
@@ -482,7 +497,14 @@ let run_c ~at () =
              if crashes <> [] then
                Shm.Region.kernel_mode (fun () ->
                  let store = Plib.store p and heap = Plib.heap p in
+                 let arena = Plib.arena p in
                  let live = Plib.Store.recover store in
+                 let arena_live, live =
+                   List.partition (Mc_core.Bump_arena.owns arena) live
+                 in
+                 let live =
+                   Mc_core.Bump_arena.recovery_roots arena @ live
+                 in
                  let cell =
                    Ralloc.get_root heap Core.Plib_store.root_primary
                  in
@@ -491,7 +513,12 @@ let run_c ~at () =
                    Ralloc.get_root heap Core.Plib_store.root_telemetry
                  in
                  let live = if tblock = 0 then live else tblock :: live in
+                 let acell =
+                   Ralloc.get_root heap Core.Plib_store.root_arena
+                 in
+                 let live = if acell = 0 then live else acell :: live in
                  Ralloc.recover heap ~live;
+                 Mc_core.Bump_arena.recover arena ~live:arena_live;
                  assert_conserved heap live);
              (* The acked prefix survives verbatim. *)
              Hashtbl.iter

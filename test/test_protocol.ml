@@ -302,6 +302,64 @@ let test_ascii_number_response_u64 () =
   | Number v -> Alcotest.(check int64) "max u64 number" (-1L) v
   | _ -> Alcotest.fail "number"
 
+(* Values one past 2^64-1 must be rejected, not wrapped: a wrapped
+   delta silently applies a garbage increment, and a wrapped CAS unique
+   could spuriously match a live item's unique. 2^64-1 itself is the
+   last valid operand on both paths. *)
+let test_ascii_u64_overflow_rejected () =
+  (* boundary: exactly 2^64-1 parses (as -1L in the int64 carrier) *)
+  (match Ascii.parse_command "incr k 18446744073709551615\r\n" with
+   | Incr ("k", v, false), _ ->
+     Alcotest.(check int64) "2^64-1 delta" (-1L) v
+   | _ -> Alcotest.fail "boundary delta should parse");
+  (* one digit more: framed, answered, not wrapped *)
+  List.iter
+    (fun wire ->
+      match Ascii.parse_command wire with
+      | Invalid m, used ->
+        Alcotest.(check string) "memcached's wording"
+          "invalid numeric delta argument" m;
+        Alcotest.(check int) "whole line consumed" (String.length wire) used
+      | _ -> Alcotest.fail ("should frame as Invalid: " ^ String.escaped wire))
+    [ "incr k 18446744073709551616\r\n" (* 2^64 *);
+      "decr k 99999999999999999999\r\n" (* 20 nines *);
+      "incr k 184467440737095516150\r\n" (* valid max * 10 *) ]
+
+let test_ascii_cas_unique_overflow () =
+  (* boundary: a 2^64-1 unique survives end-to-end *)
+  (match Ascii.parse_command "cas k 0 0 2 18446744073709551615\r\nab\r\n" with
+   | Cas ({ key = "k"; data = "ab"; _ }, u), _ ->
+     Alcotest.(check int64) "2^64-1 unique" (-1L) u
+   | _ -> Alcotest.fail "boundary cas should parse");
+  (* an overflowing (or non-numeric) unique frames as Invalid — and the
+     parser must still consume the data block the client already sent,
+     or every later command in the pipeline parses one request late *)
+  List.iter
+    (fun wire ->
+      match Ascii.parse_command wire with
+      | Invalid m, used ->
+        Alcotest.(check string) "uniform message" "bad command line format" m;
+        Alcotest.(check int) "data block consumed too" (String.length wire)
+          used
+      | _ -> Alcotest.fail ("should frame as Invalid: " ^ String.escaped wire))
+    [ "cas k 0 0 2 18446744073709551616\r\nab\r\n";
+      "cas k 0 0 2 99999999999999999999\r\nab\r\n";
+      "cas k 0 0 2 notanumber\r\nab\r\n" ];
+  (* the pipelined proof: a batch with the bad cas mid-stream stays in
+     sync — the follower parses as itself, not as the orphaned data *)
+  let wire =
+    Ascii.encode_command (Get [ "before" ])
+    ^ "cas k 0 0 2 18446744073709551616\r\nab\r\n"
+    ^ Ascii.encode_command (Get [ "after" ])
+  in
+  let cmds, used = Ascii.parse_batch wire in
+  Alcotest.(check (list string)) "batch in sync" [ "get"; "invalid"; "get" ]
+    (List.map command_name cmds);
+  Alcotest.(check int) "all consumed" (String.length wire) used;
+  match cmds with
+  | [ Get [ "before" ]; Invalid _; Get [ "after" ] ] -> ()
+  | _ -> Alcotest.fail "follower desynced by the unconsumed data block"
+
 (* Robustness: arbitrary bytes must never escape as anything but
    Parse_error — a server must survive any garbage a client sends. *)
 let qcheck_ascii_fuzz =
@@ -676,4 +734,8 @@ let () =
             test_binary_quit_version_flush;
           Alcotest.test_case "ascii u64 incr" `Quick test_ascii_incr_u64_range;
           Alcotest.test_case "ascii u64 number" `Quick
-            test_ascii_number_response_u64 ] ) ]
+            test_ascii_number_response_u64;
+          Alcotest.test_case "u64 overflow rejected" `Quick
+            test_ascii_u64_overflow_rejected;
+          Alcotest.test_case "cas unique overflow framed" `Quick
+            test_ascii_cas_unique_overflow ] ) ]

@@ -699,6 +699,216 @@ let test_seeded_incr_overflow () =
        | None -> Alcotest.fail "counter vanished"))
   done
 
+(* ---- Seqlock read path and the int64 correctness sweep ------------------ *)
+
+(* A CAS source past 2^62 exercises the bits a round-trip through the
+   native 63-bit OCaml int silently drops. Injected by detaching (so
+   the persisted source is authoritative), rewriting the control word
+   raw, and attaching — the store must carry the full unsigned word
+   end-to-end: issue, report via get, match via cas, survive
+   check_invariants' monotonicity walk. *)
+let test_cas_above_two_pow_62 () =
+  let cfg =
+    { Store.default_config with hashpower = 8; lock_count = 16; lru_count = 4;
+      stats_slots = 4 }
+  in
+  let reg =
+    Shm.Region.create ~name:"cas-top-bit" ~size:(4 lsl 20) ~pkey:0 ()
+  in
+  let heap = Ralloc.create reg in
+  let mem = Mc_core.Shared_memory.of_region reg in
+  let alloc = Mc_core.Ralloc_alloc.of_heap heap in
+  let st = SSt.create ~mem ~alloc cfg in
+  let ctrl = SSt.ctrl_off st in
+  SSt.detach st;
+  let big = Int64.add Int64.min_int 5L (* 2^63 + 5 as unsigned *) in
+  Shm.Region.write_i64_raw reg (ctrl + Store.Layout.ctl_cas) big;
+  let st = SSt.attach ~mem ~alloc cfg ~ctrl in
+  Alcotest.(check bool) "stored" true (SSt.set st "k" "v" = Store.Stored);
+  (match SSt.get st "k" with
+   | None -> Alcotest.fail "hit expected"
+   | Some r ->
+     Alcotest.(check int64) "get reports all 64 bits" big r.Store.cas;
+     Alcotest.(check bool) "cas matches the full unique" true
+       (SSt.cas st ~cas:r.Store.cas "k" "v2" = Store.Stored);
+     Alcotest.(check bool) "stale full-width unique rejected" true
+       (SSt.cas st ~cas:big "k" "v3" = Store.Exists));
+  (* More uniques issued above 2^63 stay unsigned-ordered. *)
+  ignore (SSt.set st "k2" "w");
+  let c2 = (Option.get (SSt.get st "k2")).Store.cas in
+  Alcotest.(check bool) "uniques keep growing unsigned" true
+    (Int64.unsigned_compare c2 big > 0);
+  SSt.check_invariants st;
+  (* And a detach/attach round-trip preserves the high source. *)
+  SSt.detach st;
+  let st = SSt.attach ~mem ~alloc cfg ~ctrl in
+  ignore (SSt.set st "k3" "x");
+  let c3 = (Option.get (SSt.get st "k3")).Store.cas in
+  Alcotest.(check bool) "source survives detach/attach" true
+    (Int64.unsigned_compare c3 c2 > 0);
+  SSt.check_invariants st
+
+(* Counter operand bounds at the store layer: 2^64-1 is a legal stored
+   value (wraps on arithmetic); anything one digit longer must answer
+   Non_numeric, not wrap modulo 2^64 into a quietly wrong counter. *)
+let test_counter_value_bounds () =
+  let st = shared_store ~heap_mb:4 ~cfg:Shared_suite.small_cfg in
+  ignore (SSt.set st "max" "18446744073709551615");
+  (match SSt.incr st "max" 1L with
+   | Store.Counter v -> Alcotest.(check int64) "2^64-1 + 1 wraps" 0L v
+   | _ -> Alcotest.fail "boundary value must stay numeric");
+  ignore (SSt.set st "over" "18446744073709551616");
+  (match SSt.incr st "over" 1L with
+   | Store.Non_numeric -> ()
+   | Store.Counter v ->
+     Alcotest.failf "2^64 parsed as a counter (wrapped to %Lu)" v
+   | _ -> Alcotest.fail "unexpected result");
+  ignore (SSt.set st "over20" "99999999999999999999");
+  (match SSt.incr st "over20" 1L with
+   | Store.Non_numeric -> ()
+   | Store.Counter v ->
+     Alcotest.failf "20-digit overflow parsed as a counter (%Lu)" v
+   | _ -> Alcotest.fail "unexpected result");
+  SSt.check_invariants st
+
+(* memcached expires negative TTLs immediately. Under the virtual
+   clock [now] starts near 0, so the old "absolute time in the past"
+   encoding could not represent them — the sentinel must survive
+   real_exptime and both read paths must honour it. *)
+let test_negative_exptime_born_dead () =
+  let st = shared_store ~heap_mb:4 ~cfg:Shared_suite.small_cfg in
+  Alcotest.(check bool) "stored" true
+    (SSt.set st ~exptime:(-1) "dead" "v" = Store.Stored);
+  Alcotest.(check bool) "born dead" true (SSt.get st "dead" = None);
+  Alcotest.(check bool) "add over the corpse" true
+    (SSt.add st "dead" "w" = Store.Stored);
+  (match SSt.get st "dead" with
+   | Some r -> Alcotest.(check string) "replacement lives" "w" r.Store.value
+   | None -> Alcotest.fail "replacement must be readable");
+  SSt.check_invariants st
+
+(* The optimistic path retires reads without the stripe and reports
+   itself; a reader inside a stripe group must take the locked path
+   (its snapshot could deadlock against its own group). *)
+let test_optimistic_path_counts () =
+  let module C = Telemetry.Counters in
+  let st = shared_store ~heap_mb:4 ~cfg:Shared_suite.small_cfg in
+  ignore (SSt.set st "k" "v");
+  let h0 = C.read C.Id.opt_hits in
+  for _ = 1 to 10 do
+    match SSt.get st "k" with
+    | Some r -> Alcotest.(check string) "value" "v" r.Store.value
+    | None -> Alcotest.fail "hit expected"
+  done;
+  Alcotest.(check bool) "gets retire optimistically" true
+    (C.read C.Id.opt_hits - h0 >= 10);
+  let h1 = C.read C.Id.opt_hits in
+  SSt.with_stripes st ~stripes:[ SSt.stripe_of st "k" ] (fun () ->
+    match SSt.get st "k" with
+    | Some _ -> ()
+    | None -> Alcotest.fail "hit expected under group");
+  Alcotest.(check int) "held stripe routes to the locked path" h1
+    (C.read C.Id.opt_hits)
+
+(* Racing flush_all vs optimistic gets under seeded schedules: once
+   flush_all has returned, no get that starts afterwards may return an
+   item the watermark killed — the seqlock snapshot must re-read the
+   watermark after validation, not before. *)
+let test_seeded_flush_vs_optimistic_get () =
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 2; lru_count = 2;
+      stats_slots = 2 }
+  in
+  for seed = 0 to 19 do
+    run_seeded_vm ~seed ~heap_bytes:(1 lsl 20) ~cfg (fun st ->
+      for i = 0 to 19 do
+        ignore (VSt.set st (Printf.sprintf "pre-%d" i) "doomed")
+      done;
+      let flushed = ref false in
+      let flusher =
+        Vm.Sync.spawn ~name:"flusher" (fun () ->
+          Vm.Sync.advance (100 + (seed * 37));
+          VSt.flush_all st;
+          flushed := true)
+      in
+      let readers =
+        List.init 3 (fun t ->
+          Vm.Sync.spawn ~name:(Printf.sprintf "g%d" t) (fun () ->
+            for i = 0 to 39 do
+              (* Cooperative fibers: the flag read and the get are not
+                 separated by a schedule point we don't control — if
+                 the flush was complete when this get began, a hit is
+                 a correctness bug. *)
+              let flush_done = !flushed in
+              (match VSt.get st (Printf.sprintf "pre-%d" ((i + t) mod 20)) with
+               | Some _ when flush_done ->
+                 Alcotest.fail "optimistic get returned a flushed item"
+               | _ -> ());
+              Vm.Sync.advance 25
+            done))
+      in
+      List.iter Vm.Sync.join (flusher :: readers);
+      (match VSt.get st "pre-3" with
+       | Some _ -> Alcotest.fail "flushed item visible at quiescence"
+       | None -> ()))
+  done
+
+(* One hot key hammered by set/delete (plus eviction pressure from
+   filler writers) against concurrent optimistic readers: every hit
+   must be an untorn (value, flags, length) triple — the value encodes
+   the flags word, so a snapshot stitched from two writes mismatches.
+   Heap poisoning is armed by [run_seeded_vm], so an optimistic reader
+   touching recycled memory faults (and must retry) rather than
+   silently reading garbage. *)
+let test_seeded_optimistic_torn_triple () =
+  let cfg =
+    { Store.default_config with hashpower = 6; lock_count = 2; lru_count = 2;
+      stats_slots = 2; evict_batch = 2 }
+  in
+  for seed = 0 to 19 do
+    run_seeded_vm ~seed ~heap_bytes:(384 lsl 10) ~cfg (fun st ->
+      let tag_len tag = 40 + (tag mod 50) in
+      let writers =
+        List.init 2 (fun t ->
+          Vm.Sync.spawn ~name:(Printf.sprintf "w%d" t) (fun () ->
+            for i = 0 to 59 do
+              let tag = (t * 100) + (i mod 7) in
+              (match i mod 9 with
+               | 8 -> ignore (VSt.delete st "hot")
+               | _ ->
+                 ignore
+                   (VSt.set st ~flags:tag "hot"
+                      (Printf.sprintf "%03d%s" tag
+                         (String.make (tag_len tag) 'x'))));
+              Vm.Sync.advance 30
+            done))
+      in
+      let filler =
+        Vm.Sync.spawn ~name:"filler" (fun () ->
+          for i = 0 to 199 do
+            ignore (VSt.set st (Printf.sprintf "f%d" i) (String.make 900 'f'));
+            Vm.Sync.advance 40
+          done)
+      in
+      let readers =
+        List.init 2 (fun t ->
+          Vm.Sync.spawn ~name:(Printf.sprintf "r%d" t) (fun () ->
+            for _ = 0 to 79 do
+              (match VSt.get st "hot" with
+               | None -> ()
+               | Some r ->
+                 let tag = int_of_string (String.sub r.Store.value 0 3) in
+                 Alcotest.(check int) "flags match the value's tag" tag
+                   r.Store.flags;
+                 Alcotest.(check int) "length matches the value's tag"
+                   (3 + tag_len tag)
+                   (String.length r.Store.value));
+              Vm.Sync.advance 20
+            done))
+      in
+      List.iter Vm.Sync.join ((writers @ readers) @ [ filler ]))
+  done
+
 let () =
   Alcotest.run "store"
     [ ("private+slab", Private_suite.suite);
@@ -716,6 +926,19 @@ let () =
             test_seeded_eviction_vs_set;
           Alcotest.test_case "seeded incr overflow" `Quick
             test_seeded_incr_overflow ] );
+      ( "seqlock & int64",
+        [ Alcotest.test_case "cas above 2^62" `Quick
+            test_cas_above_two_pow_62;
+          Alcotest.test_case "counter value bounds" `Quick
+            test_counter_value_bounds;
+          Alcotest.test_case "negative exptime" `Quick
+            test_negative_exptime_born_dead;
+          Alcotest.test_case "optimistic path counts" `Quick
+            test_optimistic_path_counts;
+          Alcotest.test_case "seeded flush vs optimistic get" `Quick
+            test_seeded_flush_vs_optimistic_get;
+          Alcotest.test_case "seeded torn-triple hammer" `Quick
+            test_seeded_optimistic_torn_triple ] );
       ( "edge cases",
         [ Alcotest.test_case "zero-length value" `Quick test_zero_length_value;
           Alcotest.test_case "relative expiry" `Quick

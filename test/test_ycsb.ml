@@ -368,6 +368,100 @@ let test_batch_size_preserves_op_streams () =
         t1 tb)
     [ 8; 32 ]
 
+(* Same-seed determinism through the real protected-library store with
+   the seqlock read path on. An optimistic get's outcome — hit on the
+   first snapshot, retry after a conflict, or fall back to the stripe
+   lock — depends on what concurrent writers do, so the whole cascade
+   must replay identically under the seeded scheduler, at every batch
+   size the acceptance sweep cares about. The opt_* counter deltas are
+   the sharp assertion: equal retries means equal interleavings, not
+   just equal final answers. *)
+let plib_det_names = Atomic.make 0
+
+let run_seeded_ycsb_plib ~sched_seed ~workload_seed ~batch =
+  let module Cl = Core.Client.Make (Vm.Sync) in
+  let module Plib = Cl.Plib in
+  let module Run = Ycsb.Runner.Make (Vm.Sync) in
+  let module TC = Telemetry.Counters in
+  let w =
+    W.make ~seed:workload_seed ~record_count:300 ~operation_count:1_200
+      ~read_proportion:0.95 ~field_length:24 ()
+  in
+  let path =
+    Printf.sprintf "/dev/shm/ycsb-det-%d"
+      (Atomic.fetch_and_add plib_det_names 1)
+  in
+  let owner = Simos.Process.make ~uid:1000 "mc-det" in
+  let plib =
+    (* few stripes so the zipfian hot keys actually collide *)
+    Plib.create
+      ~store_cfg:
+        { Mc_core.Store.default_config with hashpower = 9; lock_count = 8;
+          lru_count = 4; stats_slots = 4 }
+      ~path ~size:(8 lsl 20) ~owner ()
+  in
+  let opt0 =
+    ( TC.read TC.Id.opt_hits, TC.read TC.Id.opt_retries,
+      TC.read TC.Id.opt_fallbacks )
+  in
+  let db : Ycsb.Runner.batch_db =
+    { b_run =
+        (fun ops ->
+          let bops =
+            List.map
+              (function
+                | W.Read k -> Plib.B_get k
+                | W.Update (k, v) ->
+                  Plib.B_set
+                    { b_key = k; b_data = v; b_flags = 0; b_exptime = 0 })
+              ops
+          in
+          List.map
+            (function
+              | Plib.R_get r -> r <> None
+              | Plib.R_store r -> r = Mc_core.Store.Stored
+              | Plib.R_found b -> b)
+            (Plib.batch plib bops)) }
+  in
+  let vm = Vm.create ~sched_seed () in
+  let res = ref None in
+  ignore
+    (Vm.spawn vm ~name:"main" (fun () ->
+         Run.load w
+           { db_read = (fun k -> Plib.get plib k <> None);
+             db_update =
+               (fun k v -> Plib.set plib k v = Mc_core.Store.Stored) };
+         res := Some (Run.run_batched ~threads:4 ~batch w ~db_for:(fun _ -> db))));
+  Vm.run vm;
+  let r = Option.get !res in
+  let h0, r0, f0 = opt0 in
+  ( (r.Ycsb.Runner.r_ops, r.Ycsb.Runner.r_hits, r.Ycsb.Runner.r_misses),
+    ( TC.read TC.Id.opt_hits - h0, TC.read TC.Id.opt_retries - r0,
+      TC.read TC.Id.opt_fallbacks - f0 ),
+    Vm.events_processed vm )
+
+let test_determinism_plib_optimistic_same_seed () =
+  List.iter
+    (fun batch ->
+      let c1, o1, e1 =
+        run_seeded_ycsb_plib ~sched_seed:4242 ~workload_seed:17 ~batch
+      in
+      let c2, o2, e2 =
+        run_seeded_ycsb_plib ~sched_seed:4242 ~workload_seed:17 ~batch
+      in
+      let tag fmt = Printf.sprintf fmt batch in
+      let ops1, hits1, miss1 = c1 and ops2, hits2, miss2 = c2 in
+      Alcotest.(check int) (tag "B=%d ops") ops1 ops2;
+      Alcotest.(check int) (tag "B=%d hits") hits1 hits2;
+      Alcotest.(check int) (tag "B=%d misses") miss1 miss2;
+      let oh1, or1, of1 = o1 and oh2, or2, of2 = o2 in
+      Alcotest.(check int) (tag "B=%d optimistic hits") oh1 oh2;
+      Alcotest.(check int) (tag "B=%d optimistic retries") or1 or2;
+      Alcotest.(check int) (tag "B=%d optimistic fallbacks") of1 of2;
+      Alcotest.(check bool) (tag "B=%d read path exercised") true (oh1 > 0);
+      Alcotest.(check int) (tag "B=%d scheduler events") e1 e2)
+    [ 1; 8; 32 ]
+
 let qcheck_histogram_value_in_bucket_bounds =
   QCheck.Test.make ~name:"percentile(100) bounds any recorded value" ~count:200
     QCheck.(int_range 1 1_000_000_000)
@@ -404,4 +498,6 @@ let () =
           Alcotest.test_case "batched run, same seed" `Quick
             test_determinism_batched_same_seed;
           Alcotest.test_case "batch size preserves op streams" `Quick
-            test_batch_size_preserves_op_streams ] ) ]
+            test_batch_size_preserves_op_streams;
+          Alcotest.test_case "plib + seqlock reads, same seed" `Quick
+            test_determinism_plib_optimistic_same_seed ] ) ]
