@@ -35,6 +35,7 @@ type t = {
   mutable health : health;
   mutable init_fn : (unit -> unit) option;
   mutable recover_fn : (unit -> unit) option;
+  mutable released : bool;
 }
 
 exception Library_poisoned of string
@@ -44,6 +45,11 @@ exception Library_poisoned of string
 exception Library_needs_recovery of string
 (** A caller died mid-call past the grace window; the store must be
     recovered (see {!recover}) before further calls are admitted. *)
+
+exception Region_already_protected of string
+(** An attempt to {!protect_region} a region some other live library
+    already claimed: admitting it would retag the victim's pages under
+    the attacker's key (the double-admission attack). *)
 
 let default_grace_ns = 50_000_000 (* a "generous timeout": 50 ms *)
 
@@ -56,7 +62,7 @@ let create ?(protection = Protected) ?(grace_ns = default_grace_ns)
   in
   { lib_name = name; pkey; protection; owner_uid; grace_ns; copy_args;
     exports = Hashtbl.create 8; regions = []; health = Healthy;
-    init_fn = None; recover_fn = None }
+    init_fn = None; recover_fn = None; released = false }
 
 let name t = t.lib_name
 
@@ -71,12 +77,23 @@ let grace_ns t = t.grace_ns
 let copy_args t = t.copy_args
 
 (* Claim a region as a protected resource: every page gets the
-   library's key, so only threads inside the library can touch it. *)
+   library's key, so only threads inside the library can touch it.
+   A region another live library already claimed is refused — retag
+   would silently move the victim's pages into the claimant's
+   protection domain. *)
 let protect_region t region =
+  (match Shm.Region.claimant region with
+   | Some owner when owner <> t.lib_name ->
+     raise
+       (Region_already_protected
+          (Printf.sprintf "%s: region %s is protected by %s" t.lib_name
+             (Shm.Region.name region) owner))
+   | Some _ | None -> ());
   Shm.Region.kernel_mode (fun () ->
     Shm.Region.tag_range region ~off:0
       ~len:(Shm.Region.size region)
       ~pkey:t.pkey);
+  Shm.Region.claim region ~owner:t.lib_name;
   t.regions <- region :: t.regions
 
 let regions t = t.regions
@@ -137,8 +154,14 @@ let export t ~entry (f : unit -> unit) =
 let find_export t entry : (unit -> unit) option =
   Option.map (fun o -> (Obj.obj o : unit -> unit)) (Hashtbl.find_opt t.exports entry)
 
+(* Idempotent: the old unconditional [Pkey.free] let a double release
+   free a key that had since been recycled to another library. *)
 let release t =
-  (match t.protection with
-   | Protected -> Pku.Pkey.free t.pkey
-   | Unprotected -> ());
-  t.regions <- []
+  if not t.released then begin
+    t.released <- true;
+    (match t.protection with
+     | Protected -> Pku.Pkey.free t.pkey
+     | Unprotected -> ());
+    List.iter Shm.Region.unclaim t.regions;
+    t.regions <- []
+  end

@@ -28,6 +28,11 @@ exception Library_needs_recovery of string
     a caller must run {!recover} (normally via the bookkeeping
     process) before the store takes traffic again. *)
 
+exception Region_already_protected of string
+(** Raised by {!protect_region} when another live library already
+    claimed the region — admitting the claim would retag the victim's
+    pages under the claimant's key. *)
+
 val default_grace_ns : int
 
 val create :
@@ -57,7 +62,9 @@ val copy_args : t -> bool
 
 val protect_region : t -> Shm.Region.t -> unit
 (** Tag every page of the region with the library's key: from now on
-    only threads inside the library can touch it. *)
+    only threads inside the library can touch it.
+    @raise Region_already_protected if another live library claimed
+    the region first (double-admission defense). *)
 
 val regions : t -> Shm.Region.t list
 
@@ -103,4 +110,7 @@ val export : t -> entry:string -> (unit -> unit) -> unit
 val find_export : t -> string -> (unit -> unit) option
 
 val release : t -> unit
-(** Return the protection key and drop the protected regions. *)
+(** Return the protection key and drop (and unclaim) the protected
+    regions. Idempotent: a second release is a no-op rather than a
+    double [Pkey.free] that could yank a since-recycled key from
+    another library. *)

@@ -9,7 +9,20 @@
       so the library can open its backing store file even though the
       client's own uid could not (§3.3's euid dance);
     - install trampolines for the library's entry points (modeled by
-      {!Trampoline}). *)
+      {!Trampoline}).
+
+    Garmr's attacks on this design motivate the admission path
+    ({!admit}): instruction-granular breakpoints miss a [wrpkru]
+    byte pattern hidden inside an immediate or a data island (a
+    hijacked indirect jump can land mid-instruction, where no
+    breakpoint was planted), and the trampoline table inside a binary
+    is attacker-authored, so "the wrpkru is at a declared trampoline"
+    proves nothing. Admission therefore (1) cross-checks claimed
+    trampolines against the loader's own installation records, keyed
+    by an image digest so a renamed or patched binary cannot inherit
+    a blessing, and (2) scans the {e byte image} for gadget patterns
+    at every offset, rejecting the binary outright instead of trying
+    to trap what breakpoints cannot cover. *)
 
 module Process = Simos.Process
 
@@ -33,6 +46,90 @@ let scan_and_arm (dr : Pku.Debug_regs.t) (b : Pku.Insn.binary) : report =
     strays;
   { strays_found = List.length strays; breakpoints = !bps;
     pages_gated = !gated }
+
+(* ---- Admission ------------------------------------------------------ *)
+
+type verdict = Admitted of report | Rejected of string
+
+(* The red-team toggle: with the gadget scan off, [admit] degrades to
+   the legacy scan_and_arm-and-hope path, which the gadget scenarios
+   in lib/redteam demonstrate is bypassable. *)
+let gadget_scan_enabled = ref true
+
+(* Trampolines the loader itself installed, keyed by binary name and
+   pinned to an image digest: a binary's own trampoline table is
+   attacker-authored, so admission only trusts entries recorded here,
+   and only when the image has not changed since installation. *)
+let installed_trampolines : (string, string * int list) Hashtbl.t =
+  Hashtbl.create 8
+
+let digest b = Digest.string (Pku.Insn.byte_image b)
+
+let install_trampolines (b : Pku.Insn.binary) =
+  Hashtbl.replace installed_trampolines b.Pku.Insn.binary_name
+    (digest b, b.Pku.Insn.trampoline_addrs)
+
+let forget_trampolines () = Hashtbl.reset installed_trampolines
+
+let reject reason =
+  Telemetry.Counters.incr Telemetry.Counters.Id.loader_rejects;
+  Telemetry.Trace.emit ~sev:Telemetry.Trace.Warn ~subsys:"loader" reason;
+  Rejected reason
+
+let admit (dr : Pku.Debug_regs.t) (b : Pku.Insn.binary) : verdict =
+  if not !gadget_scan_enabled then Admitted (scan_and_arm dr b)
+  else begin
+    let name = b.Pku.Insn.binary_name in
+    let claimed = b.Pku.Insn.trampoline_addrs in
+    let recorded = Hashtbl.find_opt installed_trampolines name in
+    let trampoline_check =
+      match claimed, recorded with
+      | [], _ -> Ok []
+      | _ :: _, None ->
+        Error
+          (Printf.sprintf
+             "%s: claims %d trampolines the loader never installed" name
+             (List.length claimed))
+      | _ :: _, Some (d, addrs) ->
+        if d <> digest b then
+          Error (name ^ ": image tampered since trampoline installation")
+        else if List.sort compare claimed <> List.sort compare addrs then
+          Error (name ^ ": trampoline table does not match the loader's records")
+        else Ok addrs
+    in
+    match trampoline_check with
+    | Error reason -> reject reason
+    | Ok trampolines ->
+      (* Byte-granular gadget scan: every wrpkru/xrstor pattern in the
+         image must be the encoding of a loader-installed trampoline,
+         at its exact instruction start — anything else (stray insn,
+         misaligned pattern inside an immediate, data island) rejects
+         the binary, because no breakpoint can cover a jump into the
+         middle of an instruction. *)
+      let img = Pku.Insn.byte_image b in
+      let offs = Pku.Insn.byte_offsets b in
+      let legit_offsets =
+        List.filter_map
+          (fun addr ->
+            if addr >= 0 && addr < Array.length offs then Some offs.(addr)
+            else None)
+          trampolines
+      in
+      let bad =
+        List.find_opt
+          (fun (off, kind) ->
+            match kind with
+            | Pku.Insn.Gadget_wrpkru -> not (List.mem off legit_offsets)
+            | Pku.Insn.Gadget_xrstor -> true)
+          (Pku.Insn.find_gadgets img)
+      in
+      (match bad with
+       | Some (off, Pku.Insn.Gadget_wrpkru) ->
+         reject (Printf.sprintf "%s: wrpkru gadget at byte +%d" name off)
+       | Some (off, Pku.Insn.Gadget_xrstor) ->
+         reject (Printf.sprintf "%s: xrstor gadget at byte +%d" name off)
+       | None -> Admitted (scan_and_arm dr b))
+  end
 
 (* Library initialisation with the owner's effective uid: open the
    store's backing file as the owner, run init, revert. The client
@@ -61,10 +158,22 @@ let exec (dr : Pku.Debug_regs.t) (lib : Library.t) (b : Pku.Insn.binary) =
       match insn with
       | Pku.Insn.Compute n -> Runtime.advance n
       | Pku.Insn.Ret -> ()
+      | Pku.Insn.Data _ ->
+        (* a data island is never reached by straight-line execution;
+           only a hijacked jump lands in it (see Redteam.Gadget) *)
+        ()
       | Pku.Insn.Call entry ->
         (match Library.find_export lib entry with
          | Some f -> Trampoline.call lib f
          | None -> failwith ("unresolved symbol: " ^ entry))
+      | Pku.Insn.Xrstor v ->
+        if Pku.Debug_regs.trips dr ~binary:b.Pku.Insn.binary_name ~addr then
+          Pku.Fault.breakpoint_trap
+            "%s+%d: stray xrstor trapped by loader breakpoint"
+            b.Pku.Insn.binary_name addr
+        else
+          (* unscanned binary: pkru rewritten from attacker memory *)
+          Pku.Pkru.wrpkru v
       | Pku.Insn.Wrpkru v ->
         if Pku.Debug_regs.trips dr ~binary:b.Pku.Insn.binary_name ~addr then
           Pku.Fault.breakpoint_trap

@@ -20,6 +20,16 @@ exception Library_call_failed of string * exn
 (** Wraps the exception that poisoned the library, for the caller that
     triggered it. *)
 
+exception Gate_violation of string
+(** The call-site gate checks caught a forged or tampered pkru (see
+    below); the offending process has been terminated. *)
+
+(* Red-team toggle: with the gate checks off, a caller arriving with a
+   forged pkru that already opens the library's key sails through, and
+   a wrpkru executed inside the call goes unnoticed — both exploited
+   by lib/redteam. *)
+let gate_checks_enabled = ref true
+
 (* Depth of nested library calls on this thread, standing in for
    "which stack am I on". Tests observe it via [on_library_stack]. *)
 let depth_key = Tls.new_key (fun () -> ref 0)
@@ -31,30 +41,73 @@ let cost (lib : Library.t) =
   | Library.Protected -> Platform.Cost_model.current.trampoline_hodor
   | Library.Unprotected -> Platform.Cost_model.current.trampoline_plain
 
+(* A gate violation terminates the offender, as Hodor's monitor would
+   on a SIGSYS: count it, kill the process (as the kernel — the
+   attacker's own filter must not be able to veto its execution), and
+   refuse the caller. *)
+let gate_violation (lib : Library.t) (p : Process.t) msg =
+  Telemetry.Counters.incr Telemetry.Counters.Id.gate_violations;
+  Telemetry.Trace.emit ~sev:Telemetry.Trace.Error ~subsys:"hodor"
+    (Printf.sprintf "%s: gate violation by %s: %s" (Library.name lib)
+       (Process.name p) msg);
+  if Process.alive p then
+    Shm.Region.kernel_mode (fun () ->
+      Process.kill ~signal:"SIGSYS" ~now_ns:(Runtime.now_ns ()) p);
+  raise (Gate_violation (Printf.sprintf "%s: %s" (Library.name lib) msg))
+
 let call (lib : Library.t) (f : unit -> 'a) : 'a =
   Library.check_poisoned lib;
   (* A thread of a dead process cannot start a new call; kills that
      land mid-call are handled on the way out. *)
   Process.check_alive ();
   let p = Process.current () in
+  let depth = Tls.get depth_key in
+  let saved_pkru = Pku.Pkru.read () in
+  (* Entry gate check: an outermost caller must NOT already hold the
+     library's key — a pkru forged through a gadget would otherwise be
+     laundered by the exit-path restore of [saved_pkru], leaving the
+     attacker with standing access after the call returns. (At nested
+     depth the key is legitimately open: the outer crossing opened
+     it.) *)
+  (match Library.protection lib with
+   | Library.Protected
+     when !gate_checks_enabled && !depth = 0
+          && Pku.Pkru.allows_read saved_pkru (Library.pkey lib) ->
+     (* sanitise the forged register before refusing the call *)
+     Pku.Pkru.wrpkru
+       (Pku.Pkru.set_perm saved_pkru (Library.pkey lib)
+          Pku.Pkru.Access_disable);
+     gate_violation lib p "caller arrived already holding the library key"
+   | Library.Protected | Library.Unprotected -> ());
   Process.enter_library p;
   Telemetry.Counters.incr Telemetry.Counters.Id.hodor_enter;
   let entry_ns = Runtime.now_ns () in
-  let depth = Tls.get depth_key in
-  let saved_pkru = Pku.Pkru.read () in
   (* The crossing is its own trace phase: it covers wrpkru-in to
      wrpkru-out, so its self time (minus store/alloc children) is the
      per-call gate cost the paper's section 2 argues about. *)
   let span = Telemetry.Span.start ~phase:"crossing" () in
   (* Way in: stack switch + wrpkru opening the library's key. *)
   incr depth;
-  (match Library.protection lib with
-   | Library.Protected ->
-     Pku.Pkru.wrpkru
-       (Pku.Pkru.set_perm saved_pkru (Library.pkey lib) Pku.Pkru.Enable)
-   | Library.Unprotected -> ());
+  let entered =
+    match Library.protection lib with
+    | Library.Protected ->
+      let v = Pku.Pkru.set_perm saved_pkru (Library.pkey lib) Pku.Pkru.Enable in
+      Pku.Pkru.wrpkru v;
+      Some v
+    | Library.Unprotected -> None
+  in
   Runtime.advance (cost lib);
   let finish () =
+    (* Exit gate check, before the restore erases the evidence: the
+       register must still hold exactly the value the trampoline wrote
+       on entry — any drift means a wrpkru executed inside the call. *)
+    let tampered =
+      match entered with
+      | Some v when !gate_checks_enabled ->
+        let cur = Pku.Pkru.read () in
+        if cur <> v then Some cur else None
+      | Some _ | None -> None
+    in
     (* Way out: restore pkru, switch stacks back, leave the library. *)
     (match Library.protection lib with
      | Library.Protected -> Pku.Pkru.wrpkru saved_pkru
@@ -64,11 +117,23 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
     Telemetry.Counters.incr Telemetry.Counters.Id.hodor_exit;
     Telemetry.Span.finish span;
     if Telemetry.Control.on () then
-      Telemetry.Timers.record ~op:"hodor_call" (Runtime.now_ns () - entry_ns)
+      Telemetry.Timers.record ~op:"hodor_call" (Runtime.now_ns () - entry_ns);
+    tampered
   in
   let result =
     try f ()
-    with e ->
+    with
+    | (Process.Seccomp_violation _ | Gate_violation _) as e ->
+      (* The kernel killed the offending process before the filtered
+         syscall (or forged wrpkru) touched anything: shared state is
+         intact, so the library is NOT poisoned — grace-window and
+         recovery semantics take over for everyone else. *)
+      if Process.alive p then
+        Shm.Region.kernel_mode (fun () ->
+          Process.kill ~signal:"SIGSYS" ~now_ns:(Runtime.now_ns ()) p);
+      ignore (finish ());
+      raise e
+    | e ->
       (* A crash inside library code is unrecoverable (paper §2): the
          library may hold locks or half-updated structures. *)
       Library.poison lib (Printexc.to_string e);
@@ -76,10 +141,14 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
       Telemetry.Trace.emit ~sev:Telemetry.Trace.Error ~subsys:"hodor"
         (Printf.sprintf "%s poisoned: %s" (Library.name lib)
            (Printexc.to_string e));
-      finish ();
+      ignore (finish ());
       raise (Library_call_failed (Library.name lib, e))
   in
-  finish ();
+  (match finish () with
+   | Some cur ->
+     gate_violation lib p
+       (Printf.sprintf "pkru tampered inside the call (now %08x)" cur)
+   | None -> ());
   (* Completion guarantee: the call finished even if the process was
      killed mid-call — but only within the grace window. Boundary
      semantics, pinned by test/test_hodor.ml: with the kill at

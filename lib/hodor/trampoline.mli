@@ -13,6 +13,18 @@ exception Library_call_failed of string * exn
 (** Raised to the caller whose call crashed the library; carries the
     library name and the original exception. *)
 
+exception Gate_violation of string
+(** The call-site gate checks caught a forged pkru on entry (the
+    caller already held the library's key) or a tampered pkru on exit
+    (a wrpkru executed inside the call). The offending process is
+    terminated; the library is {e not} poisoned — no forged access
+    reached shared state. *)
+
+val gate_checks_enabled : bool ref
+(** Red-team toggle (default [true]): with the checks off, a forged
+    entry pkru is laundered through the exit restore and in-call
+    tampering goes unnoticed. *)
+
 val call : Library.t -> (unit -> 'a) -> 'a
 (** Enter the library, run [f] with amplified rights, leave.
     @raise Library.Library_poisoned if the library already crashed.

@@ -82,6 +82,30 @@ let u64_of_token name tok =
   | Some v -> v
   | None -> parse_error "bad %s: %S" name tok
 
+(* The declared data-block length of a storage command, hardened:
+   strict non-negative decimal (no sign, no hex — [int_of_string_opt]
+   accepts "0x10" and "-2") and bounded by [max_data_bytes]. A
+   negative length used to pass the short-read guard ([after_line +
+   len + 2] shrinks!) and crash in [String.sub]; an oversized one pins
+   the connection buffer waiting for data that never comes. Neither
+   request can be framed (the declared length is the only framing
+   information and it is a lie), so both are connection-fatal
+   [Parse_error]s, as in real memcached. *)
+let data_len_of_token tok =
+  if not !parser_hardening then int_of_token "bytes" tok
+  else begin
+    let n = String.length tok in
+    let all_digits =
+      let rec go i = i >= n || (tok.[i] >= '0' && tok.[i] <= '9' && go (i + 1)) in
+      go 0
+    in
+    if n = 0 || n > 8 || not all_digits then
+      parse_error "bad data chunk length %S" tok;
+    let v = int_of_string tok in
+    if v > max_data_bytes then parse_error "object too large for cache";
+    v
+  end
+
 (* Key validation (memcached semantics): over-long keys and keys with
    control characters answer CLIENT_ERROR, uniformly across the get,
    gets, storage, delete, counter and touch arms. The command still
@@ -107,7 +131,7 @@ let parse_command (s : string) : command * int =
       | key :: flags :: exptime :: len :: tail ->
         let flags = int_of_token "flags" flags in
         let exptime = int_of_token "exptime" exptime in
-        let len = int_of_token "bytes" len in
+        let len = data_len_of_token len in
         (* A bad CAS unique must not abort here: the data block is
            still on the wire, so the request frames in full and the
            error answers exactly this command ([Invalid] discipline) —

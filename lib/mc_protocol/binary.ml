@@ -214,6 +214,8 @@ let parse_frame (s : string) ~(at : int) : raw =
 
 exception Bad_key
 
+exception Too_large
+
 let parse_command (s : string) : command * int =
   let r = parse_frame s ~at:0 in
   if r.r_magic <> magic_req then parse_error "bad request magic %#x" r.r_magic;
@@ -224,12 +226,21 @@ let parse_command (s : string) : command * int =
     if not (validate_key_binary r.r_key) then raise Bad_key;
     r.r_key
   in
+  (* Unlike ASCII, the frame is fully delimited even when the value is
+     over the item-size limit, so the request frames and the error
+     answers exactly this command ([Invalid] discipline). *)
+  let bound_value () =
+    if !parser_hardening && String.length r.r_value > max_data_bytes then
+      raise Too_large
+  in
   let store ~noreply =
     if String.length r.r_extras <> 8 then parse_error "store: bad extras";
+    bound_value ();
     { key = key (); flags = get_u32 r.r_extras 0;
       exptime = get_u32 r.r_extras 4; data = r.r_value; noreply }
   in
   let concat ~noreply =
+    bound_value ();
     { key = key (); flags = 0; exptime = 0; data = r.r_value; noreply }
   in
   let counter ~noreply what =
@@ -290,6 +301,9 @@ let parse_command (s : string) : command * int =
   | exception Bad_key ->
     let r = parse_frame s ~at:0 in
     (Invalid bad_key_error, r.r_consumed)
+  | exception Too_large ->
+    let r = parse_frame s ~at:0 in
+    (Invalid "object too large for cache", r.r_consumed)
 
 (* Drain every complete frame out of [s]: the binary rendering of an op
    batch — typically a run of quiet ops terminated by a noop or a

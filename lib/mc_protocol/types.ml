@@ -108,6 +108,21 @@ let parse_u64 (s : string) : int64 option =
 
 let max_key_length = 250
 
+(* Largest value a storage command may carry (memcached's default
+   item-size limit). The declared-length field of an ASCII storage
+   command is attacker-controlled; without a bound, a huge length pins
+   the connection buffer forever (the server waits for data that never
+   comes), and a {e negative} length drove [String.sub] to raise
+   [Invalid_argument] out of the parser — an uncaught crash, found by
+   the red-team fuzzer (see test/corpus/). *)
+let max_data_bytes = 1 lsl 20
+
+(* Red-team toggle (default on): with hardening off, the ASCII parser
+   reverts to [int_of_string]-style length parsing (accepts negatives,
+   hex, unbounded values) and the binary codec stops bounding value
+   sizes — the configuration the fuzzer breaks. *)
+let parser_hardening = ref true
+
 let validate_key k =
   let n = String.length k in
   if n = 0 || n > max_key_length then false

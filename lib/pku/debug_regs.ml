@@ -29,6 +29,14 @@ let trips t ~binary ~addr =
   List.mem (binary, addr) t.bps
   || List.mem (binary, page_of_addr addr) t.gated_pages
 
+(* Page gating alone. A hardware breakpoint fires on an instruction
+   fetch at its exact address, so a jump into the {e middle} of an
+   instruction sails past it; a gated page, by contrast, faults any
+   fetch landing anywhere in it. The red-team gadget simulator needs
+   the distinction. *)
+let page_trips t ~binary ~addr =
+  List.mem (binary, page_of_addr addr) t.gated_pages
+
 let installed t = List.length t.bps
 
 let gated t = List.length t.gated_pages

@@ -2,27 +2,50 @@
     story: binaries are arrays of opcodes; the loader scans them for
     stray [wrpkru] occurrences outside trampolines and plants hardware
     breakpoints (or flips page permissions when it runs out of
-    breakpoint registers). *)
+    breakpoint registers).
+
+    Beyond the opcode view, every binary also has a {e byte image}
+    (see {!byte_image}): the Garmr-style attacks that defeat
+    breakpoint-based scanning hide a [wrpkru]/[xrstor] byte pattern at
+    an address that is not an instruction boundary — inside immediate
+    operands or data islands — where an instruction-granular scan
+    never looks but an indirect jump can still land. *)
 
 type t =
   | Wrpkru of int  (** attempt to write this value into pkru *)
+  | Xrstor of int
+  (** restore an attacker-controlled extended-state image: on real
+      hardware [xrstor] rewrites pkru from memory the caller controls,
+      so it is exactly as dangerous as a stray [wrpkru] (Garmr's
+      second gadget family) *)
   | Compute of int  (** [n] ns of ordinary computation *)
   | Call of string  (** call into a named (library) symbol *)
   | Ret
+  | Data of string
+  (** a data island embedded in text (jump tables, constants). Never
+      executed by straight-line code — but its bytes are reachable by
+      a hijacked indirect branch, which is what makes byte-level
+      gadget scanning necessary. *)
 
 type binary = {
   binary_name : string;
   text : t array;  (** index = address *)
   trampoline_addrs : int list;
   (** addresses of loader-installed trampolines, where [Wrpkru] is
-      legitimate *)
+      legitimate. NOTE: this list is {e self-declared} by whoever made
+      the binary; the loader's admission path cross-checks it against
+      its own registry of installed trampolines ({!Hodor.Loader}),
+      because an attacker can claim anything here. *)
 }
 
 let make ?(trampolines = []) name text =
   { binary_name = name; text; trampoline_addrs = trampolines }
 
-(* All addresses holding a [Wrpkru] opcode that is NOT part of a
-   trampoline: these are the strays the loader must neutralise. *)
+(* All addresses holding a pkru-writing opcode that is NOT part of a
+   trampoline: these are the strays the loader must neutralise. An
+   [Xrstor] is a stray even at a declared trampoline address — no
+   legitimate trampoline restores pkru from caller-controlled
+   memory. *)
 let stray_wrpkru_addrs (b : binary) : int list =
   let strays = ref [] in
   Array.iteri
@@ -30,6 +53,102 @@ let stray_wrpkru_addrs (b : binary) : int list =
       match insn with
       | Wrpkru _ when not (List.mem addr b.trampoline_addrs) ->
         strays := addr :: !strays
-      | Wrpkru _ | Compute _ | Call _ | Ret -> ())
+      | Xrstor _ -> strays := addr :: !strays
+      | Wrpkru _ | Compute _ | Call _ | Ret | Data _ -> ())
     b.text;
   List.rev !strays
+
+(* ---- Byte-level view ------------------------------------------------ *)
+
+(* Encodings mirror x86 just enough for pattern scanning to mean
+   something: wrpkru is the real 3-byte opcode 0F 01 EF; xrstor is
+   0F AE /5 (we fix the modrm to 2F); the 4 bytes after either carry
+   the pkru value our pseudo-ISA threads through. *)
+let wrpkru_pattern = "\x0f\x01\xef"
+
+let xrstor_prefix = "\x0f\xae"
+
+let xrstor_modrm = '\x2f' (* reg field 5 = xrstor *)
+
+let le32 v =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr (v land 0xff));
+  Bytes.set b 1 (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b 2 (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b 3 (Char.chr ((v lsr 24) land 0xff));
+  Bytes.to_string b
+
+let decode_le32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let encode_insn = function
+  | Wrpkru v -> wrpkru_pattern ^ le32 (v land 0xFFFFFFFF)
+  | Xrstor v ->
+    xrstor_prefix ^ String.make 1 xrstor_modrm ^ le32 (v land 0xFFFFFFFF)
+  | Compute _ -> "\x90"
+  | Call _ -> "\xe8\x00\x00\x00\x00"
+  | Ret -> "\xc3"
+  | Data s -> s
+
+let byte_image (b : binary) : string =
+  String.concat "" (Array.to_list (Array.map encode_insn b.text))
+
+(* Start byte offset of every instruction, parallel to [text]. *)
+let byte_offsets (b : binary) : int array =
+  let offs = Array.make (Array.length b.text) 0 in
+  let at = ref 0 in
+  Array.iteri
+    (fun i insn ->
+      offs.(i) <- !at;
+      at := !at + String.length (encode_insn insn))
+    b.text;
+  offs
+
+(* The instruction whose byte span contains [byte_off], with its
+   address — what a hijacked jump into the middle of the image lands
+   in. *)
+let insn_at_byte (b : binary) ~(byte_off : int) : (int * t) option =
+  let offs = byte_offsets b in
+  let n = Array.length b.text in
+  let rec go i =
+    if i >= n then None
+    else
+      let start = offs.(i) in
+      let stop = start + String.length (encode_insn b.text.(i)) in
+      if byte_off >= start && byte_off < stop then Some (i, b.text.(i))
+      else go (i + 1)
+  in
+  go 0
+
+type gadget_kind = Gadget_wrpkru | Gadget_xrstor
+
+(* Every byte offset of [img] at which a pkru-writing instruction
+   pattern begins — instruction boundaries be damned. This is what an
+   admission-time scan must cover: a breakpoint on an instruction
+   address cannot trap a jump into offset addr+1. *)
+let find_gadgets (img : string) : (int * gadget_kind) list =
+  let n = String.length img in
+  let out = ref [] in
+  for off = 0 to n - 3 do
+    if String.sub img off 3 = wrpkru_pattern then
+      out := (off, Gadget_wrpkru) :: !out
+    else if
+      off + 2 < n
+      && String.sub img off 2 = xrstor_prefix
+      && (Char.code img.[off + 2] lsr 3) land 0b111 = 5
+    then out := (off, Gadget_xrstor) :: !out
+  done;
+  List.rev !out
+
+(* Decode the pkru value a gadget at [off] would write, when the 4
+   trailing bytes exist (an attacker jumping into a truncated pattern
+   at the image's end just faults). *)
+let gadget_value (img : string) ~(off : int) (kind : gadget_kind) : int option =
+  let imm_at = off + 3 in
+  if imm_at + 4 > String.length img then None
+  else
+    match kind with
+    | Gadget_wrpkru | Gadget_xrstor -> Some (decode_le32 img imm_at)

@@ -18,7 +18,16 @@ let () = allocated.(0) <- true
 
 let alloc_lock = Mutex.create ()
 
+(* Syscall gate, installed by Simos.Process at startup: pkey_alloc(2)
+   and pkey_free(2) are real syscalls, so a seccomp-style filter must
+   see them. A hook (rather than a direct call) keeps the dependency
+   arrow pointing simos -> pku. *)
+let syscall_gate : ([ `Alloc | `Free ] -> unit) ref = ref (fun _ -> ())
+
+let set_syscall_gate f = syscall_gate := f
+
 let alloc () : t =
+  !syscall_gate `Alloc;
   Mutex.lock alloc_lock;
   let rec find i =
     if i >= count then begin
@@ -34,11 +43,19 @@ let alloc () : t =
   in
   find 1
 
+(* Freeing a key that is not allocated is refused: the old silent
+   version let a double-[free] release a key that had already been
+   recycled to another library, silently merging two protection
+   domains (the double-admission attack in lib/redteam). *)
 let free (k : t) =
   if k <= 0 || k >= count then invalid_arg "Pkey.free";
+  !syscall_gate `Free;
   Mutex.lock alloc_lock;
+  let was = allocated.(k) in
   allocated.(k) <- false;
-  Mutex.unlock alloc_lock
+  Mutex.unlock alloc_lock;
+  if not was then
+    invalid_arg (Printf.sprintf "Pkey.free: pkey%d is not allocated" k)
 
 let is_valid (k : t) = k >= 0 && k < count
 

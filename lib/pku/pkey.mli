@@ -16,6 +16,14 @@ val alloc : unit -> t
 (** A fresh key in 1..15. @raise Out_of_keys when all are taken. *)
 
 val free : t -> unit
+(** @raise Invalid_argument if the key is out of range {e or not
+    currently allocated} — a silent double-free would hand an already
+    recycled key back to the pool, merging two protection domains. *)
+
+val set_syscall_gate : ([ `Alloc | `Free ] -> unit) -> unit
+(** Install the seccomp-style gate consulted before [pkey_alloc] /
+    [pkey_free] (wired up by [Simos.Process]; identity function by
+    default). *)
 
 val is_valid : t -> bool
 

@@ -1,0 +1,105 @@
+(** The attacker's half of the Garmr gadget story: simulate a hijacked
+    indirect branch landing at an arbitrary {e byte} offset of a loaded
+    binary's image.
+
+    The loader's legacy scan thinks in instructions: it breakpoints the
+    addresses of stray pkru-writing {e instructions}. But the hardware
+    fetches bytes, not instructions — a corrupted function pointer can
+    land execution in the middle of an immediate or a data island, and
+    if the bytes there happen to spell [wrpkru] (0F 01 EF) or
+    [xrstor] (0F AE /5), pkru is rewritten from a location no
+    breakpoint covers. Page gating is the one instruction-granular
+    defense that does stop this (the whole page faults on fetch), so
+    the simulation honors it. *)
+
+type landing =
+  | Trapped of string
+      (** a defense caught the fetch: exact-address breakpoint (only
+          when the jump landed exactly on the instruction start) or a
+          gated page (any byte of it) *)
+  | Pkru_written of int
+      (** the bytes at the landing site decode as a pkru-writing
+          gadget and nothing trapped it: the register was rewritten
+          with the attacker's value — the breach. The write is
+          actually performed on the calling thread's register so the
+          caller can demonstrate what the forged rights now reach. *)
+  | Harmless
+      (** the landing bytes decode as something else (or a truncated
+          pattern): the attacker got nothing this time *)
+
+let pp_landing = function
+  | Trapped m -> "trapped: " ^ m
+  | Pkru_written v -> Printf.sprintf "pkru written: %08x" v
+  | Harmless -> "harmless"
+
+(* Jump into [b]'s image at [byte_off] and decode greedily from there,
+   as the hardware would. *)
+let jump_into (dr : Pku.Debug_regs.t) (b : Pku.Insn.binary) ~(byte_off : int) :
+    landing =
+  let img = Pku.Insn.byte_image b in
+  if byte_off < 0 || byte_off >= String.length img then Harmless
+  else
+    match Pku.Insn.insn_at_byte b ~byte_off with
+    | None -> Harmless
+    | Some (addr, _) ->
+      let offs = Pku.Insn.byte_offsets b in
+      let name = b.Pku.Insn.binary_name in
+      let at_insn_start = offs.(addr) = byte_off in
+      if at_insn_start && Pku.Debug_regs.trips dr ~binary:name ~addr then
+        Trapped (Printf.sprintf "breakpoint at %s+%d" name addr)
+      else if Pku.Debug_regs.page_trips dr ~binary:name ~addr then
+        (* the page-permission fallback faults the fetch wherever in
+           the page it lands — the one legacy defense gadgets do not
+           slip past *)
+        Trapped (Printf.sprintf "gated page %d of %s"
+                   (Pku.Debug_regs.page_of_addr addr) name)
+      else
+        let gadget =
+          List.find_opt
+            (fun (off, _) -> off = byte_off)
+            (Pku.Insn.find_gadgets img)
+        in
+        (match gadget with
+         | None -> Harmless
+         | Some (off, kind) ->
+           (match Pku.Insn.gadget_value img ~off kind with
+            | None -> Harmless (* truncated pattern: the fetch faults *)
+            | Some v ->
+              Pku.Pkru.wrpkru v;
+              Pkru_written v))
+
+(* Sweep every byte of the image: the strongest position an attacker
+   with a corrupted function pointer can hope for. Returns the first
+   successful landing, if any. *)
+let sweep (dr : Pku.Debug_regs.t) (b : Pku.Insn.binary) : (int * int) option =
+  let img = Pku.Insn.byte_image b in
+  let n = String.length img in
+  let rec go off =
+    if off >= n then None
+    else
+      match jump_into dr b ~byte_off:off with
+      | Pkru_written v -> Some (off, v)
+      | Trapped _ | Harmless -> go (off + 1)
+  in
+  go 0
+
+(* ---- Gadget-bearing payload construction --------------------------- *)
+
+(* A data island whose bytes contain a wrpkru gadget for [pkru_value]
+   dressed as a 64-bit constant: the 2 leading bytes play the role of
+   a [mov rax, imm64] opcode, so to the instruction-granular scan this
+   is plain data; to a byte-granular fetch, offset +2 is a live
+   wrpkru. *)
+let wrpkru_island ~pkru_value =
+  "\x48\xb8" ^ Pku.Insn.wrpkru_pattern ^ Pku.Insn.le32 pkru_value ^ "\x00"
+
+let wrpkru_island_gadget_delta = 2
+(** byte offset of the gadget within {!wrpkru_island}'s bytes *)
+
+let xrstor_island ~pkru_value =
+  "\x48\xb8"
+  ^ Pku.Insn.xrstor_prefix
+  ^ String.make 1 Pku.Insn.xrstor_modrm
+  ^ Pku.Insn.le32 pkru_value ^ "\x00"
+
+let xrstor_island_gadget_delta = 2

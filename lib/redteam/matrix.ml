@@ -1,0 +1,69 @@
+(** The attack-outcome matrix: every red-team scenario run both ways —
+    against the unhardened stack (its defense toggled off or emulated
+    away) and against the shipped stack. A healthy matrix reads
+    BREACHED down the first column and BLOCKED down the second; any
+    other cell is a regression. CI renders this to a markdown artifact
+    via {!emit} (path in [$REDTEAM_MATRIX_OUT]). *)
+
+type row = {
+  scenario : string;
+  vector : string;
+  defense : string;
+  unhardened : Scenarios.outcome;
+  hardened : Scenarios.outcome;
+}
+
+(* A healthy row: the attack works when the defense is reverted and
+   fails when it is in place. *)
+let row_green r =
+  (not (Scenarios.is_blocked r.unhardened)) && Scenarios.is_blocked r.hardened
+
+let collect () : row list =
+  List.map
+    (fun (s : Scenarios.t) ->
+      { scenario = s.Scenarios.sc_name;
+        vector = s.Scenarios.vector;
+        defense = s.Scenarios.defense;
+        unhardened = s.Scenarios.run ~hardening:false;
+        hardened = s.Scenarios.run ~hardening:true })
+    Scenarios.all
+
+let cell = function
+  | Scenarios.Breached _ -> "BREACHED"
+  | Scenarios.Blocked _ -> "blocked"
+
+let render (rows : row list) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# Red-team attack matrix\n\n";
+  Buffer.add_string b
+    "| scenario | attack vector | unhardened | hardened | defense |\n";
+  Buffer.add_string b "|---|---|---|---|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %s | %s | %s | %s |\n" r.scenario r.vector
+           (cell r.unhardened) (cell r.hardened) r.defense))
+    rows;
+  Buffer.add_string b "\nDetails:\n\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "- **%s**\n  - unhardened: %s\n  - hardened: %s\n"
+           r.scenario
+           (Scenarios.outcome_string r.unhardened)
+           (Scenarios.outcome_string r.hardened)))
+    rows;
+  Buffer.contents b
+
+let env_var = "REDTEAM_MATRIX_OUT"
+
+(* Write the rendered matrix where CI asked for it; silently a no-op
+   in local runs with the variable unset. *)
+let emit (rows : row list) : unit =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (render rows))

@@ -1,0 +1,830 @@
+(** The red team: adversarial scenarios run as simulated processes
+    against the real stack — loader, trampolines, pkeys, seccomp
+    filters, regions, recovery.
+
+    Every scenario runs in two configurations. [~hardening:true] is
+    the shipped stack; [~hardening:false] reverts the corresponding
+    fix (via its red-team toggle, or by emulating the pre-fix behavior
+    where the defense is structural) and must let the attack through —
+    the red-first discipline: an attack that does not breach the
+    unhardened stack proves nothing about the fix. The attack matrix
+    in DESIGN.md is generated from {!all} (see {!Matrix}). *)
+
+module Process = Simos.Process
+module Region = Shm.Region
+module Library = Hodor.Library
+module Loader = Hodor.Loader
+module Trampoline = Hodor.Trampoline
+module Runtime = Hodor.Runtime
+module Pkru = Pku.Pkru
+module Pkey = Pku.Pkey
+module Insn = Pku.Insn
+
+type outcome =
+  | Blocked of string  (** the defense held; detail says how *)
+  | Breached of string  (** the attacker won; detail says what it got *)
+
+type t = {
+  sc_name : string;
+  vector : string;  (** the attack, in one line (Garmr taxonomy) *)
+  defense : string;  (** what stands in the way when hardened *)
+  toggle : string;
+  (** the [bool ref] the unhardened run flips, or "structural
+      (emulated)" when the fix has no toggle and the unhardened run
+      reproduces the pre-fix behavior directly *)
+  run : hardening:bool -> outcome;
+}
+
+let outcome_string = function
+  | Blocked m -> "BLOCKED: " ^ m
+  | Breached m -> "BREACHED: " ^ m
+
+let is_blocked = function Blocked _ -> true | Breached _ -> false
+
+let with_toggle r v f =
+  let saved = !r in
+  r := v;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+(* Monotonic suffix for region/file names: scenarios run repeatedly
+   (both hardening modes, many seeds) and must never collide. *)
+let fresh =
+  let n = ref 0 in
+  fun () -> incr n; !n
+
+(* ---- 1+2: gadget bytes hidden in a data island ---------------------- *)
+
+(* The loader-level scan attack: the binary contains no stray
+   pkru-writing {e instruction} — the gadget hides as bytes inside a
+   data island (a jump table, a constant), where the legacy
+   instruction-granular scan never looks. A hijacked indirect branch
+   lands on the bytes and rewrites pkru. *)
+let gadget_island kind =
+  let kname, vector =
+    match kind with
+    | `Wrpkru ->
+      ("gadget-wrpkru-island",
+       "wrpkru byte pattern hidden in a data island; hijacked jump lands on it")
+    | `Xrstor ->
+      ("gadget-xrstor-island",
+       "xrstor byte pattern hidden in a data island; pkru restored from \
+        attacker memory")
+  in
+  { sc_name = kname;
+    vector;
+    defense = "admission-time byte-granular gadget scan (Loader.admit)";
+    toggle = "Hodor.Loader.gadget_scan_enabled";
+    run =
+      (fun ~hardening ->
+        with_toggle Loader.gadget_scan_enabled hardening @@ fun () ->
+        Fun.protect ~finally:(fun () ->
+          Pkru.reset_thread ();
+          Loader.forget_trampolines ())
+        @@ fun () ->
+        let island, delta =
+          match kind with
+          | `Wrpkru ->
+            (Gadget.wrpkru_island ~pkru_value:Pkru.all_enabled,
+             Gadget.wrpkru_island_gadget_delta)
+          | `Xrstor ->
+            (Gadget.xrstor_island ~pkru_value:Pkru.all_enabled,
+             Gadget.xrstor_island_gadget_delta)
+        in
+        let b =
+          Insn.make
+            (Printf.sprintf "evil-app-%d" (fresh ()))
+            [| Insn.Compute 10; Insn.Data island; Insn.Ret |]
+        in
+        let dr = Pku.Debug_regs.create () in
+        match Loader.admit dr b with
+        | Loader.Rejected reason -> Blocked ("admission refused: " ^ reason)
+        | Loader.Admitted _ ->
+          let offs = Insn.byte_offsets b in
+          let byte_off = offs.(1) + delta in
+          (match Gadget.jump_into dr b ~byte_off with
+           | Gadget.Pkru_written v ->
+             Breached
+               (Printf.sprintf
+                  "admitted binary carries a live gadget at byte +%d; pkru \
+                   rewritten to %08x"
+                  byte_off v)
+           | Gadget.Trapped m -> Blocked ("fetch trapped: " ^ m)
+           | Gadget.Harmless -> Blocked "gadget bytes fizzled")) }
+
+(* ---- 3: forged (self-declared) trampoline table --------------------- *)
+
+(* The attacker ships a binary whose trampoline table blesses its own
+   stray wrpkru. The table lives inside the binary — attacker-authored
+   — so "the wrpkru is at a declared trampoline" proves nothing. *)
+let forged_trampoline_table =
+  { sc_name = "forged-trampoline-table";
+    vector = "binary self-declares its stray wrpkru as a trampoline";
+    defense = "admission cross-checks claims against loader-installed records";
+    toggle = "Hodor.Loader.gadget_scan_enabled";
+    run =
+      (fun ~hardening ->
+        with_toggle Loader.gadget_scan_enabled hardening @@ fun () ->
+        let lib =
+          Library.create
+            ~name:(Printf.sprintf "forge-victim-%d" (fresh ()))
+            ~owner_uid:1000 ()
+        in
+        Fun.protect ~finally:(fun () ->
+          Library.release lib;
+          Pkru.reset_thread ();
+          Loader.forget_trampolines ())
+        @@ fun () ->
+        let key = Library.pkey lib in
+        let payload = Pkru.set_perm Pkru.init_value key Pkru.Enable in
+        let b =
+          Insn.make ~trampolines:[ 1 ]
+            (Printf.sprintf "forged-tramp-%d" (fresh ()))
+            [| Insn.Compute 5; Insn.Wrpkru payload; Insn.Ret |]
+        in
+        let dr = Pku.Debug_regs.create () in
+        match Loader.admit dr b with
+        | Loader.Rejected reason -> Blocked ("admission refused: " ^ reason)
+        | Loader.Admitted _ ->
+          Loader.exec dr lib b;
+          if Pkru.allows_read (Pkru.read ()) key then
+            Breached
+              "self-blessed trampoline executed: attacker holds the library \
+               key outside any call"
+          else Blocked "forged trampoline did not yield the key") }
+
+(* ---- 4: patched binary inheriting a blessing ------------------------ *)
+
+(* The loader did install this binary's trampolines — then the attacker
+   patched the image (widening the trampoline's wrpkru payload) and
+   kept the name and table. Without digest pinning the stale blessing
+   transfers to the patched image. *)
+let patched_binary =
+  { sc_name = "patched-binary-blessing";
+    vector = "image patched after trampoline installation, name/table kept";
+    defense = "installation records are digest-pinned to the byte image";
+    toggle = "Hodor.Loader.gadget_scan_enabled";
+    run =
+      (fun ~hardening ->
+        with_toggle Loader.gadget_scan_enabled hardening @@ fun () ->
+        let lib =
+          Library.create
+            ~name:(Printf.sprintf "patch-victim-%d" (fresh ()))
+            ~owner_uid:1000 ()
+        in
+        Fun.protect ~finally:(fun () ->
+          Library.release lib;
+          Pkru.reset_thread ();
+          Loader.forget_trampolines ())
+        @@ fun () ->
+        let key = Library.pkey lib in
+        let legit_v = Pkru.set_perm Pkru.init_value key Pkru.Enable in
+        let bin_name = Printf.sprintf "app-bin-%d" (fresh ()) in
+        let legit =
+          Insn.make ~trampolines:[ 0 ] bin_name
+            [| Insn.Wrpkru legit_v; Insn.Ret |]
+        in
+        Loader.install_trampolines legit;
+        (* the fix must not break the legitimate image *)
+        (match Loader.admit (Pku.Debug_regs.create ()) legit with
+         | Loader.Admitted _ -> ()
+         | Loader.Rejected r ->
+           failwith ("defense broken: legitimate binary rejected: " ^ r));
+        Pkru.reset_thread ();
+        let patched =
+          Insn.make ~trampolines:[ 0 ] bin_name
+            [| Insn.Wrpkru Pkru.all_enabled; Insn.Ret |]
+        in
+        let dr = Pku.Debug_regs.create () in
+        match Loader.admit dr patched with
+        | Loader.Rejected reason -> Blocked ("admission refused: " ^ reason)
+        | Loader.Admitted _ ->
+          Loader.exec dr lib patched;
+          if Pkru.read () = Pkru.all_enabled then
+            Breached
+              "patched image inherited the blessing; its trampoline opened \
+               every key"
+          else Blocked "patched trampoline did not widen pkru") }
+
+(* ---- 5: pkru laundering through a legitimate crossing --------------- *)
+
+(* The attacker arrives at the trampoline already holding the library's
+   key (as if a gadget ran earlier). The trampoline saves pkru on
+   entry and restores it on exit — so without the entry gate check the
+   crossing itself {e launders} the forged register: after the call
+   returns, the attacker holds standing rights, courtesy of Hodor. *)
+let pkru_laundering =
+  { sc_name = "pkru-laundering";
+    vector = "caller enters a crossing with a forged pkru already open";
+    defense = "trampoline entry gate: outermost caller must not hold the key";
+    toggle = "Hodor.Trampoline.gate_checks_enabled";
+    run =
+      (fun ~hardening ->
+        with_toggle Trampoline.gate_checks_enabled hardening @@ fun () ->
+        let lib =
+          Library.create
+            ~name:(Printf.sprintf "laundry-lib-%d" (fresh ()))
+            ~owner_uid:1000 ()
+        in
+        Fun.protect ~finally:(fun () ->
+          Library.release lib;
+          Pkru.reset_thread ())
+        @@ fun () ->
+        let region =
+          Region.create
+            ~name:(Printf.sprintf "/shm/rt-laundry-%d" (fresh ()))
+            ~size:4096 ~pkey:(Library.pkey lib) ()
+        in
+        Library.protect_region lib region;
+        Region.kernel_mode (fun () ->
+          Region.write_string region ~off:0 "SECRET");
+        let attacker = Process.make ~uid:5000 "laundry-attacker" in
+        Process.with_process attacker @@ fun () ->
+        Pkru.wrpkru
+          (Pkru.set_perm (Pkru.read ()) (Library.pkey lib) Pkru.Enable);
+        (match Trampoline.call lib (fun () -> ()) with
+         | () ->
+           if Pkru.allows_read (Pkru.read ()) (Library.pkey lib) then
+             let leaked = Region.read_string region ~off:0 ~len:6 in
+             Breached
+               (Printf.sprintf
+                  "forged register laundered through the crossing; standing \
+                   rights read %S outside any call"
+                  leaked)
+           else Blocked "crossing sanitized the register"
+         | exception Trampoline.Gate_violation _ ->
+           if Pkru.allows_read (Pkru.read ()) (Library.pkey lib) then
+             Breached "entry gate fired but the attacker kept the key"
+           else if Process.alive attacker then
+             Breached "entry gate fired but the attacker survived"
+           else
+             Blocked
+               "entry gate caught the forged register; attacker killed, \
+                register sanitized")) }
+
+(* ---- 6: wrpkru executed inside the call ----------------------------- *)
+
+(* A gadget fires while the thread is legitimately inside the library,
+   widening pkru beyond what the trampoline wrote. Without the exit
+   gate check the drift goes unnoticed and the attacker lives to
+   escalate; with it, the drift is detected at the exit boundary and
+   the offender is terminated — without poisoning the library for
+   everyone else. *)
+let in_call_tamper =
+  { sc_name = "in-call-tamper";
+    vector = "pkru widened by a wrpkru inside the library call";
+    defense = "trampoline exit gate: register must equal the entry value";
+    toggle = "Hodor.Trampoline.gate_checks_enabled";
+    run =
+      (fun ~hardening ->
+        with_toggle Trampoline.gate_checks_enabled hardening @@ fun () ->
+        let lib =
+          Library.create
+            ~name:(Printf.sprintf "tamper-lib-%d" (fresh ()))
+            ~owner_uid:1000 ()
+        in
+        Fun.protect ~finally:(fun () ->
+          Library.release lib;
+          Pkru.reset_thread ())
+        @@ fun () ->
+        let attacker = Process.make ~uid:5001 "tamper-attacker" in
+        let result =
+          Process.with_process attacker @@ fun () ->
+          match Trampoline.call lib (fun () -> Pkru.wrpkru Pkru.all_enabled)
+          with
+          | () ->
+            Breached
+              "in-call wrpkru went unnoticed: no detection, the attacker \
+               lives to retry"
+          | exception Trampoline.Gate_violation _ ->
+            if Process.alive attacker then
+              Breached "exit gate fired but the attacker survived"
+            else if Library.health lib <> Library.Healthy then
+              Breached "enforcement wrongly poisoned the library"
+            else Blocked "tamper detected at exit; offender killed"
+        in
+        (* enforcement must not cost honest clients the library *)
+        match result with
+        | Blocked m ->
+          let honest = Process.make ~uid:5002 "honest-client" in
+          Process.with_process honest (fun () ->
+            Trampoline.call lib (fun () -> ()));
+          Blocked (m ^ "; library stays healthy for honest callers")
+        | r -> r) }
+
+(* ---- 7: retag the shared heap via pkey_mprotect --------------------- *)
+
+(* Linux lets any process pkey_mprotect pages mapped in its own address
+   space: holding {e no} key, the attacker simply re-tags the shared
+   heap to key 0 and reads it without ever entering the library. The
+   only thing in the way is the seccomp filter. *)
+let retag_shared_heap =
+  { sc_name = "retag-shared-heap";
+    vector = "pkey_mprotect retags the protected region to key 0";
+    defense = "seccomp filter: pkey_mprotect not in the client allowlist";
+    toggle = "Simos.Process.seccomp_enforced";
+    run =
+      (fun ~hardening ->
+        with_toggle Process.seccomp_enforced hardening @@ fun () ->
+        let lib =
+          Library.create
+            ~name:(Printf.sprintf "retag-lib-%d" (fresh ()))
+            ~owner_uid:1000 ()
+        in
+        Fun.protect ~finally:(fun () ->
+          Library.release lib;
+          Pkru.reset_thread ())
+        @@ fun () ->
+        let region =
+          Region.create
+            ~name:(Printf.sprintf "/shm/rt-retag-%d" (fresh ()))
+            ~size:4096 ~pkey:(Library.pkey lib) ()
+        in
+        Library.protect_region lib region;
+        Region.kernel_mode (fun () ->
+          Region.write_string region ~off:0 "TOPSECRET");
+        let attacker = Process.make ~uid:6000 "retagger" in
+        Process.install_filter attacker [ Process.Sys_open ];
+        Process.with_process attacker @@ fun () ->
+        match
+          Region.tag_range region ~off:0 ~len:(Region.size region)
+            ~pkey:Pkey.default
+        with
+        | () ->
+          let s = Region.read_string region ~off:0 ~len:9 in
+          Breached
+            (Printf.sprintf
+               "heap retagged to key 0; read %S without entering the library"
+               s)
+        | exception Process.Seccomp_violation m ->
+          Blocked ("pkey_mprotect denied: " ^ m)) }
+
+(* ---- 8: the same retag, raced against live crossings ---------------- *)
+
+(* The racing version under the seeded Vm scheduler: the attacker times
+   its retag against a victim's trampoline calls (mid-crossing,
+   between crossings — the seed decides). Unhardened, the attacker
+   retags under its own freshly-allocated key: the victim faults
+   inside the library and the attacker reads the heap at leisure. *)
+let retag_race =
+  { sc_name = "retag-race";
+    vector = "pkey_mprotect raced against crossings (seeded schedules)";
+    defense = "seccomp filter: pkey_alloc/pkey_mprotect denied to clients";
+    toggle = "Simos.Process.seccomp_enforced";
+    run =
+      (fun ~hardening ->
+        with_toggle Process.seccomp_enforced hardening @@ fun () ->
+        let breaches = ref [] in
+        List.iter
+          (fun seed ->
+            let lib =
+              Library.create
+                ~name:(Printf.sprintf "race-lib-%d-%d" seed (fresh ()))
+                ~owner_uid:1000 ()
+            in
+            let stolen_key = ref None in
+            Fun.protect ~finally:(fun () ->
+              (match !stolen_key with
+               | Some k -> (try Pkey.free k with _ -> ())
+               | None -> ());
+              Library.release lib;
+              Runtime.reset ();
+              Pkru.reset_thread ())
+            @@ fun () ->
+            let region =
+              Region.create
+                ~name:(Printf.sprintf "/shm/rt-race-%d-%d" seed (fresh ()))
+                ~size:4096 ~pkey:(Library.pkey lib) ()
+            in
+            Library.protect_region lib region;
+            Region.kernel_mode (fun () ->
+              Region.write_string region ~off:0 "RACE-SECRET");
+            Runtime.configure ~advance:Vm.Sync.advance ~now:Vm.Sync.now_ns;
+            let vm = Vm.create ~sched_seed:seed ~preempt_jitter:40 () in
+            let victim_proc = Process.make ~uid:2000 "race-victim" in
+            let attacker_proc = Process.make ~uid:6001 "race-attacker" in
+            Process.install_filter attacker_proc [ Process.Sys_open ];
+            let victim_error = ref None in
+            ignore
+              (Vm.spawn vm ~name:"victim" (fun () ->
+                 Process.with_process victim_proc (fun () ->
+                   try
+                     for i = 1 to 8 do
+                       Trampoline.call lib (fun () ->
+                         Region.write_i64 region 64 i;
+                         Vm.Sync.advance 200;
+                         ignore (Region.read_i64 region 64))
+                     done
+                   with e -> victim_error := Some e)));
+            ignore
+              (Vm.spawn vm ~name:"attacker" (fun () ->
+                 Process.with_process attacker_proc (fun () ->
+                   try
+                     Vm.Sync.advance 300;
+                     let k = Pkey.alloc () in
+                     stolen_key := Some k;
+                     Region.tag_range region ~off:0 ~len:(Region.size region)
+                       ~pkey:k;
+                     Pkru.wrpkru
+                       (Pkru.set_perm (Pkru.read ()) k Pkru.Enable);
+                     let s = Region.read_string region ~off:0 ~len:11 in
+                     breaches :=
+                       (seed,
+                        Printf.sprintf
+                          "seed %d: retagged at t=%dns, read %S; victim: %s"
+                          seed (Vm.Sync.now_ns ()) s
+                          (match !victim_error with
+                           | Some e -> Printexc.to_string e
+                           | None -> "unaffected"))
+                       :: !breaches
+                   with Process.Seccomp_violation _ -> ())));
+            Vm.run vm;
+            if hardening then begin
+              (match !victim_error with
+               | Some e ->
+                 failwith
+                   ("victim failed under full hardening: "
+                    ^ Printexc.to_string e)
+               | None -> ());
+              if Library.health lib <> Library.Healthy then
+                failwith "library unhealthy under full hardening"
+            end)
+          [ 11; 23; 47 ];
+        match !breaches with
+        | [] ->
+          Blocked
+            "3 seeded schedules: every retag attempt denied; victim \
+             crossings completed untouched"
+        | (_, m) :: _ -> Breached m) }
+
+(* ---- 9: pkey exhaustion --------------------------------------------- *)
+
+(* PKU has 15 allocatable keys per process tree. An attacker that may
+   call pkey_alloc drains them all, and no protected library can be
+   created again — denial of protection, the quietest DoS there is. *)
+let pkey_exhaustion =
+  { sc_name = "pkey-exhaustion";
+    vector = "attacker drains all 15 pkeys via pkey_alloc";
+    defense = "seccomp filter: pkey_alloc not in the client allowlist";
+    toggle = "Simos.Process.seccomp_enforced";
+    run =
+      (fun ~hardening ->
+        with_toggle Process.seccomp_enforced hardening @@ fun () ->
+        let drained = ref [] in
+        Fun.protect ~finally:(fun () ->
+          (* frees run as the unfiltered test harness, as a kernel
+             cleaning up a dead process's keys would *)
+          List.iter (fun k -> try Pkey.free k with _ -> ()) !drained)
+        @@ fun () ->
+        let attacker = Process.make ~uid:6002 "key-hog" in
+        Process.install_filter attacker [ Process.Sys_open ];
+        let denied = ref false in
+        Process.with_process attacker (fun () ->
+          try
+            let rec grab () =
+              drained := Pkey.alloc () :: !drained;
+              grab ()
+            in
+            grab ()
+          with
+          | Pkey.Out_of_keys -> ()
+          | Process.Seccomp_violation _ -> denied := true);
+        match
+          Library.create
+            ~name:(Printf.sprintf "starved-lib-%d" (fresh ()))
+            ~owner_uid:1000 ()
+        with
+        | lib ->
+          Library.release lib;
+          if !denied then
+            Blocked "pkey_alloc denied; key space intact, library created"
+          else if !drained = [] then
+            Blocked "attacker allocated nothing"
+          else
+            Breached
+              (Printf.sprintf
+                 "filter off: attacker grabbed %d keys (library survived \
+                  only because the pool was not empty)"
+                 (List.length !drained))
+        | exception Pkey.Out_of_keys ->
+          Breached
+            (Printf.sprintf
+               "attacker drained %d pkeys; protected-library creation now \
+                fails: denial of protection"
+               (List.length !drained))) }
+
+(* ---- 10: pkey hijack via pkey_free ---------------------------------- *)
+
+(* pkey_free is not owner-checked by the kernel: any process that may
+   issue it can free the {e victim's} key, then pkey_alloc until the
+   recycled key lands in its own hands — two protection domains merged
+   into one. *)
+let pkey_hijack =
+  { sc_name = "pkey-hijack";
+    vector = "victim's pkey freed by the attacker, then reallocated to it";
+    defense = "seccomp filter: pkey_free not in the client allowlist";
+    toggle = "Simos.Process.seccomp_enforced";
+    run =
+      (fun ~hardening ->
+        with_toggle Process.seccomp_enforced hardening @@ fun () ->
+        let lib =
+          Library.create
+            ~name:(Printf.sprintf "hijack-lib-%d" (fresh ()))
+            ~owner_uid:1000 ()
+        in
+        let extra = ref [] in
+        Fun.protect ~finally:(fun () ->
+          List.iter (fun k -> try Pkey.free k with _ -> ()) !extra;
+          Library.release lib;
+          Pkru.reset_thread ())
+        @@ fun () ->
+        let victim_key = Library.pkey lib in
+        let region =
+          Region.create
+            ~name:(Printf.sprintf "/shm/rt-hijack-%d" (fresh ()))
+            ~size:4096 ~pkey:victim_key ()
+        in
+        Library.protect_region lib region;
+        Region.kernel_mode (fun () ->
+          Region.write_string region ~off:0 "HIJACK-SECRET");
+        let attacker = Process.make ~uid:6003 "key-thief" in
+        Process.install_filter attacker [ Process.Sys_open ];
+        Process.with_process attacker @@ fun () ->
+        match Pkey.free victim_key with
+        | exception Process.Seccomp_violation m ->
+          Blocked ("pkey_free denied: " ^ m)
+        | () ->
+          (* grab allocations until the recycled key comes back *)
+          let rec hunt n =
+            if n > Pkey.count then None
+            else
+              let k = Pkey.alloc () in
+              if k = victim_key then Some k
+              else begin
+                extra := k :: !extra;
+                hunt (n + 1)
+              end
+          in
+          (match hunt 0 with
+           | None ->
+             (* put the key back so release stays balanced *)
+             extra := [];
+             Breached
+               "victim's key freed by the attacker (recycled elsewhere): \
+                protection domain destroyed"
+           | Some _k ->
+             Pkru.wrpkru
+               (Pkru.set_perm (Pkru.read ()) victim_key Pkru.Enable);
+             let s = Region.read_string region ~off:0 ~len:13 in
+             Breached
+               (Printf.sprintf
+                  "victim's key freed and reallocated to the attacker; \
+                   domains merged, read %S"
+                  s))) }
+
+(* ---- 11: double admission of a protected region --------------------- *)
+
+(* A second library claims the victim's region: protect_region would
+   retag the victim's pages under the claimant's key, handing every
+   byte to whoever enters the {e claimant's} trampolines. The claim
+   registry is structural — the unhardened run reproduces the pre-fix
+   loader by dropping the victim's claim first. *)
+let double_admission =
+  { sc_name = "double-admission";
+    vector = "attacker library protect_regions the victim's live region";
+    defense = "per-region claim registry (Region_already_protected)";
+    toggle = "structural (emulated by unclaiming)";
+    run =
+      (fun ~hardening ->
+        let victim_lib =
+          Library.create
+            ~name:(Printf.sprintf "dbladm-victim-%d" (fresh ()))
+            ~owner_uid:1000 ()
+        in
+        let attacker_lib =
+          Library.create
+            ~name:(Printf.sprintf "dbladm-attacker-%d" (fresh ()))
+            ~owner_uid:6004 ()
+        in
+        Fun.protect ~finally:(fun () ->
+          Library.release attacker_lib;
+          Library.release victim_lib;
+          Pkru.reset_thread ())
+        @@ fun () ->
+        let region =
+          Region.create
+            ~name:(Printf.sprintf "/shm/rt-dbladm-%d" (fresh ()))
+            ~size:4096 ~pkey:(Library.pkey victim_lib) ()
+        in
+        Library.protect_region victim_lib region;
+        Region.kernel_mode (fun () ->
+          Region.write_string region ~off:0 "ADMIT-SECRET");
+        if not hardening then Region.unclaim region;
+        match Library.protect_region attacker_lib region with
+        | exception Library.Region_already_protected _ ->
+          Blocked
+            "second admission refused; the victim keeps exclusive tagging"
+        | () ->
+          let attacker = Process.make ~uid:6004 "dbladm-attacker" in
+          let s =
+            Process.with_process attacker (fun () ->
+              Trampoline.call attacker_lib (fun () ->
+                Region.read_string region ~off:0 ~len:12))
+          in
+          Breached
+            (Printf.sprintf
+               "region retagged under the attacker's library; read %S \
+                through the attacker's own trampoline"
+               s)) }
+
+(* ---- 12: crash-timed kills inside the grace window ------------------ *)
+
+(* The crash-sweep attack: kill the victim at {e every} sync point of
+   its in-library calls (the seeded Vm makes each site deterministic)
+   and serve the store to an honest caller afterwards. The defense is
+   the recovery protocol; the unhardened run reverts it by simply not
+   running recovery — exactly what a deployment that ignores
+   Killed_in_call would do. *)
+let crash_in_grace =
+  { sc_name = "crash-in-grace";
+    vector = "victim killed at every sync point inside its library calls";
+    defense = "grace-window semantics + recovery protocol before re-admission";
+    toggle = "structural (emulated by skipping recovery)";
+    run =
+      (fun ~hardening ->
+        let run_one ~at ~recover =
+          let lib =
+            Library.create ~grace_ns:1000
+              ~name:(Printf.sprintf "grace-lib-%d" (fresh ()))
+              ~owner_uid:1000 ()
+          in
+          Fun.protect ~finally:(fun () ->
+            Library.release lib;
+            Runtime.reset ();
+            Pkru.reset_thread ())
+          @@ fun () ->
+          let region =
+            Region.create
+              ~name:(Printf.sprintf "/shm/rt-grace-%d" (fresh ()))
+              ~size:4096 ~pkey:(Library.pkey lib) ()
+          in
+          Library.protect_region lib region;
+          (* invariant: the two cells move together *)
+          Library.set_recover lib (fun () ->
+            Region.kernel_mode (fun () ->
+              Region.write_i64 region 8 (Region.read_i64 region 0)));
+          Runtime.configure ~advance:Vm.Sync.advance ~now:Vm.Sync.now_ns;
+          let vm = Vm.create ~sched_seed:5 () in
+          let victim_proc = Process.make ~uid:2100 "grace-victim" in
+          Vm.set_crash_point vm
+            ~filter:(fun n -> n = "victim")
+            ~at
+            ~on_crash:(fun _ now ->
+              Region.kernel_mode (fun () ->
+                Process.kill ~now_ns:now victim_proc))
+            ();
+          ignore
+            (Vm.spawn vm ~name:"victim" (fun () ->
+               Process.with_process victim_proc (fun () ->
+                 try
+                   for i = 1 to 4 do
+                     Trampoline.call lib (fun () ->
+                       Region.write_i64 region 0 i;
+                       Vm.Sync.advance 1000;
+                       Region.write_i64 region 8 i)
+                   done
+                 with
+                 | Process.Process_killed _
+                 | Trampoline.Library_call_failed _ -> ())));
+          Vm.run vm;
+          let sites = Vm.sync_points_seen vm in
+          let verdict = ref (Ok ()) in
+          let vm2 = Vm.create () in
+          ignore
+            (Vm.spawn vm2 ~name:"bookkeeper" (fun () ->
+               try
+                 if recover then Library.recover lib;
+                 let honest = Process.make ~uid:2101 "grace-honest" in
+                 Process.with_process honest (fun () ->
+                   Trampoline.call lib (fun () ->
+                     let a = Region.read_i64 region 0 in
+                     let b = Region.read_i64 region 8 in
+                     if a <> b then
+                       verdict :=
+                         Error
+                           (Printf.sprintf "torn write served (%d <> %d)" a b)))
+               with
+               | Library.Library_needs_recovery _ ->
+                 verdict := Error "store offline: stuck awaiting recovery"
+               | Library.Library_poisoned m ->
+                 verdict := Error ("library poisoned: " ^ m)));
+          Vm.run vm2;
+          (sites, !verdict)
+        in
+        let sites, _ = run_one ~at:max_int ~recover:false in
+        let swept = min sites 24 in
+        let failures = ref [] in
+        for at = 0 to swept - 1 do
+          match run_one ~at ~recover:hardening with
+          | _, Ok () -> ()
+          | _, Error m -> failures := (at, m) :: !failures
+        done;
+        let failures = List.rev !failures in
+        match hardening, failures with
+        | true, [] ->
+          Blocked
+            (Printf.sprintf
+               "swept %d kill sites; recovery restored the invariant and \
+                re-admitted callers at every one"
+               swept)
+        | true, (at, m) :: _ ->
+          Breached (Printf.sprintf "defense failed at kill site %d: %s" at m)
+        | false, [] -> Blocked "no kill site tore state (attack fizzled)"
+        | false, l ->
+          Breached
+            (Printf.sprintf
+               "%d of %d kill sites left torn or unserved state (first: \
+                site %d, %s)"
+               (List.length l) swept (fst (List.hd l)) (snd (List.hd l)))) }
+
+(* ---- 13: syscall escape from inside the library --------------------- *)
+
+(* The in-library attacker: a client already executing inside a
+   crossing issues a syscall its filter forbids (unlinking the store's
+   backing file). The filter must hold {e inside} the library too, the
+   offender must die, and — critically — the library must NOT be
+   poisoned: the kernel stopped the call before shared state was
+   touched, and treating enforcement as a library crash would hand
+   every attacker a one-syscall DoS. *)
+let inlib_syscall_escape =
+  { sc_name = "inlib-syscall-escape";
+    vector = "filtered syscall issued from inside a library call";
+    defense = "seccomp filter enforced in-library; enforcement kills without \
+               poisoning";
+    toggle = "Simos.Process.seccomp_enforced";
+    run =
+      (fun ~hardening ->
+        with_toggle Process.seccomp_enforced hardening @@ fun () ->
+        let path = Printf.sprintf "/shm/rt-escape-%d" (fresh ()) in
+        let lib =
+          Library.create
+            ~name:(Printf.sprintf "escape-lib-%d" (fresh ()))
+            ~owner_uid:1000 ()
+        in
+        Fun.protect ~finally:(fun () ->
+          (try Simos.Sim_fs.unlink path with _ -> ());
+          Library.release lib;
+          Pkru.reset_thread ())
+        @@ fun () ->
+        let region =
+          Region.create ~name:path ~size:4096 ~pkey:(Library.pkey lib) ()
+        in
+        Library.protect_region lib region;
+        Simos.Sim_fs.create_file ~path ~owner:1000 ~mode:0o600 region;
+        let attacker = Process.make ~uid:6005 "escape-attacker" in
+        Process.install_filter attacker [];
+        let honest = Process.make ~uid:6006 "escape-honest" in
+        match
+          Process.with_process attacker (fun () ->
+            Trampoline.call lib (fun () -> Simos.Sim_fs.unlink path))
+        with
+        | () ->
+          if Simos.Sim_fs.exists path then
+            Blocked "unlink had no effect"
+          else
+            Breached
+              "in-library attacker unlinked the store's backing file \
+               (filter installed but never consulted)"
+        | exception Process.Seccomp_violation _ ->
+          if not (Simos.Sim_fs.exists path) then
+            Breached "denied, yet the file is gone"
+          else if Process.alive attacker then
+            Breached "denied, but the offender survived"
+          else if Library.health lib <> Library.Healthy then
+            Breached
+              "enforcement poisoned the library: one filtered syscall is a \
+               universal DoS"
+          else begin
+            (* the library still serves honest clients *)
+            Process.with_process honest (fun () ->
+              Trampoline.call lib (fun () -> ()));
+            Blocked
+              "unlink denied inside the crossing; offender killed; library \
+               unpoisoned and serving"
+          end) }
+
+let all =
+  [ gadget_island `Wrpkru;
+    gadget_island `Xrstor;
+    forged_trampoline_table;
+    patched_binary;
+    pkru_laundering;
+    in_call_tamper;
+    retag_shared_heap;
+    retag_race;
+    pkey_exhaustion;
+    pkey_hijack;
+    double_admission;
+    crash_in_grace;
+    inlib_syscall_escape ]
+
+let find name = List.find (fun s -> s.sc_name = name) all

@@ -26,6 +26,11 @@ type t = {
   atomics : int Atomic.t array;
   next_atomic : int Atomic.t;
   mutable backing : string option;
+  mutable claimed_by : string option;
+  (** the protected library currently owning this region's pages, if
+      any — runtime-only bookkeeping (not persisted) that lets
+      [Hodor.Library] refuse to protect a region some other live
+      library already claimed (the double-admission attack) *)
 }
 
 (* Bookkeeping code (the loader, the background process's setup, the
@@ -49,7 +54,8 @@ let create ?(atomic_slots = 8192) ~name ~size ~pkey () =
     page_pkeys = Array.make pages pkey;
     atomics = Array.init atomic_slots (fun _ -> Atomic.make 0);
     next_atomic = Atomic.make 0;
-    backing = None }
+    backing = None;
+    claimed_by = None }
 
 let name t = t.name
 
@@ -59,8 +65,18 @@ let pages t = Array.length t.page_pkeys
 
 let pkey_of_page t page = t.page_pkeys.(page)
 
+(* Retagging pages is pkey_mprotect(2): Linux allows it on any page
+   mapped in the caller's address space — including a shared region —
+   which is exactly why PKU sandboxes must seccomp-filter it (ERIM,
+   Garmr). The gate hook is installed by [Simos.Process]; kernel-mode
+   (ring-0) paths like the loader's protect_region are exempt. *)
+let mprotect_gate : (unit -> unit) ref = ref (fun () -> ())
+
+let set_mprotect_gate f = mprotect_gate := f
+
 let set_page_pkey t page pkey =
   if not (Pku.Pkey.is_valid pkey) then invalid_arg "Region.set_page_pkey";
+  if not (in_kernel_mode ()) then !mprotect_gate ();
   t.page_pkeys.(page) <- pkey
 
 let tag_range t ~off ~len ~pkey =
@@ -68,6 +84,12 @@ let tag_range t ~off ~len ~pkey =
   for p = first to last do
     set_page_pkey t p pkey
   done
+
+let claim t ~owner = t.claimed_by <- Some owner
+
+let unclaim t = t.claimed_by <- None
+
+let claimant t = t.claimed_by
 
 (* ---- Protection check ---------------------------------------------- *)
 
@@ -228,6 +250,7 @@ let load ~path =
     { name = hdr.h_name; data; page_pkeys = hdr.h_pkeys;
       atomics = Array.map Atomic.make hdr.h_atomics;
       next_atomic = Atomic.make hdr.h_next_atomic;
-      backing = Some path })
+      backing = Some path;
+      claimed_by = None })
 
 let backing t = t.backing

@@ -34,6 +34,24 @@ val pkey_of_page : t -> int -> Pku.Pkey.t
 val set_page_pkey : t -> int -> Pku.Pkey.t -> unit
 
 val tag_range : t -> off:int -> len:int -> pkey:Pku.Pkey.t -> unit
+(** Retag pages (pkey_mprotect(2) in miniature). Outside
+    {!kernel_mode}, the seccomp-style gate installed with
+    {!set_mprotect_gate} is consulted first — Linux lets any process
+    pkey_mprotect pages mapped in its own address space, so the only
+    thing standing between an attacker and retagging the shared heap
+    to key 0 is the syscall filter. *)
+
+val set_mprotect_gate : (unit -> unit) -> unit
+(** Install the gate consulted by non-kernel-mode retagging (wired up
+    by [Simos.Process]; no-op by default). *)
+
+val claim : t -> owner:string -> unit
+(** Tag the region as owned by a named protected library (runtime
+    bookkeeping, not persisted). *)
+
+val unclaim : t -> unit
+
+val claimant : t -> string option
 
 val kernel_mode : (unit -> 'a) -> 'a
 (** Run [f] with protection checks suspended, as ring-0 code (the

@@ -16,6 +16,27 @@
 
 type status = Running | Killed of string | Exited
 
+(* The syscalls the simulation models, each standing for the real one
+   a PKU sandbox must police: file-system access, signal delivery, and
+   the pkey management calls Garmr shows an unfiltered sandbox escapes
+   through (pkey_alloc/pkey_free exhaustion and hijack,
+   pkey_mprotect retagging of shared pages). *)
+type syscall =
+  | Sys_open
+  | Sys_unlink
+  | Sys_kill
+  | Sys_pkey_alloc
+  | Sys_pkey_free
+  | Sys_pkey_mprotect
+
+let syscall_name = function
+  | Sys_open -> "open"
+  | Sys_unlink -> "unlink"
+  | Sys_kill -> "kill"
+  | Sys_pkey_alloc -> "pkey_alloc"
+  | Sys_pkey_free -> "pkey_free"
+  | Sys_pkey_mprotect -> "pkey_mprotect"
+
 type t = {
   pid : int;
   pname : string;
@@ -25,17 +46,28 @@ type t = {
   mutable killed_at_ns : int option;
   mutable kill_count : int;  (** total {!kill} deliveries, duplicates included *)
   in_library : int Atomic.t;  (** threads currently inside a protected call *)
+  mutable filter : syscall list option;
+  (** seccomp-style allowlist; [None] = unfiltered (no filter ever
+      installed) *)
 }
 
 exception Process_killed of string
 (** Raised at a cancellation point of a thread whose process died. *)
+
+exception Seccomp_violation of string
+(** A filtered process attempted a syscall outside its allowlist. *)
+
+(* Red-team toggle: with enforcement off, installed filters are
+   recorded but never consulted — the configuration the syscall-escape
+   scenarios in lib/redteam exploit. *)
+let seccomp_enforced = ref true
 
 let next_pid = Atomic.make 1
 
 let make ?(uid = 0) name =
   { pid = Atomic.fetch_and_add next_pid 1; pname = name; uid; euid = uid;
     status = Running; killed_at_ns = None; kill_count = 0;
-    in_library = Atomic.make 0 }
+    in_library = Atomic.make 0; filter = None }
 
 let init_process = make ~uid:0 "init"
 
@@ -69,7 +101,46 @@ let status t = t.status
    (and the grace tests) can observe that a duplicate arrived rather
    than having it silently swallowed. A duplicate timestamped before
    the recorded death is a driver bug — time cannot run backwards. *)
+(* Filter installation mirrors seccomp(2)'s one-way ratchet: the first
+   install sets the allowlist, every later one can only intersect with
+   it. A sandboxed attacker re-running install_filter with a wider
+   list gains nothing. *)
+let install_filter t allowed =
+  t.filter <-
+    (match t.filter with
+     | None -> Some allowed
+     | Some cur -> Some (List.filter (fun sc -> List.mem sc cur) allowed))
+
+let filter t = t.filter
+
+let check_syscall sc =
+  if !seccomp_enforced && not (Shm.Region.in_kernel_mode ()) then begin
+    let p = current () in
+    match p.filter with
+    | None -> ()
+    | Some allowed ->
+      if not (List.mem sc allowed) then begin
+        Telemetry.Counters.incr Telemetry.Counters.Id.seccomp_denials;
+        Telemetry.Trace.emit ~sev:Telemetry.Trace.Warn ~subsys:"seccomp"
+          (Printf.sprintf "%s: %s denied by filter" p.pname (syscall_name sc));
+        raise
+          (Seccomp_violation
+             (Printf.sprintf "%s: syscall %s blocked by seccomp filter"
+                p.pname (syscall_name sc)))
+      end
+  end
+
+(* Route the pkey-management "syscalls" of lib/pku and lib/shm through
+   the filter. Hooks keep the dependency arrows pointing simos -> pku
+   and simos -> shm. *)
+let () =
+  Pku.Pkey.set_syscall_gate (function
+    | `Alloc -> check_syscall Sys_pkey_alloc
+    | `Free -> check_syscall Sys_pkey_free);
+  Shm.Region.set_mprotect_gate (fun () -> check_syscall Sys_pkey_mprotect)
+
 let kill ?(signal = "SIGKILL") ~now_ns t =
+  check_syscall Sys_kill;
   t.kill_count <- t.kill_count + 1;
   match t.status with
   | Running ->

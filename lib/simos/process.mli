@@ -6,10 +6,24 @@
 
 type status = Running | Killed of string | Exited
 
+(** The syscalls the simulation models — the surface a seccomp-style
+    per-process allowlist polices. The pkey management calls are the
+    ones Garmr shows an unfiltered PKU sandbox escapes through. *)
+type syscall =
+  | Sys_open
+  | Sys_unlink
+  | Sys_kill
+  | Sys_pkey_alloc
+  | Sys_pkey_free
+  | Sys_pkey_mprotect
+
 type t
 
 exception Process_killed of string
 (** Raised at a cancellation point of a thread whose process died. *)
+
+exception Seccomp_violation of string
+(** A filtered process attempted a syscall outside its allowlist. *)
 
 val make : ?uid:int -> string -> t
 
@@ -64,3 +78,23 @@ val check_alive : unit -> unit
 (** A cancellation point: ordinary code of a dead process stops here;
     Hodor-protected code only checks at trampoline exit.
     @raise Process_killed *)
+
+(** {1 Seccomp-style syscall filtering} *)
+
+val install_filter : t -> syscall list -> unit
+(** Install (or tighten) the process's allowlist. Like seccomp(2),
+    this is a one-way ratchet: the first install sets the list, later
+    installs can only {e intersect} with it — a sandboxed process
+    cannot widen its own filter. *)
+
+val filter : t -> syscall list option
+(** [None] = unfiltered (no filter ever installed). *)
+
+val check_syscall : syscall -> unit
+(** Consult the calling thread's process filter. Ring-0 paths
+    ([Shm.Region.kernel_mode]) are exempt, as kernel code is.
+    @raise Seccomp_violation on a denied syscall. *)
+
+val seccomp_enforced : bool ref
+(** Red-team toggle (default [true]): with enforcement off, filters
+    are recorded but never consulted. *)

@@ -30,6 +30,7 @@ let reset () =
   Mutex.unlock lock
 
 let create_file ~path ~owner ~mode region =
+  Process.check_syscall Process.Sys_open;
   Mutex.lock lock;
   Hashtbl.replace table path { path; owner; mode; region = Some region };
   Mutex.unlock lock
@@ -47,6 +48,7 @@ let exists path =
   r
 
 let unlink path =
+  Process.check_syscall Process.Sys_unlink;
   Mutex.lock lock;
   Hashtbl.remove table path;
   Mutex.unlock lock
@@ -64,6 +66,7 @@ let permits ~euid ~write e =
   bits land need = need
 
 let open_region ~euid ?(write = false) path =
+  Process.check_syscall Process.Sys_open;
   let e = lookup path in
   if not (permits ~euid ~write e) then
     raise

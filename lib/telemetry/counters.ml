@@ -72,9 +72,16 @@ module Id = struct
   let opt_retries = 30
   let opt_fallbacks = 31
 
+  (* Boundary hardening (the red-team fixes): trampoline gate-check
+     violations, seccomp-style syscall filter denials, and binaries
+     the loader's admission scan refused. *)
+  let gate_violations = 32
+  let seccomp_denials = 33
+  let loader_rejects = 34
+
   (* Per-pkey fault counts occupy the tail: [pku_fault_pkey + k] for
      pkey k in [0, pkeys). *)
-  let pku_fault_pkey = 32
+  let pku_fault_pkey = 35
 
   let pkeys = 16
 
@@ -104,7 +111,10 @@ let names =
       (Id.hodor_batch_calls, "hodor_batch_calls");
       (Id.hodor_batch_ops, "hodor_batch_ops");
       (Id.opt_hits, "opt_hits"); (Id.opt_retries, "opt_retries");
-      (Id.opt_fallbacks, "opt_fallbacks") ];
+      (Id.opt_fallbacks, "opt_fallbacks");
+      (Id.gate_violations, "gate_violations");
+      (Id.seccomp_denials, "seccomp_denials");
+      (Id.loader_rejects, "loader_rejects") ];
   for k = 0 to Id.pkeys - 1 do
     a.(Id.pku_fault_pkey + k) <- Printf.sprintf "pku_fault_pkey:%d" k
   done;

@@ -682,6 +682,64 @@ let test_ascii_response_at_positions () =
   Alcotest.(check bool) "number" true (c = Number 7L);
   Alcotest.(check int) "exact spans" (String.length buf) (u1 + u2 + u3)
 
+(* ---- Hostile length fields (red-team regressions) --------------------- *)
+
+(* Non-canonical data-chunk lengths: negative (the pre-hardening
+   connection killer), hex, overflowing, non-digit suffix. Hardened,
+   every one is a Parse_error raised while reading the header line,
+   before any data block is touched. *)
+let test_ascii_hostile_lengths () =
+  List.iter
+    (fun wire ->
+      match Ascii.parse_command wire with
+      | _ ->
+        Alcotest.fail ("hardened parser accepted: " ^ String.escaped wire)
+      | exception Parse_error _ -> ())
+    [ "set k 0 0 -2\r\nxx\r\n"; "set k 0 0 -10\r\nxx\r\n";
+      "set k 0 0 0x10\r\nxx\r\n"; "set k 0 0 007x\r\nxx\r\n";
+      "set k 0 0 99999999999\r\nxx\r\n"; "set k 0 0 4294967296\r\nxx\r\n" ];
+  (* over-limit but syntactically fine: refused with the classic
+     memcached message *)
+  match Ascii.parse_command "set k 0 0 1048577\r\n" with
+  | _ -> Alcotest.fail "over-limit length accepted"
+  | exception Parse_error m ->
+    Alcotest.(check string) "classic refusal" "object too large for cache" m
+
+(* The red half: with the hardening toggle reverted, the negative
+   length reaches String.sub and detonates — the crash the fuzzer
+   originally surfaced, kept as proof the fix is load-bearing. *)
+let test_ascii_negative_len_unhardened_crashes () =
+  parser_hardening := false;
+  Fun.protect ~finally:(fun () -> parser_hardening := true) @@ fun () ->
+  match Ascii.parse_command "set k 0 0 -2\r\nxx\r\n" with
+  | _ -> Alcotest.fail "expected the unhardened parser to crash"
+  | exception Invalid_argument _ -> ()
+
+(* A binary value over the item-size limit frames as [Invalid] with the
+   whole frame consumed, so a pipelined batch stays in sync — no
+   desync, no reply stolen from the next command. *)
+let test_binary_oversize_value_framed () =
+  let big = String.make (max_data_bytes + 1) 'v' in
+  let frame = Binary.encode_command (Set (sp "k" big)) in
+  (match Binary.parse_command frame with
+   | Invalid m, used ->
+     Alcotest.(check string) "classic refusal" "object too large for cache" m;
+     Alcotest.(check int) "whole frame consumed" (String.length frame) used
+   | _ -> Alcotest.fail "oversize value must frame as Invalid");
+  let wire = frame ^ Binary.encode_command Noop in
+  (match Binary.parse_batch wire with
+   | [ Invalid _; Noop ], used ->
+     Alcotest.(check int) "batch stays in sync" (String.length wire) used
+   | _ -> Alcotest.fail "batch desynced after the oversize frame");
+  (* unhardened, the bound simply does not exist *)
+  parser_hardening := false;
+  Fun.protect ~finally:(fun () -> parser_hardening := true) @@ fun () ->
+  match Binary.parse_command frame with
+  | Set p, _ ->
+    Alcotest.(check int) "unhardened swallows the oversize value"
+      (max_data_bytes + 1) (String.length p.data)
+  | _ -> Alcotest.fail "unhardened parse should yield the Set"
+
 let () =
   Alcotest.run "protocol"
     [ ( "ascii",
@@ -724,6 +782,13 @@ let () =
             test_batch_encode_suppression;
           Alcotest.test_case "positional responses" `Quick
             test_ascii_response_at_positions ] );
+      ( "hostile lengths",
+        [ Alcotest.test_case "ascii hostile length tokens" `Quick
+            test_ascii_hostile_lengths;
+          Alcotest.test_case "ascii negative length crashes unhardened"
+            `Quick test_ascii_negative_len_unhardened_crashes;
+          Alcotest.test_case "binary oversize value framed in sync" `Quick
+            test_binary_oversize_value_framed ] );
       ( "fuzz",
         [ QCheck_alcotest.to_alcotest qcheck_ascii_fuzz;
           QCheck_alcotest.to_alcotest qcheck_binary_fuzz;
