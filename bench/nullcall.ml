@@ -54,6 +54,75 @@ let empty_socket_rt () =
     S.join server;
     dt)
 
+(* ---- vpkey multiplexing sweep ---------------------------------------- *)
+
+(* Per-op cost of a tenant-scoped call as the tenant count crosses the
+   hardware-slot capacity (12 by default): each op pays the same
+   trampoline crossing plus, when its tenant's vkey was evicted since
+   its last burst, the pkey_mprotect re-tags of a slot miss. Tenants
+   are picked per 64-op burst with an 80/20 skew (connections serve a
+   few hot tenants, a long tail of cold ones), as a cache in front of
+   real traffic would see — uniform round-robin over 64 tenants would
+   just measure LRU's cyclic worst case. *)
+let tenant_burst = 64
+let tenant_bursts = 96
+
+let tenant_point ~tenants =
+  Pku.Vpkey.reset ();
+  let owner = Simos.Process.make ~uid:1000 (fresh_name "memcached-bk") in
+  let path = fresh_name "/dev/shm/vpk" in
+  let plib =
+    Plib.create ~protection:Hodor.Library.Protected
+      ~store_cfg:(store_cfg ~hashpower:12) ~path
+      ~size:(8 * 1024 * 1024) ~owner ()
+  in
+  Hodor.Runtime.configure ~advance:S.advance ~now:S.now_ns;
+  let res =
+    in_vm (fun () ->
+      Simos.Process.with_process owner (fun () ->
+        let slots =
+          Array.init tenants (fun i ->
+            Plib.create_tenant plib ~name:(Printf.sprintf "t%02d" i)
+              ~uid:1000 ())
+        in
+        Array.iter (fun s -> ignore (Plib.tenant_set plib s "k" "v")) slots;
+        let hot = min tenants 4 in
+        let pick r =
+          if r mod 5 < 4 then slots.(r mod hot) else slots.(r mod tenants)
+        in
+        let binds0 = Pku.Vpkey.binds ()
+        and misses0 = Pku.Vpkey.slot_misses () in
+        let t0 = S.now_ns () in
+        for r = 1 to tenant_bursts do
+          let s = pick r in
+          for _ = 1 to tenant_burst do
+            ignore (Plib.tenant_get plib s "k")
+          done
+        done;
+        let per_op =
+          (S.now_ns () - t0) / (tenant_bursts * tenant_burst)
+        in
+        let binds = Pku.Vpkey.binds () - binds0
+        and misses = Pku.Vpkey.slot_misses () - misses0 in
+        (per_op, float_of_int misses /. float_of_int (max 1 binds))))
+  in
+  Simos.Sim_fs.unlink path;
+  Hodor.Library.release (Plib.library plib);
+  Pku.Vpkey.reset ();
+  res
+
+let tenant_sweep () =
+  pf "\ntenant-scoped get, per-op cost vs tenant count (hw slot cap %d):\n"
+    12;
+  List.iter
+    (fun n ->
+      let ns, missrate = tenant_point ~tenants:n in
+      pf "  %2d tenant%s: %5d ns/op   slot-miss rate %5.3f per bind\n" n
+        (if n = 1 then " " else "s") ns missrate;
+      pf "nullcall.vpkey_t%d_ns %d\n" n ns;
+      pf "nullcall.vpkey_missrate_t%d %.3f\n" n missrate)
+    [ 1; 4; 16; 64 ]
+
 let run () =
   header "Null-call microbenchmark (paper section 2)";
   let hodor = empty_hodor ~protection:Hodor.Library.Protected () in
@@ -69,4 +138,5 @@ let run () =
      cost per call, greppable as "nullcall.<config>_ns <n>". *)
   pf "nullcall.hodor_ns %d\n" hodor;
   pf "nullcall.plain_ns %d\n" plain;
-  pf "nullcall.socket_ns %d\n" socket
+  pf "nullcall.socket_ns %d\n" socket;
+  tenant_sweep ()

@@ -45,9 +45,23 @@ let root_arena = 2
     to the older ones. Recovery walks the chain from here, so arena
     regions survive client crashes like everything else in the heap. *)
 
+let root_tenants = 3
+(** Persistent root id anchoring the tenant registry block
+    ({!Mc_core.Tenant}): membership, quotas, per-tenant stats and
+    virtual-pkey ids live in the shared heap, so tenancy survives
+    client crashes and bookkeeper restarts. Usage counters inside the
+    block may be mid-update at a kill; recovery recomputes them from
+    the store itself. *)
+
+let max_tenants = 64
+(** Registry capacity — also the scale the vpkey layer is sized for:
+    64 virtual keys multiplexed onto the 16 hardware slots. *)
+
 module Make (S : Platform.Sync_intf.S) = struct
   module Store =
     Mc_core.Store.Make (Mc_core.Shared_memory) (Mc_core.Ralloc_alloc) (S)
+
+  module Tenant = Mc_core.Tenant
 
   type t = {
     lib : Hodor.Library.t;
@@ -55,6 +69,12 @@ module Make (S : Platform.Sync_intf.S) = struct
     heap : Ralloc.t;
     arena : Mc_core.Bump_arena.t;
     store : Store.t;
+    tenants : Tenant.t;
+    (* Per-tenant "vaults": one vkey-tagged page each, the visible
+       proof of the tenant's protection domain. Host-side objects (the
+       registry persists the vkey ids; vaults are re-created on
+       restart as tenants re-authenticate). *)
+    vaults : (int, Region.t) Hashtbl.t;
     path : string;
     owner : Process.t;
     stop_cleaner : bool Atomic.t;
@@ -103,12 +123,49 @@ module Make (S : Platform.Sync_intf.S) = struct
                 Region.fill region ~off:block
                   ~len:(8 * Telemetry.Counters.cells) '\000')) })
 
-  let build_handle ~lib ~region ~heap ~arena ~store ~path ~owner =
+  (* Tenant plumbing installed on every handle:
+     - the LRU selector routes each tenant's items onto the LRU list
+       matching its registry slot, so per-tenant eviction scans only
+       the tenant's own cold end (and recovery rebuilds per-tenant
+       LRUs for free — [Store.recover] relinks through the selector);
+     - the evict hook credits the owning tenant's usage and bumps its
+       eviction stat whenever the store reclaims one of its items;
+     - the registry serves `stats tenants` / joins `stats reset`
+       through the executor hooks. *)
+  let install_tenant_hooks ~store ~tenants =
+    Store.set_lru_selector store
+      (Some (fun key -> Tenant.owner_slot_of_key tenants key));
+    Store.set_evict_hook store
+      (Some
+         (fun ~key ~bytes ->
+           match Tenant.owner_slot_of_key tenants key with
+           | Some slot ->
+             Tenant.charge tenants slot ~bytes:(-bytes) ~items:(-1);
+             Tenant.bump tenants slot Tenant.Evictions
+           | None -> ()));
+    Tenant.stats_hook := (fun () -> Tenant.stats_kvs tenants);
+    Tenant.reset_hook := (fun () -> Tenant.reset_stats tenants);
+    Tenant.bump_hook :=
+      (fun name s ->
+        match Tenant.find tenants name with
+        | Some slot -> Tenant.bump tenants slot s
+        | None -> ())
+
+  let build_handle ~lib ~region ~heap ~arena ~store ~tenants ~path ~owner =
     let t =
-      { lib; region; heap; arena; store; path; owner;
+      { lib; region; heap; arena; store; tenants;
+        vaults = Hashtbl.create 8; path; owner;
         stop_cleaner = Atomic.make false; cleaner = None }
     in
     attach_telemetry ~region ~heap;
+    install_tenant_hooks ~store ~tenants;
+    (* The slot table is process-volatile; the registry is the truth.
+       Re-create each persisted vkey so binds work after a restart. *)
+    Region.kernel_mode (fun () ->
+      Tenant.iter_active tenants (fun slot ->
+        let vk = Tenant.vkey_of tenants slot in
+        if vk > 0 then
+          Pku.Vpkey.restore ~id:vk ~owner:(Tenant.uid_of tenants slot)));
     (* Recovery protocol, run by the bookkeeping process at quiescence
        after a client died mid-call: the store drops half-linked items
        and hands back the reachable set, which the allocator uses to
@@ -144,8 +201,36 @@ module Make (S : Platform.Sync_intf.S) = struct
           | 0 -> live
           | cell -> cell :: live
         in
+        (* The tenant registry is sifted like the telemetry block:
+           membership, quotas and vkey ids are durable. *)
+        let live =
+          match Ralloc.get_root t.heap root_tenants with
+          | 0 -> live
+          | block -> block :: live
+        in
         Ralloc.recover t.heap ~live;
-        Mc_core.Bump_arena.recover t.arena ~live:arena_live));
+        Mc_core.Bump_arena.recover t.arena ~live:arena_live;
+        (* Rebuild the volatile tenant state from durable truth:
+           re-create each tenant's vkey in the slot table, then
+           recompute usage by walking the recovered store — the
+           in-block counters may have been mid-update at the kill. *)
+        let reg = t.tenants in
+        Tenant.iter_active reg (fun slot ->
+          let vk = Tenant.vkey_of reg slot in
+          if vk > 0 then
+            Pku.Vpkey.restore ~id:vk ~owner:(Tenant.uid_of reg slot));
+        let bytes = Array.make (Tenant.max_tenants reg) 0 in
+        let items = Array.make (Tenant.max_tenants reg) 0 in
+        Store.fold_keys t.store
+          (fun () key ~nbytes ~exptime:_ ->
+            match Tenant.owner_slot_of_key reg key with
+            | Some slot ->
+              bytes.(slot) <- bytes.(slot) + String.length key + nbytes;
+              items.(slot) <- items.(slot) + 1
+            | None -> ())
+          ();
+        Tenant.iter_active reg (fun slot ->
+          Tenant.set_usage reg slot ~bytes:bytes.(slot) ~items:items.(slot))));
     t
 
   (* The bookkeeping process creates the store from nothing. *)
@@ -163,7 +248,7 @@ module Make (S : Platform.Sync_intf.S) = struct
     Hodor.Library.protect_region lib region;
     Simos.Sim_fs.create_file ~path ~owner:(Process.uid owner) ~mode:0o600 region;
     let heap = Ralloc.create region in
-    let arena, store =
+    let arena, store, tenants =
       Region.kernel_mode (fun () ->
         let anchor = Ralloc.alloc heap 16 in
         Ralloc.Pptr.store region ~at:anchor 0;
@@ -180,9 +265,12 @@ module Make (S : Platform.Sync_intf.S) = struct
         let cell = Ralloc.alloc heap 16 in
         Ralloc.Pptr.store region ~at:cell (Store.ctrl_off store);
         Ralloc.set_root heap root_primary cell;
-        (arena, store))
+        let tblock = Ralloc.alloc heap (Tenant.size_for ~max:max_tenants) in
+        let tenants = Tenant.format region ~base:tblock ~max:max_tenants in
+        Ralloc.set_root heap root_tenants tblock;
+        (arena, store, tenants))
     in
-    build_handle ~lib ~region ~heap ~arena ~store ~path ~owner
+    build_handle ~lib ~region ~heap ~arena ~store ~tenants ~path ~owner
 
   (* Restart: map the flushed heap file and find the store through the
      persistent root. No data-rebuilding code exists — that is the
@@ -199,7 +287,7 @@ module Make (S : Platform.Sync_intf.S) = struct
     Hodor.Library.protect_region lib region;
     Simos.Sim_fs.create_file ~path ~owner:(Process.uid owner) ~mode:0o600 region;
     let heap = Ralloc.attach region in
-    let arena, store =
+    let arena, store, tenants =
       Region.kernel_mode (fun () ->
         let anchor =
           (* Heaps flushed before the hot tier existed have no arena
@@ -222,9 +310,21 @@ module Make (S : Platform.Sync_intf.S) = struct
             ~alloc:(Mc_core.Ralloc_alloc.of_heap_with_arena heap arena)
             store_cfg ~ctrl
         in
-        (arena, store))
+        let tenants =
+          (* Heaps flushed before multi-tenancy have no registry. *)
+          match Ralloc.get_root heap root_tenants with
+          | 0 ->
+            let tblock =
+              Ralloc.alloc heap (Tenant.size_for ~max:max_tenants)
+            in
+            let reg = Tenant.format region ~base:tblock ~max:max_tenants in
+            Ralloc.set_root heap root_tenants tblock;
+            reg
+          | tblock -> Tenant.attach region ~base:tblock
+        in
+        (arena, store, tenants))
     in
-    build_handle ~lib ~region ~heap ~arena ~store ~path ~owner
+    build_handle ~lib ~region ~heap ~arena ~store ~tenants ~path ~owner
 
   (* A client process links the library: the loader performs the euid
      dance to open the store file on the client's behalf (§3.3). *)
@@ -455,6 +555,219 @@ module Make (S : Platform.Sync_intf.S) = struct
 
   let stats_reset t = enter t (fun () -> Store.stats_reset t.store)
 
+  (* ---- Multi-tenant surface ------------------------------------------- *)
+
+  (* A tenant-scoped operation is confined to its namespace {e by
+     construction}: the connection- (or caller-)bound tenant slot
+     picks the [<name>/] prefix host-side, before the key is even
+     copied into the library, so no client-supplied byte sequence can
+     address another tenant's items. The tenant's virtual pkey is its
+     capability: every scoped op binds it under the caller's euid
+     first — the bind is refused (Vpkey.Permission_denied) for anyone
+     but the owner or root. *)
+
+  let tenants t = t.tenants
+
+  let vault t slot = Hashtbl.find_opt t.vaults slot
+
+  let bind_capability t slot =
+    let uid = Process.euid (Process.current ()) in
+    (* The multiplexing (slot grab, re-tag) is kernel-side work, as in
+       libmpk's kernel module; the ownership check runs regardless.
+       Callers run this {e before} entering the crossing — a refusal
+       is a clean Permission_denied at the door, never an in-call
+       failure that would poison the shared library. *)
+    Region.kernel_mode (fun () ->
+      let vk = Tenant.vkey_of t.tenants slot in
+      if vk <= 0 then invalid_arg "Plib: tenant has no vkey";
+      ignore (Pku.Vpkey.bind ~owner:uid vk))
+
+  let create_tenant t ~name ~uid ?(byte_quota = 0) ?(item_quota = 0) () =
+    span_root "create_tenant" @@ fun () ->
+    enter t (fun () ->
+      let slot =
+        Tenant.register t.tenants ~name ~uid ~byte_quota ~item_quota
+      in
+      let vk = Pku.Vpkey.alloc ~owner:uid () in
+      Tenant.set_vkey t.tenants slot vk;
+      (* The tenant's vault: one page tagged through the vkey, proving
+         the namespace's protection domain. Readable only under the
+         owner's bound key; quarantined whenever the vkey loses its
+         hardware slot. *)
+      let vault =
+        Region.kernel_mode (fun () ->
+          Region.create
+            ~name:(Printf.sprintf "%s!vault!%s" t.path name)
+            ~size:Region.page_size ~pkey:Pku.Pkey.default ())
+      in
+      Pku.Vpkey.attach_retag vk (fun hw ->
+        Region.kernel_mode (fun () ->
+          Region.tag_range vault ~off:0 ~len:Region.page_size ~pkey:hw));
+      Region.kernel_mode (fun () ->
+        Region.write_string vault ~off:8 ("vault:" ^ name));
+      Hashtbl.replace t.vaults slot vault;
+      slot)
+
+  let find_tenant t name = enter t (fun () -> Tenant.find t.tenants name)
+
+  (* In-library bodies (callers hold the crossing and have bound the
+     capability); shared by the scalar wrappers and the batch plane. *)
+
+  let t_scope t slot key = Tenant.scope t.tenants slot key
+
+  let t_prefix_pred t slot =
+    let p = Tenant.prefix t.tenants slot in
+    fun key -> String.starts_with ~prefix:p key
+
+  let t_get_in t slot key =
+    let k = copy_in t (Bytes.unsafe_of_string (t_scope t slot key)) in
+    Tenant.bump t.tenants slot Tenant.Cmd_get;
+    match Store.get t.store k with
+    | Some r ->
+      Tenant.bump t.tenants slot Tenant.Get_hits;
+      Some r
+    | None -> None
+
+  let t_set_in t slot ?(flags = 0) ?(exptime = 0) key data =
+    let reg = t.tenants in
+    let k = copy_in t (Bytes.unsafe_of_string (t_scope t slot key)) in
+    let new_bytes = String.length k + String.length data in
+    (* Quota discipline: a full tenant evicts only its own items —
+       the eviction pass walks the tenant's LRU list under its prefix
+       predicate, never touching a neighbour's. *)
+    let rec room tries =
+      let old = Store.probe t.store k in
+      let add_bytes = new_bytes - Option.value old ~default:0 in
+      let add_items = if old = None then 1 else 0 in
+      if not (Tenant.would_exceed reg slot ~add_bytes ~add_items) then
+        `Fit old
+      else if tries = 0 then `Full
+      else if
+        Store.evict_some_matching t.store ~lru:slot
+          ~pred:(t_prefix_pred t slot)
+        > 0
+      then room (tries - 1)
+      else `Full
+    in
+    match room 64 with
+    | `Full -> Mc_core.Store.No_memory
+    | `Fit old ->
+      Tenant.bump reg slot Tenant.Cmd_set;
+      (match Store.set t.store ~flags ~exptime k data with
+       | Mc_core.Store.Stored as r ->
+         Tenant.charge reg slot
+           ~bytes:(new_bytes - Option.value old ~default:0)
+           ~items:(if old = None then 1 else 0);
+         r
+       | r -> r)
+
+  let t_delete_in t slot key =
+    let k = copy_in t (Bytes.unsafe_of_string (t_scope t slot key)) in
+    let old = Store.probe t.store k in
+    let ok = Store.delete t.store k in
+    (match old with
+     | Some b when ok ->
+       Tenant.charge t.tenants slot ~bytes:(-b) ~items:(-1)
+     | _ -> ());
+    ok
+
+  let t_touch_in t slot key exptime =
+    Store.touch t.store
+      (copy_in t (Bytes.unsafe_of_string (t_scope t slot key)))
+      exptime
+
+  (* Tenant-scoped flush: only the tenant's own namespace is swept —
+     tenant A's flush storm cannot take tenant B's acked writes. *)
+  let t_flush_in t slot =
+    let reg = t.tenants in
+    let pred = t_prefix_pred t slot in
+    let keys =
+      Store.fold_keys t.store
+        (fun acc key ~nbytes:_ ~exptime:_ ->
+          if pred key then key :: acc else acc)
+        []
+    in
+    List.iter
+      (fun k ->
+        let old = Store.probe t.store k in
+        if Store.delete t.store k then
+          match old with
+          | Some b -> Tenant.charge reg slot ~bytes:(-b) ~items:(-1)
+          | None -> ())
+      keys;
+    List.length keys
+
+  let tenant_get t slot key =
+    span_root "tenant_get" @@ fun () ->
+    bind_capability t slot;
+    enter t (fun () ->
+      t_get_in t slot key)
+
+  let tenant_set t slot ?flags ?exptime key data =
+    span_root "tenant_set" @@ fun () ->
+    bind_capability t slot;
+    enter t (fun () ->
+      t_set_in t slot ?flags ?exptime key data)
+
+  let tenant_delete t slot key =
+    span_root "tenant_delete" @@ fun () ->
+    bind_capability t slot;
+    enter t (fun () ->
+      t_delete_in t slot key)
+
+  let tenant_touch t slot key exptime =
+    span_root "tenant_touch" @@ fun () ->
+    bind_capability t slot;
+    enter t (fun () ->
+      t_touch_in t slot key exptime)
+
+  let tenant_flush t slot =
+    span_root "tenant_flush" @@ fun () ->
+    bind_capability t slot;
+    enter t (fun () ->
+      t_flush_in t slot)
+
+  let tenant_usage t slot =
+    enter t (fun () ->
+      (Tenant.bytes_used t.tenants slot, Tenant.items_used t.tenants slot))
+
+  let stats_tenants t = enter t (fun () -> Tenant.stats_kvs t.tenants)
+
+  (* Tenant-scoped multi-get: same one-crossing, stripe-group (or
+     seqlock) plan as {!mget}, over scoped keys — the optimistic read
+     path stays inside the namespace because the scoped key {e is} the
+     lookup key. *)
+  let tenant_mget t slot keys =
+    match keys with
+    | [] -> []
+    | keys ->
+      span_root "tenant_mget" @@ fun () ->
+      bind_capability t slot;
+      Hodor.Trampoline.call_batch t.lib ~ops:(List.length keys) (fun () ->
+        let prot =
+          List.map
+            (fun k ->
+              (k, copy_in t (Bytes.unsafe_of_string (t_scope t slot k))))
+            keys
+        in
+        let stripes =
+          if (Store.config t.store).Mc_core.Store.optimistic_reads then []
+          else
+            List.sort_uniq compare
+              (List.map (fun (_, k) -> Store.stripe_of t.store k) prot)
+        in
+        Store.with_stripes t.store ~stripes (fun () ->
+          List.filter_map
+            (fun (orig, key) ->
+              Telemetry.Span.around ~phase:"exec" (fun () ->
+                Tenant.bump t.tenants slot Tenant.Cmd_get;
+                match Store.get t.store key with
+                | Some r ->
+                  Tenant.bump t.tenants slot Tenant.Get_hits;
+                  Some (orig, r)
+                | None -> None))
+            prot))
+
   (* ---- Bookkeeping process duties ------------------------------------ *)
 
   (* Intermittent cleaning (§3.2): run in the bookkeeping process. *)
@@ -514,7 +827,8 @@ module Make (S : Platform.Sync_intf.S) = struct
 
   module Remote = Mc_server.Server.Make_hybrid (S)
 
-  let serve_remote ?(cfg = Mc_server.Server.default_config) t ~name =
+  let serve_remote ?(cfg = Mc_server.Server.default_config) ?assign_tenant t
+      ~name =
     let wrap =
       { Mc_server.Server.wrap =
           (fun ~ops f ->
@@ -522,7 +836,7 @@ module Make (S : Platform.Sync_intf.S) = struct
               Hodor.Trampoline.call_batch t.lib ~ops f)) }
     in
     Remote.start_with ~cfg:{ cfg with store = Store.config t.store } ~wrap
-      ~store:t.store ~name ()
+      ?assign_tenant ~store:t.store ~name ()
 
   let stop_remote srv = Remote.stop srv
 
@@ -534,6 +848,10 @@ module Make (S : Platform.Sync_intf.S) = struct
     Ralloc.flush t.heap ~path:disk_path;
     Simos.Sim_fs.unlink t.path;
     Hodor.Library.release t.lib;
+    (* The executor hooks closed over this handle's registry. *)
+    Tenant.stats_hook := (fun () -> []);
+    Tenant.reset_hook := (fun () -> ());
+    Tenant.bump_hook := (fun _ _ -> ());
     (* The counter cells lived in this heap; don't leave the process-
        wide backend pointing into a detached region. The counts
        themselves were flushed with the heap and reappear on restart. *)

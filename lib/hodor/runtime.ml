@@ -14,11 +14,16 @@ let now_hook : (unit -> int) ref =
 
 let configure ~advance ~now =
   advance_hook := advance;
-  now_hook := now
+  now_hook := now;
+  (* Slot-miss re-tags are kernel page-table work (libmpk's
+     pkey_mprotect); charge them to whoever triggered the miss. *)
+  Pku.Vpkey.retag_cost_hook :=
+    fun n -> advance (n * Platform.Cost_model.current.pkey_mprotect)
 
 let reset () =
   advance_hook := ignore;
-  now_hook := (fun () -> int_of_float (Unix.gettimeofday () *. 1e9))
+  now_hook := (fun () -> int_of_float (Unix.gettimeofday () *. 1e9));
+  Pku.Vpkey.retag_cost_hook := ignore
 
 let advance n = !advance_hook n
 

@@ -150,6 +150,15 @@ struct
     active : int Atomic.t;  (* threads currently executing a store op *)
     mutable hash_mask : int;
     lock_mask : int;
+    (* Host-side policy hooks (not persisted; reinstalled by whoever
+       owns the store after attach/recover). [lru_selector key] picks
+       the LRU list for a key — the tenant layer routes each tenant's
+       items onto its own list(s); [None] falls back to the built-in
+       hash/size-class policy. [evict_hook] fires once per item
+       reclaimed by eviction or expiry reaping (not by client deletes
+       or replacement), so an accounting layer can credit usage. *)
+    mutable lru_selector : (string -> int option) option;
+    mutable evict_hook : (key:string -> bytes:int -> unit) option;
   }
 
   let adv = S.advance
@@ -226,7 +235,9 @@ struct
       cas_src = Atomic.make 1L;
       active = Atomic.make 0;
       hash_mask = (1 lsl cfg.hashpower) - 1;
-      lock_mask = cfg.lock_count - 1 }
+      lock_mask = cfg.lock_count - 1;
+      lru_selector = None;
+      evict_hook = None }
 
   let create ~mem ~alloc (cfg : config) =
     (* Allocate the five shared structures. *)
@@ -506,9 +517,28 @@ struct
 
   let lru_tail t l = t.lru + (16 * l) + 8
 
-  let lru_of t ~h ~size =
-    if t.cfg.lru_by_size_class then Slab.class_of_size size mod t.cfg.lru_count
-    else h mod t.cfg.lru_count
+  let lru_of t ~h ~key ~size =
+    match t.lru_selector with
+    | Some f ->
+      (match f key with
+       | Some l -> l mod t.cfg.lru_count
+       | None ->
+         if t.cfg.lru_by_size_class then
+           Slab.class_of_size size mod t.cfg.lru_count
+         else h mod t.cfg.lru_count)
+    | None ->
+      if t.cfg.lru_by_size_class then
+        Slab.class_of_size size mod t.cfg.lru_count
+      else h mod t.cfg.lru_count
+
+  let set_lru_selector t f = t.lru_selector <- f
+
+  let set_evict_hook t f = t.evict_hook <- f
+
+  let notify_evict t ~key ~bytes =
+    match t.evict_hook with
+    | Some f -> f ~key ~bytes
+    | None -> ()
 
   let item_nkey t it = rd32 t (it + it_nkey)
 
@@ -652,14 +682,19 @@ struct
      stripe lock: bucket-chain membership proves the offset is still a
      live item, and the cas value (unique per stored item) defeats
      ABA reuse of the block by a different store. *)
-  let evict_from t l =
+  let evict_from ?pred t l =
     lock_lru t l;
     let rec collect it n acc =
       if it = 0 || n = 0 then acc
       else begin
         adv CM.current.bucket_probe;
         let acc =
-          if rd32 t (it + it_refcount) = 0 then
+          if
+            rd32 t (it + it_refcount) = 0
+            && (match pred with
+                | None -> true
+                | Some p -> p (item_key t it))
+          then
             (it, rd32 t (it + it_hash) land 0xFFFFFFFF, rd64r t (it + it_cas))
             :: acc
           else acc
@@ -681,13 +716,21 @@ struct
           && rd32 t (it + it_refcount) = 0
           && rd32 t (it + it_lru_id) = l
         then begin
+          let key = item_key t it and nbytes = item_nbytes t it in
           unlink_item t h it;
           stat t C.evictions;
+          notify_evict t ~key ~bytes:(String.length key + nbytes);
           incr reclaimed
         end;
         unlock_item t h)
       victims;
     !reclaimed
+
+  (* Tenant-scoped eviction: reclaim only items whose key satisfies
+     [pred], scanning the cold end of LRU list [lru]. The tenant layer
+     points [lru] at the tenant's own list, so a full tenant evicts
+     only its own items. *)
+  let evict_some_matching t ~lru ~pred = evict_from ~pred t (lru mod t.cfg.lru_count)
 
   let evict_some t ~hint =
     let n = t.cfg.lru_count in
@@ -1067,7 +1110,7 @@ struct
         | `Store ->
           if old <> 0 then unlink_item t h old;
           hash_insert t h it;
-          let l = lru_of t ~h ~size:total in
+          let l = lru_of t ~h ~key ~size:total in
           lock_lru t l;
           lru_link t it l;
           unlock_lru t l;
@@ -1141,7 +1184,7 @@ struct
             else begin
               unlink_item t h cur;
               hash_insert t h it;
-              let l = lru_of t ~h ~size:total in
+              let l = lru_of t ~h ~key ~size:total in
               lock_lru t l;
               lru_link t it l;
               unlock_lru t l;
@@ -1181,6 +1224,24 @@ struct
       stat t C.delete_hits;
       true
     end
+
+  (* Accounting probe: the live item's key+value byte count, with no
+     stat bumps, no LRU bump and no expiry side effects — the tenant
+     layer sizes replacements and deletes with it without polluting
+     cmd_get/get_misses. *)
+  let probe t key =
+    with_op t @@ fun () ->
+    adv CM.current.hash_op;
+    let h = Hash.murmur3_32 key in
+    let now = now_sec () in
+    lock_item t h;
+    let it = find t h key in
+    let r =
+      if it = 0 || expired t it ~now then None
+      else Some (item_nkey t it + item_nbytes t it)
+    in
+    unlock_item t h;
+    r
 
   let touch t key exptime =
     with_op t @@ fun () ->
@@ -1436,8 +1497,10 @@ struct
              && expired t it ~now
              && rd32 t (it + it_refcount) = 0
           then begin
+            let key = item_key t it and nbytes = item_nbytes t it in
             unlink_item t h it;
             stat t C.expired;
+            notify_evict t ~key ~bytes:(String.length key + nbytes);
             Stdlib.incr reaped
           end;
           unlock_item t h)
@@ -1586,7 +1649,7 @@ struct
       (fun it ->
         let h = rd32 t (it + it_hash) land 0xFFFFFFFF in
         let size = header_size + item_nkey t it + item_nbytes t it in
-        lru_link t it (lru_of t ~h ~size))
+        lru_link t it (lru_of t ~h ~key:(item_key t it) ~size))
       !live_items;
     (* Item count from the ground truth; per-thread scatter collapses
        into slot 0. Hit/miss tallies are best-effort monitoring and are

@@ -175,6 +175,11 @@ module Make
 
   val curr_items : t -> int
 
+  val probe : t -> string -> int option
+  (** The live item's key+value byte count — no stat bumps, no LRU
+      bump, no expiry side effects. The tenant layer's accounting
+      probe. *)
+
   (** {1 Bookkeeping-process duties} *)
 
   val maintain : ?hi:float -> ?lo:float -> t -> unit
@@ -182,6 +187,26 @@ module Make
       watermark (§3.2's intermittent cleaning). *)
 
   val evict_some : t -> hint:int -> int
+
+  val evict_some_matching : t -> lru:int -> pred:(string -> bool) -> int
+  (** One eviction pass over LRU list [lru]'s cold end reclaiming only
+      items whose key satisfies [pred] — per-tenant quota eviction:
+      with the tenant's items routed to their own list (see
+      {!set_lru_selector}), a full tenant evicts only itself. *)
+
+  (** {1 Multi-tenancy hooks} *)
+
+  val set_lru_selector : t -> (string -> int option) option -> unit
+  (** Route keys to LRU lists: [Some l] pins the key's items to list
+      [l mod lru_count]; [None] falls back to the built-in hash or
+      size-class policy. Host-side state — reinstall after
+      attach/recover. *)
+
+  val set_evict_hook : t -> (key:string -> bytes:int -> unit) option -> unit
+  (** Fired once per item reclaimed by eviction or expiry reaping
+      (not client deletes/replacement), with the item's key and
+      key+value byte count; runs under the item's stripe lock, so keep
+      it lock-free. The tenant layer credits usage here. *)
 
   val resize : t -> bool
   (** Double the bucket table: stop-the-world migration under every

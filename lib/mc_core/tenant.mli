@@ -1,0 +1,143 @@
+(** The tenant registry: multi-tenant state persisted in the shared
+    heap.
+
+    A tenant is a named principal with (1) a key-prefix namespace
+    ([<name>/]) that every tenant-scoped operation is confined to by
+    construction, (2) byte/item quotas with usage accounting, (3) a
+    virtual protection key ({!Pku.Vpkey}) acting as its capability —
+    tenant-scoped calls bind it under the caller's uid, so only the
+    owner (or root) can exercise the namespace — and (4) its own
+    stats rollup ([cmd_get]/[get_hits]/[cmd_set]/[evictions]).
+
+    The registry lives in one Ralloc block inside the protected heap,
+    anchored under its own persistent root, so membership, quotas and
+    vkey ids survive crashes; usage counters are recomputed from the
+    store during recovery (they may be mid-update at the kill point).
+
+    This module is pure registry mechanics over a {!Shm.Region};
+    callers must hold access to the heap's pages (be inside a library
+    crossing, or in kernel mode). Policy — quota eviction, scoped
+    ops, recovery — lives in [Plib] (lib/core/plib_store.ml). *)
+
+type t
+
+val max_name : int
+(** 40 bytes. *)
+
+(** {1 Red-team toggles} (shipping default [true]) *)
+
+val quota_enforced : bool ref
+(** Off: tenants write past their quotas — the cross-tenant starvation
+    attack. *)
+
+val namespace_enforced : bool ref
+(** Off: tenant-scoped keys pass through unprefixed — the forged
+    cross-tenant read attack. *)
+
+(** {1 Layout} *)
+
+val size_for : max:int -> int
+(** Bytes needed for a registry of [max] tenant slots. *)
+
+val format : Shm.Region.t -> base:int -> max:int -> t
+(** Initialise an empty registry in the block at [base]. *)
+
+val attach : Shm.Region.t -> base:int -> t
+(** Reattach; raises [Invalid_argument] if the magic doesn't match. *)
+
+val base : t -> int
+
+val max_tenants : t -> int
+
+(** {1 Membership} *)
+
+val register :
+  t -> name:string -> uid:int -> byte_quota:int -> item_quota:int -> int
+(** New tenant; returns its slot. The vkey is {e not} allocated here
+    (the caller allocates one owned by [uid] and stores it with
+    {!set_vkey}). Raises [Invalid_argument] on a duplicate name, a
+    full registry, or a name that is empty, longer than {!max_name},
+    or contains ['/'], spaces or control bytes. *)
+
+val find : t -> string -> int option
+
+val count_active : t -> int
+
+val iter_active : t -> (int -> unit) -> unit
+
+val active : t -> int -> bool
+
+val name_of : t -> int -> string
+
+val uid_of : t -> int -> int
+
+val vkey_of : t -> int -> int
+
+val set_vkey : t -> int -> int -> unit
+
+(** {1 Namespacing} *)
+
+val prefix : t -> int -> string
+(** [name ^ "/"]. *)
+
+val scope : t -> int -> string -> string
+(** The tenant-confined key: [prefix ^ key] (identity when
+    {!namespace_enforced} is off — the pre-fix stack). *)
+
+val owner_slot_of_key : t -> string -> int option
+(** Which active tenant's namespace a raw store key belongs to, by
+    prefix. *)
+
+(** {1 Quotas and accounting} *)
+
+val byte_quota : t -> int -> int
+
+val item_quota : t -> int -> int
+
+val bytes_used : t -> int -> int
+
+val items_used : t -> int -> int
+
+val charge : t -> int -> bytes:int -> items:int -> unit
+(** Adjust usage by a (possibly negative) delta, clamped at zero. *)
+
+val set_usage : t -> int -> bytes:int -> items:int -> unit
+(** Recovery: overwrite usage with recomputed truth. *)
+
+val would_exceed : t -> int -> add_bytes:int -> add_items:int -> bool
+(** Would the delta push usage past a quota? Always false with
+    {!quota_enforced} off. *)
+
+(** {1 Per-tenant stats} *)
+
+type stat = Cmd_get | Get_hits | Cmd_set | Evictions
+
+val bump : t -> int -> stat -> unit
+
+val stat : t -> int -> stat -> int
+
+val stats_kvs : t -> (string * string) list
+(** The `stats tenants` payload: for each active tenant,
+    [tenant:<name>:{cmd_get,get_hits,cmd_set,evictions,bytes,items,
+    bytes_quota,items_quota}]. *)
+
+val reset_stats : t -> unit
+(** Zero the op tallies of every tenant. Membership, quotas, usage
+    and vkeys are untouched — `stats reset` must not unregister
+    anyone. *)
+
+(** {1 Executor hooks}
+
+    The protocol executor is store-generic and cannot see the
+    registry; the library owner installs these. *)
+
+val stats_hook : (unit -> (string * string) list) ref
+(** Serves `stats tenants` (default: empty). *)
+
+val reset_hook : (unit -> unit) ref
+(** Chained into `stats reset` (default: no-op). *)
+
+val bump_hook : (string -> stat -> unit) ref
+(** Per-tenant stat bump by tenant {e name} — the socket path's
+    rollup: a tenant-bound connection's commands are counted here by
+    the server's executor (default: no-op). *)

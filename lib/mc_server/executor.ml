@@ -4,6 +4,79 @@
 
 module P = Mc_protocol.Types
 
+(* ---- Tenant scoping (connection-bound identity) ----------------------
+
+   A connection bound to a tenant never addresses raw store keys: the
+   server rewrites every key-carrying command into the tenant's
+   [<name>/] namespace {e before} execution, and strips the prefix
+   back out of the values on the way back, so the client sees its own
+   flat key space. The rewrite happens host-side from the
+   connection-bound identity — no byte sequence the client sends can
+   escape its prefix. [Tenant.namespace_enforced] is the red-team
+   toggle: with it off, keys pass through unscoped (the forged-prefix
+   breach) and even [flush_all] reaches the whole store. *)
+
+let scope_key ~prefix k = prefix ^ k
+
+let scope_params ~prefix (p : P.store_params) =
+  { p with P.key = scope_key ~prefix p.P.key }
+
+let scope_command ~prefix (cmd : P.command) : P.command =
+  if not !Mc_core.Tenant.namespace_enforced then cmd
+  else
+    match cmd with
+    | P.Get keys -> P.Get (List.map (scope_key ~prefix) keys)
+    | P.Gets keys -> P.Gets (List.map (scope_key ~prefix) keys)
+    | P.Getx { g_key; g_quiet; g_withkey } ->
+      P.Getx { g_key = scope_key ~prefix g_key; g_quiet; g_withkey }
+    | P.Set p -> P.Set (scope_params ~prefix p)
+    | P.Add p -> P.Add (scope_params ~prefix p)
+    | P.Replace p -> P.Replace (scope_params ~prefix p)
+    | P.Append p -> P.Append (scope_params ~prefix p)
+    | P.Prepend p -> P.Prepend (scope_params ~prefix p)
+    | P.Cas (p, u) -> P.Cas (scope_params ~prefix p, u)
+    | P.Delete (k, n) -> P.Delete (scope_key ~prefix k, n)
+    | P.Incr (k, d, n) -> P.Incr (scope_key ~prefix k, d, n)
+    | P.Decr (k, d, n) -> P.Decr (scope_key ~prefix k, d, n)
+    | P.Touch (k, e, n) -> P.Touch (scope_key ~prefix k, e, n)
+    | P.Flush_all ->
+      (* a global wipe from inside one namespace is exactly the
+         cross-tenant attack; tenants flush through their own API *)
+      P.Invalid "flush_all forbidden on tenant connections"
+    | (P.Stats _ | P.Version | P.Quit | P.Noop | P.Invalid _) as c -> c
+
+let unscope_response ~prefix (resp : P.response) : P.response =
+  if not !Mc_core.Tenant.namespace_enforced then resp
+  else
+    match resp with
+    | P.Values { with_cas; vals } ->
+      let pl = String.length prefix in
+      let strip v =
+        let k = v.P.v_key in
+        if String.length k >= pl && String.sub k 0 pl = prefix then
+          { v with P.v_key = String.sub k pl (String.length k - pl) }
+        else v
+      in
+      P.Values { with_cas; vals = List.map strip vals }
+    | r -> r
+
+(* Per-tenant rollup for the socket path (the in-process path counts
+   inside the library). Keyed by name through [Tenant.bump_hook]; a
+   no-op until a library owner installs the hook. *)
+let account_tenant ~name (cmd : P.command) (resp : P.response) =
+  let bump s = !Mc_core.Tenant.bump_hook name s in
+  match (cmd, resp) with
+  | (P.Get ks | P.Gets ks), P.Values { vals; _ } ->
+    List.iter (fun _ -> bump Mc_core.Tenant.Cmd_get) ks;
+    List.iter (fun _ -> bump Mc_core.Tenant.Get_hits) vals
+  | P.Getx _, P.Values { vals; _ } ->
+    bump Mc_core.Tenant.Cmd_get;
+    List.iter (fun _ -> bump Mc_core.Tenant.Get_hits) vals
+  | (P.Set _ | P.Add _ | P.Replace _ | P.Append _ | P.Prepend _ | P.Cas _), _
+    ->
+    bump Mc_core.Tenant.Cmd_set
+  | _ -> ()
+
 module Make
     (M : Mc_core.Memory_intf.MEMORY)
     (A : Mc_core.Memory_intf.ALLOCATOR)
@@ -92,12 +165,19 @@ struct
          profile (hits never queued on a stripe at all) *)
       P.Stats_reply
         (Telemetry.Contention.kvs () @ Telemetry.Counters.optimistic_kvs ())
+    | P.Stats (Some "tenants") ->
+      (* per-tenant rollups; served through the hook because the
+         registry lives with the library owner, not the store *)
+      P.Stats_reply (!Mc_core.Tenant.stats_hook ())
     | P.Stats (Some "reset") ->
       Store.stats_reset store;
       Telemetry.Counters.reset ();
       Telemetry.Timers.reset ();
       Telemetry.Span.reset_phases ();
       Telemetry.Contention.reset ();
+      (* tenant op tallies reset too; registry membership, quotas and
+         vkeys are durable state, not statistics *)
+      !Mc_core.Tenant.reset_hook ();
       P.Reset
     | P.Stats (Some arg) -> P.Client_error ("unknown stats argument " ^ arg)
     | P.Version -> P.Version_reply version

@@ -54,6 +54,10 @@ struct
     inboxes : T.message S.chan array;
     conns : (int, T.conn) Hashtbl.t;
     conns_lock : Mutex.t;
+    tenant_of : (int, string) Hashtbl.t;
+    (** connection-bound tenant identity (cid → tenant name), assigned
+        once at accept time; also guarded by [conns_lock] *)
+    assign_tenant : int -> string option;
     wrap : wrapper;
     (** runs each batch execution; the hybrid server passes the Hodor
         batch trampoline here so worker threads gain access rights to
@@ -83,7 +87,14 @@ struct
   let drop_conn t cid =
     Mutex.lock t.conns_lock;
     Hashtbl.remove t.conns cid;
+    Hashtbl.remove t.tenant_of cid;
     Mutex.unlock t.conns_lock
+
+  let tenant_of t cid =
+    Mutex.lock t.conns_lock;
+    let r = Hashtbl.find_opt t.tenant_of cid in
+    Mutex.unlock t.conns_lock;
+    r
 
   (* Each worker owns an event loop over its queue. A read from a
      socket delivers an arbitrary byte chunk — possibly a fragment of
@@ -141,12 +152,48 @@ struct
             in
             split [] cmds
           in
+          (* Tenant-bound connection: rewrite every command into the
+             tenant's namespace before execution, then strip the
+             prefix back out of the replies and roll the per-tenant
+             stats. The whole scoped batch still runs under one wrap
+             (= one protection crossing in the hybrid server), so the
+             batch plane — stripe groups, optimistic reads — stays
+             tenant-scoped for free: the scoped key is the only key
+             the store ever sees. *)
+          let tenant = tenant_of t cid in
+          let before_quit =
+            match tenant with
+            | None -> before_quit
+            | Some name ->
+              List.map
+                (Executor.scope_command ~prefix:(name ^ "/"))
+                before_quit
+          in
           let pairs =
             match before_quit with
             | [] -> []
             | cmds ->
               t.wrap.wrap ~ops:(List.length cmds) (fun () ->
-                E.execute_batch t.store cmds)
+                let pairs = E.execute_batch t.store cmds in
+                (* Accounting touches the tenant registry, which lives
+                   in the protected heap — it must happen inside the
+                   crossing, while this thread still holds access. *)
+                (match tenant with
+                 | None -> ()
+                 | Some name ->
+                   List.iter
+                     (fun (c, r) -> Executor.account_tenant ~name c r)
+                     pairs);
+                pairs)
+          in
+          let pairs =
+            match tenant with
+            | None -> pairs
+            | Some name ->
+              let prefix = name ^ "/" in
+              List.map
+                (fun (c, r) -> (c, Executor.unscope_response ~prefix r))
+                pairs
           in
           (* One output buffer for the whole batch, one send. *)
           Telemetry.Span.around ~phase:"reply" (fun () ->
@@ -212,6 +259,11 @@ struct
     let register conn =
       Mutex.lock t.conns_lock;
       Hashtbl.replace t.conns conn.T.cid conn;
+      (* bind the tenant identity before the client is released, so no
+         request can race ahead of its own scoping *)
+      (match t.assign_tenant conn.T.cid with
+       | Some name -> Hashtbl.replace t.tenant_of conn.T.cid name
+       | None -> ());
       Mutex.unlock t.conns_lock
     in
     let rec loop () =
@@ -229,13 +281,14 @@ struct
   (* [prebuilt] lets benchmark sweeps reuse one loaded store across
      many server incarnations (the dataset outlives the threads), and
      is how the hybrid deployment hands the shared store in. *)
-  let start_with ?(cfg = default_config) ?(wrap = default_wrapper) ~store ~name
-      () =
+  let start_with ?(cfg = default_config) ?(wrap = default_wrapper)
+      ?(assign_tenant = fun _ -> None) ~store ~name () =
     let listener = T.listen ~name in
     let inboxes = Array.init cfg.workers (fun _ -> S.chan ()) in
     let t =
       { cfg; store; listener; inboxes; conns = Hashtbl.create 64;
-        conns_lock = Mutex.create (); wrap; threads = [] }
+        conns_lock = Mutex.create (); tenant_of = Hashtbl.create 8;
+        assign_tenant; wrap; threads = [] }
     in
     let acceptor = S.spawn ~name:(name ^ ".acceptor") (fun () -> acceptor_loop t) in
     let workers =

@@ -1,0 +1,147 @@
+(** Virtual protection keys (libmpk-style).
+
+    PKU gives 16 hardware keys; a multi-tenant cache needs one
+    protection domain per tenant, and far more than 16 tenants. This
+    layer virtualizes {!Pkey}: {!alloc} hands out an unbounded supply
+    of {e virtual} keys, and a slot table multiplexes the bound subset
+    onto hardware keys on demand, exactly as libmpk (Park et al., ATC
+    '19) multiplexes [pkey_mprotect] domains:
+
+    - {!bind} returns the hardware key currently backing a vkey. A
+      miss grabs a free hardware slot (allocating from {!Pkey} up to a
+      configurable cap) or {e evicts} the least-recently-bound vkey.
+    - Evicting a vkey re-tags every memory range attached to it to a
+      dedicated {e quarantine} key that no thread ever enables, so an
+      unbound vkey's memory is unreadable by everyone. The ranges are
+      lazily re-tagged to the new hardware key on the vkey's next
+      bind ({!attach_retag} registers the re-tag callback).
+    - Each thread keeps a shadow of which vkeys it has enabled in its
+      pkru and on which hardware slot; {!sync_thread} — called by the
+      Hodor trampoline on every crossing — revokes rights on slots
+      whose binding moved and re-establishes them on the vkey's
+      current slot, so slot reuse never leaks rights across vkeys.
+
+    Binds, slot misses and evictions are counted in
+    [Telemetry.Counters] ([vpkey_binds] / [vpkey_slot_misses] /
+    [vpkey_evictions]).
+
+    Trust model: this module is kernel-side code (libmpk's kernel
+    module). Re-tag callbacks run with whatever privilege the
+    registrant gave them — registrants that manage seccomp-filtered
+    regions must wrap their callback in [Region.kernel_mode]. *)
+
+type t = int
+(** A virtual key id (>= 1). *)
+
+exception Unknown_vkey of int
+
+exception Permission_denied of string
+(** Raised by {!bind}/{!enable} when [~owner] does not match the
+    vkey's owner (and {!owner_checks_enabled} is on). *)
+
+(** {1 Red-team toggles} — revert a defense to demonstrate the attack
+    it blocks. Shipping default for all three is [true]. *)
+
+val eviction_enabled : bool ref
+(** Off: a full slot table raises {!Pkey.Out_of_keys} on miss — the
+    pre-virtualization world where key exhaustion is denial of
+    protection. *)
+
+val owner_checks_enabled : bool ref
+(** Off: any caller may bind (and so enable) any tenant's vkey. *)
+
+val quarantine_on_evict : bool ref
+(** Off: eviction leaves the victim's ranges tagged with the old
+    hardware key, readable by whoever inherits the slot. *)
+
+(** {1 Allocation} *)
+
+val alloc : ?owner:int -> unit -> t
+(** A fresh virtual key. [owner] (default 0 = root) is the uid allowed
+    to bind it; uid 0 bypasses ownership checks. *)
+
+val free : t -> unit
+(** Quarantines the vkey's ranges, releases its slot, and retires the
+    id. @raise Unknown_vkey on double-free. *)
+
+val restore : id:t -> owner:int -> unit
+(** Recovery path: re-create vkey [id] (unbound) if this process does
+    not know it — used to rebuild the slot table from a persisted
+    tenant registry after a crash. Idempotent. *)
+
+(** {1 Binding} *)
+
+val bind : ?owner:int -> t -> Pkey.t
+(** The hardware key backing the vkey, binding it to a slot first if
+    needed (evicting the LRU vkey when the table is full) and lazily
+    re-tagging its attached ranges. [owner] is the caller's uid for
+    the ownership check; omit it only from trusted kernel-side code.
+    @raise Permission_denied on an ownership mismatch.
+    @raise Pkey.Out_of_keys if the table is full and
+    {!eviction_enabled} is off. *)
+
+val hw_key : t -> Pkey.t option
+(** The slot currently backing the vkey, if bound. *)
+
+val owner_of : t -> int
+
+val attach_retag : t -> (Pkey.t -> unit) -> unit
+(** Register a callback that re-tags one of the vkey's memory ranges
+    to a given hardware key. Called immediately with the current
+    mapping (the quarantine key if unbound), then on every eviction
+    and rebind. *)
+
+val quarantine_key : unit -> Pkey.t
+(** The quarantine key (allocated on first use). Never enable it. *)
+
+val retag_cost_hook : (int -> unit) ref
+(** Called with the number of ranges walked each time eviction, rebind
+    or {!free} re-tags a vkey's memory — where libmpk pays its
+    [pkey_mprotect] calls. Installed by [Hodor.Runtime.configure] to
+    charge modeled CPU time in the virtual-time benchmarks; default
+    no-op. *)
+
+(** {1 Per-thread pkru shadow} *)
+
+val enable : ?owner:int -> t -> Pkey.t
+(** Bind the vkey and enable its hardware key in the calling thread's
+    pkru, recording the grant in the thread's shadow. *)
+
+val disable : t -> unit
+(** Drop the thread's grant and close the pkru bits (unless another
+    of the thread's grants shares the slot). *)
+
+val sync_thread : unit -> unit
+(** Reconcile the calling thread's pkru with the slot table: revoke
+    rights on slots whose vkey was evicted or moved, re-bind and
+    re-enable the vkeys this thread still holds. O(1) when the thread
+    holds no vkey grants; called by the Hodor trampoline on every
+    protected crossing. *)
+
+(** {1 Capacity and introspection} *)
+
+val set_hw_cap : int -> unit
+(** Cap on hardware slots the table may occupy (clamped to 1..14;
+    default 12, leaving headroom for Hodor library keys and the
+    quarantine key). *)
+
+val slots_in_use : unit -> int
+
+val live_vkeys : unit -> int
+
+val binds : unit -> int
+(** Process-lifetime bind count (monotonic; reset by {!reset}). *)
+
+val slot_misses : unit -> int
+
+val evictions : unit -> int
+
+val check_invariants : unit -> unit
+(** Slot table consistency: every slot's occupant points back at the
+    slot, bound count within cap, quarantine key never a slot.
+    @raise Failure on violation. *)
+
+val reset : unit -> unit
+(** Test harness: free every hardware key back to {!Pkey}, drop all
+    vkeys, zero the counters, clear the calling thread's shadow, and
+    restore default cap and toggles. *)

@@ -29,6 +29,10 @@ type t = {
   mutable trampoline_hodor : int;  (** full Hodor trampoline, round trip *)
   mutable trampoline_plain : int;  (** plain indirect call, round trip *)
   mutable wrpkru : int;            (** one pkru write *)
+  mutable pkey_mprotect : int;
+  (** re-tagging one memory range to another pkey on a vpkey slot
+      miss or eviction — libmpk's dominant multiplexing cost (a
+      kernel page-table walk, ~1 us/call in their measurements) *)
   (* Store internals (both paths run this code). *)
   mutable hash_op : int;           (** murmur3 of a short key *)
   mutable bucket_probe : int;      (** one chain-node visit *)
@@ -77,6 +81,7 @@ let default () = {
   trampoline_hodor = 40;
   trampoline_plain = 5;
   wrpkru = 12;
+  pkey_mprotect = 1100;
   hash_op = 60;
   bucket_probe = 10;
   key_cmp_per_16b = 3;
@@ -114,6 +119,7 @@ let reset () =
   current.trampoline_hodor <- d.trampoline_hodor;
   current.trampoline_plain <- d.trampoline_plain;
   current.wrpkru <- d.wrpkru;
+  current.pkey_mprotect <- d.pkey_mprotect;
   current.hash_op <- d.hash_op;
   current.bucket_probe <- d.bucket_probe;
   current.key_cmp_per_16b <- d.key_cmp_per_16b;

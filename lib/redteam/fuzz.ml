@@ -43,6 +43,18 @@ let proto_of_filename name =
     Some Binary
   else None
 
+(* "<proto>-tenant-<what>" additionally replays through the tenant
+   harness: the input drains on a connection bound to tenant A while
+   tenant B's secret sits in its own namespace. *)
+let tenant_a = "ta"
+let tenant_b = "tb"
+
+let tenant_of_filename name =
+  let pat = "-tenant-" in
+  let n = String.length pat and h = String.length name in
+  let rec find i = i + n <= h && (String.sub name i n = pat || find (i + 1)) in
+  if find 0 then Some tenant_a else None
+
 type failure =
   | Crash of string  (** parser raised something uncaught *)
   | Desync of string  (** drain loop stopped making progress *)
@@ -74,7 +86,7 @@ let fresh_store () =
    honoring suppression, repeat until the buffer yields nothing
    more. A Parse_error answers CLIENT_ERROR and drops the rest of the
    buffer, exactly as the server does before killing the connection. *)
-let drain store proto (input : string) : (string, failure) result =
+let drain ?tenant store proto (input : string) : (string, failure) result =
   let parse_batch =
     match proto with Ascii -> A.parse_batch | Binary -> B.parse_batch
   in
@@ -120,7 +132,28 @@ let drain store proto (input : string) : (string, failure) result =
            end
            else begin
              buf := String.sub !buf consumed (String.length !buf - consumed);
+             (* tenant mode: the server's host-side rewrite, applied
+                exactly as Server.worker_loop would for a bound conn *)
+             let cmds =
+               match tenant with
+               | None -> cmds
+               | Some name ->
+                 List.map
+                   (Mc_server.Executor.scope_command ~prefix:(name ^ "/"))
+                   cmds
+             in
              let pairs = E.execute_batch store cmds in
+             let pairs =
+               match tenant with
+               | None -> pairs
+               | Some name ->
+                 List.map
+                   (fun (c, r) ->
+                     ( c,
+                       Mc_server.Executor.unscope_response
+                         ~prefix:(name ^ "/") r ))
+                   pairs
+             in
              List.iter
                (fun (cmd, resp) ->
                  if not (P.suppress_reply cmd resp) then
@@ -141,24 +174,34 @@ let contains ~needle hay =
   let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
   n = 0 || go 0
 
+let tenant_secret_value = "TENANT-B-SECRET-9f86d081884c7d659a2f"
+
 (* Run one attacker input against a fresh store and apply every
-   oracle. This is the unit the corpus replays. *)
-let run_input proto (input : string) : failure list =
+   oracle. This is the unit the corpus replays. In tenant mode the
+   victim's secret lives in tenant B's namespace (as B's own scoped
+   connection stored it) and the attacker drains as tenant A — the
+   leak oracle then catches any key that escapes A's prefix. *)
+let run_input ?tenant proto (input : string) : failure list =
   let store = fresh_store () in
+  let vic_key, vic_value =
+    match tenant with
+    | None -> (secret_key, secret_value)
+    | Some _ -> (tenant_b ^ "/secret", tenant_secret_value)
+  in
   (* connection B, the honest victim, stores its secret first *)
   (match
      E.execute store
        (P.Set
-          { P.key = secret_key; flags = 7; exptime = 0; data = secret_value;
+          { P.key = vic_key; flags = 7; exptime = 0; data = vic_value;
             noreply = false })
    with
    | P.Stored -> ()
    | _ -> failwith "fuzz harness: secret not stored");
   let failures = ref [] in
-  (match drain store proto input with
+  (match drain ?tenant store proto input with
    | Error f -> failures := [ f ]
    | Ok replies ->
-     if contains ~needle:secret_value replies then
+     if contains ~needle:vic_value replies then
        failures :=
          [ Leak "victim's secret appeared in the attacker's reply stream" ]);
   (* post-mortem: the store must still be whole *)
@@ -176,8 +219,8 @@ let run_input proto (input : string) : failure list =
      (match E.Store.get store "rt-sentinel" with
       | Some g when g.Mc_core.Store.value = "alive" -> ()
       | _ -> failures := Store_damage "sentinel does not read back" :: !failures);
-     match E.Store.get store secret_key with
-     | Some g when g.Mc_core.Store.value = secret_value -> ()
+     match E.Store.get store vic_key with
+     | Some g when g.Mc_core.Store.value = vic_value -> ()
      | Some _ ->
        failures := Store_damage "victim's secret was altered" :: !failures
      | None ->
@@ -323,6 +366,57 @@ let gen_case rng =
   done;
   (proto, !input)
 
+(* ---- Tenant-targeted mutations --------------------------------------
+
+   Keys an attacker on tenant A's connection aims across the namespace
+   boundary: the victim's prefix forged outright, traversal-flavored
+   variants, and bare prefix bytes spliced mid-stream so a key tears
+   across a request boundary. Host-side scoping must neutralize every
+   one of them — the leak oracle is the judge. *)
+
+let tenant_forged_keys =
+  [| "tb/secret"; "../tb/secret"; "tb/"; "/tb/secret"; "tb//secret";
+     "ta/../tb/secret" |]
+
+let evil_tenant_request rng proto =
+  let k =
+    tenant_forged_keys.(Random.State.int rng (Array.length tenant_forged_keys))
+  in
+  match proto with
+  | Ascii ->
+    (match Random.State.int rng 4 with
+     | 0 -> Printf.sprintf "get %s\r\n" k
+     | 1 -> Printf.sprintf "gets %s secret\r\n" k
+     | 2 -> Printf.sprintf "delete %s\r\n" k
+     | _ -> Printf.sprintf "set %s 0 0 4\r\nevil\r\n" k)
+  | Binary ->
+    B.encode_command
+      (P.Getx { g_key = k; g_quiet = false; g_withkey = true })
+
+let mutate_tenant rng proto (s : string) : string =
+  match Random.State.int rng 3 with
+  | 0 ->
+    (* a forged-prefix request spliced at an arbitrary offset *)
+    let ins = evil_tenant_request rng proto in
+    let i = Random.State.int rng (String.length s + 1) in
+    String.sub s 0 i ^ ins ^ String.sub s i (String.length s - i)
+  | 1 ->
+    (* bare victim-prefix bytes torn into the stream: a prefix splice
+       across what the parser sees as one request *)
+    let i = Random.State.int rng (String.length s + 1) in
+    String.sub s 0 i ^ tenant_b ^ "/" ^ String.sub s i (String.length s - i)
+  | _ -> mutate rng proto s
+
+let gen_tenant_case rng =
+  let proto = if Random.State.bool rng then Ascii else Binary in
+  let base = gen_batch rng proto in
+  let muts = 1 + Random.State.int rng 3 in
+  let input = ref base in
+  for _ = 1 to muts do
+    input := mutate_tenant rng proto !input
+  done;
+  (proto, !input)
+
 (* ---- The campaign --------------------------------------------------- *)
 
 type verdict = {
@@ -341,6 +435,20 @@ let run ?(cases = default_cases) ~seed () : verdict =
     List.iter
       (fun f -> failures := (proto, input, f) :: !failures)
       (run_input proto input)
+  done;
+  { v_cases = cases; v_failures = List.rev !failures }
+
+(* The tenant campaign: same oracles, attacker bound to tenant A,
+   victim's secret in tenant B's namespace, every case carrying at
+   least one cross-namespace mutation. *)
+let run_tenant ?(cases = default_cases) ~seed () : verdict =
+  let rng = Random.State.make [| seed; 0x7e4a |] in
+  let failures = ref [] in
+  for _ = 1 to cases do
+    let proto, input = gen_tenant_case rng in
+    List.iter
+      (fun f -> failures := (proto, input, f) :: !failures)
+      (run_input ~tenant:tenant_a proto input)
   done;
   { v_cases = cases; v_failures = List.rev !failures }
 

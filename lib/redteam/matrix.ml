@@ -18,14 +18,27 @@ type row = {
 let row_green r =
   (not (Scenarios.is_blocked r.unhardened)) && Scenarios.is_blocked r.hardened
 
+let trace fmt =
+  Printf.ksprintf
+    (fun s ->
+      if Sys.getenv_opt "REDTEAM_TRACE" <> None then (
+        prerr_endline s;
+        flush stderr))
+    fmt
+
 let collect () : row list =
   List.map
     (fun (s : Scenarios.t) ->
+      trace "[matrix] %s: unhardened..." s.Scenarios.sc_name;
+      let unhardened = s.Scenarios.run ~hardening:false in
+      trace "[matrix] %s: hardened..." s.Scenarios.sc_name;
+      let hardened = s.Scenarios.run ~hardening:true in
+      trace "[matrix] %s: done" s.Scenarios.sc_name;
       { scenario = s.Scenarios.sc_name;
         vector = s.Scenarios.vector;
         defense = s.Scenarios.defense;
-        unhardened = s.Scenarios.run ~hardening:false;
-        hardened = s.Scenarios.run ~hardening:true })
+        unhardened;
+        hardened })
     Scenarios.all
 
 let cell = function

@@ -456,61 +456,172 @@ let retag_race =
              crossings completed untouched"
         | (_, m) :: _ -> Breached m) }
 
-(* ---- 9: pkey exhaustion --------------------------------------------- *)
+(* ---- 9: pkey exhaustion (at the virtualized layer) ------------------ *)
 
-(* PKU has 15 allocatable keys per process tree. An attacker that may
-   call pkey_alloc drains them all, and no protected library can be
-   created again — denial of protection, the quietest DoS there is. *)
+(* PKU has 15 allocatable keys per process tree; pkey_alloc itself is
+   already seccomp-denied to clients (scenario 13's filter). The
+   surviving exhaustion vector is {e legitimate} demand: enough
+   tenants, each entitled to a protection key, outnumber the hardware.
+   The defense is virtualization — {!Pku.Vpkey} multiplexes unbounded
+   virtual keys over the hw slots with LRU eviction, so slot pressure
+   degrades to re-tag traffic, never to denial of protection. The
+   unhardened run turns the eviction path off: the pre-libmpk world
+   where the 16th key request simply fails. *)
 let pkey_exhaustion =
   { sc_name = "pkey-exhaustion";
-    vector = "attacker drains all 15 pkeys via pkey_alloc";
-    defense = "seccomp filter: pkey_alloc not in the client allowlist";
-    toggle = "Simos.Process.seccomp_enforced";
+    vector = "key demand beyond the 16 hw slots (many tenants' capabilities)";
+    defense = "Vpkey virtualization: slot LRU eviction + lazy re-bind";
+    toggle = "Pku.Vpkey.eviction_enabled";
     run =
       (fun ~hardening ->
-        with_toggle Process.seccomp_enforced hardening @@ fun () ->
-        let drained = ref [] in
+        with_toggle Pku.Vpkey.eviction_enabled hardening @@ fun () ->
         Fun.protect ~finally:(fun () ->
-          (* frees run as the unfiltered test harness, as a kernel
-             cleaning up a dead process's keys would *)
-          List.iter (fun k -> try Pkey.free k with _ -> ()) !drained)
+          Pku.Vpkey.reset ();
+          Pkru.reset_thread ())
         @@ fun () ->
-        let attacker = Process.make ~uid:6002 "key-hog" in
-        Process.install_filter attacker [ Process.Sys_open ];
-        let denied = ref false in
-        Process.with_process attacker (fun () ->
-          try
-            let rec grab () =
-              drained := Pkey.alloc () :: !drained;
-              grab ()
-            in
-            grab ()
-          with
-          | Pkey.Out_of_keys -> ()
-          | Process.Seccomp_violation _ -> denied := true);
+        (* a small slot budget makes the pressure cheap to reach; the
+           victim is the 65th principal wanting its capability bound *)
+        Pku.Vpkey.set_hw_cap 4;
+        let vkeys = List.init 64 (fun _ -> Pku.Vpkey.alloc ~owner:7000 ()) in
+        let victim_vk = Pku.Vpkey.alloc ~owner:7001 () in
         match
-          Library.create
-            ~name:(Printf.sprintf "starved-lib-%d" (fresh ()))
-            ~owner_uid:1000 ()
+          Region.kernel_mode (fun () ->
+            List.iter
+              (fun vk -> ignore (Pku.Vpkey.bind ~owner:7000 vk))
+              vkeys)
         with
-        | lib ->
-          Library.release lib;
-          if !denied then
-            Blocked "pkey_alloc denied; key space intact, library created"
-          else if !drained = [] then
-            Blocked "attacker allocated nothing"
-          else
-            Breached
-              (Printf.sprintf
-                 "filter off: attacker grabbed %d keys (library survived \
-                  only because the pool was not empty)"
-                 (List.length !drained))
         | exception Pkey.Out_of_keys ->
           Breached
             (Printf.sprintf
-               "attacker drained %d pkeys; protected-library creation now \
-                fails: denial of protection"
-               (List.length !drained))) }
+               "hw slots drained with only %d of 64 virtual keys bound; \
+                every further tenant is denied protection"
+               (Pku.Vpkey.slots_in_use ()))
+        | () ->
+          (match
+             Region.kernel_mode (fun () ->
+               Pku.Vpkey.bind ~owner:7001 victim_vk)
+           with
+           | _hw ->
+             Blocked
+               (Printf.sprintf
+                  "64 virtual keys multiplexed over %d hw slots (%d \
+                   evictions); the victim's capability still binds"
+                  (Pku.Vpkey.slots_in_use ())
+                  (Pku.Vpkey.evictions ()))
+           | exception Pkey.Out_of_keys ->
+             Breached
+               "all 64 attacker vkeys bound, yet the victim's bind fails: \
+                slots leak under multiplexing")) }
+
+(* ---- 9b: binding a foreign tenant's virtual key --------------------- *)
+
+(* The virtualization layer is itself a boundary: a vkey is a tenant's
+   capability, and bind must refuse every caller but its owner (or the
+   kernel-side root). The unhardened run drops the ownership check —
+   any principal binds any vkey, opens it in pkru, and reads the
+   owner's pages. *)
+let cross_tenant_vkey_bind =
+  { sc_name = "cross-tenant-vkey-bind";
+    vector = "attacker binds the victim tenant's vkey and opens it in pkru";
+    defense = "vkey ownership check at bind (Vpkey.Permission_denied)";
+    toggle = "Pku.Vpkey.owner_checks_enabled";
+    run =
+      (fun ~hardening ->
+        with_toggle Pku.Vpkey.owner_checks_enabled hardening @@ fun () ->
+        Fun.protect ~finally:(fun () ->
+          Pku.Vpkey.reset ();
+          Pkru.reset_thread ())
+        @@ fun () ->
+        let victim_vk = Pku.Vpkey.alloc ~owner:1000 () in
+        let region =
+          Region.create
+            ~name:(Printf.sprintf "/shm/rt-vbind-%d" (fresh ()))
+            ~size:4096 ~pkey:Pkey.default ()
+        in
+        Region.kernel_mode (fun () ->
+          Region.write_string region ~off:0 "VKEY-SECRET");
+        Pku.Vpkey.attach_retag victim_vk (fun hw ->
+          Region.kernel_mode (fun () ->
+            Region.tag_range region ~off:0 ~len:(Region.size region)
+              ~pkey:hw));
+        (* the owner exercises its capability once: pages now live
+           under the vkey's current slot *)
+        Region.kernel_mode (fun () ->
+          ignore (Pku.Vpkey.bind ~owner:1000 victim_vk));
+        match
+          Region.kernel_mode (fun () ->
+            Pku.Vpkey.enable ~owner:6007 victim_vk)
+        with
+        | _hw ->
+          let s = Region.read_string region ~off:0 ~len:11 in
+          Breached
+            (Printf.sprintf
+               "foreign bind granted the victim's key; read %S under the \
+                attacker's own pkru"
+               s)
+        | exception Pku.Vpkey.Permission_denied _ ->
+          (match Region.read_string region ~off:0 ~len:11 with
+           | s -> Breached ("bind refused yet the pages read " ^ s)
+           | exception Pku.Fault.Protection_fault _ ->
+             Blocked
+               "foreign bind refused; the victim's pages still fault for \
+                the attacker")) }
+
+(* ---- 9c: reading an evicted tenant through the recycled slot -------- *)
+
+(* Slot eviction's dangerous edge: the evicted vkey's pages are still
+   tagged with the hw key the slot table just handed to someone else.
+   Without quarantine re-tagging, whoever binds next inherits read
+   rights over the previous tenant's memory — a use-after-evict
+   straight across the protection boundary. *)
+let quarantine_evict_leak =
+  { sc_name = "quarantine-evict-leak";
+    vector = "evicted vkey's pages read through the recycled hw slot";
+    defense = "eviction re-tags the victim's regions to the quarantine key";
+    toggle = "Pku.Vpkey.quarantine_on_evict";
+    run =
+      (fun ~hardening ->
+        with_toggle Pku.Vpkey.quarantine_on_evict hardening @@ fun () ->
+        Fun.protect ~finally:(fun () ->
+          Pku.Vpkey.reset ();
+          Pkru.reset_thread ())
+        @@ fun () ->
+        (* one slot: the attacker's bind must recycle the victim's *)
+        Pku.Vpkey.set_hw_cap 1;
+        let victim_vk = Pku.Vpkey.alloc ~owner:1000 () in
+        let region =
+          Region.create
+            ~name:(Printf.sprintf "/shm/rt-quar-%d" (fresh ()))
+            ~size:4096 ~pkey:Pkey.default ()
+        in
+        Region.kernel_mode (fun () ->
+          Region.write_string region ~off:0 "EVICT-SECRET");
+        Pku.Vpkey.attach_retag victim_vk (fun hw ->
+          Region.kernel_mode (fun () ->
+            Region.tag_range region ~off:0 ~len:(Region.size region)
+              ~pkey:hw));
+        let victim_hw =
+          Region.kernel_mode (fun () ->
+            Pku.Vpkey.bind ~owner:1000 victim_vk)
+        in
+        let attacker_vk = Pku.Vpkey.alloc ~owner:6008 () in
+        let attacker_hw =
+          Region.kernel_mode (fun () ->
+            Pku.Vpkey.enable ~owner:6008 attacker_vk)
+        in
+        if attacker_hw <> victim_hw then
+          Blocked "slot was not recycled (attack fizzled)"
+        else
+          match Region.read_string region ~off:0 ~len:12 with
+          | s ->
+            Breached
+              (Printf.sprintf
+                 "recycled slot %d still maps the victim's pages; read %S"
+                 attacker_hw s)
+          | exception Pku.Fault.Protection_fault _ ->
+            Blocked
+              "victim's pages re-tagged to quarantine on eviction; the \
+               recycled slot reads fault") }
 
 (* ---- 10: pkey hijack via pkey_free ---------------------------------- *)
 
@@ -812,6 +923,155 @@ let inlib_syscall_escape =
                unpoisoned and serving"
           end) }
 
+(* ---- 14+15: multi-tenant scenarios over the full stack -------------- *)
+
+module RCl = Core.Client.Make (Platform.Real_sync)
+module RPlib = RCl.Plib
+module RT = Transport.Sock.Make (Platform.Real_sync)
+
+let has_sub ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let small_cfg =
+  { Mc_core.Store.default_config with
+    hashpower = 8; lock_count = 8; lru_count = 4; stats_slots = 4 }
+
+let with_rplib ~tag f =
+  let owner = Process.make ~uid:1000 (tag ^ "-bk") in
+  let path = Printf.sprintf "/shm/rt-%s-%d" tag (fresh ()) in
+  let p = RPlib.create ~store_cfg:small_cfg ~path ~size:(4 lsl 20) ~owner () in
+  Fun.protect ~finally:(fun () ->
+    Simos.Sim_fs.unlink path;
+    Library.release (RPlib.library p);
+    Pku.Vpkey.reset ();
+    Pkru.reset_thread ())
+  @@ fun () -> f p
+
+(* A tenant that may write past its byte quota holds the whole heap
+   hostage: its churn forces every neighbour's allocation through the
+   eviction path, cannibalizing their acked items — resource-exhaustion
+   as a cross-tenant attack. The quota + tenant-local eviction keep
+   each tenant's footprint inside its own budget. *)
+let cross_tenant_quota_starve =
+  { sc_name = "cross-tenant-quota-starve";
+    vector = "tenant floods writes far past its byte quota, starving a \
+              neighbour";
+    defense = "per-tenant quotas; a full tenant evicts only its own items";
+    toggle = "Mc_core.Tenant.quota_enforced";
+    run =
+      (fun ~hardening ->
+        with_toggle Mc_core.Tenant.quota_enforced hardening @@ fun () ->
+        with_rplib ~tag:"quota" @@ fun p ->
+        let a =
+          RPlib.create_tenant p ~name:"qa" ~uid:3201
+            ~byte_quota:(64 * 1024) ()
+        in
+        let b =
+          RPlib.create_tenant p ~name:"qb" ~uid:3202
+            ~byte_quota:(64 * 1024) ()
+        in
+        let pa = Process.make ~uid:3201 "quota-attacker" in
+        let pb = Process.make ~uid:3202 "quota-victim" in
+        Process.with_process pb (fun () ->
+          if RPlib.tenant_set p b "keep" "b-acked-value" <> Mc_core.Store.Stored
+          then failwith "quota scenario: victim's seed write failed");
+        (* the flood: ~4.5 MB of writes into a 4 MiB heap *)
+        let data = String.make 1500 'A' in
+        Process.with_process pa (fun () ->
+          for i = 0 to 2999 do
+            ignore (RPlib.tenant_set p a (Printf.sprintf "flood%d" i) data)
+          done);
+        let fresh_ok = ref false and kept = ref false in
+        Process.with_process pb (fun () ->
+          fresh_ok := RPlib.tenant_set p b "fresh" "b2" = Mc_core.Store.Stored;
+          kept :=
+            (match RPlib.tenant_get p b "keep" with
+             | Some r -> r.Mc_core.Store.value = "b-acked-value"
+             | None -> false));
+        let a_bytes, _ = RPlib.tenant_usage p a in
+        if not !kept then
+          Breached
+            "flood forced the victim to cannibalize its acked item to \
+             store anything at all"
+        else if not !fresh_ok then
+          Breached "victim starved: its write refused for the flood's memory"
+        else if a_bytes > 64 * 1024 then
+          Breached
+            (Printf.sprintf
+               "flooder holds %d bytes against a %d-byte quota" a_bytes
+               (64 * 1024))
+        else
+          Blocked
+            (Printf.sprintf
+               "flood capped at %d bytes by tenant-local eviction; the \
+                victim's acked and fresh writes both stand"
+               a_bytes)) }
+
+(* The socket path's isolation: tenant identity is bound to the
+   connection at accept time and every key is rewritten host-side into
+   the tenant's prefix. The unhardened run drops the rewrite — the
+   pre-fix flat key space, where any connection reads (and flushes)
+   anyone's data. *)
+let cross_tenant_read =
+  { sc_name = "cross-tenant-read";
+    vector = "tenant connection addresses a neighbour's keys (incl. forged \
+              prefix, flush_all)";
+    defense = "connection-bound identity + host-side key-prefix scoping";
+    toggle = "Mc_core.Tenant.namespace_enforced";
+    run =
+      (fun ~hardening ->
+        with_toggle Mc_core.Tenant.namespace_enforced hardening @@ fun () ->
+        with_rplib ~tag:"nsp" @@ fun p ->
+        ignore (RPlib.create_tenant p ~name:"ra" ~uid:3101 ());
+        ignore (RPlib.create_tenant p ~name:"rb" ~uid:3102 ());
+        let sname = Printf.sprintf "rt-nsp-srv-%d" (fresh ()) in
+        let assign =
+          let q = ref [ "ra"; "rb" ] in
+          fun _cid ->
+            match !q with
+            | [] -> None
+            | x :: tl ->
+              q := tl;
+              Some x
+        in
+        let scfg =
+          { Mc_server.Server.default_config with
+            workers = 1; protocol = Mc_server.Server.Ascii;
+            store = small_cfg }
+        in
+        let srv = RPlib.serve_remote ~cfg:scfg ~assign_tenant:assign p ~name:sname in
+        Fun.protect ~finally:(fun () -> RPlib.stop_remote srv) @@ fun () ->
+        let ca = RT.connect ~name:sname in
+        let cb = RT.connect ~name:sname in
+        let rpc c payload =
+          RT.client_send c payload;
+          RT.client_recv c
+        in
+        if not (has_sub ~needle:"STORED" (rpc cb "set secret 0 0 12\r\nb-classified\r\n"))
+        then failwith "nsp scenario: victim's set failed";
+        if has_sub ~needle:"b-classified" (rpc ca "get secret\r\n") then
+          Breached
+            "flat key space: the attacker's connection read the victim's \
+             value by name"
+        else if has_sub ~needle:"b-classified" (rpc ca "get rb/secret\r\n")
+        then
+          Breached
+            "forged prefix escaped the attacker's namespace and read the \
+             victim's value"
+        else begin
+          ignore (rpc ca "flush_all\r\n");
+          if has_sub ~needle:"b-classified" (rpc cb "get secret\r\n") then
+            Blocked
+              "scoping held: name and forged-prefix reads both miss, and \
+               flush_all is refused on a tenant connection"
+          else
+            Breached
+              "tenant connection flushed the global store, taking the \
+               victim's acked write"
+        end) }
+
 let all =
   [ gadget_island `Wrpkru;
     gadget_island `Xrstor;
@@ -822,9 +1082,13 @@ let all =
     retag_shared_heap;
     retag_race;
     pkey_exhaustion;
+    cross_tenant_vkey_bind;
+    quarantine_evict_leak;
     pkey_hijack;
     double_admission;
     crash_in_grace;
-    inlib_syscall_escape ]
+    inlib_syscall_escape;
+    cross_tenant_quota_starve;
+    cross_tenant_read ]
 
 let find name = List.find (fun s -> s.sc_name = name) all

@@ -79,9 +79,16 @@ module Id = struct
   let seccomp_denials = 33
   let loader_rejects = 34
 
+  (* Virtual pkeys (libmpk-style slot table): binds served, binds that
+     missed the slot table (and had to re-tag lazily), and vkeys
+     evicted from a hardware slot to the quarantine key. *)
+  let vpkey_binds = 35
+  let vpkey_slot_misses = 36
+  let vpkey_evictions = 37
+
   (* Per-pkey fault counts occupy the tail: [pku_fault_pkey + k] for
      pkey k in [0, pkeys). *)
-  let pku_fault_pkey = 35
+  let pku_fault_pkey = 38
 
   let pkeys = 16
 
@@ -114,7 +121,10 @@ let names =
       (Id.opt_fallbacks, "opt_fallbacks");
       (Id.gate_violations, "gate_violations");
       (Id.seccomp_denials, "seccomp_denials");
-      (Id.loader_rejects, "loader_rejects") ];
+      (Id.loader_rejects, "loader_rejects");
+      (Id.vpkey_binds, "vpkey_binds");
+      (Id.vpkey_slot_misses, "vpkey_slot_misses");
+      (Id.vpkey_evictions, "vpkey_evictions") ];
   for k = 0 to Id.pkeys - 1 do
     a.(Id.pku_fault_pkey + k) <- Printf.sprintf "pku_fault_pkey:%d" k
   done;
@@ -184,7 +194,8 @@ let boundary_ids =
   [ Id.hodor_enter; Id.hodor_exit; Id.hodor_grace_hits;
     Id.hodor_kill_in_call; Id.hodor_poisoned; Id.pkru_writes;
     Id.pku_faults; Id.alloc_calls; Id.alloc_bytes; Id.free_calls;
-    Id.recoveries; Id.hodor_batch_calls; Id.hodor_batch_ops ]
+    Id.recoveries; Id.hodor_batch_calls; Id.hodor_batch_ops;
+    Id.vpkey_binds; Id.vpkey_slot_misses; Id.vpkey_evictions ]
 
 let kv id = (name id, string_of_int (read id))
 

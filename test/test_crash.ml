@@ -574,15 +574,271 @@ let test_sweep_batched () =
     incr sites_c
   done
 
+(* ---- Workload D: multi-tenant stack, tenant-A victim, B/C survive --- *)
+
+(* Three live tenants; the victim dies at every sync point inside its
+   tenant-scoped calls. Post-recovery the durable tenant state must be
+   whole: registry membership/quotas/vkeys intact, every surviving
+   tenant's acked write readable in its own namespace only, usage
+   counters equal to a recomputation from the store, the vpkey slot
+   table rebuilt from the registry (we wipe it before recovery to
+   model the process loss), and quota eviction still tenant-local. *)
+
+let cfg_d =
+  { Store.default_config with hashpower = 7; lock_count = 8; lru_count = 8;
+    stats_slots = 2 }
+
+let fresh_d = ref 0
+
+let run_d ~at () =
+  incr fresh_d;
+  let path = Printf.sprintf "/shm/crash-d-%d" !fresh_d in
+  let owner = Process.make ~uid:1000 "bk-crash-d" in
+  let p = Plib.create ~store_cfg:cfg_d ~path ~size:(2 lsl 20) ~owner () in
+  Fun.protect
+    ~finally:(fun () ->
+      Simos.Sim_fs.unlink path;
+      Hodor.Library.release (Plib.library p);
+      Pku.Vpkey.reset ();
+      Pku.Pkru.reset_thread ())
+    (fun () ->
+      Telemetry.Span.reset ();
+      (* Library crossings charge virtual time, so tenant setup runs
+         inside its own simulation before the kill-armed one. *)
+      let sa = ref (-1) and sb = ref (-1) and sc = ref (-1) in
+      let vm0 = Vm.create () in
+      ignore
+        (Vm.spawn vm0 ~name:"setup" (fun () ->
+           Process.with_process owner (fun () ->
+             sa :=
+               Plib.create_tenant p ~name:"ta" ~uid:2001
+                 ~byte_quota:(96 * 1024) ();
+             sb :=
+               Plib.create_tenant p ~name:"tb" ~uid:2002
+                 ~byte_quota:(96 * 1024) ();
+             sc :=
+               Plib.create_tenant p ~name:"tc" ~uid:2003
+                 ~byte_quota:(16 * 1024) ())));
+      Vm.run vm0;
+      let sa = !sa and sb = !sb and sc = !sc in
+      let proc_a = Process.make ~uid:2001 "tenant-a" in
+      let proc_b = Process.make ~uid:2002 "tenant-b" in
+      let proc_c = Process.make ~uid:2003 "tenant-c" in
+      let vm = Vm.create ~sched_seed:4321 ~preempt_jitter:50 () in
+      Vm.set_crash_point vm
+        ~filter:(fun n -> n = "victim")
+        ~at
+        ~on_crash:(fun _name now -> Process.kill ~now_ns:now proc_a)
+        ();
+      (* Host-side models of the survivors' acked writes, keyed by the
+         {e unscoped} tenant key. Key names are disjoint across
+         tenants, so a cross-namespace hit can only be migration. *)
+      let model_b : (string, expect) Hashtbl.t = Hashtbl.create 16 in
+      let model_c : (string, expect) Hashtbl.t = Hashtbl.create 16 in
+      ignore
+        (Vm.spawn vm ~name:"victim" (fun () ->
+           Process.with_process proc_a (fun () ->
+             try
+               for i = 0 to 47 do
+                 let k = Printf.sprintf "a-%d" (i mod 7) in
+                 match i mod 8 with
+                 | 0 | 1 | 2 ->
+                   ignore
+                     (Plib.tenant_set p sa k
+                        (String.make (60 + (i * 31 mod 300)) 'a'))
+                 | 3 -> ignore (Plib.tenant_get p sa k)
+                 | 4 -> ignore (Plib.tenant_delete p sa k)
+                 | 5 -> ignore (Plib.tenant_touch p sa k 1000)
+                 | 6 ->
+                   ignore
+                     (Plib.tenant_mget p sa [ "a-0"; "a-1"; "a-2" ])
+                 | _ -> if i = 47 then ignore (Plib.tenant_flush p sa)
+               done
+             with Process.Process_killed _ -> ())));
+      let survivor name proc slot prefix model =
+        ignore
+          (Vm.spawn vm ~name (fun () ->
+             Process.with_process proc (fun () ->
+               let i = ref 0 in
+               while !i < 16 && Vm.crashed vm = [] do
+                 let k = Printf.sprintf "%s-%d" prefix (!i mod 5) in
+                 (match !i mod 5 with
+                  | 4 ->
+                    if Plib.tenant_delete p slot k then
+                      Hashtbl.replace model k Absent
+                  | 3 -> ignore (Plib.tenant_get p slot k)
+                  | _ ->
+                    let v =
+                      Printf.sprintf "%s-%d-%s" prefix !i
+                        (String.make (40 + (!i * 29 mod 200)) prefix.[0])
+                    in
+                    if Plib.tenant_set p slot k v = Store.Stored then
+                      Hashtbl.replace model k (Val v));
+                 incr i
+               done)))
+      in
+      survivor "survB" proc_b sb "b" model_b;
+      survivor "survC" proc_c sc "c" model_c;
+      Vm.run vm;
+      let crashes = Vm.crashed vm in
+      let n = Vm.sync_points_seen vm in
+      let events = Vm.events_processed vm in
+      List.iter
+        (fun tr ->
+          match Telemetry.Span.well_formed tr with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.fail
+              (Printf.sprintf "span tree after kill at %d: %s" at m))
+        (Telemetry.Span.traces ());
+      let vm2 = Vm.create () in
+      ignore
+        (Vm.spawn vm2 ~name:"bookkeeper" (fun () ->
+           Process.with_process owner (fun () ->
+             if crashes <> [] then begin
+               (* The slot table is process-volatile: model the dead
+                  process by wiping it, so recovery must rebuild every
+                  vkey from the persisted registry. *)
+               Pku.Vpkey.reset ();
+               Plib.recover p
+             end;
+             Shm.Region.kernel_mode (fun () ->
+               Plib.Store.check_invariants (Plib.store p);
+               Ralloc.check_invariants (Plib.heap p));
+             Pku.Vpkey.check_invariants ();
+             (* Registry: membership, uids, quotas, vkeys all stand. *)
+             let reg = Plib.tenants p in
+             Shm.Region.kernel_mode (fun () ->
+               List.iter
+                 (fun (name, slot, uid, bq) ->
+                   (match Mc_core.Tenant.find reg name with
+                    | Some s when s = slot -> ()
+                    | _ ->
+                      Alcotest.fail
+                        ("tenant lost from the registry: " ^ name));
+                   Alcotest.(check int) (name ^ " uid") uid
+                     (Mc_core.Tenant.uid_of reg slot);
+                   Alcotest.(check int) (name ^ " byte quota") bq
+                     (Mc_core.Tenant.byte_quota reg slot);
+                   let vk = Mc_core.Tenant.vkey_of reg slot in
+                   Alcotest.(check bool) (name ^ " has a vkey") true (vk > 0);
+                   Alcotest.(check int) (name ^ " vkey owner") uid
+                     (Pku.Vpkey.owner_of vk))
+                 [ ("ta", sa, 2001, 96 * 1024);
+                   ("tb", sb, 2002, 96 * 1024);
+                   ("tc", sc, 2003, 16 * 1024) ]);
+             (* Every surviving acked write readable in its namespace;
+                acked deletes stay deleted. *)
+             let check_model proc slot model =
+               Process.with_process proc (fun () ->
+                 Hashtbl.iter
+                   (fun k e ->
+                     match (e, Plib.tenant_get p slot k) with
+                     | Val v, Some r when r.Store.value = v -> ()
+                     | Val _, Some _ ->
+                       Alcotest.fail ("acked tenant write corrupted: " ^ k)
+                     | Val _, None ->
+                       Alcotest.fail ("acked tenant write lost: " ^ k)
+                     | Absent, None -> ()
+                     | Absent, Some _ ->
+                       Alcotest.fail ("acked tenant delete resurrected: " ^ k))
+                   model)
+             in
+             check_model proc_b sb model_b;
+             check_model proc_c sc model_c;
+             (* No cross-namespace migration: B's keys miss through
+                C's scope and vice versa, and every store key still
+                parses into a registered namespace. *)
+             Process.with_process proc_c (fun () ->
+               Hashtbl.iter
+                 (fun k e ->
+                   if e <> Absent && Plib.tenant_get p sc k <> None then
+                     Alcotest.fail ("tenant key migrated b->c: " ^ k))
+                 model_b);
+             Process.with_process proc_b (fun () ->
+               Hashtbl.iter
+                 (fun k e ->
+                   if e <> Absent && Plib.tenant_get p sb k <> None then
+                     Alcotest.fail ("tenant key migrated c->b: " ^ k))
+                 model_c);
+             Shm.Region.kernel_mode (fun () ->
+               Plib.Store.fold_keys (Plib.store p)
+                 (fun () key ~nbytes:_ ~exptime:_ ->
+                   match Mc_core.Tenant.owner_slot_of_key reg key with
+                   | Some _ -> ()
+                   | None ->
+                     Alcotest.fail
+                       ("store key outside every tenant namespace: " ^ key))
+                 ());
+             (* Usage counters equal a recomputation from the store
+                (they may have been mid-update at the kill). *)
+             let recomputed = Array.make 3 (0, 0) in
+             Shm.Region.kernel_mode (fun () ->
+               Plib.Store.fold_keys (Plib.store p)
+                 (fun () key ~nbytes ~exptime:_ ->
+                   match Mc_core.Tenant.owner_slot_of_key reg key with
+                   | Some s when s < 3 ->
+                     let b, i = recomputed.(s) in
+                     recomputed.(s) <- (b + String.length key + nbytes, i + 1)
+                   | _ -> ())
+                 ());
+             List.iteri
+               (fun i slot ->
+                 let b, it = Plib.tenant_usage p slot in
+                 let rb, ri = recomputed.(i) in
+                 Alcotest.(check (pair int int))
+                   (Printf.sprintf "tenant %d usage = recomputed truth" i)
+                   (rb, ri) (b, it))
+               [ sa; sb; sc ];
+             (* The rebuilt vkeys are bindable and fresh tenant traffic
+                flows; a post-recovery quota flood in C evicts only C's
+                own items. *)
+             Process.with_process proc_b (fun () ->
+               if Plib.tenant_set p sb "fresh" "post-crash-b" <> Store.Stored
+               then Alcotest.fail "tenant refuses writes after recovery";
+               match Plib.tenant_get p sb "fresh" with
+               | Some r when r.Store.value = "post-crash-b" -> ()
+               | _ -> Alcotest.fail "post-recovery tenant write unreadable");
+             Process.with_process proc_c (fun () ->
+               let blob = String.make 1000 'z' in
+               for i = 0 to 39 do
+                 ignore
+                   (Plib.tenant_set p sc (Printf.sprintf "flood-%d" i) blob)
+               done;
+               let cb, _ = Plib.tenant_usage p sc in
+               Alcotest.(check bool) "flood capped by C's quota" true
+                 (cb <= 16 * 1024));
+             check_model proc_b sb model_b)));
+      Vm.run vm2;
+      (crashes, n, events))
+
+let sites_d = ref 0
+
+let test_sweep_tenants () =
+  let crashes, n, _ = run_d ~at:max_int () in
+  check_crashes "count pass kills nobody" [] crashes;
+  Alcotest.(check bool)
+    (Printf.sprintf "tenant workload exposes enough kill sites (%d)" n)
+    true (n >= 60);
+  let m = min 40 (cap ()) in
+  for i = 0 to m - 1 do
+    let k = i * n / m in
+    let crashes, _, _ = run_d ~at:k () in
+    check_crashes
+      (Printf.sprintf "kill fired at site %d/%d" k n)
+      [ ("victim", k) ] crashes;
+    incr sites_d
+  done
+
 (* ---- Coverage floor (must run after the sweeps) -------------------- *)
 
 let test_coverage () =
   if cap () = max_int then
     Alcotest.(check bool)
-      (Printf.sprintf "sweeps killed at %d + %d + %d distinct sites" !sites_a
-         !sites_b !sites_c)
+      (Printf.sprintf "sweeps killed at %d + %d + %d + %d distinct sites"
+         !sites_a !sites_b !sites_c !sites_d)
       true
-      (!sites_a + !sites_b + !sites_c >= 240)
+      (!sites_a + !sites_b + !sites_c + !sites_d >= 280)
 
 let () =
   Alcotest.run "crash"
@@ -592,7 +848,9 @@ let () =
           Alcotest.test_case "direct store under pressure" `Quick
             test_sweep_store_pressure;
           Alcotest.test_case "batched protected calls" `Quick
-            test_sweep_batched ] );
+            test_sweep_batched;
+          Alcotest.test_case "multi-tenant stack, tenant victim" `Quick
+            test_sweep_tenants ] );
       ( "edges",
         [ Alcotest.test_case "sweep is deterministic" `Quick
             test_sweep_is_deterministic;

@@ -126,6 +126,36 @@ let test_fuzz_campaign () =
         (F.proto_string proto) (F.failure_string f) input
   done
 
+(* Same campaign, attacker bound to tenant A with tenant B's secret
+   across the namespace boundary; every case carries a forged-prefix
+   or prefix-splice mutation. The leak oracle is the isolation proof. *)
+let test_fuzz_tenant_campaign () =
+  for seed = 1 to seeds_cap () do
+    let v = F.run_tenant ~cases:F.default_cases ~seed () in
+    match v.F.v_failures with
+    | [] -> ()
+    | (proto, input, f) :: _ ->
+      Alcotest.failf "tenant seed %d [%s]: %s (input %S)" seed
+        (F.proto_string proto) (F.failure_string f) input
+  done
+
+(* Red half of the tenant fuzz pair: with namespace enforcement
+   reverted, the forged prefix must actually reach the victim's value
+   — proof the leak oracle bites. *)
+let test_fuzz_tenant_oracle_catches_unhardened_leak () =
+  Mc_core.Tenant.namespace_enforced := false;
+  Fun.protect
+    ~finally:(fun () -> Mc_core.Tenant.namespace_enforced := true)
+  @@ fun () ->
+  match F.run_input ~tenant:F.tenant_a F.Ascii "get tb/secret\r\n" with
+  | [] ->
+    Alcotest.fail
+      "unhardened namespace let the forged prefix through unnoticed"
+  | fs ->
+    Alcotest.(check bool)
+      "failure is a leak" true
+      (List.exists (function F.Leak _ -> true | _ -> false) fs)
+
 (* ---- Corpus replay --------------------------------------------------- *)
 
 (* Every interesting input the fuzzer (or a bug report) ever surfaced
@@ -157,11 +187,19 @@ let test_corpus_replay () =
             ~finally:(fun () -> close_in ic)
             (fun () -> really_input_string ic (in_channel_length ic))
         in
-        (match F.run_input proto input with
+        (match F.run_input ?tenant:(F.tenant_of_filename name) proto input with
          | [] -> ()
          | f :: _ ->
            Alcotest.failf "corpus %S: %s" name (F.failure_string f)))
-    files
+    files;
+  (* the tenant corpus must actually exist: forged-prefix and
+     prefix-splice inputs replay through the tenant harness *)
+  let tenant_files =
+    List.filter (fun n -> F.tenant_of_filename n <> None) files
+  in
+  if List.length tenant_files < 2 then
+    Alcotest.failf "tenant corpus too small: %d files"
+      (List.length tenant_files)
 
 (* ---- Hostile flush storm vs the optimistic read path ----------------- *)
 
@@ -239,7 +277,7 @@ let test_hostile_flush_storm () =
 let () =
   Alcotest.run "redteam"
     [ ( "attack matrix",
-        [ Alcotest.test_case "13 scenarios, red then green" `Slow
+        [ Alcotest.test_case "17 scenarios, red then green" `Slow
             test_attack_matrix ] );
       ( "loader",
         [ QCheck_alcotest.to_alcotest qcheck_gadget_scan_soundness ] );
@@ -250,6 +288,10 @@ let () =
             test_killer_input_hardened;
           Alcotest.test_case "seeded campaign (200+ cases/seed)" `Slow
             test_fuzz_campaign;
+          Alcotest.test_case "tenant oracle catches the unhardened leak"
+            `Quick test_fuzz_tenant_oracle_catches_unhardened_leak;
+          Alcotest.test_case "tenant campaign (forged prefixes)" `Slow
+            test_fuzz_tenant_campaign;
           Alcotest.test_case "corpus replay" `Quick test_corpus_replay ] );
       ( "optimistic reads",
         [ Alcotest.test_case "hostile flush storm" `Slow

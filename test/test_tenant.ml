@@ -1,0 +1,544 @@
+(** Multi-tenancy: the persisted registry, per-tenant namespaces and
+    quotas through Plib, vault capability protection, per-tenant stats
+    over both wire codecs, and a seeded cross-tenant isolation sweep
+    under the deterministic VM. *)
+
+module Cl = Core.Client.Make (Platform.Real_sync)
+module Plib = Cl.Plib
+module Process = Simos.Process
+module Store = Mc_core.Store
+module Tenant = Mc_core.Tenant
+module Region = Shm.Region
+module T = Transport.Sock.Make (Platform.Real_sync)
+module P = Mc_protocol.Types
+
+let small_cfg =
+  { Store.default_config with hashpower = 8; lock_count = 8; lru_count = 8;
+    stats_slots = 4 }
+
+let fresh_id = ref 0
+
+let with_plib f =
+  incr fresh_id;
+  let owner = Process.make ~uid:1000 "tenant-bk" in
+  let path = Printf.sprintf "/shm/tenant-test-%d" !fresh_id in
+  let p =
+    Plib.create ~store_cfg:small_cfg ~path ~size:(8 lsl 20) ~owner ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Simos.Sim_fs.unlink path;
+      Hodor.Library.release (Plib.library p);
+      Pku.Vpkey.reset ();
+      Pku.Pkru.reset_thread ())
+    (fun () -> f p ~owner)
+
+let as_uid uid f =
+  let proc = Process.make ~uid (Printf.sprintf "tenant-u%d" uid) in
+  Process.with_process proc f
+
+let has_sub ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---- registry mechanics (raw block in a scratch region) --------------- *)
+
+let with_registry f =
+  let r =
+    Region.create ~name:"tenant-reg-scratch" ~size:(64 * 1024) ~pkey:0 ()
+  in
+  f (Tenant.format r ~base:64 ~max:8) r
+
+let test_registry_crud () =
+  with_registry @@ fun reg r ->
+  let a = Tenant.register reg ~name:"alpha" ~uid:101 ~byte_quota:1000
+      ~item_quota:10 in
+  let b = Tenant.register reg ~name:"beta" ~uid:102 ~byte_quota:0
+      ~item_quota:0 in
+  Alcotest.(check bool) "distinct slots" true (a <> b);
+  Alcotest.(check int) "two active" 2 (Tenant.count_active reg);
+  Alcotest.(check (option int)) "find alpha" (Some a) (Tenant.find reg "alpha");
+  Alcotest.(check (option int)) "find nobody" None (Tenant.find reg "gamma");
+  Alcotest.(check string) "name" "alpha" (Tenant.name_of reg a);
+  Alcotest.(check int) "uid" 101 (Tenant.uid_of reg a);
+  Alcotest.(check int) "byte quota" 1000 (Tenant.byte_quota reg a);
+  Alcotest.(check string) "prefix" "alpha/" (Tenant.prefix reg a);
+  Alcotest.(check string) "scope" "alpha/k" (Tenant.scope reg a "k");
+  Alcotest.(check (option int)) "owner of scoped key" (Some a)
+    (Tenant.owner_slot_of_key reg "alpha/k");
+  Alcotest.(check (option int)) "unscoped key owned by nobody" None
+    (Tenant.owner_slot_of_key reg "alphak");
+  (* a reattach sees the same membership *)
+  let reg' = Tenant.attach r ~base:64 in
+  Alcotest.(check (option int)) "attach finds beta" (Some b)
+    (Tenant.find reg' "beta")
+
+let test_registry_rejects () =
+  with_registry @@ fun reg _ ->
+  ignore (Tenant.register reg ~name:"dup" ~uid:1 ~byte_quota:0 ~item_quota:0);
+  let rejected name =
+    match Tenant.register reg ~name ~uid:1 ~byte_quota:0 ~item_quota:0 with
+    | _ -> Alcotest.fail (Printf.sprintf "name %S must be rejected" name)
+    | exception Invalid_argument _ -> ()
+  in
+  rejected "dup";
+  rejected "";
+  rejected "with/slash";
+  rejected "with space";
+  rejected "ctrl\001byte";
+  rejected (String.make (Tenant.max_name + 1) 'x');
+  (* registry full *)
+  for i = 2 to 8 do
+    ignore
+      (Tenant.register reg ~name:(Printf.sprintf "t%d" i) ~uid:i
+         ~byte_quota:0 ~item_quota:0)
+  done;
+  rejected "overflow"
+
+let test_registry_quota_accounting () =
+  with_registry @@ fun reg _ ->
+  let a = Tenant.register reg ~name:"q" ~uid:7 ~byte_quota:100 ~item_quota:3 in
+  Alcotest.(check bool) "fits" false
+    (Tenant.would_exceed reg a ~add_bytes:100 ~add_items:3);
+  Alcotest.(check bool) "byte overflow" true
+    (Tenant.would_exceed reg a ~add_bytes:101 ~add_items:0);
+  Alcotest.(check bool) "item overflow" true
+    (Tenant.would_exceed reg a ~add_bytes:0 ~add_items:4);
+  Tenant.charge reg a ~bytes:60 ~items:2;
+  Alcotest.(check int) "bytes used" 60 (Tenant.bytes_used reg a);
+  Alcotest.(check bool) "incremental overflow" true
+    (Tenant.would_exceed reg a ~add_bytes:41 ~add_items:0);
+  (* negative deltas clamp at zero, never wrap *)
+  Tenant.charge reg a ~bytes:(-100) ~items:(-5);
+  Alcotest.(check (pair int int)) "clamped" (0, 0)
+    (Tenant.bytes_used reg a, Tenant.items_used reg a);
+  (* toggle off: quotas are advisory nothing *)
+  Tenant.quota_enforced := false;
+  Fun.protect ~finally:(fun () -> Tenant.quota_enforced := true) (fun () ->
+    Alcotest.(check bool) "unenforced never exceeds" false
+      (Tenant.would_exceed reg a ~add_bytes:10_000 ~add_items:100))
+
+let test_registry_stats_reset_keeps_membership () =
+  with_registry @@ fun reg _ ->
+  let a = Tenant.register reg ~name:"s" ~uid:9 ~byte_quota:500 ~item_quota:0 in
+  Tenant.bump reg a Tenant.Cmd_get;
+  Tenant.bump reg a Tenant.Cmd_set;
+  Tenant.charge reg a ~bytes:42 ~items:1;
+  let kvs = Tenant.stats_kvs reg in
+  Alcotest.(check (option string)) "cmd_get rolled up" (Some "1")
+    (List.assoc_opt "tenant:s:cmd_get" kvs);
+  Alcotest.(check (option string)) "bytes rolled up" (Some "42")
+    (List.assoc_opt "tenant:s:bytes" kvs);
+  Tenant.reset_stats reg;
+  let kvs = Tenant.stats_kvs reg in
+  Alcotest.(check (option string)) "tallies zeroed" (Some "0")
+    (List.assoc_opt "tenant:s:cmd_get" kvs);
+  Alcotest.(check (option string)) "usage untouched" (Some "42")
+    (List.assoc_opt "tenant:s:bytes" kvs);
+  Alcotest.(check (option string)) "quota untouched" (Some "500")
+    (List.assoc_opt "tenant:s:bytes_quota" kvs);
+  Alcotest.(check (option int)) "membership untouched" (Some a)
+    (Tenant.find reg "s")
+
+(* ---- the Plib tenant surface ------------------------------------------ *)
+
+let test_tenant_ops_and_namespaces () =
+  with_plib @@ fun p ~owner:_ ->
+  let a = Plib.create_tenant p ~name:"ta" ~uid:4001 () in
+  let b = Plib.create_tenant p ~name:"tb" ~uid:4002 () in
+  Alcotest.(check (option int)) "find_tenant" (Some a)
+    (Plib.find_tenant p "ta");
+  as_uid 4001 (fun () ->
+    Alcotest.(check bool) "a sets" true
+      (Plib.tenant_set p a "k" "from-a" = Store.Stored));
+  as_uid 4002 (fun () ->
+    Alcotest.(check bool) "b sets same unscoped key" true
+      (Plib.tenant_set p b "k" "from-b" = Store.Stored));
+  as_uid 4001 (fun () ->
+    (match Plib.tenant_get p a "k" with
+     | Some r -> Alcotest.(check string) "a reads its own" "from-a"
+                   r.Store.value
+     | None -> Alcotest.fail "a's write lost");
+    Alcotest.(check bool) "forged prefix is just a miss" true
+      (Plib.tenant_get p a "tb/k" = None);
+    Alcotest.(check bool) "a deletes its own" true (Plib.tenant_delete p a "k");
+    Alcotest.(check bool) "a's gone" true (Plib.tenant_get p a "k" = None));
+  as_uid 4002 (fun () ->
+    match Plib.tenant_get p b "k" with
+    | Some r ->
+      Alcotest.(check string) "b's copy untouched" "from-b" r.Store.value
+    | None -> Alcotest.fail "b's write lost to a's delete")
+
+let test_tenant_capability_binding () =
+  with_plib @@ fun p ~owner:_ ->
+  let a = Plib.create_tenant p ~name:"cap" ~uid:4100 () in
+  (* Only the owner's euid (or root) may exercise the namespace.  The
+     refusal must happen at the door, before the crossing: a raw
+     Permission_denied, not a wrapped in-call failure — otherwise one
+     denied foreign attempt would poison the library for the owner. *)
+  as_uid 4199 (fun () ->
+    match Plib.tenant_set p a "x" "nope" with
+    | _ -> Alcotest.fail "foreign uid must not bind the capability"
+    | exception Pku.Vpkey.Permission_denied _ -> ());
+  as_uid 4100 (fun () ->
+    Alcotest.(check bool) "owner binds and writes" true
+      (Plib.tenant_set p a "x" "yes" = Store.Stored))
+
+let test_vault_readable_only_under_owner_key () =
+  with_plib @@ fun p ~owner:_ ->
+  let a = Plib.create_tenant p ~name:"va" ~uid:4201 () in
+  let b = Plib.create_tenant p ~name:"vb" ~uid:4202 () in
+  let vault s =
+    match Plib.vault p s with Some v -> v | None -> Alcotest.fail "no vault"
+  in
+  let va = vault a and vb = vault b in
+  let vk s =
+    Region.kernel_mode (fun () -> Tenant.vkey_of (Plib.tenants p) s)
+  in
+  (* enable tenant a's capability: its vault opens, b's stays sealed *)
+  ignore (Pku.Vpkey.enable ~owner:4201 (vk a));
+  Alcotest.(check string) "a's vault readable under a's key" "vault:va"
+    (Region.read_string va ~off:8 ~len:8);
+  (match Region.read_string vb ~off:8 ~len:8 with
+   | _ -> Alcotest.fail "b's vault must be sealed to a"
+   | exception Pku.Fault.Protection_fault _ -> ());
+  Pku.Vpkey.disable (vk a);
+  (match Region.read_string va ~off:8 ~len:8 with
+   | _ -> Alcotest.fail "vault must seal on disable"
+   | exception Pku.Fault.Protection_fault _ -> ());
+  (* a cannot enable b's capability *)
+  match Pku.Vpkey.enable ~owner:4201 (vk b) with
+  | _ -> Alcotest.fail "cross-tenant enable must be denied"
+  | exception Pku.Vpkey.Permission_denied _ -> ()
+
+let test_quota_eviction_is_tenant_local () =
+  with_plib @@ fun p ~owner:_ ->
+  let a = Plib.create_tenant p ~name:"qa" ~uid:4301
+      ~byte_quota:(8 * 1024) () in
+  let b = Plib.create_tenant p ~name:"qb" ~uid:4302 () in
+  as_uid 4302 (fun () ->
+    Alcotest.(check bool) "b seeds" true
+      (Plib.tenant_set p b "keep" "b-acked" = Store.Stored));
+  as_uid 4301 (fun () ->
+    let v = String.make 500 'a' in
+    for i = 0 to 39 do
+      Alcotest.(check bool)
+        (Printf.sprintf "a's set %d lands (own eviction makes room)" i)
+        true
+        (Plib.tenant_set p a (Printf.sprintf "f%d" i) v = Store.Stored)
+    done;
+    let bytes, items = Plib.tenant_usage p a in
+    Alcotest.(check bool) "a capped by quota" true (bytes <= 8 * 1024);
+    Alcotest.(check bool) "a kept a working set" true (items > 0));
+  as_uid 4302 (fun () ->
+    match Plib.tenant_get p b "keep" with
+    | Some r -> Alcotest.(check string) "b untouched" "b-acked" r.Store.value
+    | None -> Alcotest.fail "a's quota churn evicted b's item");
+  (* an item that can never fit is refused, not force-fed *)
+  as_uid 4301 (fun () ->
+    Alcotest.(check bool) "oversized single item refused" true
+      (Plib.tenant_set p a "big" (String.make 9000 'x') = Store.No_memory))
+
+let test_tenant_flush_and_mget () =
+  with_plib @@ fun p ~owner:_ ->
+  let a = Plib.create_tenant p ~name:"fa" ~uid:4401 () in
+  let b = Plib.create_tenant p ~name:"fb" ~uid:4402 () in
+  as_uid 4402 (fun () ->
+    ignore (Plib.tenant_set p b "other" "b-still-here"));
+  as_uid 4401 (fun () ->
+    for i = 0 to 4 do
+      ignore (Plib.tenant_set p a (Printf.sprintf "m%d" i) (string_of_int i))
+    done;
+    let hits = Plib.tenant_mget p a [ "m0"; "m3"; "missing"; "m4" ] in
+    Alcotest.(check int) "mget hits" 3 (List.length hits);
+    Alcotest.(check bool) "mget keys are unscoped" true
+      (List.mem_assoc "m3" (List.map (fun (k, r) -> (k, r.Store.value)) hits));
+    Alcotest.(check int) "flush sweeps own namespace" 5
+      (Plib.tenant_flush p a);
+    Alcotest.(check bool) "flushed" true (Plib.tenant_get p a "m0" = None));
+  as_uid 4402 (fun () ->
+    Alcotest.(check bool) "b survives a's flush" true
+      (Plib.tenant_get p b "other" <> None))
+
+let test_stats_tenants_rollup () =
+  with_plib @@ fun p ~owner:_ ->
+  let a = Plib.create_tenant p ~name:"st" ~uid:4501 ~byte_quota:4096 () in
+  as_uid 4501 (fun () ->
+    ignore (Plib.tenant_set p a "k" "v");
+    ignore (Plib.tenant_get p a "k");
+    ignore (Plib.tenant_get p a "miss"));
+  let kvs = Plib.stats_tenants p in
+  let v k = List.assoc_opt ("tenant:st:" ^ k) kvs in
+  Alcotest.(check (option string)) "cmd_get" (Some "2") (v "cmd_get");
+  Alcotest.(check (option string)) "get_hits" (Some "1") (v "get_hits");
+  Alcotest.(check (option string)) "cmd_set" (Some "1") (v "cmd_set");
+  Alcotest.(check (option string)) "bytes_quota" (Some "4096")
+    (v "bytes_quota");
+  Alcotest.(check bool) "items tracked" true (v "items" = Some "1")
+
+(* ---- the socket path: connection-bound identity, both codecs ---------- *)
+
+let serve ~protocol ~assign p name =
+  let scfg =
+    { Mc_server.Server.default_config with
+      workers = 1; protocol; store = small_cfg }
+  in
+  Plib.serve_remote ~cfg:scfg ~assign_tenant:assign p ~name
+
+let queue_assign names =
+  let q = ref names in
+  fun _cid ->
+    match !q with
+    | [] -> None
+    | x :: tl ->
+      q := tl;
+      Some x
+
+let test_server_ascii_tenants () =
+  with_plib @@ fun p ~owner:_ ->
+  ignore (Plib.create_tenant p ~name:"ta" ~uid:4601 ());
+  ignore (Plib.create_tenant p ~name:"tb" ~uid:4602 ());
+  let srv =
+    serve ~protocol:Mc_server.Server.Ascii
+      ~assign:(queue_assign [ "ta"; "tb" ])
+      p "tenant-ascii-srv"
+  in
+  Fun.protect ~finally:(fun () -> Plib.stop_remote srv) @@ fun () ->
+  let ca = T.connect ~name:"tenant-ascii-srv" in
+  let cb = T.connect ~name:"tenant-ascii-srv" in
+  let rpc c payload =
+    T.client_send c payload;
+    T.client_recv c
+  in
+  Alcotest.(check bool) "a stores" true
+    (has_sub ~needle:"STORED" (rpc ca "set k 0 0 6\r\nfrom-a\r\n"));
+  Alcotest.(check bool) "b misses a's key" false
+    (has_sub ~needle:"from-a" (rpc cb "get k\r\n"));
+  let got = rpc ca "get k\r\n" in
+  Alcotest.(check bool) "a hits its own, unscoped name" true
+    (has_sub ~needle:"VALUE k 0 6" got && has_sub ~needle:"from-a" got);
+  Alcotest.(check bool) "forged prefix misses" false
+    (has_sub ~needle:"from-a" (rpc cb "get ta/k\r\n"));
+  Alcotest.(check bool) "flush_all refused on tenant conn" true
+    (has_sub ~needle:"ERROR" (rpc cb "flush_all\r\n"));
+  let stats = rpc ca "stats tenants\r\n" in
+  Alcotest.(check bool) "rollup lists ta" true
+    (has_sub ~needle:"tenant:ta:cmd_get" stats);
+  Alcotest.(check bool) "rollup lists tb" true
+    (has_sub ~needle:"tenant:tb:cmd_get" stats);
+  ignore (rpc ca "stats reset\r\n");
+  let stats = rpc ca "stats tenants\r\n" in
+  Alcotest.(check bool) "reset keeps membership" true
+    (has_sub ~needle:"STAT tenant:ta:cmd_get 0" stats);
+  Alcotest.(check (option int)) "registry intact after reset" (Some 1)
+    (Plib.find_tenant p "tb")
+
+let test_server_binary_tenants () =
+  with_plib @@ fun p ~owner:_ ->
+  ignore (Plib.create_tenant p ~name:"ba" ~uid:4701 ());
+  ignore (Plib.create_tenant p ~name:"bb" ~uid:4702 ());
+  let srv =
+    serve ~protocol:Mc_server.Server.Binary
+      ~assign:(queue_assign [ "ba"; "bb" ])
+      p "tenant-bin-srv"
+  in
+  Fun.protect ~finally:(fun () -> Plib.stop_remote srv) @@ fun () ->
+  let ca = T.connect ~name:"tenant-bin-srv" in
+  let cb = T.connect ~name:"tenant-bin-srv" in
+  let rpc c cmd =
+    T.client_send c (Mc_protocol.Binary.encode_command cmd);
+    T.client_recv c
+  in
+  let set_k =
+    P.Set
+      { P.key = "k"; flags = 0; exptime = 0; data = "bin-secret-a";
+        noreply = false }
+  in
+  let get_k = P.Getx { g_key = "k"; g_quiet = false; g_withkey = true } in
+  ignore (rpc ca set_k);
+  Alcotest.(check bool) "binary: a reads its own" true
+    (has_sub ~needle:"bin-secret-a" (rpc ca get_k));
+  Alcotest.(check bool) "binary: b misses a's key" false
+    (has_sub ~needle:"bin-secret-a" (rpc cb get_k));
+  Alcotest.(check bool) "binary: forged prefix misses" false
+    (has_sub ~needle:"bin-secret-a"
+       (rpc cb
+          (P.Getx { g_key = "ba/k"; g_quiet = false; g_withkey = true })));
+  let stats = rpc ca (P.Stats (Some "tenants")) in
+  Alcotest.(check bool) "binary stats tenants rolls up" true
+    (has_sub ~needle:"tenant:ba:cmd_get" stats
+     && has_sub ~needle:"tenant:bb:cmd_get" stats)
+
+(* ---- seeded cross-tenant isolation sweep under the VM ----------------- *)
+
+module VCl = Core.Client.Make (Vm.Sync)
+module VPlib = VCl.Plib
+
+let iso_seeds () =
+  match Sys.getenv_opt "REDTEAM_SEEDS" with
+  | Some s -> (try max 4 (int_of_string s) with _ -> 24)
+  | None -> 24
+
+let iso_fresh = ref 0
+
+(* Three tenants race under a perturbed-but-deterministic schedule:
+   A churns and mid-run flushes its namespace, B and C run disjoint
+   acked workloads. At quiescence: every surviving acked write is
+   readable exactly in its own namespace, nothing migrated, usage
+   equals a recomputation, and the vpkey table is consistent. *)
+let run_iso ~seed =
+  incr iso_fresh;
+  let path = Printf.sprintf "/shm/iso-%d-%d" seed !iso_fresh in
+  let owner = Process.make ~uid:1000 "iso-bk" in
+  let p = VPlib.create ~store_cfg:small_cfg ~path ~size:(4 lsl 20) ~owner () in
+  Fun.protect
+    ~finally:(fun () ->
+      Simos.Sim_fs.unlink path;
+      Hodor.Library.release (VPlib.library p);
+      Pku.Vpkey.reset ();
+      Pku.Pkru.reset_thread ())
+    (fun () ->
+      let vm = Vm.create ~sched_seed:seed ~preempt_jitter:60 () in
+      let fail = ref [] in
+      let model_b : (string, string) Hashtbl.t = Hashtbl.create 16 in
+      let model_c : (string, string) Hashtbl.t = Hashtbl.create 16 in
+      ignore
+        (Vm.spawn vm ~name:"main" (fun () ->
+           let sa, sb, sc =
+             Process.with_process owner (fun () ->
+               ( VPlib.create_tenant p ~name:"ia" ~uid:5001
+                   ~byte_quota:(16 * 1024) (),
+                 VPlib.create_tenant p ~name:"ib" ~uid:5002 (),
+                 VPlib.create_tenant p ~name:"ic" ~uid:5003 () ))
+           in
+           let tA =
+             Vm.Sync.spawn ~name:"ten-a" (fun () ->
+               as_uid 5001 (fun () ->
+                 for i = 0 to 13 do
+                   if i = 7 then ignore (VPlib.tenant_flush p sa)
+                   else
+                     ignore
+                       (VPlib.tenant_set p sa
+                          (Printf.sprintf "a%d" (i mod 4))
+                          (String.make (50 + (i * 37 mod 200)) 'a'));
+                   Vm.Sync.advance 30
+                 done))
+           in
+           let worker name uid slot prefix model =
+             Vm.Sync.spawn ~name (fun () ->
+               as_uid uid (fun () ->
+                 for i = 0 to 13 do
+                   let k = Printf.sprintf "%s%d" prefix (i mod 4) in
+                   (match i mod 5 with
+                    | 4 ->
+                      if VPlib.tenant_delete p slot k then
+                        Hashtbl.remove model k
+                    | 3 -> ignore (VPlib.tenant_get p slot k)
+                    | _ ->
+                      let v = Printf.sprintf "%s-%d-%d" prefix seed i in
+                      if VPlib.tenant_set p slot k v = Store.Stored then
+                        Hashtbl.replace model k v);
+                   Vm.Sync.advance 30
+                 done))
+           in
+           let tB = worker "ten-b" 5002 sb "b" model_b in
+           let tC = worker "ten-c" 5003 sc "c" model_c in
+           Vm.Sync.join tA;
+           Vm.Sync.join tB;
+           Vm.Sync.join tC;
+           (* quiescence: verify isolation *)
+           let note m = fail := m :: !fail in
+           as_uid 5002 (fun () ->
+             Hashtbl.iter
+               (fun k v ->
+                 match VPlib.tenant_get p sb k with
+                 | Some r when r.Store.value = v -> ()
+                 | _ -> note ("b acked write wrong: " ^ k))
+               model_b;
+             Hashtbl.iter
+               (fun k _ ->
+                 if VPlib.tenant_get p sb k <> None then
+                   note ("c key visible through b: " ^ k))
+               model_c);
+           as_uid 5003 (fun () ->
+             Hashtbl.iter
+               (fun k v ->
+                 match VPlib.tenant_get p sc k with
+                 | Some r when r.Store.value = v -> ()
+                 | _ -> note ("c acked write wrong: " ^ k))
+               model_c;
+             Hashtbl.iter
+               (fun k _ ->
+                 if VPlib.tenant_get p sc k <> None then
+                   note ("b key visible through c: " ^ k))
+               model_b);
+           let reg = VPlib.tenants p in
+           Region.kernel_mode (fun () ->
+             VPlib.Store.check_invariants (VPlib.store p);
+             VPlib.Store.fold_keys (VPlib.store p)
+               (fun () key ~nbytes:_ ~exptime:_ ->
+                 if Tenant.owner_slot_of_key reg key = None then
+                   note ("key outside every namespace: " ^ key))
+               ());
+           (* usage counters match the store's truth *)
+           let usage = Hashtbl.create 4 in
+           Region.kernel_mode (fun () ->
+             VPlib.Store.fold_keys (VPlib.store p)
+               (fun () key ~nbytes ~exptime:_ ->
+                 match Tenant.owner_slot_of_key reg key with
+                 | Some s ->
+                   let b, i =
+                     Option.value (Hashtbl.find_opt usage s) ~default:(0, 0)
+                   in
+                   Hashtbl.replace usage s
+                     (b + String.length key + nbytes, i + 1)
+                 | None -> ())
+               ());
+           List.iter
+             (fun slot ->
+               let want =
+                 Option.value (Hashtbl.find_opt usage slot) ~default:(0, 0)
+               in
+               if VPlib.tenant_usage p slot <> want then
+                 note (Printf.sprintf "usage drift on slot %d" slot))
+             [ sa; sb; sc ];
+           Pku.Vpkey.check_invariants ()));
+      Vm.run vm;
+      match !fail with
+      | [] -> ()
+      | m :: _ ->
+        Alcotest.fail (Printf.sprintf "seed %d: %s" seed m))
+
+let test_iso_sweep () =
+  let n = iso_seeds () in
+  for seed = 1 to n do
+    run_iso ~seed
+  done
+
+let () =
+  Alcotest.run "tenant"
+    [ ( "registry",
+        [ Alcotest.test_case "crud" `Quick test_registry_crud;
+          Alcotest.test_case "rejects" `Quick test_registry_rejects;
+          Alcotest.test_case "quota accounting" `Quick
+            test_registry_quota_accounting;
+          Alcotest.test_case "stats reset keeps membership" `Quick
+            test_registry_stats_reset_keeps_membership ] );
+      ( "plib",
+        [ Alcotest.test_case "ops + namespaces" `Quick
+            test_tenant_ops_and_namespaces;
+          Alcotest.test_case "capability binding" `Quick
+            test_tenant_capability_binding;
+          Alcotest.test_case "vault sealed to others" `Quick
+            test_vault_readable_only_under_owner_key;
+          Alcotest.test_case "quota eviction is tenant-local" `Quick
+            test_quota_eviction_is_tenant_local;
+          Alcotest.test_case "flush + mget" `Quick test_tenant_flush_and_mget;
+          Alcotest.test_case "stats tenants rollup" `Quick
+            test_stats_tenants_rollup ] );
+      ( "server",
+        [ Alcotest.test_case "ascii codec" `Quick test_server_ascii_tenants;
+          Alcotest.test_case "binary codec" `Quick test_server_binary_tenants ] );
+      ( "isolation sweep",
+        [ Alcotest.test_case "seeded schedules" `Quick test_iso_sweep ] ) ]

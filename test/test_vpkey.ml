@@ -1,0 +1,279 @@
+(** Virtual pkey layer: unbounded vkeys multiplexed onto the 16
+    hardware slots — slot LRU eviction, quarantine re-tag, lazy
+    re-bind, per-thread pkru shadow, ownership checks. *)
+
+module Vpkey = Pku.Vpkey
+module Pkey = Pku.Pkey
+module Pkru = Pku.Pkru
+module Region = Shm.Region
+
+let with_clean f =
+  Vpkey.reset ();
+  Pkru.reset_thread ();
+  Fun.protect
+    ~finally:(fun () ->
+      Vpkey.reset ();
+      Pkru.reset_thread ())
+    f
+
+(* A one-page region owned by a vkey: tagged to the vkey's current
+   hardware mapping (quarantine while unbound) and re-tagged on every
+   eviction/rebind, exactly as the tenant vaults do. *)
+let attach_region vk ~name ~payload =
+  let r =
+    Region.kernel_mode (fun () ->
+      Region.create ~name ~size:Region.page_size ~pkey:Pkey.default ())
+  in
+  Vpkey.attach_retag vk (fun hw ->
+    Region.kernel_mode (fun () ->
+      Region.tag_range r ~off:0 ~len:Region.page_size ~pkey:hw));
+  Region.kernel_mode (fun () -> Region.write_string r ~off:0 payload);
+  r
+
+let readable r ~len =
+  match Region.read_string r ~off:0 ~len with
+  | _ -> true
+  | exception Pku.Fault.Protection_fault _ -> false
+
+(* ---- allocation ------------------------------------------------------- *)
+
+let test_alloc_free () =
+  with_clean @@ fun () ->
+  let a = Vpkey.alloc () in
+  let b = Vpkey.alloc () in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "two live" 2 (Vpkey.live_vkeys ());
+  Alcotest.(check bool) "unbound at birth" true (Vpkey.hw_key a = None);
+  Vpkey.free a;
+  Alcotest.(check int) "one live" 1 (Vpkey.live_vkeys ());
+  Alcotest.check_raises "double free" (Vpkey.Unknown_vkey a) (fun () ->
+    Vpkey.free a);
+  Alcotest.check_raises "bind after free" (Vpkey.Unknown_vkey a) (fun () ->
+    ignore (Vpkey.bind a));
+  Vpkey.check_invariants ()
+
+let test_restore_idempotent () =
+  with_clean @@ fun () ->
+  Vpkey.restore ~id:7 ~owner:4242;
+  Vpkey.restore ~id:7 ~owner:4242;
+  Alcotest.(check int) "one live" 1 (Vpkey.live_vkeys ());
+  Alcotest.(check int) "owner restored" 4242 (Vpkey.owner_of 7);
+  Alcotest.(check bool) "restored unbound" true (Vpkey.hw_key 7 = None);
+  (* fresh ids never collide with restored ones *)
+  let fresh = Vpkey.alloc () in
+  Alcotest.(check bool) "fresh id distinct" true (fresh <> 7);
+  Vpkey.check_invariants ()
+
+(* ---- slot multiplexing ------------------------------------------------ *)
+
+let test_bind_beyond_cap_evicts () =
+  with_clean @@ fun () ->
+  Vpkey.set_hw_cap 4;
+  let vks = List.init 10 (fun _ -> Vpkey.alloc ()) in
+  let hws = Region.kernel_mode (fun () -> List.map Vpkey.bind vks) in
+  List.iter
+    (fun hw ->
+      Alcotest.(check bool) "hw key valid" true (Pkey.is_valid hw))
+    hws;
+  Alcotest.(check bool) "cap respected" true (Vpkey.slots_in_use () <= 4);
+  Alcotest.(check int) "all vkeys alive" 10 (Vpkey.live_vkeys ());
+  Alcotest.(check bool) "evictions happened" true (Vpkey.evictions () >= 6);
+  Alcotest.(check int) "every first bind is a miss" 10 (Vpkey.slot_misses ());
+  (* rebinding a bound vkey is a hit, not a miss *)
+  let last = List.nth vks 9 in
+  let misses0 = Vpkey.slot_misses () in
+  ignore (Region.kernel_mode (fun () -> Vpkey.bind last));
+  Alcotest.(check int) "hot rebind: no miss" misses0 (Vpkey.slot_misses ());
+  Vpkey.check_invariants ()
+
+let test_exhaustion_without_eviction () =
+  with_clean @@ fun () ->
+  Vpkey.eviction_enabled := false;
+  Vpkey.set_hw_cap 3;
+  let vks = List.init 4 (fun _ -> Vpkey.alloc ()) in
+  Region.kernel_mode (fun () ->
+    List.iteri
+      (fun i vk ->
+        if i < 3 then ignore (Vpkey.bind vk)
+        else
+          Alcotest.check_raises "table full, eviction off" Pkey.Out_of_keys
+            (fun () -> ignore (Vpkey.bind vk)))
+      vks);
+  Vpkey.check_invariants ()
+
+let test_quarantine_and_lazy_rebind () =
+  with_clean @@ fun () ->
+  Vpkey.set_hw_cap 2;
+  let a = Vpkey.alloc () and b = Vpkey.alloc () and c = Vpkey.alloc () in
+  let ra = attach_region a ~name:"vpk-lazy-a" ~payload:"payload-A" in
+  let _rb = attach_region b ~name:"vpk-lazy-b" ~payload:"payload-B" in
+  let _rc = attach_region c ~name:"vpk-lazy-c" ~payload:"payload-C" in
+  let hwa = Vpkey.enable a in
+  Alcotest.(check bool) "a readable while bound" true (readable ra ~len:9);
+  (* bind b then c: the 2-slot table evicts a *)
+  ignore (Region.kernel_mode (fun () -> Vpkey.bind b));
+  ignore (Region.kernel_mode (fun () -> Vpkey.bind c));
+  Alcotest.(check bool) "a evicted" true (Vpkey.hw_key a = None);
+  (* a's page is quarantined: even with a's old slot still open in
+     this thread's pkru, the read faults *)
+  Alcotest.(check bool) "old grant useless post-evict" false
+    (readable ra ~len:9);
+  Alcotest.(check bool) "page quarantine-tagged" true
+    (Region.pkey_of_page ra 0 = Vpkey.quarantine_key ());
+  ignore hwa;
+  (* next enable lazily re-tags to the fresh slot and reopens access *)
+  let hwa' = Vpkey.enable a in
+  Alcotest.(check bool) "rebind re-tags" true
+    (Region.pkey_of_page ra 0 = hwa');
+  Alcotest.(check string) "payload intact" "payload-A"
+    (Region.read_string ra ~off:0 ~len:9);
+  Vpkey.check_invariants ()
+
+(* ---- per-thread pkru shadow ------------------------------------------- *)
+
+let test_sync_thread_follows_moves () =
+  with_clean @@ fun () ->
+  Vpkey.set_hw_cap 2;
+  let v = Vpkey.alloc () in
+  let rv = attach_region v ~name:"vpk-sync-v" ~payload:"sync-payload" in
+  ignore (Vpkey.enable v);
+  Alcotest.(check bool) "readable after enable" true (readable rv ~len:12);
+  (* churn the table until v is evicted *)
+  let churn = List.init 4 (fun _ -> Vpkey.alloc ()) in
+  Region.kernel_mode (fun () ->
+    List.iter (fun vk -> ignore (Vpkey.bind vk)) churn);
+  Alcotest.(check bool) "v evicted by churn" true (Vpkey.hw_key v = None);
+  Alcotest.(check bool) "stale grant faults" false (readable rv ~len:12);
+  (* what the Hodor trampoline does on every crossing *)
+  Vpkey.sync_thread ();
+  Alcotest.(check bool) "sync re-binds the held vkey" true
+    (Vpkey.hw_key v <> None);
+  Alcotest.(check bool) "readable again after sync" true (readable rv ~len:12);
+  Vpkey.disable v;
+  Alcotest.(check bool) "disable closes access" false (readable rv ~len:12);
+  Vpkey.check_invariants ()
+
+let test_slot_reuse_never_leaks_rights () =
+  with_clean @@ fun () ->
+  Vpkey.set_hw_cap 1;
+  let victim = Vpkey.alloc () in
+  let rv = attach_region victim ~name:"vpk-reuse-v" ~payload:"victim-bytes" in
+  ignore (Vpkey.enable victim);
+  let thief = Vpkey.alloc () in
+  ignore (Region.kernel_mode (fun () -> Vpkey.bind thief));
+  (* thief inherited the only slot; sync revokes this thread's stale
+     right on it, then re-binds victim (evicting thief back out) *)
+  Vpkey.sync_thread ();
+  Alcotest.(check bool) "victim readable via its new binding" true
+    (readable rv ~len:12);
+  Alcotest.(check bool) "thief lost the slot" true (Vpkey.hw_key thief = None);
+  Vpkey.check_invariants ()
+
+(* ---- ownership -------------------------------------------------------- *)
+
+let test_owner_checks () =
+  with_clean @@ fun () ->
+  let v = Vpkey.alloc ~owner:1042 () in
+  Alcotest.(check int) "owner recorded" 1042 (Vpkey.owner_of v);
+  Region.kernel_mode (fun () ->
+    (match Vpkey.bind ~owner:1043 v with
+     | _ -> Alcotest.fail "foreign bind must be denied"
+     | exception Vpkey.Permission_denied _ -> ());
+    ignore (Vpkey.bind ~owner:1042 v);
+    (* uid 0 is the kernel-side bypass *)
+    ignore (Vpkey.bind ~owner:0 v));
+  Vpkey.owner_checks_enabled := false;
+  ignore (Region.kernel_mode (fun () -> Vpkey.bind ~owner:1043 v));
+  Vpkey.check_invariants ()
+
+(* ---- the acceptance sweep: 64 tenants on 16 hardware keys ------------- *)
+
+let test_sixty_four_tenants_isolated () =
+  with_clean @@ fun () ->
+  let n = 64 in
+  let tenants =
+    Array.init n (fun i ->
+      let uid = 9000 + i in
+      let vk = Vpkey.alloc ~owner:uid () in
+      let r =
+        attach_region vk
+          ~name:(Printf.sprintf "vpk-64-%02d" i)
+          ~payload:(Printf.sprintf "tenant-%02d-secret" i)
+      in
+      (vk, uid, r))
+  in
+  Alcotest.(check int) "64 live vkeys" n (Vpkey.live_vkeys ());
+  (* bind all 64 under their owners: far beyond the hw table, so the
+     LRU must cycle; every bind still succeeds *)
+  Array.iter
+    (fun (vk, uid, _) ->
+      ignore (Region.kernel_mode (fun () -> Vpkey.bind ~owner:uid vk)))
+    tenants;
+  Alcotest.(check bool) "slot table stayed within the hw budget" true
+    (Vpkey.slots_in_use () <= 14);
+  Alcotest.(check bool) "evictions forced" true (Vpkey.evictions () >= n - 14);
+  (* every region is readable exactly under its owner's bound key:
+     enable tenant i, check region i opens and a neighbour's stays
+     shut, then drop the grant *)
+  Array.iteri
+    (fun i (vk, uid, r) ->
+      ignore (Vpkey.enable ~owner:uid vk);
+      Alcotest.(check string)
+        (Printf.sprintf "tenant %d reads its own region" i)
+        (Printf.sprintf "tenant-%02d-secret" i)
+        (Region.read_string r ~off:0 ~len:16);
+      let j = (i + 1) mod n in
+      let _, _, rj = tenants.(j) in
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %d cannot read tenant %d" i j)
+        false (readable rj ~len:16);
+      Vpkey.disable vk;
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %d loses access on disable" i)
+        false (readable r ~len:16))
+    tenants;
+  Vpkey.check_invariants ()
+
+(* ---- counters --------------------------------------------------------- *)
+
+let test_counters_mirror_telemetry () =
+  with_clean @@ fun () ->
+  Telemetry.Counters.reset ();
+  Vpkey.set_hw_cap 2;
+  let vks = List.init 5 (fun _ -> Vpkey.alloc ()) in
+  Region.kernel_mode (fun () ->
+    List.iter (fun vk -> ignore (Vpkey.bind vk)) vks);
+  Alcotest.(check bool) "binds counted" true (Vpkey.binds () >= 5);
+  Alcotest.(check int) "telemetry binds" (Vpkey.binds ())
+    (Telemetry.Counters.read Telemetry.Counters.Id.vpkey_binds);
+  Alcotest.(check int) "telemetry misses" (Vpkey.slot_misses ())
+    (Telemetry.Counters.read Telemetry.Counters.Id.vpkey_slot_misses);
+  Alcotest.(check int) "telemetry evictions" (Vpkey.evictions ())
+    (Telemetry.Counters.read Telemetry.Counters.Id.vpkey_evictions)
+
+let () =
+  Alcotest.run "vpkey"
+    [ ( "allocation",
+        [ Alcotest.test_case "alloc/free" `Quick test_alloc_free;
+          Alcotest.test_case "restore idempotent" `Quick
+            test_restore_idempotent ] );
+      ( "slot table",
+        [ Alcotest.test_case "bind beyond cap evicts" `Quick
+            test_bind_beyond_cap_evicts;
+          Alcotest.test_case "exhaustion with eviction off" `Quick
+            test_exhaustion_without_eviction;
+          Alcotest.test_case "quarantine + lazy rebind" `Quick
+            test_quarantine_and_lazy_rebind ] );
+      ( "pkru shadow",
+        [ Alcotest.test_case "sync_thread follows moves" `Quick
+            test_sync_thread_follows_moves;
+          Alcotest.test_case "slot reuse leaks nothing" `Quick
+            test_slot_reuse_never_leaks_rights ] );
+      ( "ownership",
+        [ Alcotest.test_case "owner checks" `Quick test_owner_checks ] );
+      ( "scale",
+        [ Alcotest.test_case "64 tenants on 16 hw keys" `Quick
+            test_sixty_four_tenants_isolated ] );
+      ( "counters",
+        [ Alcotest.test_case "telemetry mirror" `Quick
+            test_counters_mirror_telemetry ] ) ]
