@@ -8,10 +8,10 @@
       dune exec bench/main.exe -- --full          # paper-scale op counts
 
     Experiments: fig5 fig6 fig7 fig8 fig9 nullcall ablations complexity
-    micro stats. *)
+    micro stats rings. *)
 
 let all = [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "nullcall"; "ablations";
-            "complexity"; "micro"; "stats" ]
+            "complexity"; "micro"; "stats"; "rings" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -43,4 +43,5 @@ let () =
   if want "ablations" then Ablations.run ();
   if want "complexity" then Complexity.run ();
   if want "micro" then Micro.run ();
-  if want "stats" then Stats.run ~ops:(ops / 4) ()
+  if want "stats" then Stats.run ~ops:(ops / 4) ();
+  if want "rings" then Rings.run ~ops:(ops / 2) ()

@@ -1,0 +1,109 @@
+(** Shared-ring transport with adaptive batching: the two properties
+    the design promises, measured.
+
+    - {b Idle latency}: with one closed-loop client the adaptive
+      window must stay at 1 (a lone request never waits out a nagle
+      delay), so ring mode's single-op round trip lands within a few
+      percent of the legacy per-message socket path.
+    - {b The knee}: under open-loop (arrival-rate) load the window
+      grows toward B_max and whole ring windows drain through one
+      batch crossing — crossings/op falls automatically as offered
+      load rises, with no caller-side batching, and p99 stays flat
+      until the service rate is actually exhausted.
+
+    Greppable lines (CI gates in .github/workflows/ci.yml):
+      rings.idle_p50_ns.ring / rings.idle_p50_ns.legacy
+      rings.cpo.rate<R> / rings.p99_us.rate<R> / rings.ktps.rate<R> *)
+
+open Scenarios
+
+module C = Telemetry.Counters
+
+let record_count = 20_000
+
+let workload ~ops =
+  Ycsb.Workload.make ~name:"rings" ~record_count ~operation_count:ops
+    ~read_proportion:0.9 ~field_length:128 ()
+
+let fresh_plib () =
+  make_plib ~protection:Hodor.Library.Protected ~size:(96 lsl 20)
+    ~hashpower:16 ()
+
+(* ---- Idle point: closed-loop, one client ------------------------------- *)
+
+let idle_point ~rings ~ops =
+  let rings =
+    if rings then Some Mc_server.Server.default_ring_config else None
+  in
+  let plib = fresh_plib () in
+  let w = workload ~ops in
+  load_plib plib w;
+  let name = fresh_name "mc-rings-idle" in
+  let r =
+    in_vm (fun () ->
+      let srv = Plib.serve_remote ?rings plib ~name in
+      let conn = Sock.connect ~name () in
+      let r = Run.run ~threads:1 w ~db_for:(fun _ -> sock_db conn) in
+      Plib.stop_remote srv;
+      r)
+  in
+  Telemetry.Histogram.percentile r.Ycsb.Runner.r_hist 50.0
+
+let run_idle ~ops =
+  header "Rings: idle (closed-loop, 1 client) single-op latency";
+  let legacy = idle_point ~rings:false ~ops in
+  let ring = idle_point ~rings:true ~ops in
+  pf "rings.idle_p50_ns.legacy = %d\n" legacy;
+  pf "rings.idle_p50_ns.ring = %d\n" ring;
+  pf "  (ring/legacy = %.3f; the adaptive window must hold W=1 here)\n"
+    (float_of_int ring /. float_of_int legacy)
+
+(* ---- The knee: open-loop sweep over offered rates ----------------------- *)
+
+let rates_kops = [ 50; 100; 200; 400; 800; 1600 ]
+
+let run_knee ~ops =
+  header "Rings: open-loop knee (crossings/op and p99 vs offered load)";
+  let plib = fresh_plib () in
+  let w = workload ~ops in
+  load_plib plib w;
+  let threads = 4 in
+  pf "%-12s %10s %10s %10s %10s\n" "offered" "achieved" "cpo" "p99_us"
+    "ops/drain";
+  List.iter
+    (fun rate_kops ->
+      let name = fresh_name "mc-rings-knee" in
+      let e0 = C.read C.Id.hodor_enter in
+      let d0 = C.read C.Id.ring_drains and o0 = C.read C.Id.ring_drain_ops in
+      let r =
+        in_vm (fun () ->
+          let srv =
+            Plib.serve_remote ~rings:Mc_server.Server.default_ring_config plib
+              ~name
+          in
+          let conns = Array.init threads (fun _ -> Sock.connect ~name ()) in
+          let r =
+            Run.run_open ~threads ~rate_kops w
+              ~db_for:(fun i -> sock_open_db conns.(i))
+          in
+          Plib.stop_remote srv;
+          r)
+      in
+      let crossings = C.read C.Id.hodor_enter - e0 in
+      let drains = max 1 (C.read C.Id.ring_drains - d0) in
+      let dops = C.read C.Id.ring_drain_ops - o0 in
+      let cpo = float_of_int crossings /. float_of_int r.Ycsb.Runner.r_ops in
+      let p99 = Telemetry.Histogram.percentile r.Ycsb.Runner.r_hist 99.0 in
+      pf "%-12s %10.0f %10.3f %10.1f %10.2f\n"
+        (Printf.sprintf "%d kops" rate_kops)
+        (Ycsb.Runner.throughput_ktps r)
+        cpo (us p99)
+        (float_of_int dops /. float_of_int drains);
+      pf "rings.ktps.rate%d = %.0f\n" rate_kops (Ycsb.Runner.throughput_ktps r);
+      pf "rings.cpo.rate%d = %.3f\n" rate_kops cpo;
+      pf "rings.p99_us.rate%d = %.1f\n" rate_kops (us p99))
+    rates_kops
+
+let run ?(ops = 20_000) () =
+  run_idle ~ops;
+  run_knee ~ops

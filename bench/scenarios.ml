@@ -125,6 +125,34 @@ let sock_batch_db conn : Ycsb.Runner.batch_db =
             | _ -> false)
           (Sock.pipeline conn cmds)) }
 
+(* Open-loop adapter: requests stream out through the split
+   submit/await plane (over either transport; with ring mode the
+   submit is a shared-memory produce), completions parse back in
+   submission order. *)
+let sock_open_db conn : Ycsb.Runner.open_db =
+  let module P = Mc_protocol.Types in
+  let st = Sock.stream conn in
+  let inflight = Queue.create () in
+  { o_submit =
+      (fun op ->
+        S.advance CM.current.ycsb_driver;
+        let cmd =
+          match op with
+          | Ycsb.Workload.Read k -> P.Gets [ k ]
+          | Ycsb.Workload.Update (k, v) ->
+            P.Set { P.key = k; flags = 0; exptime = 0; data = v;
+                    noreply = false }
+        in
+        Queue.push cmd inflight;
+        Sock.submit st cmd);
+    o_await =
+      (fun () ->
+        let cmd = Queue.pop inflight in
+        match Sock.await st cmd with
+        | P.Values { vals; _ } -> vals <> []
+        | P.Stored -> true
+        | _ -> false) }
+
 (* Load the dataset straight into a store object (the load phase is
    not part of any measurement). *)
 let load_plib plib w =

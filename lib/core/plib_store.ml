@@ -53,6 +53,24 @@ let root_tenants = 3
     block may be mid-update at a kill; recovery recomputes them from
     the store itself. *)
 
+let root_rings = 4
+(** Persistent root id anchoring the shared-ring directory: a fixed
+    table of (cid, block, sub, comp) rows, one per live ring-mode
+    connection, with the ring pairs themselves carved out of this same
+    heap. Recovery keeps every in-use pair alive through the directory
+    and replays each ring's recovery protocol, so acked completions
+    survive a crash while in-flight-but-unacked submissions are simply
+    discarded with the connection. *)
+
+let max_ring_conns = 64
+(** Ring-directory capacity: live ring-mode connections per store. *)
+
+let ring_dir_row = 40
+(** Directory row: in_use, cid, block, sub base, comp base — five
+    64-bit words. [in_use] is written last on allocation and cleared
+    first on teardown, so a kill at any point leaves either a fully
+    described pair or an unreferenced block for recovery to reclaim. *)
+
 let max_tenants = 64
 (** Registry capacity — also the scale the vpkey layer is sized for:
     64 virtual keys multiplexed onto the 16 hardware slots. *)
@@ -149,7 +167,59 @@ module Make (S : Platform.Sync_intf.S) = struct
       (fun name s ->
         match Tenant.find tenants name with
         | Some slot -> Tenant.bump tenants slot s
-        | None -> ())
+        | None -> ());
+    (* Online quota enforcement for the socket path: the executor
+       routes every mutating store arm through this gate, inside the
+       crossing. Same discipline as [t_set_in] — a full tenant evicts
+       only its own items — and usage is recharged from the post-state
+       so the account stays exact whatever the op returned. *)
+    Mc_server.Executor.quota_gate :=
+      Some
+        { Mc_server.Executor.g_store = Obj.repr store;
+          g_apply =
+            (fun ~key ~op f ->
+              match Tenant.owner_slot_of_key tenants key with
+              | None -> f ()
+              | Some slot ->
+                let probe () =
+                  match Store.probe store key with
+                  | Some b -> (b, 1)
+                  | None -> (0, 0)
+                in
+                let old_bytes, old_items = probe () in
+                let add_bytes, add_items =
+                  match op with
+                  | Mc_server.Executor.Q_set n ->
+                    ( String.length key + n - old_bytes,
+                      if old_items = 0 then 1 else 0 )
+                  | Mc_server.Executor.Q_grow n -> (n, 0)
+                  | Mc_server.Executor.Q_touch -> (0, 0)
+                in
+                let pred =
+                  let p = Tenant.prefix tenants slot in
+                  fun k -> String.starts_with ~prefix:p k
+                in
+                let rec room tries =
+                  if
+                    not
+                      (Tenant.would_exceed tenants slot
+                         ~add_bytes:(max 0 add_bytes) ~add_items)
+                  then true
+                  else if tries = 0 then false
+                  else if Store.evict_some_matching store ~lru:slot ~pred > 0
+                  then room (tries - 1)
+                  else false
+                in
+                if (add_bytes > 0 || add_items > 0) && not (room 64) then
+                  Mc_protocol.Types.Server_error "out of memory storing object"
+                else begin
+                  let resp = f () in
+                  let new_bytes, new_items = probe () in
+                  Tenant.charge tenants slot ~bytes:(new_bytes - old_bytes)
+                    ~items:(new_items - old_items);
+                  resp
+                end)
+        }
 
   let build_handle ~lib ~region ~heap ~arena ~store ~tenants ~path ~owner =
     let t =
@@ -207,6 +277,30 @@ module Make (S : Platform.Sync_intf.S) = struct
           match Ralloc.get_root t.heap root_tenants with
           | 0 -> live
           | block -> block :: live
+        in
+        (* Ring pairs of live connections stay carved; each ring then
+           runs its own recovery protocol — acked completions survive,
+           a message the dead client was mid-publish is truncated away
+           (its first-slot seq was stamped last), and in-flight-but-
+           unacked submissions simply vanish with the window. *)
+        let live =
+          match Ralloc.get_root t.heap root_rings with
+          | 0 -> live
+          | dir ->
+            let live = ref (dir :: live) in
+            for i = 0 to max_ring_conns - 1 do
+              let row = dir + (i * ring_dir_row) in
+              if Region.read_i64 t.region row <> 0 then begin
+                live := Region.read_i64 t.region (row + 16) :: !live;
+                Transport.Ring.recover
+                  (Transport.Ring.attach t.region
+                     ~base:(Region.read_i64 t.region (row + 24)));
+                Transport.Ring.recover
+                  (Transport.Ring.attach t.region
+                     ~base:(Region.read_i64 t.region (row + 32)))
+              end
+            done;
+            !live
         in
         Ralloc.recover t.heap ~live;
         Mc_core.Bump_arena.recover t.arena ~live:arena_live;
@@ -827,16 +921,116 @@ module Make (S : Platform.Sync_intf.S) = struct
 
   module Remote = Mc_server.Server.Make_hybrid (S)
 
-  let serve_remote ?(cfg = Mc_server.Server.default_config) ?assign_tenant t
-      ~name =
+  (* ---- Shared-ring transport (the heap-owner side) -------------------
+
+     Ring mode replaces the per-message socket hand-off with
+     per-connection submission/completion rings carved out of this
+     same shared heap: the client enqueues into pages sealed under a
+     connection-private vkey (it can fill its own rings, never touch
+     library state or a neighbour's rings), and the server drains
+     whole windows through one batch crossing. The pairs are recorded
+     in the [root_rings] directory so the recovery protocol finds
+     them. *)
+
+  let ring_dir t =
+    Region.kernel_mode (fun () ->
+      match Ralloc.get_root t.heap root_rings with
+      | 0 ->
+        let dir = Ralloc.alloc t.heap (max_ring_conns * ring_dir_row) in
+        Region.fill t.region ~off:dir ~len:(max_ring_conns * ring_dir_row)
+          '\000';
+        Ralloc.set_root t.heap root_rings dir;
+        dir
+      | dir -> dir)
+
+  let ring_ctx t (rcfg : Mc_server.Server.ring_config) : Remote.ring_ctx =
+    let dir = ring_dir t in
+    let page = Region.page_size in
+    (* page-rounded per ring so the pair's pages can be sealed under
+       the connection's vkey without touching heap neighbours; the
+       allocation is padded by one page because Ralloc block starts
+       are not page-aligned *)
+    let span =
+      let b =
+        Transport.Ring.bytes_for ~slots:rcfg.r_slots
+          ~slot_bytes:rcfg.r_slot_bytes
+      in
+      (b + page - 1) / page * page
+    in
+    let rc_alloc cid =
+      Region.kernel_mode (fun () ->
+        let block = Ralloc.alloc t.heap ((2 * span) + page) in
+        let sub_base = (block + page - 1) / page * page in
+        let comp_base = sub_base + span in
+        let sub =
+          Transport.Ring.init t.region ~base:sub_base ~slots:rcfg.r_slots
+            ~slot_bytes:rcfg.r_slot_bytes
+        in
+        let comp =
+          Transport.Ring.init t.region ~base:comp_base ~slots:rcfg.r_slots
+            ~slot_bytes:rcfg.r_slot_bytes
+        in
+        (* owner 0: any process of this simulation may bind — the
+           capability is the vkey id held in the connection object,
+           private to the two endpoints *)
+        let vk = Pku.Vpkey.alloc () in
+        Pku.Vpkey.attach_retag vk (fun hw ->
+          Region.kernel_mode (fun () ->
+            Region.tag_range t.region ~off:sub_base ~len:(2 * span) ~pkey:hw));
+        let row =
+          let rec scan i =
+            if i >= max_ring_conns then
+              invalid_arg "Plib: ring directory full"
+            else if Region.read_i64 t.region (dir + (i * ring_dir_row)) = 0
+            then dir + (i * ring_dir_row)
+            else scan (i + 1)
+          in
+          scan 0
+        in
+        Region.write_i64 t.region (row + 8) cid;
+        Region.write_i64 t.region (row + 16) block;
+        Region.write_i64 t.region (row + 24) sub_base;
+        Region.write_i64 t.region (row + 32) comp_base;
+        Region.write_i64 t.region row 1 (* in_use last *);
+        { Remote.T.ra_sub = sub; ra_comp = comp; ra_vkey = vk })
+    in
+    let rc_free cid (ra : Remote.T.ring_attach) =
+      Region.kernel_mode (fun () ->
+        let rec scan i =
+          if i >= max_ring_conns then ()
+          else
+            let row = dir + (i * ring_dir_row) in
+            if
+              Region.read_i64 t.region row <> 0
+              && Region.read_i64 t.region (row + 8) = cid
+            then begin
+              let block = Region.read_i64 t.region (row + 16) in
+              let sub_base = Region.read_i64 t.region (row + 24) in
+              Region.write_i64 t.region row 0 (* in_use first *);
+              (* retire the vkey (quarantines the pages), hand them
+                 back to the library's own key, free the block *)
+              Pku.Vpkey.free ra.Remote.T.ra_vkey;
+              Region.tag_range t.region ~off:sub_base ~len:(2 * span)
+                ~pkey:(Hodor.Library.pkey t.lib);
+              Ralloc.free t.heap block
+            end
+            else scan (i + 1)
+        in
+        scan 0)
+    in
+    { Remote.rc_cfg = rcfg; rc_alloc; rc_free }
+
+  let serve_remote ?(cfg = Mc_server.Server.default_config) ?assign_tenant
+      ?rings t ~name =
     let wrap =
       { Mc_server.Server.wrap =
           (fun ~ops f ->
             Process.with_process t.owner (fun () ->
               Hodor.Trampoline.call_batch t.lib ~ops f)) }
     in
+    let ring_ctx = Option.map (ring_ctx t) rings in
     Remote.start_with ~cfg:{ cfg with store = Store.config t.store } ~wrap
-      ?assign_tenant ~store:t.store ~name ()
+      ?assign_tenant ?ring_ctx ~store:t.store ~name ()
 
   let stop_remote srv = Remote.stop srv
 
@@ -852,6 +1046,7 @@ module Make (S : Platform.Sync_intf.S) = struct
     Tenant.stats_hook := (fun () -> []);
     Tenant.reset_hook := (fun () -> ());
     Tenant.bump_hook := (fun _ _ -> ());
+    Mc_server.Executor.quota_gate := None;
     (* The counter cells lived in this heap; don't leave the process-
        wide backend pointing into a detached region. The counts
        themselves were flushed with the heap and reappear on restart. *)

@@ -160,6 +160,37 @@ module Make (S : Platform.Sync_intf.S) = struct
          in
          collect 0 [])
 
+  (* ---- Open-loop plane -------------------------------------------------
+
+     Split send/await for the open-loop YCSB driver: [submit] marshals
+     and sends without waiting for the reply; [await] parses the next
+     reply (in submission order) off the connection's accumulated byte
+     stream. With many requests in flight the stream interleaves reply
+     frames back to back — exactly what the completion ring delivers —
+     and the positional parse walks them one [await] at a time. *)
+
+  type stream = { cl : t; sbuf : Buffer.t; mutable s_at : int }
+
+  let stream t = { cl = t; sbuf = Buffer.create 256; s_at = 0 }
+
+  let submit st cmd =
+    if P.is_noreply cmd then invalid_arg "submit: command with a suppressed reply";
+    S.advance CM.current.client_pack;
+    T.client_send st.cl.conn (encode_only st.cl cmd)
+
+  let await st cmd =
+    S.advance CM.current.client_unpack;
+    if st.s_at > 65536 then begin
+      (* drop the consumed prefix so a long run stays bounded *)
+      let rest = Buffer.sub st.sbuf st.s_at (Buffer.length st.sbuf - st.s_at) in
+      Buffer.clear st.sbuf;
+      Buffer.add_string st.sbuf rest;
+      st.s_at <- 0
+    end;
+    let resp, used = parse_at st.cl st.sbuf cmd st.s_at in
+    st.s_at <- st.s_at + used;
+    resp
+
   let store_result_of_response : P.response -> Mc_core.Store.store_result =
     function
     | P.Stored -> Mc_core.Store.Stored

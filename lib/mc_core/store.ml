@@ -127,6 +127,30 @@ let telemetry_id =
      T.total_items; T.cas_hits; T.cas_badval; T.cas_misses; T.touch_hits;
      T.touch_misses; T.cmd_get |]
 
+(* Stripes a thread already holds through [with_stripes], and the
+   acquisitions it has open for the contention profiler. This state
+   lives OUTSIDE the functor: OCaml functors are applicative, so the
+   same store handle flows between two instantiations of [Make] (the
+   protected-library layer builds one, the server's executor another),
+   and stripe reentrancy is a property of the physical handle, not of
+   whichever module happens to touch it. A per-instantiation Tls key
+   would make [holds_stripe] blind to stripes pinned through the other
+   instance — a self-deadlock when, say, the quota gate probes a key
+   whose stripe the batch executor already groups. Entries are keyed by
+   the handle's physical identity. *)
+let held_stripes : (Obj.t * int) list ref Tls.key =
+  Tls.new_key (fun () -> ref [])
+
+type hold_entry = {
+  he_store : Obj.t;
+  he_stripe : int;
+  he_wait_ns : int;
+  he_since : int;
+  he_span : Telemetry.Span.t;
+}
+
+let open_holds : hold_entry list ref Tls.key = Tls.new_key (fun () -> ref [])
+
 module Make
     (M : Memory_intf.MEMORY)
     (A : Memory_intf.ALLOCATOR)
@@ -356,31 +380,16 @@ struct
 
   let seq_read t s = rd64 t (seq_off t s)
 
-  (* Stripes this thread already holds through [with_stripes], so the
-     per-op [lock_item]/[unlock_item] inside a grouped batch become
-     no-ops for them (the amortization: one acquisition per stripe per
-     group instead of one per op). The store handle is compared
-     physically — two stores may coexist in one process (tests attach
-     twice), and their stripe indices must not alias. *)
-  let held_stripes : (t * int) list ref Tls.key = Tls.new_key (fun () -> ref [])
-
+  (* [held_stripes]/[open_holds] live at module level (above [Make]):
+     the per-op [lock_item]/[unlock_item] inside a grouped batch become
+     no-ops for stripes the thread pinned through [with_stripes], even
+     when the pin went through a different instantiation of this
+     functor. Handles are compared physically — two stores may coexist
+     in one process (tests attach twice), and their stripe indices must
+     not alias. *)
   let holds_stripe t s =
+    let t = Obj.repr t in
     List.exists (fun (t', s') -> t' == t && s' = s) !(Tls.get held_stripes)
-
-  (* Stripe acquisitions this thread has open: stripe index, how long
-     the thread waited for the lock, when it got it, and the open
-     [stripe_hold] span — popped at unlock to feed the contention
-     profiler. Keyed by the store handle too (two stores may coexist
-     in one process, and their stripe indices must not alias). *)
-  type hold_entry = {
-    he_store : t;
-    he_stripe : int;
-    he_wait_ns : int;
-    he_since : int;
-    he_span : Telemetry.Span.t;
-  }
-
-  let open_holds : hold_entry list ref Tls.key = Tls.new_key (fun () -> ref [])
 
   let lock_item t h =
     if not (holds_stripe t (stripe_index t h)) then begin
@@ -395,8 +404,8 @@ struct
       Telemetry.Span.finish wsp;
       let holds = Tls.get open_holds in
       holds :=
-        { he_store = t; he_stripe = stripe_index t h; he_wait_ns = t1 - t0;
-          he_since = t1;
+        { he_store = Obj.repr t; he_stripe = stripe_index t h;
+          he_wait_ns = t1 - t0; he_since = t1;
           he_span = Telemetry.Span.start ~phase:"stripe_hold" () }
         :: !holds
     end
@@ -407,7 +416,7 @@ struct
       let holds = Tls.get open_holds in
       (let rec pop acc = function
          | [] -> ()
-         | e :: tl when e.he_store == t && e.he_stripe = s ->
+         | e :: tl when e.he_store == Obj.repr t && e.he_stripe = s ->
            holds := List.rev_append acc tl;
            Telemetry.Span.finish e.he_span;
            Telemetry.Contention.record ~stripe:s ~wait_ns:e.he_wait_ns
@@ -445,7 +454,7 @@ struct
           held :=
             (let rec rm = function
                | [] -> []
-               | (t', s') :: tl when t' == t && s' = s -> tl
+               | (t', s') :: tl when t' == Obj.repr t && s' = s -> tl
                | p :: tl -> p :: rm tl
              in
              rm !held);
@@ -469,7 +478,7 @@ struct
            seq_bump t s;
            waits := (s, S.now_ns () - t0) :: !waits;
            acquired := s :: !acquired;
-           held := (t, s) :: !held)
+           held := (Obj.repr t, s) :: !held)
          stripes
      with e ->
        Telemetry.Span.finish wsp;

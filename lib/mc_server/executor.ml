@@ -77,6 +77,45 @@ let account_tenant ~name (cmd : P.command) (resp : P.response) =
     bump Mc_core.Tenant.Cmd_set
   | _ -> ()
 
+(* ---- Online quota enforcement (socket path) --------------------------
+
+   The in-process API enforces tenant quotas inside the library; the
+   socket path executes through this module, so without a gate a
+   remote tenant could write past its budget. A library owner installs
+   [quota_gate]; the executor then routes every mutating store arm
+   through [g_apply], passing the (already scoped) key and what the op
+   will do to that key's footprint. The gate — which owns the registry
+   and can probe the store — blocks the op (after trying tenant-local
+   eviction) or lets it run and recharges usage from the post-state.
+   A [None] gate is the zero-cost default for untenanted servers. *)
+
+type quota_op =
+  | Q_set of int  (** set/add/replace/cas: final value length *)
+  | Q_grow of int (** append/prepend: bytes added on top of the old value *)
+  | Q_touch       (** delete/incr/decr: never blocks, recharge after *)
+
+type quota_gate = {
+  g_store : Obj.t;
+  (** physical identity of the store the gate guards. The hook is
+      process-global (like the tenant hooks) but must never tax an
+      unrelated store — harnesses build private stores through this
+      same executor — so it only engages when the executing store
+      {e is} the one it was installed for. *)
+  g_apply : key:string -> op:quota_op -> (unit -> P.response) -> P.response;
+}
+
+let quota_gate : quota_gate option ref = ref None
+
+let with_quota ~store ~key ~op f =
+  match !quota_gate with
+  | Some g when g.g_store == Obj.repr store -> g.g_apply ~key ~op f
+  | _ -> f ()
+
+(* Live per-connection window/occupancy figures for `stats rings`,
+   installed by a ring-mode server. *)
+let rings_stats_hook : (unit -> (string * string) list) ref =
+  ref (fun () -> [])
+
 module Make
     (M : Mc_core.Memory_intf.MEMORY)
     (A : Mc_core.Memory_intf.ALLOCATOR)
@@ -113,35 +152,48 @@ struct
     | P.Gets keys -> retrieve store keys ~with_cas:true
     | P.Getx { g_key; _ } -> retrieve store [ g_key ] ~with_cas:true
     | P.Set p ->
-      of_store_result
-        (Store.set store ~flags:p.P.flags ~exptime:p.P.exptime p.P.key p.P.data)
+      with_quota ~store ~key:p.P.key ~op:(Q_set (String.length p.P.data)) (fun () ->
+        of_store_result
+          (Store.set store ~flags:p.P.flags ~exptime:p.P.exptime p.P.key
+             p.P.data))
     | P.Add p ->
-      of_store_result
-        (Store.add store ~flags:p.P.flags ~exptime:p.P.exptime p.P.key p.P.data)
+      with_quota ~store ~key:p.P.key ~op:(Q_set (String.length p.P.data)) (fun () ->
+        of_store_result
+          (Store.add store ~flags:p.P.flags ~exptime:p.P.exptime p.P.key
+             p.P.data))
     | P.Replace p ->
-      of_store_result
-        (Store.replace store ~flags:p.P.flags ~exptime:p.P.exptime p.P.key
-           p.P.data)
-    | P.Append p -> of_store_result (Store.append store p.P.key p.P.data)
-    | P.Prepend p -> of_store_result (Store.prepend store p.P.key p.P.data)
+      with_quota ~store ~key:p.P.key ~op:(Q_set (String.length p.P.data)) (fun () ->
+        of_store_result
+          (Store.replace store ~flags:p.P.flags ~exptime:p.P.exptime p.P.key
+             p.P.data))
+    | P.Append p ->
+      with_quota ~store ~key:p.P.key ~op:(Q_grow (String.length p.P.data)) (fun () ->
+        of_store_result (Store.append store p.P.key p.P.data))
+    | P.Prepend p ->
+      with_quota ~store ~key:p.P.key ~op:(Q_grow (String.length p.P.data)) (fun () ->
+        of_store_result (Store.prepend store p.P.key p.P.data))
     | P.Cas (p, unique) ->
-      of_store_result
-        (Store.cas store ~flags:p.P.flags ~exptime:p.P.exptime ~cas:unique
-           p.P.key p.P.data)
+      with_quota ~store ~key:p.P.key ~op:(Q_set (String.length p.P.data)) (fun () ->
+        of_store_result
+          (Store.cas store ~flags:p.P.flags ~exptime:p.P.exptime ~cas:unique
+             p.P.key p.P.data))
     | P.Delete (key, _) ->
-      if Store.delete store key then P.Deleted else P.Not_found
+      with_quota ~store ~key ~op:Q_touch (fun () ->
+        if Store.delete store key then P.Deleted else P.Not_found)
     | P.Incr (key, delta, _) ->
-      (match Store.incr store key delta with
-       | Mc_core.Store.Counter v -> P.Number v
-       | Mc_core.Store.Counter_not_found -> P.Not_found
-       | Mc_core.Store.Non_numeric ->
-         P.Client_error "cannot increment or decrement non-numeric value")
+      with_quota ~store ~key ~op:Q_touch (fun () ->
+        match Store.incr store key delta with
+        | Mc_core.Store.Counter v -> P.Number v
+        | Mc_core.Store.Counter_not_found -> P.Not_found
+        | Mc_core.Store.Non_numeric ->
+          P.Client_error "cannot increment or decrement non-numeric value")
     | P.Decr (key, delta, _) ->
-      (match Store.decr store key delta with
-       | Mc_core.Store.Counter v -> P.Number v
-       | Mc_core.Store.Counter_not_found -> P.Not_found
-       | Mc_core.Store.Non_numeric ->
-         P.Client_error "cannot increment or decrement non-numeric value")
+      with_quota ~store ~key ~op:Q_touch (fun () ->
+        match Store.decr store key delta with
+        | Mc_core.Store.Counter v -> P.Number v
+        | Mc_core.Store.Counter_not_found -> P.Not_found
+        | Mc_core.Store.Non_numeric ->
+          P.Client_error "cannot increment or decrement non-numeric value")
     | P.Touch (key, exptime, _) ->
       if Store.touch store key exptime then P.Touched else P.Not_found
     | P.Stats None ->
@@ -165,6 +217,11 @@ struct
          profile (hits never queued on a stripe at all) *)
       P.Stats_reply
         (Telemetry.Contention.kvs () @ Telemetry.Counters.optimistic_kvs ())
+    | P.Stats (Some "rings") ->
+      (* extension: shared-ring transport counters, plus the live
+         adaptive-window state the ring server appends *)
+      P.Stats_reply
+        (Telemetry.Counters.ring_kvs () @ !rings_stats_hook ())
     | P.Stats (Some "tenants") ->
       (* per-tenant rollups; served through the hook because the
          registry lives with the library owner, not the store *)

@@ -64,6 +64,10 @@ type t = {
   (** per-op overhead of the YCSB (Java) client harness itself,
       calibrated so the throughput figures peak where the paper's do;
       charged by the benchmark's DB adapters, not by the store *)
+  mutable ring_slot : int;
+  (** shared-ring slot bookkeeping per message: the header loads and
+      the sequence-stamp store around the payload memcpy — cache-line
+      traffic, no kernel involvement *)
 }
 
 let default () = {
@@ -99,6 +103,7 @@ let default () = {
   coherence_ns = 220;
   wire_per_256b = 190;
   ycsb_driver = 2000;
+  ring_slot = 30;
 }
 
 let current = default ()
@@ -136,7 +141,8 @@ let reset () =
   current.numeric_parse <- d.numeric_parse;
   current.coherence_ns <- d.coherence_ns;
   current.wire_per_256b <- d.wire_per_256b;
-  current.ycsb_driver <- d.ycsb_driver
+  current.ycsb_driver <- d.ycsb_driver;
+  current.ring_slot <- d.ring_slot
 
 (* Derived helpers used throughout the store code. *)
 

@@ -1072,6 +1072,173 @@ let cross_tenant_read =
                victim's acked write"
         end) }
 
+(* ---- 18: hostile ring client ---------------------------------------- *)
+
+(* The transport-level attacker: a ring-mode client owns the producer
+   side of its submission ring — pages sealed under its own vkey — so
+   nothing stops it from writing slot headers directly instead of
+   going through the client library. Three forgeries, each on a fresh
+   connection (a bounced ring stays dead): a sequence stamp off its
+   position, a length far past the message envelope, and an overfilled
+   tail. Hardened, the consumer's validation walk refuses the window
+   before anything downstream trusts a header and bounces only the
+   forger; unhardened, the drain believes the forged length and reads
+   it as one contiguous span — inside the library crossing, where the
+   worker's keys reach the whole shared heap — and the crash poisons
+   the library for every client. *)
+let hostile_ring_client =
+  let module Ring = Transport.Ring in
+  let module RS = Platform.Real_sync in
+  { sc_name = "hostile-ring-client";
+    vector = "ring client stomps slot seq/len words and overfills the tail, \
+              then rings the doorbell";
+    defense = "validated window walk before the drain; fragment-clamped \
+               reads; bounce kills only the forger's connection";
+    toggle = "Transport.Ring.validation_enabled";
+    run =
+      (fun ~hardening ->
+        with_toggle Ring.validation_enabled hardening @@ fun () ->
+        with_rplib ~tag:"hring" @@ fun p ->
+        let sname = Printf.sprintf "rt-hring-srv-%d" (fresh ()) in
+        let scfg =
+          { Mc_server.Server.default_config with
+            workers = 1; protocol = Mc_server.Server.Ascii;
+            store = small_cfg }
+        in
+        let srv =
+          RPlib.serve_remote ~cfg:scfg
+            ~rings:Mc_server.Server.default_ring_config p ~name:sname
+        in
+        Fun.protect ~finally:(fun () -> RPlib.stop_remote srv) @@ fun () ->
+        let victim = Process.make ~uid:3301 "hring-victim" in
+        let attacker = Process.make ~uid:3302 "hring-attacker" in
+        let rpc c payload =
+          RT.client_send c payload;
+          RT.client_recv c
+        in
+        let cv =
+          Process.with_process victim (fun () -> RT.connect ~name:sname)
+        in
+        if
+          not
+            (has_sub ~needle:"STORED"
+               (Process.with_process victim (fun () ->
+                    rpc cv "set keep 0 0 7\r\nv-acked\r\n")))
+        then failwith "hring scenario: victim's seed write failed";
+        (* Mount one forgery: raw header writes under the connection's
+           own vkey, tail (the publish word) last, then the doorbell.
+           Returns whether the consumer bounced the ring. *)
+        let forge poke =
+          Process.with_process attacker @@ fun () ->
+          let c = RT.connect ~name:sname in
+          match RT.rings_of c with
+          | None -> failwith "hring scenario: server did not attach rings"
+          | Some ra ->
+            RT.ring_grant ra;
+            let sub = ra.RT.ra_sub in
+            poke (Ring.region sub) sub;
+            (try
+               RS.send c.RT.inbox
+                 { RT.m_cid = c.RT.cid; m_payload = ""; m_at = RS.now_ns () }
+             with RS.Closed -> ());
+            (* The bounce revokes the connection's vkey and quarantines
+               the ring pages, so losing the ability to even read the
+               dead flag is itself the bounce signal. *)
+            let rec dead n =
+              match
+                RT.ring_grant ra;
+                Ring.is_dead sub
+              with
+              | true -> true
+              | false ->
+                if n = 0 then false
+                else begin
+                  RS.sleep_ns 2_000_000;
+                  dead (n - 1)
+                end
+              | exception _ -> true
+            in
+            dead 500
+        in
+        let forge_seq r sub =
+          let tl = Ring.tail sub in
+          let off = Ring.slot_word sub tl in
+          Region.write_i64 r (off + 8) 8;
+          Region.write_i64 r (off + 16) (RS.now_ns ());
+          Region.write_i64 r off (tl + 99) (* seq off its position *);
+          Region.write_i64 r (Ring.tail_word sub) (tl + 1)
+        in
+        let forge_len r sub =
+          let tl = Ring.tail sub in
+          let off = Ring.slot_word sub tl in
+          Region.write_i64 r (off + 8) (32 lsl 20) (* 32 MiB "message" *);
+          Region.write_i64 r (off + 16) (RS.now_ns ());
+          Region.write_i64 r off (tl + 1) (* honest seq, lying length *);
+          Region.write_i64 r (Ring.tail_word sub) (tl + 1)
+        in
+        let forge_overfill r sub =
+          Region.write_i64 r (Ring.tail_word sub) (Ring.head sub + 1_000_000)
+        in
+        if not hardening then begin
+          (* Pre-fix stack: the forged length flows into a contiguous
+             read that escapes the ring pages inside the crossing. *)
+          ignore (forge forge_len);
+          let rec poisoned n =
+            match Library.health (RPlib.library p) with
+            | Library.Poisoned _ -> true
+            | _ ->
+              if n = 0 then false
+              else begin
+                RS.sleep_ns 2_000_000;
+                poisoned (n - 1)
+              end
+          in
+          if poisoned 500 then
+            Breached
+              "forged length trusted: the drain read attacker-controlled \
+               bytes past the ring pages inside the crossing and poisoned \
+               the library for every client"
+          else
+            Blocked "forged length had no effect (attack fizzled)"
+        end
+        else begin
+          let module C = Telemetry.Counters in
+          let k0 = C.read C.Id.ring_kills in
+          let b1 = forge forge_seq in
+          let b2 = forge forge_len in
+          let b3 = forge forge_overfill in
+          if not (b1 && b2 && b3) then
+            Breached
+              (Printf.sprintf
+                 "a forged window was never refused (seq=%b len=%b \
+                  overfill=%b): the drain path trusted a stomped header"
+                 b1 b2 b3)
+          else
+            let kills = C.read C.Id.ring_kills - k0 in
+            let fresh_ok =
+              has_sub ~needle:"STORED"
+                (Process.with_process victim (fun () ->
+                     rpc cv "set fresh 0 0 2\r\nv2\r\n"))
+            in
+            let kept =
+              has_sub ~needle:"v-acked"
+                (Process.with_process victim (fun () ->
+                     rpc cv "get keep\r\n"))
+            in
+            if not (fresh_ok && kept) then
+              Breached
+                "the bounce took the victim's connection down with the \
+                 forger"
+            else if Library.health (RPlib.library p) <> Library.Healthy then
+              Breached "a stomped header poisoned the hardened library"
+            else
+              Blocked
+                (Printf.sprintf
+                   "all three forged windows bounced before the parser (%d \
+                    ring kills); the victim's connection never noticed"
+                   kills)
+        end) }
+
 let all =
   [ gadget_island `Wrpkru;
     gadget_island `Xrstor;
@@ -1089,6 +1256,7 @@ let all =
     crash_in_grace;
     inlib_syscall_escape;
     cross_tenant_quota_starve;
-    cross_tenant_read ]
+    cross_tenant_read;
+    hostile_ring_client ]
 
 let find name = List.find (fun s -> s.sc_name = name) all

@@ -86,9 +86,23 @@ module Id = struct
   let vpkey_slot_misses = 36
   let vpkey_evictions = 37
 
+  (* Shared-ring transport: submissions enqueued by clients, doorbell
+     syscalls actually paid (the amortization win is submits far above
+     doorbells), drains fired by the adaptive window, the ops those
+     drains carried (ops/drain = ring_drain_ops / ring_drains),
+     completions published, producer stalls on a full ring, and
+     connections bounced for forged slot headers. *)
+  let ring_submits = 38
+  let ring_doorbells = 39
+  let ring_drains = 40
+  let ring_drain_ops = 41
+  let ring_completions = 42
+  let ring_full_waits = 43
+  let ring_kills = 44
+
   (* Per-pkey fault counts occupy the tail: [pku_fault_pkey + k] for
      pkey k in [0, pkeys). *)
-  let pku_fault_pkey = 38
+  let pku_fault_pkey = 45
 
   let pkeys = 16
 
@@ -124,7 +138,14 @@ let names =
       (Id.loader_rejects, "loader_rejects");
       (Id.vpkey_binds, "vpkey_binds");
       (Id.vpkey_slot_misses, "vpkey_slot_misses");
-      (Id.vpkey_evictions, "vpkey_evictions") ];
+      (Id.vpkey_evictions, "vpkey_evictions");
+      (Id.ring_submits, "ring_submits");
+      (Id.ring_doorbells, "ring_doorbells");
+      (Id.ring_drains, "ring_drains");
+      (Id.ring_drain_ops, "ring_drain_ops");
+      (Id.ring_completions, "ring_completions");
+      (Id.ring_full_waits, "ring_full_waits");
+      (Id.ring_kills, "ring_kills") ];
   for k = 0 to Id.pkeys - 1 do
     a.(Id.pku_fault_pkey + k) <- Printf.sprintf "pku_fault_pkey:%d" k
   done;
@@ -212,6 +233,14 @@ let boundary_kvs () =
    to the stripe-wait profile they explain. *)
 let optimistic_kvs () =
   List.map kv [ Id.opt_hits; Id.opt_retries; Id.opt_fallbacks ]
+
+(* Shared-ring transport counters — the `stats rings` payload, next to
+   the live window/occupancy figures the ring server appends. *)
+let ring_kvs () =
+  List.map kv
+    [ Id.ring_submits; Id.ring_doorbells; Id.ring_drains;
+      Id.ring_drain_ops; Id.ring_completions; Id.ring_full_waits;
+      Id.ring_kills ]
 
 let all_kvs () =
   List.filter_map

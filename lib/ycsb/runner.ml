@@ -16,6 +16,16 @@ type batch_db = {
       the input (reads report hit/miss; updates report true) *)
 }
 
+type open_db = {
+  o_submit : Workload.op -> unit;
+  (** enqueue the request; returns as soon as the transport accepted
+      it (which may block on transport backpressure — that stall is
+      real queueing delay and is charged to the op) *)
+  o_await : unit -> bool;
+  (** receive the next completion, in submission order (reads report
+      hit/miss; updates report true) *)
+}
+
 type result = {
   r_ops : int;
   r_elapsed_ns : int;
@@ -151,6 +161,76 @@ module Make (S : Platform.Sync_intf.S) = struct
         S.spawn
           ~name:(Printf.sprintf "ycsb-client-%d" tid)
           (fun () -> client_body w db ~tid ~ops:ops_per_thread results.(tid)))
+    in
+    List.iter S.join handles;
+    collect threads ops_per_thread t_start results
+
+  (* Open-loop (arrival-rate) client: a submitter fiber paces requests
+     at a fixed interval and a collector fiber consumes completions,
+     measuring each op's latency from its *intended* arrival time —
+     the coordinated-omission-correct figure, so queueing delay past
+     the knee shows up instead of silently stretching the load loop.
+     The op stream is drawn from exactly the same per-thread rng
+     stream as [client_body]: a same-seed run touches the same keys in
+     the same order at every offered rate and batch-window setting. *)
+  let client_body_open (w : Workload.t) (db : open_db) ~interval_ns ~tid ~ops
+      (tr : thread_result) =
+    let rng = Rng.create (w.Workload.seed + (7919 * tid)) in
+    let choose = Workload.chooser w rng in
+    let stamps : (int * Workload.op) S.chan = S.chan () in
+    let t0 = S.now_ns () in
+    let submitter =
+      S.spawn
+        ~name:(Printf.sprintf "ycsb-submit-%d" tid)
+        (fun () ->
+          for i = 0 to ops - 1 do
+            let op = Workload.next_op w rng choose in
+            let intended = t0 + (i * interval_ns) in
+            let now = S.now_ns () in
+            if now < intended then S.sleep_ns (intended - now);
+            S.send stamps (intended, op);
+            db.o_submit op
+          done;
+          S.close stamps)
+    in
+    let rec collect () =
+      match S.recv stamps with
+      | intended, op ->
+        let ok = db.o_await () in
+        let dt = S.now_ns () - intended in
+        Histogram.record tr.hist dt;
+        (match op with
+         | Workload.Read _ ->
+           Histogram.record tr.rhist dt;
+           if ok then tr.hits <- tr.hits + 1 else tr.misses <- tr.misses + 1
+         | Workload.Update _ -> Histogram.record tr.uhist dt);
+        collect ()
+      | exception S.Closed -> ()
+    in
+    collect ();
+    S.join submitter
+
+  (* Offered load [rate_kops] is split evenly across the client
+     threads; each thread runs its own submitter/collector pair. *)
+  let run_open ?(threads = 1) ~rate_kops (w : Workload.t)
+      ~(db_for : int -> open_db) : result =
+    if rate_kops <= 0 then invalid_arg "Runner.run_open: rate_kops <= 0";
+    let ops_per_thread = max 1 (w.Workload.operation_count / threads) in
+    let interval_ns = max 1 (1_000_000 * threads / rate_kops) in
+    let results =
+      Array.init threads (fun _ ->
+        { hist = Histogram.create (); rhist = Histogram.create ();
+          uhist = Histogram.create (); hits = 0; misses = 0 })
+    in
+    let t_start = S.now_ns () in
+    let handles =
+      List.init threads (fun tid ->
+        let db = db_for tid in
+        S.spawn
+          ~name:(Printf.sprintf "ycsb-client-%d" tid)
+          (fun () ->
+            client_body_open w db ~interval_ns ~tid ~ops:ops_per_thread
+              results.(tid)))
     in
     List.iter S.join handles;
     collect threads ops_per_thread t_start results

@@ -830,15 +830,205 @@ let test_sweep_tenants () =
     incr sites_d
   done
 
+(* ---- Workload E: shared-ring transport, client victim mid-stream --- *)
+
+(* The victim talks to a ring-mode server and dies at every sync point
+   of its submit/await path — including mid-[Ring.produce] with only
+   some fragments of a multi-slot message published, and mid-await with
+   completions it never consumed. The sweep asserts the ring transport's
+   crash contract: every write whose reply the client had parsed out of
+   its completion ring ("acked") is still readable with the exact value
+   after recovery; a submitted-but-unacked write is present-or-absent
+   but never torn (the value, when there, is byte-exact — a half-
+   published entry is truncated by [Ring.recover], not executed); and a
+   fresh ring-mode server serves traffic over the recovered heap. *)
+
+let cfg_e =
+  { Store.default_config with hashpower = 7; lock_count = 8; lru_count = 2;
+    stats_slots = 2 }
+
+let fresh_e = ref 0
+
+let run_e ~at () =
+  incr fresh_e;
+  let path = Printf.sprintf "/shm/crash-e-%d" !fresh_e in
+  let owner = Process.make ~uid:1000 "bk-crash-e" in
+  let p = Plib.create ~store_cfg:cfg_e ~path ~size:(2 lsl 20) ~owner () in
+  Fun.protect
+    ~finally:(fun () ->
+      Simos.Sim_fs.unlink path;
+      Hodor.Library.release (Plib.library p);
+      Pku.Pkru.reset_thread ())
+    (fun () ->
+      Telemetry.Span.reset ();
+      let vm = Vm.create ~sched_seed:2718 ~preempt_jitter:50 () in
+      let victim_proc = Process.make ~uid:2100 "ring-victim" in
+      Vm.set_crash_point vm
+        ~filter:(fun n -> n = "victim")
+        ~at
+        ~on_crash:(fun _name now -> Process.kill ~now_ns:now victim_proc)
+        ();
+      (* [acked k] = the reply was parsed from the completion ring
+         before the kill; [submitted k] = the op entered (possibly only
+         partially) the submission ring. Every op uses a fresh key, so
+         the legal post-recovery states of a key are exactly {its acked
+         value} or {its submitted value, absent}. Values span multiple
+         ring slots so a mid-publish kill really does leave a torn
+         multi-fragment entry behind. *)
+      let acked : (string, string) Hashtbl.t = Hashtbl.create 64 in
+      let submitted : (string, string) Hashtbl.t = Hashtbl.create 64 in
+      let srv_name = Printf.sprintf "crash-e-srv-%d" !fresh_e in
+      let victim_done = ref false in
+      ignore
+        (Vm.spawn vm ~name:"main" (fun () ->
+           let srv =
+             Plib.serve_remote
+               ~cfg:
+                 { Mc_server.Server.default_config with
+                   workers = 1; store = cfg_e }
+               ~rings:Mc_server.Server.default_ring_config p ~name:srv_name
+           in
+           let victim =
+             Vm.Sync.spawn ~name:"victim" (fun () ->
+               (try
+                  Process.with_process victim_proc (fun () ->
+                    try
+                      let conn = VCl.Sock.connect ~name:srv_name () in
+                      for i = 0 to 39 do
+                        let k = Printf.sprintf "e-%d" i in
+                        let v = String.make (60 + (i * 97 mod 540)) 'e' in
+                        Hashtbl.replace submitted k v;
+                        (match VCl.Sock.set conn k v with
+                         | Store.Stored -> Hashtbl.replace acked k v
+                         | _ -> ());
+                        if i mod 7 = 3 then ignore (VCl.Sock.get conn k)
+                      done
+                    with VCl.Sock.T.Connection_closed -> ())
+                with Process.Process_killed _ -> ());
+               victim_done := true)
+           in
+           ignore victim;
+           let survivor =
+             Vm.Sync.spawn ~name:"surv" (fun () ->
+               let proc = Process.make ~uid:3100 "ring-app" in
+               Process.with_process proc (fun () ->
+                 let conn = VCl.Sock.connect ~name:srv_name () in
+                 let i = ref 0 in
+                 while !i < 16 && Vm.crashed vm = [] do
+                   let k = Printf.sprintf "s-%d" !i in
+                   let v =
+                     Printf.sprintf "s-%d-%s" !i
+                       (String.make (40 + (!i * 53 mod 300)) 's')
+                   in
+                   (match VCl.Sock.set conn k v with
+                    | Store.Stored -> Hashtbl.replace acked k v
+                    | _ -> ());
+                   incr i
+                 done))
+           in
+           Vm.Sync.join survivor;
+           (* Wait for the victim to finish or die — a killed thread's
+              continuation is dropped, so it cannot be joined. *)
+           while not !victim_done && Vm.crashed vm = [] do
+             Vm.Sync.sleep_ns 500
+           done;
+           (* Let the worker run out any in-flight drain. *)
+           Vm.Sync.advance 100_000;
+           Plib.stop_remote srv));
+      Vm.run vm;
+      let crashes = Vm.crashed vm in
+      let n = Vm.sync_points_seen vm in
+      let events = Vm.events_processed vm in
+      List.iter
+        (fun tr ->
+          match Telemetry.Span.well_formed tr with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.fail
+              (Printf.sprintf "span tree after kill at %d: %s" at m))
+        (Telemetry.Span.traces ());
+      let vm2 = Vm.create () in
+      ignore
+        (Vm.spawn vm2 ~name:"bookkeeper" (fun () ->
+           Process.with_process owner (fun () ->
+             if crashes <> [] then Plib.recover p;
+             Shm.Region.kernel_mode (fun () ->
+               Plib.Store.check_invariants (Plib.store p);
+               Ralloc.check_invariants (Plib.heap p));
+             (* Acked writes are durable and byte-exact. *)
+             Hashtbl.iter
+               (fun k v ->
+                 match Plib.get p k with
+                 | Some r when r.Store.value = v -> ()
+                 | Some r ->
+                   Alcotest.fail
+                     (Printf.sprintf
+                        "acked ring write %s torn: wanted %d bytes, got %d" k
+                        (String.length v)
+                        (String.length r.Store.value))
+                 | None ->
+                   Alcotest.fail ("acked ring write lost after recovery: " ^ k))
+               acked;
+             (* Submitted-but-unacked: present-or-absent, never torn. *)
+             Hashtbl.iter
+               (fun k v ->
+                 if not (Hashtbl.mem acked k) then
+                   match Plib.get p k with
+                   | None -> ()
+                   | Some r when r.Store.value = v -> ()
+                   | Some r ->
+                     Alcotest.fail
+                       (Printf.sprintf
+                          "unacked ring write %s torn: %d bytes of %d" k
+                          (String.length r.Store.value)
+                          (String.length v)))
+               submitted;
+             (* A fresh ring-mode server runs over the recovered heap. *)
+             let srv2 =
+               Plib.serve_remote
+                 ~cfg:
+                   { Mc_server.Server.default_config with
+                     workers = 1; store = cfg_e }
+                 ~rings:Mc_server.Server.default_ring_config p
+                 ~name:(srv_name ^ "-post")
+             in
+             let conn = VCl.Sock.connect ~name:(srv_name ^ "-post") () in
+             if VCl.Sock.set conn "post-crash" "recovered" <> Store.Stored then
+               Alcotest.fail "ring server refuses writes after recovery";
+             (match VCl.Sock.get conn "post-crash" with
+              | Some r when r.Store.value = "recovered" -> ()
+              | _ -> Alcotest.fail "post-recovery ring write not readable");
+             Plib.stop_remote srv2)));
+      Vm.run vm2;
+      (crashes, n, events))
+
+let sites_e = ref 0
+
+let test_sweep_rings () =
+  let crashes, n, _ = run_e ~at:max_int () in
+  check_crashes "count pass kills nobody" [] crashes;
+  Alcotest.(check bool)
+    (Printf.sprintf "ring workload exposes enough kill sites (%d)" n)
+    true (n >= 40);
+  let m = min 40 (cap ()) in
+  for i = 0 to m - 1 do
+    let k = i * n / m in
+    let crashes, _, _ = run_e ~at:k () in
+    check_crashes
+      (Printf.sprintf "kill fired at site %d/%d" k n)
+      [ ("victim", k) ] crashes;
+    incr sites_e
+  done
+
 (* ---- Coverage floor (must run after the sweeps) -------------------- *)
 
 let test_coverage () =
   if cap () = max_int then
     Alcotest.(check bool)
-      (Printf.sprintf "sweeps killed at %d + %d + %d + %d distinct sites"
-         !sites_a !sites_b !sites_c !sites_d)
+      (Printf.sprintf "sweeps killed at %d + %d + %d + %d + %d distinct sites"
+         !sites_a !sites_b !sites_c !sites_d !sites_e)
       true
-      (!sites_a + !sites_b + !sites_c + !sites_d >= 280)
+      (!sites_a + !sites_b + !sites_c + !sites_d + !sites_e >= 320)
 
 let () =
   Alcotest.run "crash"
@@ -850,7 +1040,9 @@ let () =
           Alcotest.test_case "batched protected calls" `Quick
             test_sweep_batched;
           Alcotest.test_case "multi-tenant stack, tenant victim" `Quick
-            test_sweep_tenants ] );
+            test_sweep_tenants;
+          Alcotest.test_case "ring transport, client victim" `Quick
+            test_sweep_rings ] );
       ( "edges",
         [ Alcotest.test_case "sweep is deterministic" `Quick
             test_sweep_is_deterministic;

@@ -277,7 +277,7 @@ let test_hostile_flush_storm () =
 let () =
   Alcotest.run "redteam"
     [ ( "attack matrix",
-        [ Alcotest.test_case "17 scenarios, red then green" `Slow
+        [ Alcotest.test_case "18 scenarios, red then green" `Slow
             test_attack_matrix ] );
       ( "loader",
         [ QCheck_alcotest.to_alcotest qcheck_gadget_scan_soundness ] );

@@ -370,6 +370,66 @@ let test_server_binary_tenants () =
     (has_sub ~needle:"tenant:ba:cmd_get" stats
      && has_sub ~needle:"tenant:bb:cmd_get" stats)
 
+(* Online quota enforcement on the socket path: the executor's store
+   arm consults the tenant registry before admitting bytes, evicting
+   tenant-locally to make room, and refuses what can never fit — same
+   policy the trampoline path enforces, now for remote clients. The
+   same assertions run over the legacy per-message transport and the
+   shared-ring transport: enforcement lives below both. *)
+let server_quota_enforcement ~rings () =
+  with_plib @@ fun p ~owner:_ ->
+  ignore (Plib.create_tenant p ~name:"qs" ~uid:4801 ~byte_quota:4096 ());
+  ignore (Plib.create_tenant p ~name:"qo" ~uid:4802 ());
+  let scfg =
+    { Mc_server.Server.default_config with
+      workers = 1; protocol = Mc_server.Server.Ascii; store = small_cfg }
+  in
+  let rings = if rings then Some Mc_server.Server.default_ring_config
+    else None in
+  let name = "tenant-quota-srv" ^ if rings <> None then "-rings" else "" in
+  let srv =
+    Plib.serve_remote ~cfg:scfg ?rings
+      ~assign_tenant:(queue_assign [ "qs"; "qo" ])
+      p ~name
+  in
+  Fun.protect ~finally:(fun () -> Plib.stop_remote srv) @@ fun () ->
+  let cs = T.connect ~name in
+  let co = T.connect ~name in
+  let rpc c payload =
+    T.client_send c payload;
+    T.client_recv c
+  in
+  Alcotest.(check bool) "bystander tenant seeds" true
+    (has_sub ~needle:"STORED" (rpc co "set keep 0 0 7\r\nqo-safe\r\n"));
+  (* Churn well past the quota: every set lands because the tenant's
+     own LRU gives ground, and usage stays capped the whole time. *)
+  let v = String.make 300 'q' in
+  for i = 0 to 29 do
+    Alcotest.(check bool)
+      (Printf.sprintf "set %d admitted via tenant-local eviction" i)
+      true
+      (has_sub ~needle:"STORED"
+         (rpc cs (Printf.sprintf "set f%d 0 0 300\r\n%s\r\n" i v)))
+  done;
+  let slot = Option.get (Plib.find_tenant p "qs") in
+  let bytes, items = Plib.tenant_usage p slot in
+  Alcotest.(check bool)
+    (Printf.sprintf "usage %dB capped by the 4096B quota" bytes)
+    true (bytes <= 4096);
+  Alcotest.(check bool) "a working set survives" true (items > 0);
+  (* An item that can never fit is refused online, not force-fed. *)
+  Alcotest.(check bool) "oversized item refused with SERVER_ERROR" true
+    (has_sub ~needle:"SERVER_ERROR out of memory"
+       (rpc cs
+          (Printf.sprintf "set big 0 0 6000\r\n%s\r\n" (String.make 6000 'x'))));
+  (* The churn never spilled into the other namespace. *)
+  Alcotest.(check bool) "bystander untouched by the churn" true
+    (has_sub ~needle:"qo-safe" (rpc co "get keep\r\n"))
+
+let test_server_quota_legacy () = server_quota_enforcement ~rings:false ()
+
+let test_server_quota_rings () = server_quota_enforcement ~rings:true ()
+
 (* ---- seeded cross-tenant isolation sweep under the VM ----------------- *)
 
 module VCl = Core.Client.Make (Vm.Sync)
@@ -382,11 +442,14 @@ let iso_seeds () =
 
 let iso_fresh = ref 0
 
-(* Three tenants race under a perturbed-but-deterministic schedule:
+(* Four tenants race under a perturbed-but-deterministic schedule:
    A churns and mid-run flushes its namespace, B and C run disjoint
-   acked workloads. At quiescence: every surviving acked write is
-   readable exactly in its own namespace, nothing migrated, usage
-   equals a recomputation, and the vpkey table is consistent. *)
+   acked workloads through the trampoline, and D runs its acked
+   workload remotely — over a ring-transport socket connection, so
+   the executor's online quota/namespace enforcement is in the raced
+   path too. At quiescence: every surviving acked write is readable
+   exactly in its own namespace, nothing migrated, usage equals a
+   recomputation, and the vpkey table is consistent. *)
 let run_iso ~seed =
   incr iso_fresh;
   let path = Printf.sprintf "/shm/iso-%d-%d" seed !iso_fresh in
@@ -403,15 +466,29 @@ let run_iso ~seed =
       let fail = ref [] in
       let model_b : (string, string) Hashtbl.t = Hashtbl.create 16 in
       let model_c : (string, string) Hashtbl.t = Hashtbl.create 16 in
+      let model_d : (string, string) Hashtbl.t = Hashtbl.create 16 in
       ignore
         (Vm.spawn vm ~name:"main" (fun () ->
-           let sa, sb, sc =
+           let sa, sb, sc, sd =
              Process.with_process owner (fun () ->
                ( VPlib.create_tenant p ~name:"ia" ~uid:5001
                    ~byte_quota:(16 * 1024) (),
                  VPlib.create_tenant p ~name:"ib" ~uid:5002 (),
-                 VPlib.create_tenant p ~name:"ic" ~uid:5003 () ))
+                 VPlib.create_tenant p ~name:"ic" ~uid:5003 (),
+                 VPlib.create_tenant p ~name:"id" ~uid:5004
+                   ~byte_quota:(8 * 1024) () ))
            in
+           let srv_name = Printf.sprintf "iso-srv-%d-%d" seed !iso_fresh in
+           let srv =
+             VPlib.serve_remote
+               ~cfg:
+                 { Mc_server.Server.default_config with
+                   workers = 1; store = small_cfg }
+               ~rings:Mc_server.Server.default_ring_config
+               ~assign_tenant:(fun _ -> Some "id")
+               p ~name:srv_name
+           in
+           let dconn = VCl.Sock.connect ~name:srv_name () in
            let tA =
              Vm.Sync.spawn ~name:"ten-a" (fun () ->
                as_uid 5001 (fun () ->
@@ -444,11 +521,43 @@ let run_iso ~seed =
            in
            let tB = worker "ten-b" 5002 sb "b" model_b in
            let tC = worker "ten-c" 5003 sc "c" model_c in
+           (* D's workload rides the ring transport; its connection is
+              bound to tenant "id", so every key below is scoped by
+              the server, and its stores go through the executor's
+              online quota arm. *)
+           let tD =
+             Vm.Sync.spawn ~name:"ten-d" (fun () ->
+               for i = 0 to 13 do
+                 let k = Printf.sprintf "d%d" (i mod 4) in
+                 (match i mod 5 with
+                  | 4 ->
+                    if VCl.Sock.delete dconn k then Hashtbl.remove model_d k
+                  | 3 -> ignore (VCl.Sock.get dconn k)
+                  | _ ->
+                    let v = Printf.sprintf "d-%d-%d" seed i in
+                    if VCl.Sock.set dconn k v = Store.Stored then
+                      Hashtbl.replace model_d k v);
+                 Vm.Sync.advance 30
+               done)
+           in
            Vm.Sync.join tA;
            Vm.Sync.join tB;
            Vm.Sync.join tC;
+           Vm.Sync.join tD;
            (* quiescence: verify isolation *)
            let note m = fail := m :: !fail in
+           Hashtbl.iter
+             (fun k v ->
+               match VCl.Sock.get dconn k with
+               | Some r when r.Store.value = v -> ()
+               | _ -> note ("d acked write wrong: " ^ k))
+             model_d;
+           Hashtbl.iter
+             (fun k _ ->
+               if VCl.Sock.get dconn k <> None then
+                 note ("b key visible through d's connection: " ^ k))
+             model_b;
+           VPlib.stop_remote srv;
            as_uid 5002 (fun () ->
              Hashtbl.iter
                (fun k v ->
@@ -502,7 +611,7 @@ let run_iso ~seed =
                in
                if VPlib.tenant_usage p slot <> want then
                  note (Printf.sprintf "usage drift on slot %d" slot))
-             [ sa; sb; sc ];
+             [ sa; sb; sc; sd ];
            Pku.Vpkey.check_invariants ()));
       Vm.run vm;
       match !fail with
@@ -539,6 +648,10 @@ let () =
             test_stats_tenants_rollup ] );
       ( "server",
         [ Alcotest.test_case "ascii codec" `Quick test_server_ascii_tenants;
-          Alcotest.test_case "binary codec" `Quick test_server_binary_tenants ] );
+          Alcotest.test_case "binary codec" `Quick test_server_binary_tenants;
+          Alcotest.test_case "online quota, legacy transport" `Quick
+            test_server_quota_legacy;
+          Alcotest.test_case "online quota, ring transport" `Quick
+            test_server_quota_rings ] );
       ( "isolation sweep",
         [ Alcotest.test_case "seeded schedules" `Quick test_iso_sweep ] ) ]

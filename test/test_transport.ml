@@ -278,6 +278,193 @@ let test_pipe () =
     Alcotest.(check string) "pipe roundtrip" "hello!" (T.pipe_recv p.T.b2a);
     S.join peer))
 
+(* ---- Shared rings ------------------------------------------------------
+   Pure region mechanics — no substrate, no VM: the ring is exercised
+   directly against an unsealed region, the way the crash-recovery
+   path sees it. *)
+
+module Ring = Transport.Ring
+module Region = Shm.Region
+
+let mk_ring ?(slots = 8) ?(slot_bytes = 64) () =
+  let r = Region.create ~name:"ring" ~size:Region.page_size ~pkey:0 () in
+  (r, Ring.init r ~base:0 ~slots ~slot_bytes)
+
+(* First-slot offset of ring position [pos] (base 0, matching mk_ring). *)
+let slot_off ~slot_bytes ~slots pos =
+  Ring.hdr_bytes + (pos mod slots * slot_bytes)
+
+let test_ring_roundtrip () =
+  let _r, t = mk_ring () in
+  Alcotest.(check bool) "fresh ring empty" true (Ring.is_empty t);
+  Ring.produce t ~stamp:10 "alpha";
+  Ring.produce t ~stamp:20 "beta";
+  Ring.produce t ~stamp:30 "gamma";
+  (match Ring.pending t with
+   | Ok (Some p) ->
+     Alcotest.(check int) "three pending" 3 p.Ring.p_msgs;
+     Alcotest.(check int) "oldest stamp" 10 p.Ring.p_first_stamp;
+     Alcotest.(check int) "newest stamp" 30 p.Ring.p_last_stamp
+   | _ -> Alcotest.fail "expected three pending messages");
+  (match Ring.consume_all t with
+   | Ok msgs ->
+     Alcotest.(check (list (pair string int)))
+       "in order, with stamps"
+       [ ("alpha", 10); ("beta", 20); ("gamma", 30) ]
+       msgs
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "drained" true (Ring.is_empty t);
+  Alcotest.(check int) "acked watermark tracks head" (Ring.head t)
+    (Ring.acked t)
+
+let test_ring_chunking () =
+  let _r, t = mk_ring () in
+  let cap = Ring.frag_cap t in
+  (* Three-fragment message with a position-dependent pattern, so a
+     misassembled fragment order cannot produce the same bytes. *)
+  let big = String.init ((2 * cap) + 7) (fun i -> Char.chr (32 + (i mod 95))) in
+  Ring.produce t ~stamp:1 big;
+  Alcotest.(check int) "occupies three slots" 3 (Ring.slots_used t);
+  (match Ring.consume_one t with
+   | Some m -> Alcotest.(check string) "reassembled verbatim" big m
+   | None -> Alcotest.fail "message lost");
+  (* Degenerate producer inputs are refused outright. *)
+  (match Ring.produce t ~stamp:1 "" with
+   | () -> Alcotest.fail "empty message accepted"
+   | exception Invalid_argument _ -> ());
+  match Ring.produce t ~stamp:1 (String.make (Ring.max_msg t + 1) 'x') with
+  | () -> Alcotest.fail "oversized message accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_ring_wraparound () =
+  let _r, t = mk_ring () in
+  let cap = Ring.frag_cap t in
+  for i = 1 to 100 do
+    (* Alternate one- and two-fragment messages so wrap boundaries
+       land inside multi-slot messages too. *)
+    let m =
+      Printf.sprintf "m%03d:%s" i (String.make (if i mod 2 = 0 then cap else 3) 'y')
+    in
+    Ring.produce t ~stamp:i m;
+    match Ring.consume_one t with
+    | Some got -> Alcotest.(check string) "survives the wrap" m got
+    | None -> Alcotest.fail "message lost at wrap"
+  done;
+  Alcotest.(check bool) "positions ran past the ring size" true
+    (Ring.head t > 8)
+
+let test_ring_backpressure () =
+  let _r, t = mk_ring () in
+  for i = 1 to 8 do
+    Alcotest.(check bool) "room while filling" true (Ring.has_room t ~len:1);
+    Ring.produce t ~stamp:i "z"
+  done;
+  Alcotest.(check bool) "full ring reports no room" false
+    (Ring.has_room t ~len:1);
+  (match Ring.produce t ~stamp:9 "z" with
+   | () -> Alcotest.fail "produce into a full ring"
+   | exception Invalid_argument _ -> ());
+  (match Ring.consume_all t with
+   | Ok msgs -> Alcotest.(check int) "all eight drained" 8 (List.length msgs)
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "room again after the drain" true
+    (Ring.has_room t ~len:1)
+
+let test_ring_doorbell_and_death () =
+  let _r, t = mk_ring () in
+  Alcotest.(check bool) "fresh ring unarmed" false (Ring.consumer_armed t);
+  Ring.set_armed t true;
+  Alcotest.(check bool) "armed" true (Ring.consumer_armed t);
+  Ring.set_armed t false;
+  Alcotest.(check bool) "disarmed" false (Ring.consumer_armed t);
+  Alcotest.(check bool) "alive" false (Ring.is_dead t);
+  Ring.mark_dead t;
+  Alcotest.(check bool) "dead after bounce" true (Ring.is_dead t)
+
+let test_ring_forgery_detected () =
+  (* Stomped sequence word. *)
+  let r, t = mk_ring () in
+  Ring.produce t ~stamp:1 "aaaa";
+  Ring.produce t ~stamp:2 "bbbb";
+  Region.write_i64 r (slot_off ~slot_bytes:64 ~slots:8 0) 99;
+  (match Ring.pending t with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "forged seq not caught");
+  (* Forged length. *)
+  let r, t = mk_ring () in
+  Ring.produce t ~stamp:1 "aaaa";
+  Region.write_i64 r (slot_off ~slot_bytes:64 ~slots:8 0 + 8)
+    (Ring.max_msg t + 4096);
+  (match Ring.pending t with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "forged length not caught");
+  (* Overfilled window: tail stomped past head + slots. *)
+  let r, t = mk_ring () in
+  Ring.produce t ~stamp:1 "aaaa";
+  Region.write_i64 r 32 (Ring.head t + 8 + 5);
+  match Ring.pending t with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overfill not caught"
+
+let test_ring_validation_toggle () =
+  (* The pre-hardening consumer trusts headers verbatim: the same
+     stomped sequence word sails through the walk. The red-team suite
+     turns this into a full breach; here we pin just the toggle. *)
+  let r, t = mk_ring () in
+  Ring.produce t ~stamp:1 "aaaa";
+  Region.write_i64 r (slot_off ~slot_bytes:64 ~slots:8 0) 99;
+  Fun.protect
+    ~finally:(fun () -> Ring.validation_enabled := true)
+    (fun () ->
+      Ring.validation_enabled := false;
+      match Ring.pending t with
+      | Ok (Some p) ->
+        Alcotest.(check int) "forgery walks right through" 1 p.Ring.p_msgs
+      | Ok None -> Alcotest.fail "pending message vanished"
+      | Error _ -> Alcotest.fail "unhardened walk must not validate")
+
+let test_ring_recover_truncates_torn () =
+  let r, t = mk_ring () in
+  Ring.produce t ~stamp:5 "committed";
+  Ring.produce t ~stamp:6 "torn";
+  (* Simulate the kill landing mid-produce of the second message: its
+     first-slot sequence word was never stamped (the producer writes
+     it last), but the tail already moved. *)
+  Region.write_i64 r (slot_off ~slot_bytes:64 ~slots:8 1) 0;
+  Ring.set_armed t true;
+  Ring.recover t;
+  Alcotest.(check bool) "recovery disarms" false (Ring.consumer_armed t);
+  (match Ring.consume_all t with
+   | Ok msgs ->
+     Alcotest.(check (list (pair string int)))
+       "committed entry survives, torn entry absent — never partial"
+       [ ("committed", 5) ] msgs
+   | Error e -> Alcotest.fail e);
+  (* Broken header invariants get clamped, not trusted. *)
+  let r2, t2 = mk_ring () in
+  Ring.produce t2 ~stamp:1 "x";
+  ignore (Ring.consume_all t2);
+  Region.write_i64 r2 40 77 (* acked way past head *);
+  Region.write_i64 r2 32 0 (* tail behind head *);
+  Ring.recover t2;
+  Alcotest.(check bool) "acked clamped to head" true
+    (Ring.acked t2 <= Ring.head t2);
+  Alcotest.(check bool) "tail clamped to head" true
+    (Ring.tail t2 >= Ring.head t2)
+
+let test_ring_attach () =
+  let r, t = mk_ring () in
+  Ring.produce t ~stamp:3 "persisted";
+  let t2 = Ring.attach r ~base:0 in
+  Alcotest.(check int) "geometry recovered" (Ring.max_msg t) (Ring.max_msg t2);
+  (match Ring.consume_one t2 with
+   | Some m -> Alcotest.(check string) "visible through reattach" "persisted" m
+   | None -> Alcotest.fail "message lost across attach");
+  Region.write_i64 r 0 0xBAD;
+  match Ring.attach r ~base:0 with
+  | _ -> Alcotest.fail "attach accepted a corrupt magic"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "transport"
     [ ( "sockets",
@@ -301,4 +488,20 @@ let () =
           Alcotest.test_case "pipelined requests" `Quick
             test_pipelined_requests_one_chunk;
           Alcotest.test_case "binary fragmentation" `Quick
-            test_binary_fragmentation ] ) ]
+            test_binary_fragmentation ] );
+      ( "shared rings",
+        [ Alcotest.test_case "produce/consume roundtrip" `Quick
+            test_ring_roundtrip;
+          Alcotest.test_case "multi-slot chunking" `Quick test_ring_chunking;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "backpressure when full" `Quick
+            test_ring_backpressure;
+          Alcotest.test_case "doorbell and death flags" `Quick
+            test_ring_doorbell_and_death;
+          Alcotest.test_case "forgeries detected" `Quick
+            test_ring_forgery_detected;
+          Alcotest.test_case "validation toggle" `Quick
+            test_ring_validation_toggle;
+          Alcotest.test_case "recover truncates torn" `Quick
+            test_ring_recover_truncates_torn;
+          Alcotest.test_case "reattach" `Quick test_ring_attach ] ) ]

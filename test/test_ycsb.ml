@@ -462,6 +462,144 @@ let test_determinism_plib_optimistic_same_seed () =
       Alcotest.(check int) (tag "B=%d scheduler events") e1 e2)
     [ 1; 8; 32 ]
 
+(* Open-loop determinism end-to-end through the shared-ring transport:
+   paced submitters stream requests into per-connection submission
+   rings, the server's adaptive window batches drains, and completions
+   come back through the completion ring. The window ceiling [r_b_max]
+   must change only *where* execution batches — two same-seed runs are
+   identical at every setting, and the per-thread submission streams
+   (keys, order, sizes) are byte-identical across settings. *)
+
+let rings_det_names = Atomic.make 0
+
+let run_seeded_open_rings ~sched_seed ~workload_seed ~b_max =
+  let module Cl = Core.Client.Make (Vm.Sync) in
+  let module Plib = Cl.Plib in
+  let module Sock = Cl.Sock in
+  let module Run = Ycsb.Runner.Make (Vm.Sync) in
+  let module TC = Telemetry.Counters in
+  let module P = Mc_protocol.Types in
+  let w =
+    W.make ~seed:workload_seed ~record_count:300 ~operation_count:1_200
+      ~read_proportion:0.9 ~field_length:24 ()
+  in
+  let id = Atomic.fetch_and_add rings_det_names 1 in
+  let plib =
+    Plib.create
+      ~store_cfg:
+        { Mc_core.Store.default_config with hashpower = 9; lock_count = 8;
+          lru_count = 4; stats_slots = 4 }
+      ~path:(Printf.sprintf "/dev/shm/ycsb-rings-%d" id)
+      ~size:(8 lsl 20)
+      ~owner:(Simos.Process.make ~uid:1000 "mc-rings-det")
+      ()
+  in
+  let rings = { Mc_server.Server.default_ring_config with r_b_max = b_max } in
+  let d0 = TC.read TC.Id.ring_drains in
+  let o0 = TC.read TC.Id.ring_drain_ops in
+  let threads = 2 in
+  let traces = Array.init threads (fun _ -> Buffer.create 4096) in
+  let vm = Vm.create ~sched_seed () in
+  let res = ref None in
+  Fun.protect
+    ~finally:(fun () -> Hodor.Library.release (Plib.library plib))
+    (fun () ->
+  ignore
+    (Vm.spawn vm ~name:"main" (fun () ->
+         Run.load w
+           { db_read = (fun k -> Plib.get plib k <> None);
+             db_update =
+               (fun k v -> Plib.set plib k v = Mc_core.Store.Stored) };
+         let name = Printf.sprintf "rings-det-%d" id in
+         let srv = Plib.serve_remote ~rings plib ~name in
+         let open_db tid : Ycsb.Runner.open_db =
+           let st = Sock.stream (Sock.connect ~name ()) in
+           let inflight = Queue.create () in
+           { o_submit =
+               (fun op ->
+                 let cmd =
+                   match op with
+                   | W.Read k ->
+                     Buffer.add_string traces.(tid) ("R " ^ k ^ "\n");
+                     P.Gets [ k ]
+                   | W.Update (k, v) ->
+                     Buffer.add_string traces.(tid)
+                       (Printf.sprintf "U %s %d\n" k (String.length v));
+                     P.Set { P.key = k; flags = 0; exptime = 0; data = v;
+                             noreply = false }
+                 in
+                 Queue.push cmd inflight;
+                 Sock.submit st cmd);
+             o_await =
+               (fun () ->
+                 match Sock.await st (Queue.pop inflight) with
+                 | P.Values { vals; _ } -> vals <> []
+                 | P.Stored -> true
+                 | _ -> false) }
+         in
+         res := Some (Run.run_open ~threads ~rate_kops:400 w ~db_for:open_db);
+         Plib.stop_remote srv));
+  Vm.run vm;
+  let r = Option.get !res in
+  ( Array.to_list (Array.map Buffer.contents traces),
+    (r.Ycsb.Runner.r_ops, r.Ycsb.Runner.r_hits, r.Ycsb.Runner.r_misses),
+    ( TC.read TC.Id.ring_drains - d0,
+      TC.read TC.Id.ring_drain_ops - o0 ),
+    Vm.events_processed vm ))
+
+let test_determinism_open_rings_same_seed () =
+  List.iter
+    (fun b_max ->
+      let t1, c1, r1, e1 =
+        run_seeded_open_rings ~sched_seed:4242 ~workload_seed:17 ~b_max
+      in
+      let t2, c2, r2, e2 =
+        run_seeded_open_rings ~sched_seed:4242 ~workload_seed:17 ~b_max
+      in
+      let tag fmt = Printf.sprintf fmt b_max in
+      Alcotest.(check (list string))
+        (tag "B_max=%d submission streams byte-identical") t1 t2;
+      let ops1, hits1, miss1 = c1 and ops2, hits2, miss2 = c2 in
+      Alcotest.(check int) (tag "B_max=%d ops") ops1 ops2;
+      Alcotest.(check int) (tag "B_max=%d hits") hits1 hits2;
+      Alcotest.(check int) (tag "B_max=%d misses") miss1 miss2;
+      let d1, o1 = r1 and d2, o2 = r2 in
+      Alcotest.(check int) (tag "B_max=%d ring drains") d1 d2;
+      Alcotest.(check int) (tag "B_max=%d drained ops") o1 o2;
+      Alcotest.(check bool) (tag "B_max=%d rings exercised") true (d1 > 0);
+      Alcotest.(check int) (tag "B_max=%d scheduler events") e1 e2)
+    [ 1; 8; 32 ]
+
+let test_window_preserves_op_streams () =
+  (* The adaptive window moves execution grouping only: every client
+     submits the same keys in the same order whether the server drains
+     one at a time or thirty-two. And the ceiling is real: B_max=1
+     pins one op per crossing while B_max=32 batches them. *)
+  let t1, (ops1, hits1, miss1), (d1, o1), _ =
+    run_seeded_open_rings ~sched_seed:4242 ~workload_seed:17 ~b_max:1
+  in
+  (* B_max=1 never *waits* to batch; a drain may still scoop up the
+     couple of requests that arrived during the previous one. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "B_max=1 stays near one op per drain (%d/%d)" o1 d1)
+    true
+    (o1 >= d1 && 2 * o1 < 3 * d1);
+  let batched = ref false in
+  List.iter
+    (fun b_max ->
+      let tb, (opsb, hitsb, missb), (db, ob), _ =
+        run_seeded_open_rings ~sched_seed:4242 ~workload_seed:17 ~b_max
+      in
+      let tag fmt = Printf.sprintf fmt b_max in
+      Alcotest.(check int) (tag "B_max=%d same op count") ops1 opsb;
+      Alcotest.(check int) (tag "B_max=%d same hits") hits1 hitsb;
+      Alcotest.(check int) (tag "B_max=%d same misses") miss1 missb;
+      Alcotest.(check (list string))
+        (tag "B_max=%d identical submission streams") t1 tb;
+      if ob > db then batched := true)
+    [ 8; 32 ];
+  Alcotest.(check bool) "a wider window actually batches" true !batched
+
 let qcheck_histogram_value_in_bucket_bounds =
   QCheck.Test.make ~name:"percentile(100) bounds any recorded value" ~count:200
     QCheck.(int_range 1 1_000_000_000)
@@ -500,4 +638,8 @@ let () =
           Alcotest.test_case "batch size preserves op streams" `Quick
             test_batch_size_preserves_op_streams;
           Alcotest.test_case "plib + seqlock reads, same seed" `Quick
-            test_determinism_plib_optimistic_same_seed ] ) ]
+            test_determinism_plib_optimistic_same_seed;
+          Alcotest.test_case "open-loop rings, same seed" `Quick
+            test_determinism_open_rings_same_seed;
+          Alcotest.test_case "window preserves op streams" `Quick
+            test_window_preserves_op_streams ] ) ]
