@@ -25,7 +25,10 @@ let sweep ~label plib =
   List.iter
     (fun threads ->
       let r = plib_point ~plib ~threads w in
-      pf " %8.0f" (Ycsb.Runner.throughput_ktps r))
+      pf " %8.0f" (Ycsb.Runner.throughput_ktps r);
+      note ~run:"ablations"
+        ~metric:(Printf.sprintf "%s_t%d" label threads)
+        ~unit_:"ktps" (Ycsb.Runner.throughput_ktps r))
     threads_list;
   pf "\n"
 
@@ -109,7 +112,9 @@ let run_argcopy () =
   pf "manual copy-in of key only (paper): %6.2f us per set5KB+get\n" (us manual);
   pf "trampoline copies every argument:   %6.2f us per set5KB+get (+%.0f%%)\n"
     (us auto)
-    (100.0 *. (float_of_int (auto - manual) /. float_of_int manual))
+    (100.0 *. (float_of_int (auto - manual) /. float_of_int manual));
+  note_i ~run:"ablations" ~metric:"argcopy_manual" manual;
+  note_i ~run:"ablations" ~metric:"argcopy_trampoline" auto
 
 let run () =
   run_lru ();

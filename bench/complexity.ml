@@ -72,4 +72,10 @@ let run () =
   let net =
     100.0 *. float_of_int (socket_side + slab - plib_added) /. float_of_int base
   in
-  pf "\nnet reduction for a socket-free build: %.0f%%  (paper: ~24%%)\n" net
+  pf "\nnet reduction for a socket-free build: %.0f%%  (paper: ~24%%)\n" net;
+  note_i ~run:"complexity" ~metric:"shared_store" ~unit_:"loc" shared_store;
+  note_i ~run:"complexity" ~metric:"deleted_socket_side" ~unit_:"loc"
+    socket_side;
+  note_i ~run:"complexity" ~metric:"deleted_slab" ~unit_:"loc" slab;
+  note_i ~run:"complexity" ~metric:"added_plib" ~unit_:"loc" plib_added;
+  note ~run:"complexity" ~metric:"net_reduction" ~unit_:"percent" net

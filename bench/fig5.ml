@@ -120,6 +120,9 @@ let run () =
         row.label (us m) pm (us h) ph
         (float_of_int m /. float_of_int h)
         (us p) pp
-        (float_of_int m /. float_of_int p))
+        (float_of_int m /. float_of_int p);
+      note_i ~run:"fig5" ~metric:(row.label ^ "_sock") m;
+      note_i ~run:"fig5" ~metric:(row.label ^ "_hodor") h;
+      note_i ~run:"fig5" ~metric:(row.label ^ "_plain") p)
     rows;
   pf "\nPaper: 11-56x latency reduction; empty Hodor call ~40 ns.\n"

@@ -6,9 +6,15 @@
       dune exec bench/main.exe -- fig5            # one experiment
       dune exec bench/main.exe -- fig6 fig9
       dune exec bench/main.exe -- --full          # paper-scale op counts
+      dune exec bench/main.exe -- --json out.json # machine-readable results
 
     Experiments: fig5 fig6 fig7 fig8 fig9 nullcall ablations complexity
-    micro stats rings. *)
+    micro stats rings.
+
+    Every experiment also reports its headline numbers to the shared
+    recorder; [--json PATH] (or BENCH_JSON=PATH) flushes them as a JSON
+    array of {run, metric, value, unit} rows on exit — the bench.json
+    artifact CI uploads. *)
 
 let all = [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "nullcall"; "ablations";
             "complexity"; "micro"; "stats"; "rings" ]
@@ -16,6 +22,14 @@ let all = [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "nullcall"; "ablations";
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
+  let json_path, args =
+    let rec pick acc = function
+      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | a :: rest -> pick (a :: acc) rest
+      | [] -> (Sys.getenv_opt "BENCH_JSON", List.rev acc)
+    in
+    pick [] args
+  in
   let chosen = List.filter (fun a -> a <> "--full") args in
   let chosen = if chosen = [] then all else chosen in
   let unknown = List.filter (fun c -> not (List.mem c all)) chosen in
@@ -44,4 +58,7 @@ let () =
   if want "complexity" then Complexity.run ();
   if want "micro" then Micro.run ();
   if want "stats" then Stats.run ~ops:(ops / 4) ();
-  if want "rings" then Rings.run ~ops:(ops / 2) ()
+  if want "rings" then Rings.run ~ops:(ops / 2) ();
+  match json_path with
+  | Some path -> Scenarios.write_json path
+  | None -> ()

@@ -92,6 +92,8 @@ let run () =
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "%-40s %10.1f ns/op\n" name est
+      | Some [ est ] ->
+        Printf.printf "%-40s %10.1f ns/op\n" name est;
+        Scenarios.note ~run:"micro" ~metric:name ~unit_:"ns/op" est
       | _ -> Printf.printf "%-40s (no estimate)\n" name)
     results

@@ -120,7 +120,10 @@ let tenant_sweep () =
       pf "  %2d tenant%s: %5d ns/op   slot-miss rate %5.3f per bind\n" n
         (if n = 1 then " " else "s") ns missrate;
       pf "nullcall.vpkey_t%d_ns %d\n" n ns;
-      pf "nullcall.vpkey_missrate_t%d %.3f\n" n missrate)
+      pf "nullcall.vpkey_missrate_t%d %.3f\n" n missrate;
+      note_i ~run:"nullcall" ~metric:(Printf.sprintf "vpkey_t%d" n) ns;
+      note ~run:"nullcall" ~metric:(Printf.sprintf "vpkey_missrate_t%d" n)
+        ~unit_:"miss/bind" missrate)
     [ 1; 4; 16; 64 ]
 
 let run () =
@@ -139,4 +142,7 @@ let run () =
   pf "nullcall.hodor_ns %d\n" hodor;
   pf "nullcall.plain_ns %d\n" plain;
   pf "nullcall.socket_ns %d\n" socket;
+  note_i ~run:"nullcall" ~metric:"hodor" hodor;
+  note_i ~run:"nullcall" ~metric:"plain" plain;
+  note_i ~run:"nullcall" ~metric:"socket" socket;
   tenant_sweep ()

@@ -55,6 +55,8 @@ let run_idle ~ops =
   let ring = idle_point ~rings:true ~ops in
   pf "rings.idle_p50_ns.legacy = %d\n" legacy;
   pf "rings.idle_p50_ns.ring = %d\n" ring;
+  note_i ~run:"rings" ~metric:"idle_p50_legacy" legacy;
+  note_i ~run:"rings" ~metric:"idle_p50_ring" ring;
   pf "  (ring/legacy = %.3f; the adaptive window must hold W=1 here)\n"
     (float_of_int ring /. float_of_int legacy)
 
@@ -101,7 +103,13 @@ let run_knee ~ops =
         (float_of_int dops /. float_of_int drains);
       pf "rings.ktps.rate%d = %.0f\n" rate_kops (Ycsb.Runner.throughput_ktps r);
       pf "rings.cpo.rate%d = %.3f\n" rate_kops cpo;
-      pf "rings.p99_us.rate%d = %.1f\n" rate_kops (us p99))
+      pf "rings.p99_us.rate%d = %.1f\n" rate_kops (us p99);
+      note ~run:"rings" ~metric:(Printf.sprintf "ktps_rate%d" rate_kops)
+        ~unit_:"ktps" (Ycsb.Runner.throughput_ktps r);
+      note ~run:"rings" ~metric:(Printf.sprintf "cpo_rate%d" rate_kops)
+        ~unit_:"crossings/op" cpo;
+      note ~run:"rings" ~metric:(Printf.sprintf "p99_rate%d" rate_kops)
+        ~unit_:"us" (us p99))
     rates_kops
 
 let run ?(ops = 20_000) () =

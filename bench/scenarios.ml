@@ -203,3 +203,53 @@ let header title =
   pf "\n================================================================\n";
   pf "%s\n" title;
   pf "================================================================\n"
+
+(* ---- Machine-readable results (bench.json) ----------------------------
+
+   Each bench target reports its headline numbers here as well as to
+   stdout; the driver flushes them as a JSON array of
+   {run, metric, value, unit} rows — the bench.json CI artifact, so a
+   dashboard (or a later regression gate) never has to scrape the
+   human tables. *)
+
+let results : (string * string * float * string) list ref = ref []
+
+let note ~run ~metric ?(unit_ = "ns") value =
+  results := (run, metric, value, unit_) :: !results
+
+let note_i ~run ~metric ?unit_ v = note ~run ~metric ?unit_ (float_of_int v)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let write_json path =
+  let rows = List.rev !results in
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (run, metric, v, u) ->
+      Printf.fprintf oc
+        "  {\"run\": %s, \"metric\": %s, \"value\": %s, \"unit\": %s}%s\n"
+        (json_string run) (json_string metric) (json_number v) (json_string u)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  pf "\nwrote %d result row(s) to %s\n" (List.length rows) path

@@ -45,7 +45,9 @@ let run ~ops () =
         (fst mix) ops enters
         (float_of_int enters /. float_of_int ops)
         (float_of_int wrpkru /. float_of_int ops);
-      pf "crossings.ycsb_%s %d\n" (fst mix) enters)
+      pf "crossings.ycsb_%s %d\n" (fst mix) enters;
+      note ~run:"stats" ~metric:("crossings_per_op_ycsb_" ^ fst mix)
+        ~unit_:"crossings/op" (float_of_int enters /. float_of_int ops))
     mixes;
   (* Batch plane: the same read-heavy mix driven through the batched
      op path at B ops per crossing. crossings/op = 1/B up to the final
@@ -81,6 +83,10 @@ let run ~ops () =
         (float_of_int wrpkru /. float_of_int ops);
       pf "batch.ktps.B%d %.1f\n" b ktps;
       if b > 1 then pf "batch.speedup.B%d %.3f\n" b (ktps /. !base_ktps);
+      note ~run:"batch" ~metric:(Printf.sprintf "crossings_per_op_B%d" b)
+        ~unit_:"crossings/op" (float_of_int enters /. float_of_int ops);
+      note ~run:"batch" ~metric:(Printf.sprintf "ktps_B%d" b) ~unit_:"ktps"
+        ktps;
       (* Span-level attribution for this window: the crossing phase's
          self time per op shrinks ~1/B while the store phase holds
          steady — the per-phase view of why batching wins. *)
@@ -172,6 +178,11 @@ let run ~ops () =
       line "hit_rate" tag
         (Printf.sprintf "%.4f"
            (float_of_int hits /. float_of_int (max 1 (hits + fallbacks))));
+      note ~run:"optimistic" ~metric:("wait_ratio_ycsb_" ^ tag)
+        ~unit_:"ratio"
+        (float_of_int wait_o /. float_of_int (max 1 wait_l));
+      note ~run:"optimistic" ~metric:("speedup_ycsb_" ^ tag) ~unit_:"ratio"
+        (ktps_o /. ktps_l);
       (* unsuffixed aliases on the read-only mix: what the CI gate greps *)
       if tag = "C" then begin
         pf "optimistic.stripe_wait_total_ns.locked %d\n" wait_l;

@@ -93,6 +93,16 @@ let run_figure ~ops fig =
       sweep_plib fig ~ops ~protection:Hodor.Library.Protected ]
   in
   print_figure fig series;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (threads, ktps) ->
+          note
+            ~run:(Printf.sprintf "fig%d" fig.fig_no)
+            ~metric:(Printf.sprintf "%s_t%d" s.s_label threads)
+            ~unit_:"ktps" ktps)
+        s.s_points)
+    series;
   (fig, series)
 
 let run ?(ops = 60_000) ?(only = []) () =

@@ -25,8 +25,11 @@ let usage () =
     \  keys                   reap\n\
     \  telemetry              trace [n]              trace <subsys> [sev]\n\
     \  trace-tree [n]         (last n sampled span trees, default 3)\n\
+    \  doctor                 (post-mortem forensic report)\n\
+    \  heap-map               (one character per superblock)\n\
     \  quit (flushes to the image when one is configured)\n\
-    \  stats args: items | slabs | latency | phases | contention | reset\n"
+    \  stats args: items | slabs | latency | phases | contention | reset\n\
+    \              settings | heap | forensics\n"
 
 let shell plib image =
   let open Mc_core.Store in
@@ -147,6 +150,34 @@ let shell plib image =
              (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
              (Telemetry.Contention.kvs ()
              @ Telemetry.Counters.optimistic_kvs ())
+         | [ "stats"; "settings" ] ->
+           let cfg = Plib.Store.config (Plib.store plib) in
+           List.iter
+             (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
+             ([ ("optimistic_reads", if cfg.optimistic_reads then "1" else "0");
+                ("lock_count", string_of_int cfg.lock_count);
+                ("hashpower", string_of_int cfg.hashpower);
+                ("lru_count", string_of_int cfg.lru_count);
+                ("evict_batch", string_of_int cfg.evict_batch);
+                ("trace_level",
+                 Telemetry.Trace.severity_name (Telemetry.Trace.get_level ()));
+                ("trace_sample_every",
+                 string_of_int (Telemetry.Span.sampling ()));
+                ("slow_threshold_ns",
+                 string_of_int (Telemetry.Span.slow_threshold_ns ()));
+                ("telemetry", if Telemetry.Control.on () then "1" else "0") ]
+              @ Telemetry.Flight.settings_kvs ()
+              @ !Mc_server.Executor.settings_stats_hook ())
+         | [ "stats"; "heap" ] ->
+           List.iter
+             (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
+             (!Mc_server.Executor.heap_stats_hook ())
+         | [ "stats"; "forensics" ] ->
+           List.iter
+             (fun (k, v) -> Printf.printf "STAT %s %s\n" k v)
+             (Telemetry.Forensics.kvs (Plib.forensics plib))
+         | [ "doctor" ] -> print_string (Plib.doctor plib)
+         | [ "heap-map" ] -> print_string (Plib.heap_report plib)
          | [ "stats"; "reset" ] ->
            Plib.stats_reset plib;
            Telemetry.Counters.reset ();

@@ -62,6 +62,15 @@ let root_rings = 4
     survive a crash while in-flight-but-unacked submissions are simply
     discarded with the connection. *)
 
+let root_flight = 5
+(** Persistent root id anchoring the flight-recorder block: the
+    per-thread breadcrumb rings plus the pre-crash trace snapshot area
+    ({!Telemetry.Flight}). Living in the shared heap, the breadcrumbs a
+    dying client wrote survive its death — the forensic report
+    ({!Telemetry.Forensics}) is reconstructed from this block after
+    recovery. Records are published seq-word-last, so a record the
+    victim was mid-write is simply invisible, never torn. *)
+
 let max_ring_conns = 64
 (** Ring-directory capacity: live ring-mode connections per store. *)
 
@@ -97,6 +106,10 @@ module Make (S : Platform.Sync_intf.S) = struct
     owner : Process.t;
     stop_cleaner : bool Atomic.t;
     mutable cleaner : S.thread option;
+    (* Report of the last post-crash recovery, reconstructed from the
+       flight recorder at the end of [Library.recover]; [None] until a
+       recovery has run. Served by [doctor]/[forensics]. *)
+    mutable last_forensics : Telemetry.Forensics.report option;
   }
 
   type protection = Hodor.Library.protection = Protected | Unprotected
@@ -140,6 +153,36 @@ module Make (S : Platform.Sync_intf.S) = struct
               Region.kernel_mode (fun () ->
                 Region.fill region ~off:block
                   ~len:(8 * Telemetry.Counters.cells) '\000')) })
+
+  (* Find (restart) or allocate (first boot) the flight-recorder block
+     and point the process-wide recorder at it. Like the counter block,
+     breadcrumb writes are host-side bookkeeping running in kernel mode
+     (a crumb can land inside the trampoline before the pkru is open)
+     and charge no virtual time; the publish-last stamping inside
+     [Telemetry.Flight] is what makes a mid-write kill leave no torn
+     record. On re-attach the existing breadcrumbs are preserved — they
+     are exactly the forensic evidence of the previous life. *)
+  let attach_flight ~region ~heap =
+    Region.kernel_mode (fun () ->
+      let block =
+        match Ralloc.get_root heap root_flight with
+        | 0 ->
+          let block = Ralloc.alloc heap Telemetry.Flight.bytes in
+          Region.fill region ~off:block ~len:Telemetry.Flight.bytes '\000';
+          Ralloc.set_root heap root_flight block;
+          block
+        | block -> block
+      in
+      Telemetry.Flight.install_backend
+        { Telemetry.Flight.read =
+            (fun w ->
+              Region.kernel_mode (fun () ->
+                Region.read_i64 region (block + (8 * w))));
+          write =
+            (fun w v ->
+              Region.kernel_mode (fun () ->
+                Region.write_i64 region (block + (8 * w)) v)) };
+      Telemetry.Flight.ensure_formatted ())
 
   (* Tenant plumbing installed on every handle:
      - the LRU selector routes each tenant's items onto the LRU list
@@ -225,9 +268,11 @@ module Make (S : Platform.Sync_intf.S) = struct
     let t =
       { lib; region; heap; arena; store; tenants;
         vaults = Hashtbl.create 8; path; owner;
-        stop_cleaner = Atomic.make false; cleaner = None }
+        stop_cleaner = Atomic.make false; cleaner = None;
+        last_forensics = None }
     in
     attach_telemetry ~region ~heap;
+    attach_flight ~region ~heap;
     install_tenant_hooks ~store ~tenants;
     (* The slot table is process-volatile; the registry is the truth.
        Re-create each persisted vkey so binds work after a restart. *)
@@ -278,6 +323,14 @@ module Make (S : Platform.Sync_intf.S) = struct
           | 0 -> live
           | block -> block :: live
         in
+        (* The flight recorder is the one block that must survive with
+           its contents intact: it holds the dying thread's last
+           breadcrumbs — the evidence the forensic pass below reads. *)
+        let live =
+          match Ralloc.get_root t.heap root_flight with
+          | 0 -> live
+          | block -> block :: live
+        in
         (* Ring pairs of live connections stay carved; each ring then
            runs its own recovery protocol — acked completions survive,
            a message the dead client was mid-publish is truncated away
@@ -324,7 +377,101 @@ module Make (S : Platform.Sync_intf.S) = struct
             | None -> ())
           ();
         Tenant.iter_active reg (fun slot ->
-          Tenant.set_usage reg slot ~bytes:bytes.(slot) ~items:items.(slot))));
+          Tenant.set_usage reg slot ~bytes:bytes.(slot) ~items:items.(slot));
+        (* ---- Post-crash forensics --------------------------------------
+           Recovery has just repaired the store; now cross-check the
+           repaired state against what the flight recorder says the
+           victim was doing, reconstruct the per-thread timelines, and
+           stash the report for [doctor] / `stats forensics`. *)
+        let checks =
+          let stripes = Store.stripe_count t.store in
+          let odd = ref 0 in
+          for s = 0 to stripes - 1 do
+            if Store.seq_read t.store s land 1 <> 0 then incr odd
+          done;
+          let seq_ck =
+            { Telemetry.Forensics.ck_name = "stripe_seqs_even";
+              ck_ok = !odd = 0;
+              ck_detail =
+                (if !odd = 0 then
+                   Printf.sprintf "all %d stripe seq words even" stripes
+                 else Printf.sprintf "%d stripe seq words still odd" !odd) }
+          in
+          let rings_ck =
+            let bad = ref 0 and seen = ref 0 in
+            (match Ralloc.get_root t.heap root_rings with
+             | 0 -> ()
+             | dir ->
+               for i = 0 to max_ring_conns - 1 do
+                 let row = dir + (i * ring_dir_row) in
+                 if Region.read_i64 t.region row <> 0 then begin
+                   incr seen;
+                   List.iter
+                     (fun base ->
+                       match
+                         Transport.Ring.pending
+                           (Transport.Ring.attach t.region ~base)
+                       with
+                       | Ok _ -> ()
+                       | Error _ -> incr bad)
+                     [ Region.read_i64 t.region (row + 24);
+                       Region.read_i64 t.region (row + 32) ]
+                 end
+               done);
+            { Telemetry.Forensics.ck_name = "rings_valid";
+              ck_ok = !bad = 0;
+              ck_detail =
+                Printf.sprintf "%d live pairs, %d invalid windows" !seen !bad }
+          in
+          let inv_ck =
+            match Ralloc.check_invariants t.heap with
+            | () ->
+              { Telemetry.Forensics.ck_name = "heap_invariants";
+                ck_ok = true; ck_detail = "superblock walk clean" }
+            | exception Failure msg ->
+              { Telemetry.Forensics.ck_name = "heap_invariants";
+                ck_ok = false; ck_detail = msg }
+          in
+          let recon_ck =
+            let hm = Ralloc.heap_map t.heap in
+            let used = Ralloc.used_bytes t.heap in
+            { Telemetry.Forensics.ck_name = "heap_reconciles";
+              ck_ok = hm.Ralloc.hm_live_bytes = used;
+              ck_detail =
+                Printf.sprintf "map %d bytes vs counter %d bytes"
+                  hm.Ralloc.hm_live_bytes used }
+          in
+          [ seq_ck; rings_ck; inv_ck; recon_ck ]
+        in
+        let report =
+          Telemetry.Forensics.analyze ~heap:(Ralloc.heap_kvs t.heap) ~checks ()
+        in
+        t.last_forensics <- Some report;
+        Telemetry.Trace.emit ~sev:Telemetry.Trace.Info ~subsys:"forensics"
+          ("recovery verdict: " ^ Telemetry.Forensics.verdict report);
+        (* The death note served its purpose; don't let it finger the
+           same victim at the next, unrelated recovery. *)
+        Telemetry.Flight.clear_victim ()));
+    (* Observability hooks for the socket surface: `stats heap` serves
+       the allocator map plus the hot tier's and store slab accounting;
+       `stats forensics` serves the stashed post-recovery report (or a
+       live recorder analysis when no recovery has run yet). *)
+    Mc_server.Executor.heap_stats_hook :=
+      (fun () ->
+        Region.kernel_mode (fun () ->
+          Ralloc.heap_kvs t.heap
+          @ Mc_core.Bump_arena.stats_kvs t.arena
+          @ Store.stats_slabs t.store));
+    Mc_server.Executor.forensics_stats_hook :=
+      (fun () ->
+        match t.last_forensics with
+        | Some r -> Telemetry.Forensics.kvs r
+        | None -> Telemetry.Forensics.kvs (Telemetry.Forensics.analyze ()));
+    Mc_server.Executor.settings_stats_hook :=
+      (fun () ->
+        Region.kernel_mode (fun () ->
+          [ ("tenants_active", string_of_int (Tenant.count_active t.tenants));
+            ("tenants_max", string_of_int (Tenant.max_tenants t.tenants)) ]));
     t
 
   (* The bookkeeping process creates the store from nothing. *)
@@ -438,6 +585,34 @@ module Make (S : Platform.Sync_intf.S) = struct
   let arena t = t.arena
 
   let region t = t.region
+
+  (* ---- Post-crash forensics surface ----------------------------------
+
+     [forensics] hands back the report stashed by the last recovery —
+     or, when no recovery has run, a live analysis of the recorder
+     (useful for inspecting a healthy store's recent activity).
+     [doctor] renders it for humans, resolving tenant slots to names
+     through the registry. *)
+
+  let forensics t =
+    match t.last_forensics with
+    | Some r -> r
+    | None -> Telemetry.Forensics.analyze ()
+
+  let doctor t =
+    let tenant_name slot =
+      if slot >= 0 && slot < Tenant.max_tenants t.tenants
+         && Region.kernel_mode (fun () -> Tenant.active t.tenants slot)
+      then
+        Printf.sprintf "%s (slot %d)"
+          (Region.kernel_mode (fun () -> Tenant.name_of t.tenants slot))
+          slot
+      else Printf.sprintf "slot %d" slot
+    in
+    Telemetry.Forensics.render ~tenant_name (forensics t)
+
+  let heap_report t =
+    Region.kernel_mode (fun () -> Ralloc.render_heap_map t.heap)
 
   (* ---- Figure 4's copy-in idiom ------------------------------------- *)
 
@@ -713,7 +888,21 @@ module Make (S : Platform.Sync_intf.S) = struct
     let p = Tenant.prefix t.tenants slot in
     fun key -> String.starts_with ~prefix:p key
 
+  (* Breadcrumb bracket for tenant-scoped bodies: a kill inside the op
+     leaves [Tenant_scope slot] as the lane's last tenant record, so
+     the forensic report names the tenant; on normal completion the
+     unscope crumb clears the attribution. (An abrupt kill abandons the
+     thread at a sync point — the finally never runs, which is the
+     point.) *)
+  let t_crumb slot f =
+    Telemetry.Flight.record Telemetry.Flight.Tenant_scope ~a:slot;
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.Flight.record Telemetry.Flight.Tenant_unscope ~a:slot)
+      f
+
   let t_get_in t slot key =
+    t_crumb slot @@ fun () ->
     let k = copy_in t (Bytes.unsafe_of_string (t_scope t slot key)) in
     Tenant.bump t.tenants slot Tenant.Cmd_get;
     match Store.get t.store k with
@@ -723,6 +912,7 @@ module Make (S : Platform.Sync_intf.S) = struct
     | None -> None
 
   let t_set_in t slot ?(flags = 0) ?(exptime = 0) key data =
+    t_crumb slot @@ fun () ->
     let reg = t.tenants in
     let k = copy_in t (Bytes.unsafe_of_string (t_scope t slot key)) in
     let new_bytes = String.length k + String.length data in
@@ -756,6 +946,7 @@ module Make (S : Platform.Sync_intf.S) = struct
        | r -> r)
 
   let t_delete_in t slot key =
+    t_crumb slot @@ fun () ->
     let k = copy_in t (Bytes.unsafe_of_string (t_scope t slot key)) in
     let old = Store.probe t.store k in
     let ok = Store.delete t.store k in
@@ -766,6 +957,7 @@ module Make (S : Platform.Sync_intf.S) = struct
     ok
 
   let t_touch_in t slot key exptime =
+    t_crumb slot @@ fun () ->
     Store.touch t.store
       (copy_in t (Bytes.unsafe_of_string (t_scope t slot key)))
       exptime
@@ -773,6 +965,7 @@ module Make (S : Platform.Sync_intf.S) = struct
   (* Tenant-scoped flush: only the tenant's own namespace is swept —
      tenant A's flush storm cannot take tenant B's acked writes. *)
   let t_flush_in t slot =
+    t_crumb slot @@ fun () ->
     let reg = t.tenants in
     let pred = t_prefix_pred t slot in
     let keys =
@@ -838,6 +1031,7 @@ module Make (S : Platform.Sync_intf.S) = struct
       span_root "tenant_mget" @@ fun () ->
       bind_capability t slot;
       Hodor.Trampoline.call_batch t.lib ~ops:(List.length keys) (fun () ->
+        t_crumb slot @@ fun () ->
         let prot =
           List.map
             (fun k ->
@@ -1047,8 +1241,14 @@ module Make (S : Platform.Sync_intf.S) = struct
     Tenant.reset_hook := (fun () -> ());
     Tenant.bump_hook := (fun _ _ -> ());
     Mc_server.Executor.quota_gate := None;
-    (* The counter cells lived in this heap; don't leave the process-
-       wide backend pointing into a detached region. The counts
-       themselves were flushed with the heap and reappear on restart. *)
-    Telemetry.Counters.reset_backend ()
+    Mc_server.Executor.heap_stats_hook := (fun () -> []);
+    Mc_server.Executor.settings_stats_hook := (fun () -> []);
+    Mc_server.Executor.forensics_stats_hook :=
+      (fun () -> Telemetry.Forensics.kvs (Telemetry.Forensics.analyze ()));
+    (* The counter cells and the flight-recorder block lived in this
+       heap; don't leave the process-wide backends pointing into a
+       detached region. Both were flushed with the heap and reappear on
+       restart. *)
+    Telemetry.Counters.reset_backend ();
+    Telemetry.Flight.reset_backend ()
 end

@@ -91,8 +91,13 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
      wrpkru-out, so its self time (minus store/alloc children) is the
      per-call gate cost the paper's section 2 argues about. *)
   let span = Telemetry.Span.start ~phase:"crossing" () in
-  (* Way in: stack switch + wrpkru opening the library's key. *)
+  (* Way in: stack switch + wrpkru opening the library's key. The
+     breadcrumb lands in the same sync-free region as the depth
+     increment (its publish has no sync point — Cross_enter is a state
+     record), so the recorder and the stack state can never disagree
+     at a kill site. *)
   incr depth;
+  Telemetry.Flight.record Telemetry.Flight.Cross_enter ~a:!depth;
   let entered =
     match Library.protection lib with
     | Library.Protected ->
@@ -118,6 +123,7 @@ let call (lib : Library.t) (f : unit -> 'a) : 'a =
      | Library.Protected -> Pku.Pkru.wrpkru saved_pkru
      | Library.Unprotected -> ());
     decr depth;
+    Telemetry.Flight.record Telemetry.Flight.Cross_exit ~a:!depth;
     Process.leave_library p;
     Telemetry.Counters.incr Telemetry.Counters.Id.hodor_exit;
     Telemetry.Span.finish span;

@@ -151,6 +151,13 @@ type hold_entry = {
 
 let open_holds : hold_entry list ref Tls.key = Tls.new_key (fun () -> ref [])
 
+(* Stripes this thread currently holds, across both acquisition paths
+   (per-op [lock_item] and grouped [with_stripes]) and across every
+   store handle. This is the ground truth the crash sweep captures at
+   the kill instant and checks the flight recorder's story against. *)
+let holding_stripes_now () =
+  List.length !(Tls.get open_holds) + List.length !(Tls.get held_stripes)
+
 module Make
     (M : Memory_intf.MEMORY)
     (A : Memory_intf.ALLOCATOR)
@@ -407,7 +414,11 @@ struct
         { he_store = Obj.repr t; he_stripe = stripe_index t h;
           he_wait_ns = t1 - t0; he_since = t1;
           he_span = Telemetry.Span.start ~phase:"stripe_hold" () }
-        :: !holds
+        :: !holds;
+      (* Same sync-free region as the hold registration: the recorder
+         and [holding_stripes_now] move atomically past a kill. *)
+      Telemetry.Flight.record Telemetry.Flight.Stripe_acquire
+        ~a:(holding_stripes_now ()) ~b:(stripe_index t h)
     end
 
   let unlock_item t h =
@@ -424,6 +435,8 @@ struct
          | e :: tl -> pop (e :: acc) tl
        in
        pop [] !holds);
+      Telemetry.Flight.record Telemetry.Flight.Stripe_release
+        ~a:(holding_stripes_now ()) ~b:s;
       seq_bump t s;
       S.unlock (item_mutex t h)
     end
@@ -462,6 +475,8 @@ struct
             match List.assoc_opt s !waits with Some w -> w | None -> 0
           in
           Telemetry.Contention.record ~stripe:s ~wait_ns ~hold_ns;
+          Telemetry.Flight.record Telemetry.Flight.Stripe_release
+            ~a:(holding_stripes_now ()) ~b:s;
           seq_bump t s;
           S.unlock t.item_locks.(s))
         !acquired
@@ -478,7 +493,12 @@ struct
            seq_bump t s;
            waits := (s, S.now_ns () - t0) :: !waits;
            acquired := s :: !acquired;
-           held := (Obj.repr t, s) :: !held)
+           held := (Obj.repr t, s) :: !held;
+           (* Per stripe, not once per group: a kill between two of
+              the group's acquisitions must still find the stripes
+              already pinned on the record. *)
+           Telemetry.Flight.record Telemetry.Flight.Stripe_acquire
+             ~a:(holding_stripes_now ()) ~b:s)
          stripes
      with e ->
        Telemetry.Span.finish wsp;

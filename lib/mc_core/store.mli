@@ -74,6 +74,13 @@ type config = {
 
 val default_config : config
 
+val holding_stripes_now : unit -> int
+(** Stripes the calling thread currently holds — per-op item locks plus
+    [with_stripes] group pins, across every instantiation of {!Make}.
+    Ground truth for the flight recorder's stripe breadcrumbs: the
+    crash sweep snapshots it at the kill site and the forensic
+    classifier must agree. *)
+
 type store_result = Stored | Not_stored | Exists | Not_found | No_memory
 
 type get_result = { value : string; flags : int; cas : int64 }
@@ -229,6 +236,11 @@ module Make
       {!resize}). *)
 
   (** {1 Test hooks} *)
+
+  val seq_read : t -> int -> int
+  (** Stripe [s]'s seqlock version word. Odd exactly while some thread
+      may be mutating the stripe's chains — after recovery every word
+      must be even again, the cross-check the forensic report runs. *)
 
   val check_invariants : t -> unit
   (** Walk hash chains and LRU lists, verifying linkage, stored

@@ -116,6 +116,24 @@ let with_quota ~store ~key ~op f =
 let rings_stats_hook : (unit -> (string * string) list) ref =
   ref (fun () -> [])
 
+(* Deployment-specific settings (ring defaults, tenant count) appended
+   to `stats settings` by whoever owns them — a ring server, the
+   protected-library layer. *)
+let settings_stats_hook : (unit -> (string * string) list) ref =
+  ref (fun () -> [])
+
+(* Heap-observatory and post-mortem surfaces. The heap and (for the
+   plib build) the flight recorder live with the library owner, so
+   `stats heap` / `stats forensics` are served through hooks it
+   installs; an untenanted baseline server answers with the
+   recorder-local analysis only. *)
+let heap_stats_hook : (unit -> (string * string) list) ref =
+  ref (fun () -> [])
+
+let forensics_stats_hook : (unit -> (string * string) list) ref =
+  ref (fun () ->
+    Telemetry.Forensics.kvs (Telemetry.Forensics.analyze ()))
+
 module Make
     (M : Mc_core.Memory_intf.MEMORY)
     (A : Mc_core.Memory_intf.ALLOCATOR)
@@ -226,6 +244,34 @@ struct
       (* per-tenant rollups; served through the hook because the
          registry lives with the library owner, not the store *)
       P.Stats_reply (!Mc_core.Tenant.stats_hook ())
+    | P.Stats (Some "settings") ->
+      (* the standard introspection arm: which toggles this build is
+         actually running with *)
+      let cfg = Store.config store in
+      P.Stats_reply
+        ([ ("optimistic_reads",
+            if cfg.Mc_core.Store.optimistic_reads then "1" else "0");
+           ("lock_count", string_of_int cfg.Mc_core.Store.lock_count);
+           ("hashpower", string_of_int cfg.Mc_core.Store.hashpower);
+           ("lru_count", string_of_int cfg.Mc_core.Store.lru_count);
+           ("evict_batch", string_of_int cfg.Mc_core.Store.evict_batch);
+           ("trace_level",
+            Telemetry.Trace.severity_name (Telemetry.Trace.get_level ()));
+           ("trace_sample_every",
+            string_of_int (Telemetry.Span.sampling ()));
+           ("slow_threshold_ns",
+            string_of_int (Telemetry.Span.slow_threshold_ns ()));
+           ("telemetry", if Telemetry.Control.on () then "1" else "0") ]
+         @ Telemetry.Flight.settings_kvs ()
+         @ !settings_stats_hook ())
+    | P.Stats (Some "heap") ->
+      (* the heap observatory: per-class occupancy, fragmentation,
+         largest free extent (hook-installed by the heap's owner) *)
+      P.Stats_reply (!heap_stats_hook ())
+    | P.Stats (Some "forensics") ->
+      (* the post-mortem story: death classification, victim op and
+         stripes, recovery cross-checks *)
+      P.Stats_reply (!forensics_stats_hook ())
     | P.Stats (Some "reset") ->
       Store.stats_reset store;
       Telemetry.Counters.reset ();
@@ -251,6 +297,13 @@ struct
     Telemetry.Span.around ~phase:"exec" @@ fun () ->
     if not (Telemetry.Control.on ()) then execute store cmd
     else begin
+      (* Tenant and conn ride on Tenant_scope / ring-drain records;
+         the dispatch crumb names the op (interned against the
+         forensics table — one word). An info record: its publish
+         crosses a sync point, giving the crash sweep the torn-write
+         window the publish-last protocol must absorb. *)
+      Telemetry.Flight.record Telemetry.Flight.Op_dispatch
+        ~a:(Telemetry.Forensics.op_code (P.command_name cmd)) ~b:(-1) ~c:(-1);
       let t0 = S.now_ns () in
       let resp = execute store cmd in
       Telemetry.Timers.record ~op:(P.command_name cmd) (S.now_ns () - t0);

@@ -68,6 +68,16 @@ type wrapper = { wrap : 'a. ops:int -> (unit -> 'a) -> 'a }
 
 let default_wrapper = { wrap = (fun ~ops:_ f -> f ()) }
 
+(* Whether this thread is inside a ring-window drain — the ground
+   truth the crash sweep compares against the flight recorder's
+   Ring_drain_begin/end breadcrumbs. Module-level for the same reason
+   as the store's held-stripe list: the drain spans functor
+   boundaries (server -> executor -> store) and is a property of the
+   thread, not of any one instantiation. *)
+let in_ring_drain : bool ref Tls.key = Tls.new_key (fun () -> ref false)
+
+let in_ring_drain_now () = !(Tls.get in_ring_drain)
+
 (* Generic over the store's memory/allocator so the same server can
    front a private slab store (the classic baseline) or a shared Ralloc
    heap (the hybrid deployment of the paper's §6: remote clients over
@@ -351,6 +361,19 @@ struct
     let tenant = tenant_of t cid in
     let outcome =
       t.wrap.wrap ~ops:(max 1 msgs) (fun () ->
+        (* Flag and breadcrumb move together in one sync-free region
+           (and again on the way out): an abrupt kill leaves both
+           saying mid-drain; a clean or exceptional exit clears both. *)
+        let draining = Tls.get in_ring_drain in
+        draining := true;
+        Telemetry.Flight.record Telemetry.Flight.Ring_drain_begin ~a:1 ~b:cid
+          ~c:msgs;
+        Fun.protect
+          ~finally:(fun () ->
+            draining := false;
+            Telemetry.Flight.record Telemetry.Flight.Ring_drain_end ~a:0
+              ~b:cid ~c:msgs)
+        @@ fun () ->
         match T.ring_consume conn with
         | Error e -> `Forged e
         | Ok chunks ->
@@ -663,7 +686,16 @@ struct
     in
     (match ring_ctx with
      | None -> ()
-     | Some _ ->
+     | Some rc ->
+       (* ring geometry and window knobs appended to `stats settings` *)
+       let prev_settings = !Executor.settings_stats_hook in
+       Executor.settings_stats_hook :=
+         (fun () ->
+           prev_settings ()
+           @ [ ("ring_slots", string_of_int rc.rc_cfg.r_slots);
+               ("ring_slot_bytes", string_of_int rc.rc_cfg.r_slot_bytes);
+               ("ring_b_max", string_of_int rc.rc_cfg.r_b_max);
+               ("ring_t_max_ns", string_of_int rc.rc_cfg.r_t_max_ns) ]);
        (* live window/occupancy figures appended to `stats rings` *)
        Executor.rings_stats_hook :=
          (fun () ->
@@ -716,7 +748,8 @@ struct
           Hashtbl.reset tbl)
         t.ring_conns;
       Hashtbl.reset t.ring_states;
-      Executor.rings_stats_hook := (fun () -> [])
+      Executor.rings_stats_hook := (fun () -> []);
+      Executor.settings_stats_hook := (fun () -> [])
 
   let store t = t.store
 end

@@ -530,7 +530,11 @@ let alloc t size =
   Telemetry.Counters.incr Telemetry.Counters.Id.alloc_calls;
   Telemetry.Counters.add ~n:size Telemetry.Counters.Id.alloc_bytes;
   Telemetry.Span.around ~phase:"alloc" @@ fun () ->
-  if size > max_small then alloc_large t size
+  if size > max_small then begin
+    let off = alloc_large t size in
+    Telemetry.Flight.record Telemetry.Flight.Alloc_large ~a:size ~b:off;
+    off
+  end
   else begin
     let c = class_of_size size in
     let cache = (my_cache t).(c) in
@@ -591,8 +595,10 @@ let free t off =
   match rd t (sb + f_kind) with
   | k when k = kind_large_head ->
     if off <> sb + sb_hdr then invalid_arg "Ralloc.free: misaligned large block";
-    poison_free t off (rd t (sb + f_large_size));
-    free_large t off
+    let size = rd t (sb + f_large_size) in
+    poison_free t off size;
+    free_large t off;
+    Telemetry.Flight.record Telemetry.Flight.Free_large ~a:size ~b:off
   | k when k = kind_small ->
     let c = rd t (sb + f_class) in
     poison_free t off size_classes.(c);
@@ -801,6 +807,186 @@ let class_stats t =
        | _ -> incr i)
     done;
     stats)
+
+(* ---- Heap observatory ------------------------------------------------ *)
+
+type heap_class = {
+  hc_block_size : int;
+  hc_superblocks : int;
+  hc_capacity : int;  (** blocks the class's superblocks could hold *)
+  hc_carved : int;  (** blocks ever bumped out *)
+  hc_live : int;  (** carved minus freelisted (cached blocks count live) *)
+}
+
+type heap_map = {
+  hm_classes : heap_class array;
+  hm_large_runs : int;
+  hm_large_sbs : int;
+  hm_large_bytes : int;
+  hm_small_sbs : int;
+  hm_free_sbs : int;  (** carved then fully released *)
+  hm_fresh_sbs : int;  (** never carved *)
+  hm_total_sbs : int;
+  hm_live_bytes : int;  (** reconciles with {!used_bytes} *)
+  hm_largest_free_run : int;
+  (** longest allocatable extent in superblocks; the fresh tail
+      extends a free run ending at the carve frontier *)
+  hm_free_run_sbs : int;  (** free + fresh superblocks *)
+  hm_ext_frag : float;
+  (** 1 - largest_free_run / free_run_sbs: 0 when all free storage is
+      one extent (or there is none), approaching 1 as the free space
+      shatters into unusable shards *)
+}
+
+(* One structural walk builds the whole profile; like [scan_used] it
+   reads superblock headers only, so it is safe on a freshly attached
+   (even crashed) heap. *)
+let heap_map t =
+  Region.kernel_mode (fun () ->
+    let classes =
+      Array.init n_classes (fun c ->
+        { hc_block_size = size_classes.(c); hc_superblocks = 0;
+          hc_capacity = 0; hc_carved = 0; hc_live = 0 })
+    in
+    let count = sb_count t in
+    let fresh = min (rd t off_next_fresh) count in
+    let large_runs = ref 0 and large_sbs = ref 0 and large_bytes = ref 0 in
+    let small_sbs = ref 0 and free_sbs = ref 0 in
+    let live_bytes = ref 0 in
+    let run = ref 0 and largest = ref 0 in
+    let i = ref 0 in
+    while !i < fresh do
+      let sb = sb_off t !i in
+      (match rd t (sb + f_kind) with
+       | k when k = kind_small ->
+         let c = rd t (sb + f_class) in
+         let bump = rd t (sb + f_bump) in
+         let live = bump - rd t (sb + f_free_count) in
+         if c >= 0 && c < n_classes then
+           classes.(c) <-
+             { (classes.(c)) with
+               hc_superblocks = classes.(c).hc_superblocks + 1;
+               hc_capacity = classes.(c).hc_capacity + rd t (sb + f_num_blocks);
+               hc_carved = classes.(c).hc_carved + bump;
+               hc_live = classes.(c).hc_live + live };
+         live_bytes := !live_bytes + (live * rd t (sb + f_block_size));
+         incr small_sbs;
+         run := 0;
+         incr i
+       | k when k = kind_large_head ->
+         let n = max 1 (rd t (sb + f_large_sbs)) in
+         incr large_runs;
+         large_sbs := !large_sbs + n;
+         large_bytes := !large_bytes + rd t (sb + f_large_size);
+         live_bytes := !live_bytes + rd t (sb + f_large_size);
+         run := 0;
+         i := !i + n
+       | _ ->
+         incr free_sbs;
+         incr run;
+         if !run > !largest then largest := !run;
+         incr i)
+    done;
+    (* A free run touching the carve frontier merges with the fresh
+       tail: [alloc_large] prefers fresh storage, so the allocatable
+       extent is their sum. *)
+    let fresh_tail = count - fresh in
+    if !run + fresh_tail > !largest then largest := !run + fresh_tail;
+    let free_total = !free_sbs + fresh_tail in
+    { hm_classes = classes; hm_large_runs = !large_runs;
+      hm_large_sbs = !large_sbs; hm_large_bytes = !large_bytes;
+      hm_small_sbs = !small_sbs; hm_free_sbs = !free_sbs;
+      hm_fresh_sbs = fresh_tail; hm_total_sbs = count;
+      hm_live_bytes = !live_bytes;
+      hm_largest_free_run = (if free_total = 0 then 0 else !largest);
+      hm_free_run_sbs = free_total;
+      hm_ext_frag =
+        (if free_total = 0 then 0.
+         else 1. -. (float_of_int !largest /. float_of_int free_total)) })
+
+let heap_kvs t =
+  let m = heap_map t in
+  let base =
+    [ ("heap_bytes_used", string_of_int (used_bytes t));
+      ("heap_bytes_live", string_of_int m.hm_live_bytes);
+      ("heap_bytes_capacity", string_of_int (capacity t));
+      ("heap_sb_total", string_of_int m.hm_total_sbs);
+      ("heap_sb_small", string_of_int m.hm_small_sbs);
+      ("heap_sb_large", string_of_int m.hm_large_sbs);
+      ("heap_sb_free", string_of_int m.hm_free_sbs);
+      ("heap_sb_fresh", string_of_int m.hm_fresh_sbs);
+      ("heap_large_runs", string_of_int m.hm_large_runs);
+      ("heap_large_bytes", string_of_int m.hm_large_bytes);
+      ("heap_largest_free_run_sbs", string_of_int m.hm_largest_free_run);
+      ("heap_ext_frag", Printf.sprintf "%.4f" m.hm_ext_frag) ]
+  in
+  let per_class =
+    Array.to_list m.hm_classes
+    |> List.filter (fun hc -> hc.hc_superblocks > 0)
+    |> List.concat_map (fun hc ->
+      let p = Printf.sprintf "heap_class_%d" hc.hc_block_size in
+      [ (p ^ "_superblocks", string_of_int hc.hc_superblocks);
+        (p ^ "_live", string_of_int hc.hc_live);
+        (p ^ "_capacity", string_of_int hc.hc_capacity);
+        (p ^ "_util",
+         Printf.sprintf "%.4f"
+           (if hc.hc_capacity = 0 then 0.
+            else float_of_int hc.hc_live /. float_of_int hc.hc_capacity)) ])
+  in
+  base @ per_class
+
+(* One character per superblock ('.' free, 's' small, 'L' large head,
+   'l' large continuation, '_' never carved), 64 to a row — the
+   heap-map.txt CI artifact. *)
+let render_heap_map t =
+  let m = heap_map t in
+  let b = Buffer.create 1024 in
+  Region.kernel_mode (fun () ->
+    let count = sb_count t in
+    let fresh = min (rd t off_next_fresh) count in
+    let chars = Bytes.make count '_' in
+    let i = ref 0 in
+    while !i < fresh do
+      let sb = sb_off t !i in
+      (match rd t (sb + f_kind) with
+       | k when k = kind_small ->
+         Bytes.set chars !i 's';
+         incr i
+       | k when k = kind_large_head ->
+         let n = max 1 (rd t (sb + f_large_sbs)) in
+         Bytes.set chars !i 'L';
+         for j = 1 to min (n - 1) (count - !i - 1) do
+           Bytes.set chars (!i + j) 'l'
+         done;
+         i := !i + n
+       | _ ->
+         Bytes.set chars !i '.';
+         incr i)
+    done;
+    Buffer.add_string b
+      (Printf.sprintf
+         "heap map: %d superblocks x %d bytes (used %d / %d bytes, ext-frag \
+          %.4f, largest free extent %d sbs)\n"
+         count superblock_size (used_bytes t) (capacity t) m.hm_ext_frag
+         m.hm_largest_free_run);
+    let pos = ref 0 in
+    while !pos < count do
+      let n = min 64 (count - !pos) in
+      Buffer.add_string b (Bytes.sub_string chars !pos n);
+      Buffer.add_char b '\n';
+      pos := !pos + n
+    done);
+  Array.iter
+    (fun hc ->
+      if hc.hc_superblocks > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "class %5d: %2d sb, %4d/%4d blocks live (%.1f%%)\n"
+             hc.hc_block_size hc.hc_superblocks hc.hc_live hc.hc_capacity
+             (100.
+              *. (if hc.hc_capacity = 0 then 0.
+                  else float_of_int hc.hc_live /. float_of_int hc.hc_capacity))))
+    m.hm_classes;
+  Buffer.contents b
 
 let check_invariants t =
   Region.kernel_mode (fun () ->

@@ -163,3 +163,42 @@ val class_of_size : int -> int
 val check_invariants : t -> unit
 (** Walk every superblock and verify header/freelist consistency;
     raises [Failure] with a description on corruption. Test hook. *)
+
+(** {1 Heap observatory} *)
+
+type heap_class = {
+  hc_block_size : int;
+  hc_superblocks : int;
+  hc_capacity : int;
+  hc_carved : int;
+  hc_live : int;
+}
+
+type heap_map = {
+  hm_classes : heap_class array;
+  hm_large_runs : int;
+  hm_large_sbs : int;
+  hm_large_bytes : int;
+  hm_small_sbs : int;
+  hm_free_sbs : int;
+  hm_fresh_sbs : int;
+  hm_total_sbs : int;
+  hm_live_bytes : int;
+  hm_largest_free_run : int;
+  hm_free_run_sbs : int;
+  hm_ext_frag : float;
+}
+
+val heap_map : t -> heap_map
+(** One structural walk over the superblock headers: per-size-class
+    occupancy, large-run accounting, free/fresh extents, and the
+    external-fragmentation ratio. [hm_live_bytes] reconciles exactly
+    with {!used_bytes} (per-thread cached blocks count as live in
+    both). Safe on a freshly attached post-crash heap. *)
+
+val heap_kvs : t -> (string * string) list
+(** {!heap_map} flattened for the [stats heap] surface. *)
+
+val render_heap_map : t -> string
+(** Human-readable map — one character per superblock plus per-class
+    utilization lines (the heap-map.txt CI artifact). *)

@@ -122,8 +122,18 @@ let e2e_hist = Histogram.create ()
 
 (* ---- Building trees --------------------------------------------------- *)
 
+(* An adopted [t_start] (a ring message's enqueue stamp, a batch's
+   arrival time) was read off another thread's clock and can sit in
+   this thread's future under the simulator's relaxed per-thread
+   clocks; a span can never open later than the instant the owning
+   thread opened it, so clamp — the common past-stamp case (queue-wait
+   attribution) is unaffected. *)
+let adopt_start t_start =
+  let now = Control.now_ns () in
+  match t_start with Some a -> min a now | None -> now
+
 let start_in lv ?t_start ~phase () =
-  let t0 = match t_start with Some a -> a | None -> Control.now_ns () in
+  let t0 = adopt_start t_start in
   let parent =
     match lv.l_stack with [] -> -1 | top :: _ -> top.o_sid
   in
@@ -154,7 +164,7 @@ let ingress ?t_start ~op () =
     | _ ->
       let n = Atomic.fetch_and_add mint_counter 1 in
       let sampled = !sample_every = 1 || n mod !sample_every = 0 in
-      let t0 = match t_start with Some a -> a | None -> Control.now_ns () in
+      let t0 = adopt_start t_start in
       let root =
         { o_sid = 0; o_parent = -1; o_phase = op; o_start = t0; o_end = -1;
           o_aborted = false }

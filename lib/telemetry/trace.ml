@@ -58,7 +58,15 @@ let emit ?at ~sev ~subsys msg =
     let seq = !next_seq in
     next_seq := seq + 1;
     ring.(seq mod capacity) <- Some { seq; at; sev; subsys; msg };
-    Mutex.unlock lock
+    Mutex.unlock lock;
+    (* This ring is process-local and vanishes with the process; errors
+       additionally snapshot into the flight recorder's shared-heap
+       area so a post-crash dump still shows the pre-crash warnings.
+       Outside the mutex: the snapshot writes through the recorder
+       backend, which must never nest under our lock. *)
+    if severity_rank sev >= severity_rank Error then
+      Flight.snapshot_trace ~seq ~at ~sev:(severity_rank sev)
+        (subsys ^ ": " ^ msg)
   end
 
 let clear () =

@@ -291,6 +291,12 @@ let crash_check t th =
       else begin
         t.crash_at <- None;
         t.crashed <- (th.vname, k) :: t.crashed;
+        (* Stamp the victim's flight-recorder lane before anything
+           else: the dying thread is still [t.current], so its lane
+           resolves — the post-mortem analyzer's pointer into the
+           breadcrumb timelines (a real deployment would do this from
+           the fault handler). *)
+        Telemetry.Flight.note_death ();
         Telemetry.Trace.emit ~at:th.clock ~sev:Telemetry.Trace.Error
           ~subsys:"vm"
           (Printf.sprintf "crash point %d: %s killed abruptly" k th.vname);
@@ -597,8 +603,20 @@ let run ?(raise_on_failure = true) t =
     Telemetry.Control.install_now (fun () ->
       match t.current with Some th -> th.clock | None -> t.vnow)
   in
+  (* Telemetry publishes that want a kill window mid-protocol (the
+     flight recorder's tearable breadcrumbs) ask for a sync point via
+     this hook. [Advance 0] runs the crash check without charging any
+     virtual time ([dilate] passes 0 through), so the recorder stays
+     invisible to the cost model; [Sync.advance] itself elides n = 0,
+     hence the direct perform. Host threads and scheduler-context
+     emitters have no handler — for them the hook is a no-op. *)
+  let prev_sync =
+    Telemetry.Control.install_sync (fun () ->
+      try Effect.perform (Advance 0) with Effect.Unhandled _ -> ())
+  in
   Fun.protect
     ~finally:(fun () ->
+      Telemetry.Control.restore_sync prev_sync;
       Telemetry.Control.restore_now prev_now;
       Tls.remove_provider ();
       t.running <- false)

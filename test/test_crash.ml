@@ -97,6 +97,61 @@ let assert_telemetry_consistent stats =
                op p50 p99 (H.max_value h)))
     (Telemetry.Timers.ops ())
 
+(* ---- Forensic ground truth ----------------------------------------- *)
+
+(* Captured inside [on_crash], while the dying thread's TLS is still
+   current: the same per-thread state the breadcrumbs are written from,
+   read directly at the kill instant. The post-recovery forensic
+   report must reproduce this classification from the flight ring
+   alone, under the classifier's own priority (stripes held > ring
+   drain > trampoline crossing > idle). *)
+let kill_site_truth () =
+  let module F = Telemetry.Forensics in
+  if Store.holding_stripes_now () > 0 then F.Holding_stripes
+  else if Mc_server.Server.in_ring_drain_now () then F.Mid_ring_drain
+  else if Hodor.Trampoline.on_library_stack () then F.Mid_crossing
+  else F.Idle
+
+(* Death-classification tallies per workload, printed after each sweep
+   (the greppable [forensics.*] lines EXPERIMENTS.md's table quotes). *)
+let class_ix = function
+  | Telemetry.Forensics.Idle -> 0
+  | Telemetry.Forensics.Mid_crossing -> 1
+  | Telemetry.Forensics.Holding_stripes -> 2
+  | Telemetry.Forensics.Mid_ring_drain -> 3
+
+let print_tally name t =
+  Printf.printf
+    "forensics.%s idle=%d mid_crossing=%d holding_stripes=%d \
+     mid_ring_drain=%d\n%!"
+    name t.(0) t.(1) t.(2) t.(3)
+
+(* Post-recovery: the report [Plib.recover] stashed right after
+   repairing the heap is structurally sound (no torn records, victim
+   named), classifies the death exactly as the ground-truth snapshot,
+   and every cross-check it ran against the repaired state agreed. *)
+let assert_forensics ?tally ~at ~expect p =
+  let module F = Telemetry.Forensics in
+  (match tally with
+   | Some t -> t.(class_ix expect) <- t.(class_ix expect) + 1
+   | None -> ());
+  let r = Plib.forensics p in
+  if not (F.well_formed r) then
+    Alcotest.fail
+      (Printf.sprintf "kill at %d: malformed forensic report\n%s" at
+         (F.render r));
+  if r.F.f_class <> expect then
+    Alcotest.fail
+      (Printf.sprintf "kill at %d misclassified: truth %s, report %s\n%s" at
+         (F.class_name expect) (F.class_name r.F.f_class) (F.render r));
+  List.iter
+    (fun (c : F.check) ->
+      if not c.F.ck_ok then
+        Alcotest.fail
+          (Printf.sprintf "kill at %d: recovery cross-check %s failed: %s" at
+             c.F.ck_name c.F.ck_detail))
+    r.F.f_checks
+
 (* ---- Workload A: full Plib stack, one victim + two survivors ------- *)
 
 let cfg_a =
@@ -110,7 +165,7 @@ let fresh_a = ref 0
    count, events fingerprint). [recover_anyway] additionally runs the
    recovery protocol when no crash fired — recovery over an untorn
    store must be conservative. *)
-let run_a ?(recover_anyway = false) ~at () =
+let run_a ?(recover_anyway = false) ?tally ~at () =
   incr fresh_a;
   let path = Printf.sprintf "/shm/crash-a-%d" !fresh_a in
   let owner = Process.make ~uid:1000 "bk-crash" in
@@ -124,10 +179,13 @@ let run_a ?(recover_anyway = false) ~at () =
       Telemetry.Span.reset ();
       let vm = Vm.create ~sched_seed:1234 ~preempt_jitter:50 () in
       let victim_proc = Process.make ~uid:2000 "victim-proc" in
+      let truth = ref None in
       Vm.set_crash_point vm
         ~filter:(fun n -> n = "victim")
         ~at
-        ~on_crash:(fun _name now -> Process.kill ~now_ns:now victim_proc)
+        ~on_crash:(fun _name now ->
+          truth := Some (kill_site_truth ());
+          Process.kill ~now_ns:now victim_proc)
         ();
       (* Host-side model of every acknowledged surviving-client write:
          an entry is recorded only after the library call returned. *)
@@ -244,9 +302,21 @@ let run_a ?(recover_anyway = false) ~at () =
                    Ralloc.get_root heap Core.Plib_store.root_arena
                  in
                  let live = if acell = 0 then live else acell :: live in
+                 (* The flight-recorder ring is rooted and must survive
+                    the sweep with its breadcrumbs intact — the
+                    forensic story below reads them post-repair. *)
+                 let fblock =
+                   Ralloc.get_root heap Core.Plib_store.root_flight
+                 in
+                 let live = if fblock = 0 then live else fblock :: live in
                  Ralloc.recover heap ~live;
                  Mc_core.Bump_arena.recover arena ~live:arena_live;
                  assert_conserved heap live);
+             (* The flight recorder's post-mortem agrees with the
+                ground truth snapshotted at the kill instant. *)
+             (match !truth with
+              | Some expect -> assert_forensics ?tally ~at ~expect p
+              | None -> ());
              (* Every acknowledged surviving write is still served. *)
              Hashtbl.iter
                (fun k e ->
@@ -279,6 +349,8 @@ let run_a ?(recover_anyway = false) ~at () =
 
 let check_crashes = Alcotest.(check (list (pair string int)))
 
+let tally_a = Array.make 4 0
+
 let test_sweep_plib () =
   (* Count pass: index the kill sites without firing. *)
   let crashes, n, _ = run_a ~at:max_int () in
@@ -289,12 +361,13 @@ let test_sweep_plib () =
   let m = min 130 (cap ()) in
   for i = 0 to m - 1 do
     let k = i * n / m in
-    let crashes, _, _ = run_a ~at:k () in
+    let crashes, _, _ = run_a ~tally:tally_a ~at:k () in
     check_crashes
       (Printf.sprintf "kill fired at site %d/%d" k n)
       [ ("victim", k) ] crashes;
     incr sites_a
-  done
+  done;
+  print_tally "A" tally_a
 
 let test_sweep_is_deterministic () =
   let c1, n1, e1 = run_a ~at:37 () in
@@ -422,7 +495,7 @@ let fresh_c = ref 0
 
 let batch_val i = Printf.sprintf "c%d-%s" i (String.make (60 + (i * 41 mod 300)) 'b')
 
-let run_c ~at () =
+let run_c ?tally ~at () =
   incr fresh_c;
   let path = Printf.sprintf "/shm/crash-c-%d" !fresh_c in
   let owner = Process.make ~uid:1000 "bk-crash-c" in
@@ -436,10 +509,13 @@ let run_c ~at () =
       Telemetry.Span.reset ();
       let vm = Vm.create ~sched_seed:4321 ~preempt_jitter:50 () in
       let victim_proc = Process.make ~uid:2100 "victim-proc-c" in
+      let truth = ref None in
       Vm.set_crash_point vm
         ~filter:(fun n -> n = "victim")
         ~at
-        ~on_crash:(fun _name now -> Process.kill ~now_ns:now victim_proc)
+        ~on_crash:(fun _name now ->
+          truth := Some (kill_site_truth ());
+          Process.kill ~now_ns:now victim_proc)
         ();
       (* Acked = the batch prefix whose per-op callbacks ran before the
          kill. Issued = everything handed to [batch]; an unacked issued
@@ -517,9 +593,16 @@ let run_c ~at () =
                    Ralloc.get_root heap Core.Plib_store.root_arena
                  in
                  let live = if acell = 0 then live else acell :: live in
+                 let fblock =
+                   Ralloc.get_root heap Core.Plib_store.root_flight
+                 in
+                 let live = if fblock = 0 then live else fblock :: live in
                  Ralloc.recover heap ~live;
                  Mc_core.Bump_arena.recover arena ~live:arena_live;
                  assert_conserved heap live);
+             (match !truth with
+              | Some expect -> assert_forensics ?tally ~at ~expect p
+              | None -> ());
              (* The acked prefix survives verbatim. *)
              Hashtbl.iter
                (fun k v ->
@@ -558,6 +641,8 @@ let run_c ~at () =
       Vm.run vm2;
       (crashes, n, events))
 
+let tally_c = Array.make 4 0
+
 let test_sweep_batched () =
   let crashes, n, _ = run_c ~at:max_int () in
   check_crashes "count pass kills nobody" [] crashes;
@@ -567,12 +652,13 @@ let test_sweep_batched () =
   let m = min 40 (cap ()) in
   for i = 0 to m - 1 do
     let k = i * n / m in
-    let crashes, _, _ = run_c ~at:k () in
+    let crashes, _, _ = run_c ~tally:tally_c ~at:k () in
     check_crashes
       (Printf.sprintf "kill fired at site %d/%d" k n)
       [ ("victim", k) ] crashes;
     incr sites_c
-  done
+  done;
+  print_tally "C" tally_c
 
 (* ---- Workload D: multi-tenant stack, tenant-A victim, B/C survive --- *)
 
@@ -590,7 +676,7 @@ let cfg_d =
 
 let fresh_d = ref 0
 
-let run_d ~at () =
+let run_d ?tally ~at () =
   incr fresh_d;
   let path = Printf.sprintf "/shm/crash-d-%d" !fresh_d in
   let owner = Process.make ~uid:1000 "bk-crash-d" in
@@ -625,10 +711,13 @@ let run_d ~at () =
       let proc_b = Process.make ~uid:2002 "tenant-b" in
       let proc_c = Process.make ~uid:2003 "tenant-c" in
       let vm = Vm.create ~sched_seed:4321 ~preempt_jitter:50 () in
+      let truth = ref None in
       Vm.set_crash_point vm
         ~filter:(fun n -> n = "victim")
         ~at
-        ~on_crash:(fun _name now -> Process.kill ~now_ns:now proc_a)
+        ~on_crash:(fun _name now ->
+          truth := Some (kill_site_truth ());
+          Process.kill ~now_ns:now proc_a)
         ();
       (* Host-side models of the survivors' acked writes, keyed by the
          {e unscoped} tenant key. Key names are disjoint across
@@ -705,6 +794,9 @@ let run_d ~at () =
              Shm.Region.kernel_mode (fun () ->
                Plib.Store.check_invariants (Plib.store p);
                Ralloc.check_invariants (Plib.heap p));
+             (match !truth with
+              | Some expect -> assert_forensics ?tally ~at ~expect p
+              | None -> ());
              Pku.Vpkey.check_invariants ();
              (* Registry: membership, uids, quotas, vkeys all stand. *)
              let reg = Plib.tenants p in
@@ -814,6 +906,8 @@ let run_d ~at () =
 
 let sites_d = ref 0
 
+let tally_d = Array.make 4 0
+
 let test_sweep_tenants () =
   let crashes, n, _ = run_d ~at:max_int () in
   check_crashes "count pass kills nobody" [] crashes;
@@ -823,12 +917,13 @@ let test_sweep_tenants () =
   let m = min 40 (cap ()) in
   for i = 0 to m - 1 do
     let k = i * n / m in
-    let crashes, _, _ = run_d ~at:k () in
+    let crashes, _, _ = run_d ~tally:tally_d ~at:k () in
     check_crashes
       (Printf.sprintf "kill fired at site %d/%d" k n)
       [ ("victim", k) ] crashes;
     incr sites_d
-  done
+  done;
+  print_tally "D" tally_d
 
 (* ---- Workload E: shared-ring transport, client victim mid-stream --- *)
 
@@ -849,7 +944,7 @@ let cfg_e =
 
 let fresh_e = ref 0
 
-let run_e ~at () =
+let run_e ?tally ~at () =
   incr fresh_e;
   let path = Printf.sprintf "/shm/crash-e-%d" !fresh_e in
   let owner = Process.make ~uid:1000 "bk-crash-e" in
@@ -863,10 +958,13 @@ let run_e ~at () =
       Telemetry.Span.reset ();
       let vm = Vm.create ~sched_seed:2718 ~preempt_jitter:50 () in
       let victim_proc = Process.make ~uid:2100 "ring-victim" in
+      let truth = ref None in
       Vm.set_crash_point vm
         ~filter:(fun n -> n = "victim")
         ~at
-        ~on_crash:(fun _name now -> Process.kill ~now_ns:now victim_proc)
+        ~on_crash:(fun _name now ->
+          truth := Some (kill_site_truth ());
+          Process.kill ~now_ns:now victim_proc)
         ();
       (* [acked k] = the reply was parsed from the completion ring
          before the kill; [submitted k] = the op entered (possibly only
@@ -955,6 +1053,9 @@ let run_e ~at () =
              Shm.Region.kernel_mode (fun () ->
                Plib.Store.check_invariants (Plib.store p);
                Ralloc.check_invariants (Plib.heap p));
+             (match !truth with
+              | Some expect -> assert_forensics ?tally ~at ~expect p
+              | None -> ());
              (* Acked writes are durable and byte-exact. *)
              Hashtbl.iter
                (fun k v ->
@@ -1004,6 +1105,8 @@ let run_e ~at () =
 
 let sites_e = ref 0
 
+let tally_e = Array.make 4 0
+
 let test_sweep_rings () =
   let crashes, n, _ = run_e ~at:max_int () in
   check_crashes "count pass kills nobody" [] crashes;
@@ -1013,12 +1116,64 @@ let test_sweep_rings () =
   let m = min 40 (cap ()) in
   for i = 0 to m - 1 do
     let k = i * n / m in
-    let crashes, _, _ = run_e ~at:k () in
+    let crashes, _, _ = run_e ~tally:tally_e ~at:k () in
     check_crashes
       (Printf.sprintf "kill fired at site %d/%d" k n)
       [ ("victim", k) ] crashes;
     incr sites_e
-  done
+  done;
+  print_tally "E" tally_e
+
+(* ---- Publish-last protocol is load-bearing (red/green) ------------- *)
+
+(* A tearable info breadcrumb exposes its internal sync point — the
+   window between payload write and commit stamp — as a kill site.
+   Under the shipping publish-last ordering, no kill site can leave a
+   head record that claims publication (sequence word stamped) but
+   fails validation; with the ordering reverted, the same sweep finds
+   exactly that torn head. The protocol, not luck, keeps the
+   post-mortem story readable. *)
+let torn_after ~publish_last ~at =
+  Telemetry.Flight.reset_backend ();
+  Telemetry.Flight.reset ();
+  Telemetry.Flight.publish_last_enabled := publish_last;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Flight.publish_last_enabled := true;
+      Telemetry.Flight.reset ())
+    (fun () ->
+      let vm = Vm.create () in
+      Vm.set_crash_point vm ~filter:(fun n -> n = "w") ~at ();
+      ignore
+        (Vm.spawn vm ~name:"w" (fun () ->
+           Telemetry.Flight.record Telemetry.Flight.Op_dispatch ~a:3 ~b:1 ~c:7;
+           Telemetry.Flight.record Telemetry.Flight.Tenant_scope ~a:2;
+           Vm.Sync.advance 10));
+      Vm.run vm;
+      let n = Vm.sync_points_seen vm in
+      (Vm.crashed vm, n, Telemetry.Flight.torn_lanes () <> []))
+
+let test_publish_last_protocol () =
+  let _, n, _ = torn_after ~publish_last:true ~at:max_int in
+  Alcotest.(check bool)
+    (Printf.sprintf "tearable records expose kill sites (%d)" n)
+    true (n >= 2);
+  (* Green: the shipping ordering never leaves a torn head. *)
+  for k = 0 to n - 1 do
+    let crashes, _, torn = torn_after ~publish_last:true ~at:k in
+    if crashes <> [] && torn then
+      Alcotest.fail
+        (Printf.sprintf "publish-last left a torn head record at site %d" k)
+  done;
+  (* Red: the reverted (sequence-first) ordering tears at some site. *)
+  let torn_somewhere = ref false in
+  for k = 0 to n - 1 do
+    let crashes, _, torn = torn_after ~publish_last:false ~at:k in
+    if crashes <> [] && torn then torn_somewhere := true
+  done;
+  Alcotest.(check bool)
+    "seq-first ordering leaves a torn head at some kill site" true
+    !torn_somewhere
 
 (* ---- Coverage floor (must run after the sweeps) -------------------- *)
 
@@ -1049,6 +1204,8 @@ let () =
           Alcotest.test_case "crash point beyond workload" `Quick
             test_crash_point_beyond_workload;
           Alcotest.test_case "recovery is conservative" `Quick
-            test_recovery_is_conservative ] );
+            test_recovery_is_conservative;
+          Alcotest.test_case "publish-last protocol red/green" `Quick
+            test_publish_last_protocol ] );
       ( "coverage",
         [ Alcotest.test_case "site floor" `Quick test_coverage ] ) ]

@@ -210,6 +210,98 @@ let test_root_overwrite () =
   Ralloc.set_root h 0 b;
   Alcotest.(check int) "root re-points" b (Ralloc.get_root h 0)
 
+(* ---- Heap observatory ------------------------------------------------ *)
+
+let test_heap_map_reconciles () =
+  let _, h = fresh () in
+  let reconcile tag =
+    let m = Ralloc.heap_map h in
+    Alcotest.(check int) (tag ^ ": live bytes = used bytes")
+      (Ralloc.used_bytes h) m.Ralloc.hm_live_bytes;
+    let small =
+      Array.fold_left
+        (fun a hc -> a + (hc.Ralloc.hc_live * hc.Ralloc.hc_block_size))
+        0 m.Ralloc.hm_classes
+    in
+    Alcotest.(check int) (tag ^ ": classes + large runs sum to live")
+      m.Ralloc.hm_live_bytes
+      (small + m.Ralloc.hm_large_bytes);
+    Alcotest.(check int) (tag ^ ": superblock kinds partition the heap")
+      m.Ralloc.hm_total_sbs
+      (m.Ralloc.hm_small_sbs + m.Ralloc.hm_large_sbs + m.Ralloc.hm_free_sbs
+       + m.Ralloc.hm_fresh_sbs);
+    Array.iter
+      (fun hc ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: class %d live <= carved <= capacity" tag
+             hc.Ralloc.hc_block_size)
+          true
+          (hc.Ralloc.hc_live <= hc.Ralloc.hc_carved
+           && hc.Ralloc.hc_carved <= hc.Ralloc.hc_capacity))
+      m.Ralloc.hm_classes
+  in
+  reconcile "fresh heap";
+  let small =
+    List.init 200 (fun i -> Ralloc.alloc h (16 + ((i mod 40) * 50)))
+  in
+  let large =
+    List.init 4 (fun i -> Ralloc.alloc h (100_000 + (i * 30_000)))
+  in
+  reconcile "after mixed allocs";
+  (* Every other small block goes back: it parks in the thread cache
+     yet must still count as live on both sides of the reconciliation
+     (the cache is a loan, not a return). *)
+  List.iteri (fun i o -> if i mod 2 = 0 then Ralloc.free h o) small;
+  reconcile "with frees parked in the thread cache";
+  Ralloc.flush_thread_cache h;
+  reconcile "after cache flush";
+  List.iteri (fun i o -> if i mod 2 = 1 then Ralloc.free h o) small;
+  List.iter (Ralloc.free h) large;
+  Ralloc.flush_thread_cache h;
+  reconcile "after freeing everything";
+  Alcotest.(check int) "empty heap maps to zero live bytes" 0
+    (Ralloc.heap_map h).Ralloc.hm_live_bytes
+
+let test_heap_map_fragmentation_monotone () =
+  let _, h = fresh () in
+  (* 2k+1 single-superblock large runs carved back to back; freeing
+     the interior even-indexed ones one at a time punches isolated
+     one-superblock holes while the largest free extent (the fresh
+     tail) stays put, so the external-fragmentation ratio must climb
+     monotonically — the pathological interleaving the observatory
+     exists to expose. *)
+  let run_bytes = max (Ralloc.max_small + 1) (Ralloc.superblock_size / 2) in
+  let k = 8 in
+  let runs = Array.init ((2 * k) + 1) (fun _ -> Ralloc.alloc h run_bytes) in
+  let frag0 = (Ralloc.heap_map h).Ralloc.hm_ext_frag in
+  let prev = ref frag0 in
+  for i = 0 to k - 1 do
+    Ralloc.free h runs.(2 * i);
+    let m = Ralloc.heap_map h in
+    Alcotest.(check int)
+      (Printf.sprintf "hole %d visible as a free superblock" i)
+      (i + 1) m.Ralloc.hm_free_sbs;
+    Alcotest.(check bool)
+      (Printf.sprintf "ext frag non-decreasing at hole %d (%.4f -> %.4f)" i
+         !prev m.Ralloc.hm_ext_frag)
+      true
+      (m.Ralloc.hm_ext_frag >= !prev -. 1e-9);
+    prev := m.Ralloc.hm_ext_frag
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "fragmentation climbed overall (%.4f -> %.4f)" frag0 !prev)
+    true
+    (!prev > frag0 +. 0.01);
+  (* Freeing the separators coalesces every hole into one extent
+     ending at the carve frontier: the ratio collapses to zero. *)
+  Array.iteri
+    (fun i o -> if i mod 2 = 1 || i = 2 * k then Ralloc.free h o)
+    runs;
+  let m = Ralloc.heap_map h in
+  Alcotest.(check (float 1e-9)) "defragmented heap has zero ext frag" 0.
+    m.Ralloc.hm_ext_frag;
+  Alcotest.(check int) "no live bytes remain" 0 m.Ralloc.hm_live_bytes
+
 let qcheck_usable_size_covers_request =
   QCheck.Test.make ~name:"usable_size always covers the request" ~count:200
     QCheck.(int_range 1 200_000)
@@ -279,6 +371,10 @@ let () =
           Alcotest.test_case "attach shares runtime" `Quick
             test_attach_returns_shared_runtime;
           Alcotest.test_case "root overwrite" `Quick test_root_overwrite;
+          Alcotest.test_case "heap map reconciles" `Quick
+            test_heap_map_reconciles;
+          Alcotest.test_case "heap map fragmentation monotone" `Quick
+            test_heap_map_fragmentation_monotone;
           QCheck_alcotest.to_alcotest qcheck_usable_size_covers_request;
           QCheck_alcotest.to_alcotest qcheck_churn_preserves_invariants ] );
       ( "persistence",

@@ -557,6 +557,128 @@ let test_shared_backend_survives_restart () =
           Alcotest.(check bool) "and keep counting" true
             (C.read C.Id.hodor_enter > crossings)))
 
+(* ---- Flight recorder & forensics ------------------------------------ *)
+
+module Fl = Telemetry.Flight
+module F = Telemetry.Forensics
+
+let fresh_flight () =
+  fresh ();
+  Fl.reset_backend ();
+  Fl.reset ()
+
+(* Every classifier arm from synthesized breadcrumbs, including
+   mid-ring-drain (end-to-end the crash sweep only ever kills ring
+   *clients*; the drain state lives in server workers). *)
+let test_forensics_classifier_arms () =
+  fresh_flight ();
+  let r = F.analyze () in
+  Alcotest.(check bool) "empty ring classifies idle" true
+    (r.F.f_class = F.Idle);
+  Fl.record Fl.Cross_enter ~a:1;
+  Fl.record Fl.Op_dispatch ~a:2 ~b:(-1) ~c:5;
+  Fl.note_death ();
+  let r = F.analyze () in
+  Alcotest.(check bool) "open crossing -> mid-crossing" true
+    (r.F.f_class = F.Mid_crossing);
+  Alcotest.(check int) "crossing depth named" 1 r.F.f_depth;
+  Alcotest.(check bool) "victim came from the death note" true r.F.f_noted;
+  Fl.record Fl.Ring_drain_begin ~a:1 ~b:7 ~c:12;
+  let r = F.analyze () in
+  Alcotest.(check bool) "drain begun, never ended -> mid-ring-drain" true
+    (r.F.f_class = F.Mid_ring_drain);
+  Alcotest.(check int) "drain connection named" 7 r.F.f_conn;
+  Alcotest.(check int) "drain window named" 12 r.F.f_msgs;
+  Fl.record Fl.Stripe_acquire ~a:1 ~b:3;
+  let r = F.analyze () in
+  Alcotest.(check bool) "held stripe outranks the drain" true
+    (r.F.f_class = F.Holding_stripes);
+  Alcotest.(check (list int)) "held stripe named" [ 3 ] r.F.f_stripes;
+  Alcotest.(check bool) "report is well-formed" true (F.well_formed r);
+  (* Balance everything: the lane's story returns to idle. *)
+  Fl.record Fl.Stripe_release ~a:0 ~b:3;
+  Fl.record Fl.Ring_drain_end ~a:0 ~b:7 ~c:12;
+  Fl.record Fl.Cross_exit ~a:0;
+  Fl.clear_victim ();
+  let r = F.analyze () in
+  Alcotest.(check bool) "balanced lane classifies idle" true
+    (r.F.f_class = F.Idle);
+  Fl.reset ()
+
+(* The breadcrumb window wraps: only the last [depth] records survive,
+   and the survivors are the *newest* ones in publication order. *)
+let test_flight_window_wraps () =
+  fresh_flight ();
+  let total = (2 * Fl.depth) + 17 in
+  for i = 1 to total do
+    Fl.record Fl.Op_dispatch ~a:(i mod 16) ~b:i ~c:0
+  done;
+  let lane =
+    match
+      List.filteri (fun _ c -> c > 0) (Fl.lane_counts ()) |> List.length
+    with
+    | 1 ->
+      (* exactly one lane took records; find its index *)
+      let rec find i = function
+        | c :: _ when c > 0 -> i
+        | _ :: rest -> find (i + 1) rest
+        | [] -> Alcotest.fail "no lane took records"
+      in
+      find 0 (Fl.lane_counts ())
+    | n -> Alcotest.fail (Printf.sprintf "%d lanes took records" n)
+  in
+  let entries = Fl.dump_lane lane in
+  Alcotest.(check bool)
+    (Printf.sprintf "window bounded by depth (%d entries)"
+       (List.length entries))
+    true
+    (List.length entries <= Fl.depth && List.length entries > 0);
+  let last = List.nth entries (List.length entries - 1) in
+  Alcotest.(check int) "newest record survives" total last.Fl.e_b;
+  let rec consecutive = function
+    | a :: (b : Fl.entry) :: rest ->
+      a.Fl.e_pos + 1 = b.e_pos && consecutive (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "survivors are consecutive in publication order"
+    true (consecutive entries);
+  Fl.reset ()
+
+(* Severity >= Error trace lines are snapshotted into the shared
+   flight block (the host-process trace ring dies with the victim;
+   the snapshot is what the post-mortem can still read). *)
+let test_flight_trace_snapshot () =
+  fresh_flight ();
+  Telemetry.Trace.emit ~sev:Telemetry.Trace.Info ~subsys:"t" "routine line";
+  Telemetry.Trace.emit ~sev:Telemetry.Trace.Error ~subsys:"t"
+    "fatal: boom at site 42";
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let snaps = Fl.dump_traces () in
+  Alcotest.(check bool) "error line snapshotted" true
+    (List.exists (fun s -> contains s.Fl.t_msg "boom at site 42") snaps);
+  Alcotest.(check bool) "info line not snapshotted" true
+    (not (List.exists (fun s -> contains s.Fl.t_msg "routine line") snaps));
+  (* The forensic report replays the snapshot. *)
+  let r = F.analyze () in
+  Alcotest.(check bool) "report carries the snapshot" true
+    (List.exists (fun s -> contains s.Fl.t_msg "boom") r.F.f_traces);
+  Fl.reset ()
+
+(* The recorder's settings surface (depth, lanes, publish protocol)
+   is part of [stats settings]. *)
+let test_flight_settings_surface () =
+  fresh_flight ();
+  let kvs = Fl.settings_kvs () in
+  Alcotest.(check (option string)) "depth surfaced"
+    (Some (string_of_int Fl.depth))
+    (List.assoc_opt "flight_depth" kvs);
+  Alcotest.(check (option string)) "publish-last surfaced" (Some "1")
+    (List.assoc_opt "flight_publish_last" kvs)
+
 let () =
   Alcotest.run "telemetry"
     [ ( "counters",
@@ -596,4 +718,12 @@ let () =
             test_stats_over_binary_server ] );
       ( "shared-heap",
         [ Alcotest.test_case "counters survive restart" `Quick
-            test_shared_backend_survives_restart ] ) ]
+            test_shared_backend_survives_restart ] );
+      ( "flight",
+        [ Alcotest.test_case "classifier arms" `Quick
+            test_forensics_classifier_arms;
+          Alcotest.test_case "window wraps" `Quick test_flight_window_wraps;
+          Alcotest.test_case "trace snapshot" `Quick
+            test_flight_trace_snapshot;
+          Alcotest.test_case "settings surface" `Quick
+            test_flight_settings_surface ] ) ]
